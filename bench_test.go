@@ -1,0 +1,218 @@
+package eunomia
+
+// Macro-benchmarks: one per figure of the paper's evaluation, wrapping the
+// drivers in internal/harness. Each iteration runs a shortened experiment
+// and reports the figure's headline quantities as custom metrics; full
+// paper-scale runs go through cmd/eunomia-bench.
+//
+// The ablation benches at the bottom measure the design choices DESIGN.md
+// calls out: red-black vs AVL pending set (§6), batching interval (§5),
+// scalar vs vector metadata (§4), data/metadata separation (§5).
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eunomia/internal/harness"
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// metricName turns a free-form label into a valid ReportMetric unit
+// (testing forbids whitespace in units).
+func metricName(label, suffix string) string {
+	return strings.ReplaceAll(label, " ", "-") + suffix
+}
+
+func benchOptions() harness.Options {
+	return harness.Options{
+		Duration:     500 * time.Millisecond,
+		Warmup:       250 * time.Millisecond,
+		WorkersPerDC: 4,
+		Partitions:   4,
+		RTTScale:     0.25,
+	}
+}
+
+func benchService() harness.ServiceOptions {
+	return harness.ServiceOptions{
+		Duration: 400 * time.Millisecond,
+		Warmup:   150 * time.Millisecond,
+	}
+}
+
+// BenchmarkFig1_TradeoffSweep reports the sequencer's throughput penalty
+// and GentleRain/Cure visibility at one stabilization interval.
+func BenchmarkFig1_TradeoffSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig1(benchOptions(), []time.Duration{10 * time.Millisecond})
+		for _, p := range res.Points {
+			switch p.System {
+			case harness.SSeq:
+				b.ReportMetric(p.PenaltyPct, "sseq-penalty-%")
+			case harness.ASeq:
+				b.ReportMetric(p.PenaltyPct, "aseq-penalty-%")
+			case harness.GentleRain:
+				b.ReportMetric(float64(p.VisP90.Milliseconds()), "gentlerain-p90-ms")
+			case harness.Cure:
+				b.ReportMetric(float64(p.VisP90.Milliseconds()), "cure-p90-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2_ServiceThroughput reports the saturated service rates and
+// the headline Eunomia/sequencer ratio (paper: 7.7×).
+func BenchmarkFig2_ServiceThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig2(benchService(), []int{30, 60})
+		b.ReportMetric(res.Ratio, "eunomia/sequencer-ratio")
+		for _, p := range res.Points {
+			if p.Partitions == 60 {
+				b.ReportMetric(p.Throughput, p.Service+"-ops/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3_FaultToleranceOverhead reports normalized throughput of
+// the replicated configurations.
+func BenchmarkFig3_FaultToleranceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig3(benchService(), 30)
+		for _, p := range res.Points {
+			b.ReportMetric(p.Normalized, metricName(p.Config, "-normalized"))
+		}
+	}
+}
+
+// BenchmarkFig4_FailureImpact reports whether each configuration survives
+// the two-crash schedule (fraction of steady-state throughput retained at
+// the end of the run).
+func BenchmarkFig4_FailureImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig4(harness.Fig4Options{
+			Total:      3 * time.Second,
+			Crash1:     time.Second,
+			Crash2:     2 * time.Second,
+			Bucket:     250 * time.Millisecond,
+			Partitions: 8,
+		})
+		for _, s := range res.Series {
+			if len(s.Normalized) == 0 {
+				continue
+			}
+			b.ReportMetric(s.Normalized[len(s.Normalized)-1], metricName(s.Config, "-final"))
+		}
+	}
+}
+
+// BenchmarkFig5_GeoThroughput reports EunomiaKV's throughput relative to
+// eventual consistency for the 90:10 uniform workload (paper: −4.7% on
+// average across workloads).
+func BenchmarkFig5_GeoThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig5(benchOptions(),
+			[]workload.Mix{{ReadPct: 90}},
+			[]workload.KeyDist{workload.Uniform{N: workload.DefaultKeys}})
+		for _, c := range res.Cells {
+			if c.System == harness.Eventual {
+				b.ReportMetric(c.Throughput, "eventual-ops/s")
+			}
+			if c.System == harness.EunomiaKV {
+				b.ReportMetric(c.Throughput, "eunomiakv-ops/s")
+				b.ReportMetric((c.VsEventual-1)*100, "eunomiakv-vs-eventual-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_VisibilityCDF reports the p90 remote update visibility
+// latency per system for the dc0→dc1 pair.
+func BenchmarkFig6_VisibilityCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig6(benchOptions())
+		for _, c := range res.Curves {
+			if c.Origin == types.DCID(0) && c.Dest == types.DCID(1) {
+				b.ReportMetric(float64(c.P90.Microseconds())/1000, string(c.System)+"-p90-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7_Stragglers reports the peak mean visibility delay during
+// the straggling act for a 100ms straggle interval (expected ≈ interval/2
+// above baseline).
+func BenchmarkFig7_Stragglers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.Fig7(harness.Fig7Options{
+			Options:   benchOptions(),
+			Phase:     time.Second,
+			Bucket:    250 * time.Millisecond,
+			Intervals: []time.Duration{100 * time.Millisecond},
+		})
+		peak := 0.0
+		for _, v := range res.Series[0].VisibilityMs {
+			if v == v && v > peak { // skip NaN
+				peak = v
+			}
+		}
+		b.ReportMetric(peak, "peak-visibility-ms")
+	}
+}
+
+// BenchmarkAblationTreeChoice re-checks §6's claim that the red-black tree
+// beats an AVL tree for Eunomia's insert/extract workload.
+func BenchmarkAblationTreeChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblationTree(benchService(), 30)
+		b.ReportMetric(res.RedBlack, "redblack-ops/s")
+		b.ReportMetric(res.AVL, "avl-ops/s")
+	}
+}
+
+// BenchmarkAblationBatching sweeps the partition→Eunomia batching interval
+// (§5: batching stretches Eunomia's capacity without blocking clients).
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := harness.AblationBatching(benchService(), 30,
+			[]time.Duration{time.Millisecond, 5 * time.Millisecond})
+		for _, p := range pts {
+			b.ReportMetric(p.Throughput, p.Interval.String()+"-ops/s")
+		}
+	}
+}
+
+// BenchmarkAblationScalarVsVector quantifies §4's metadata tradeoff: the
+// scalar compresses metadata but inflates the dc0→dc1 visibility latency
+// toward the farthest-datacenter bound.
+func BenchmarkAblationScalarVsVector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblationScalarVsVector(benchOptions())
+		b.ReportMetric(float64(res.VectorVisP90.Microseconds())/1000, "vector-p90-ms")
+		b.ReportMetric(float64(res.ScalarVisP90.Microseconds())/1000, "scalar-p90-ms")
+	}
+}
+
+// BenchmarkAblationPropagationTree measures §5's fan-in optimization: a
+// tree of aggregators cuts the message rate the Eunomia replica must
+// absorb at large partition counts.
+func BenchmarkAblationPropagationTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblationPropagationTree(benchService(), 30, 10)
+		b.ReportMetric(res.DirectBatches, "direct-msgs/s")
+		b.ReportMetric(res.TreeBatches, "tree-msgs/s")
+	}
+}
+
+// BenchmarkAblationDataMetadataSeparation measures §5's separation toggle.
+// In-process, payloads are pointers, so separation costs bookkeeping
+// rather than saving bytes — the inversion DESIGN.md documents.
+func BenchmarkAblationDataMetadataSeparation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.AblationDataSeparation(benchOptions())
+		b.ReportMetric(res.SeparatedThr, "separated-ops/s")
+		b.ReportMetric(res.CombinedThr, "combined-ops/s")
+	}
+}

@@ -1,0 +1,96 @@
+// Faulttolerance demonstrates §3.3 of the paper: the Eunomia service
+// replicated three ways, with replicas crashed one by one while the store
+// keeps accepting and propagating updates. Replicas never coordinate —
+// partitions feed all of them and the surviving lowest-ranked replica
+// takes over shipping.
+//
+// It also shows the standalone Orderer API surviving a replica crash.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"eunomia"
+)
+
+func main() {
+	clusterDemo()
+	ordererDemo()
+}
+
+func clusterDemo() {
+	cluster, err := eunomia.NewCluster(eunomia.Config{
+		RTTScale:         0.1,
+		OrderingReplicas: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	writer, _ := cluster.Client(0)
+	reader, _ := cluster.Client(1)
+
+	write := func(key, val string) {
+		if err := writer.Update(key, []byte(val)); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for {
+			if v, _ := reader.Read(key); v != nil {
+				fmt.Printf("  %-22s visible at dc1 after %v\n", key, time.Since(start).Round(time.Millisecond))
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	fmt.Println("three Eunomia replicas at each datacenter")
+	write("healthy", "all replicas up")
+
+	fmt.Println("crashing dc0's replica 0 (the leader)…")
+	cluster.CrashOrderingReplica(0, 0)
+	write("after-first-crash", "replica 1 took over")
+
+	fmt.Println("crashing dc0's replica 1…")
+	cluster.CrashOrderingReplica(0, 1)
+	write("after-second-crash", "replica 2 took over")
+
+	fmt.Println("two crashes survived; updates kept flowing ✓")
+}
+
+func ordererDemo() {
+	fmt.Println("\nstandalone Orderer with 2 replicas:")
+	var ordered atomic.Int64
+	ord, err := eunomia.NewOrderer(eunomia.OrdererConfig{
+		Partitions: 4,
+		Replicas:   2,
+		OnStable: func(ops []eunomia.StableOp) {
+			ordered.Add(int64(len(ops)))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dep eunomia.Timestamp
+	for i := 0; i < 100; i++ {
+		h := ord.Partition(i % 4)
+		dep = h.Submit(dep, []byte{byte(i)})
+		if i == 50 {
+			fmt.Println("  crashing orderer replica 0 mid-stream…")
+			ord.CrashReplica(0)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ordered.Load() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ord.Close()
+	fmt.Printf("  %d/100 operations emitted in causal total order despite the crash ✓\n", ordered.Load())
+}

@@ -1,0 +1,266 @@
+// Package avltree implements an AVL tree with the same interface as
+// internal/rbtree.
+//
+// The paper (§6) reports that "the red-black tree turned out to be more
+// efficient than other self-balancing binary search trees such as AVL
+// trees" for Eunomia's insert-heavy, extract-prefix workload. This package
+// exists to reproduce that ablation (BenchmarkAblationTreeChoice): AVL
+// trees rebalance more eagerly, buying cheaper lookups — which Eunomia
+// never performs — at the price of costlier inserts and deletes.
+package avltree
+
+import (
+	"eunomia/internal/hlc"
+	"eunomia/internal/ordered"
+)
+
+type node[V any] struct {
+	key         ordered.Key
+	val         V
+	left, right *node[V]
+	height      int8
+}
+
+// Tree is an AVL tree keyed by ordered.Key, implementing ordered.Set[V].
+// The zero value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+func height[V any](n *node[V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[V any](n *node[V]) {
+	lh, rh := height(n.left), height(n.right)
+	if lh > rh {
+		n.height = lh + 1
+	} else {
+		n.height = rh + 1
+	}
+}
+
+func balanceFactor[V any](n *node[V]) int8 { return height(n.left) - height(n.right) }
+
+func rotateRight[V any](y *node[V]) *node[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft[V any](x *node[V]) *node[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance[V any](n *node[V]) *node[V] {
+	fix(n)
+	switch bf := balanceFactor(n); {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds (k, v), replacing the value if k is already present.
+// It returns true for a fresh insert, false for a replacement.
+func (t *Tree[V]) Insert(k ordered.Key, v V) bool {
+	var fresh bool
+	t.root, fresh = t.insert(t.root, k, v)
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+func (t *Tree[V]) insert(n *node[V], k ordered.Key, v V) (*node[V], bool) {
+	if n == nil {
+		return &node[V]{key: k, val: v, height: 1}, true
+	}
+	var fresh bool
+	switch c := k.Compare(n.key); {
+	case c < 0:
+		n.left, fresh = t.insert(n.left, k, v)
+	case c > 0:
+		n.right, fresh = t.insert(n.right, k, v)
+	default:
+		n.val = v
+		return n, false
+	}
+	return rebalance(n), fresh
+}
+
+// Min returns the smallest entry without removing it.
+func (t *Tree[V]) Min() (ordered.Key, V, bool) {
+	if t.root == nil {
+		var zero V
+		return ordered.Key{}, zero, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Delete removes k, returning whether it was present.
+func (t *Tree[V]) Delete(k ordered.Key) bool {
+	var deleted bool
+	t.root, deleted = t.deleteNode(t.root, k)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[V]) deleteNode(n *node[V], k ordered.Key) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch c := k.Compare(n.key); {
+	case c < 0:
+		n.left, deleted = t.deleteNode(n.left, k)
+	case c > 0:
+		n.right, deleted = t.deleteNode(n.right, k)
+	default:
+		deleted = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.val = succ.key, succ.val
+			n.right, _ = t.deleteNode(n.right, succ.key)
+		}
+	}
+	if n == nil {
+		return nil, deleted
+	}
+	return rebalance(n), deleted
+}
+
+// deleteMin removes and returns the minimum node of the subtree.
+func (t *Tree[V]) deleteMin(n *node[V]) (rest, min *node[V]) {
+	if n.left == nil {
+		return n.right, n
+	}
+	n.left, min = t.deleteMin(n.left)
+	return rebalance(n), min
+}
+
+// ExtractUpTo removes and returns, in ascending order, every entry with
+// key.TS <= max.
+func (t *Tree[V]) ExtractUpTo(max hlc.Timestamp) []V {
+	var out []V
+	for t.root != nil {
+		n := t.root
+		for n.left != nil {
+			n = n.left
+		}
+		if n.key.TS > max {
+			break
+		}
+		var min *node[V]
+		t.root, min = t.deleteMin(t.root)
+		t.size--
+		out = append(out, min.val)
+	}
+	return out
+}
+
+// Ascend visits entries in ascending key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(ordered.Key, V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(ordered.Key, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// checkInvariants validates AVL balance and ordering; used by tests.
+func (t *Tree[V]) checkInvariants() error {
+	_, err := check(t.root)
+	return err
+}
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+var (
+	errUnbalanced = errorString("avltree: node out of balance")
+	errBadHeight  = errorString("avltree: cached height wrong")
+	errOrder      = errorString("avltree: keys out of order")
+)
+
+func check[V any](n *node[V]) (int8, error) {
+	if n == nil {
+		return 0, nil
+	}
+	lh, err := check(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right)
+	if err != nil {
+		return 0, err
+	}
+	h := lh
+	if rh > h {
+		h = rh
+	}
+	h++
+	if n.height != h {
+		return 0, errBadHeight
+	}
+	if bf := lh - rh; bf < -1 || bf > 1 {
+		return 0, errUnbalanced
+	}
+	if n.left != nil && !n.left.key.Less(n.key) {
+		return 0, errOrder
+	}
+	if n.right != nil && !n.key.Less(n.right.key) {
+		return 0, errOrder
+	}
+	return h, nil
+}

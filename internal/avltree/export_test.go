@@ -1,0 +1,4 @@
+package avltree
+
+// CheckInvariants exposes the AVL structural validation to tests.
+func (t *Tree[V]) CheckInvariants() error { return t.checkInvariants() }

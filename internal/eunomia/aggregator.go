@@ -1,0 +1,280 @@
+package eunomia
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+)
+
+// Aggregator is a fan-in node of the §5 propagation tree: when the number
+// of partitions is large, all-to-one communication with Eunomia does not
+// scale, so partitions send their streams to intermediate aggregators,
+// which merge many per-partition batches into one message per flush toward
+// the replicas (or toward a parent aggregator — Aggregator itself
+// implements Conn, so trees of any depth compose).
+//
+// Semantics: the aggregator is transparent to the acknowledgement
+// protocol. It buffers operations per partition, forwards them on its own
+// flush tick, and reports to each partition the watermark its upstreams
+// have durably acknowledged — never the watermark it has merely buffered.
+// A partition therefore keeps resending through an aggregator crash until
+// a surviving path acknowledges, preserving the prefix property. The tree
+// is purely a message-count optimization, exactly as the paper frames it.
+type Aggregator struct {
+	conns    []Conn
+	interval time.Duration
+
+	mu          sync.Mutex
+	buffers     map[types.PartitionID][]*types.Update
+	seen        map[types.PartitionID]hlc.Timestamp // filter duplicates of buffered ops
+	acked       map[types.PartitionID]hlc.Timestamp // min watermark over live upstreams
+	upstreamAck map[types.PartitionID][]hlc.Timestamp
+	hbs         map[types.PartitionID]hlc.Timestamp // pending heartbeat forward
+	dead        []bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// BatchesIn / BatchesOut count fan-in efficiency: messages received
+	// from partitions versus messages forwarded upstream.
+	BatchesIn  metrics.Counter
+	BatchesOut metrics.Counter
+}
+
+// NewAggregator returns a running fan-in node forwarding to conns every
+// interval (default 1ms).
+func NewAggregator(conns []Conn, interval time.Duration) *Aggregator {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	a := &Aggregator{
+		conns:    conns,
+		interval: interval,
+		buffers:  make(map[types.PartitionID][]*types.Update),
+		seen:     make(map[types.PartitionID]hlc.Timestamp),
+		acked:    make(map[types.PartitionID]hlc.Timestamp),
+		hbs:      make(map[types.PartitionID]hlc.Timestamp),
+		dead:     make([]bool, len(conns)),
+		stop:     make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// NewBatch implements Conn: it buffers fresh operations and acknowledges
+// only what upstream replicas have already acknowledged.
+func (a *Aggregator) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timestamp, error) {
+	a.BatchesIn.Inc()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := a.seen[p]
+	for _, u := range ops {
+		if u.TS <= w {
+			continue // duplicate of something already buffered/forwarded
+		}
+		w = u.TS
+		a.buffers[p] = append(a.buffers[p], u)
+	}
+	a.seen[p] = w
+	return a.acked[p], nil
+}
+
+// Heartbeat implements Conn: heartbeats are forwarded on the next flush.
+// The partition-side client only heartbeats when everything it sent has
+// been acknowledged — which, through this aggregator, means the upstreams
+// have it — so a forwarded heartbeat can never mask a buffered operation.
+func (a *Aggregator) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
+	a.mu.Lock()
+	if ts > a.hbs[p] {
+		a.hbs[p] = ts
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Close flushes outstanding buffers and stops the node.
+func (a *Aggregator) Close() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+func (a *Aggregator) loop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			a.flush()
+			return
+		case <-ticker.C:
+			a.flush()
+		}
+	}
+}
+
+// flush forwards every buffered stream as one batch per partition per
+// upstream, advances acknowledgement watermarks to the minimum over live
+// upstreams, and relays pending heartbeats.
+func (a *Aggregator) flush() {
+	a.mu.Lock()
+	batches := a.buffers
+	a.buffers = make(map[types.PartitionID][]*types.Update, len(batches))
+	hbs := a.hbs
+	a.hbs = make(map[types.PartitionID]hlc.Timestamp, len(hbs))
+	// Partitions whose forwarded data has not been fully acknowledged
+	// yet get an empty poll this round, so acknowledgement progress
+	// keeps flowing downstream even when no new data does (without
+	// this, a quiet partition's client would never drain its resend
+	// buffer and never resume heartbeats).
+	var polls []types.PartitionID
+	for p, seen := range a.seen {
+		if a.acked[p] < seen {
+			if _, pending := batches[p]; !pending {
+				polls = append(polls, p)
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	for _, p := range polls {
+		a.forward(p, nil)
+	}
+
+	if len(batches) > 0 {
+		a.BatchesOut.Inc()
+		a.forwardAll(batches)
+	}
+
+	for p, ts := range hbs {
+		for i, conn := range a.conns {
+			if a.dead[i] {
+				continue
+			}
+			if err := conn.Heartbeat(p, ts); err != nil {
+				a.dead[i] = true
+			}
+		}
+	}
+}
+
+// MultiConn is the merged fan-in call; *Replica implements it, and so does
+// Aggregator itself, which makes multi-level trees merge at every hop.
+type MultiConn interface {
+	NewMultiBatch(batches map[types.PartitionID][]*types.Update) (map[types.PartitionID]hlc.Timestamp, error)
+}
+
+// NewMultiBatch implements MultiConn for tree composition.
+func (a *Aggregator) NewMultiBatch(batches map[types.PartitionID][]*types.Update) (map[types.PartitionID]hlc.Timestamp, error) {
+	a.BatchesIn.Inc()
+	acks := make(map[types.PartitionID]hlc.Timestamp, len(batches))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for p, ops := range batches {
+		w := a.seen[p]
+		for _, u := range ops {
+			if u.TS <= w {
+				continue
+			}
+			w = u.TS
+			a.buffers[p] = append(a.buffers[p], u)
+		}
+		a.seen[p] = w
+		acks[p] = a.acked[p]
+	}
+	return acks, nil
+}
+
+// forwardAll pushes a merged multi-partition batch to every live upstream
+// — one message per upstream — folding returned watermarks into the
+// acknowledged state. Upstreams that do not implement MultiConn receive
+// per-partition batches.
+func (a *Aggregator) forwardAll(batches map[types.PartitionID][]*types.Update) {
+	for i, conn := range a.conns {
+		if a.dead[i] {
+			continue
+		}
+		if mc, ok := conn.(MultiConn); ok {
+			acks, err := mc.NewMultiBatch(batches)
+			if err != nil {
+				a.dead[i] = true
+				continue
+			}
+			a.mu.Lock()
+			for p, w := range acks {
+				a.ackFloor(p, i, w)
+			}
+			a.mu.Unlock()
+			continue
+		}
+		for p, ops := range batches {
+			w, err := conn.NewBatch(p, ops)
+			if err != nil {
+				a.dead[i] = true
+				break
+			}
+			a.mu.Lock()
+			a.ackFloor(p, i, w)
+			a.mu.Unlock()
+		}
+	}
+}
+
+// ackFloor folds one upstream's watermark for p into acked. With a single
+// upstream the watermark is authoritative; with several, the minimum over
+// live upstreams is maintained conservatively by only advancing acked when
+// every live upstream has reported at least that value. For simplicity the
+// aggregator tracks per-upstream watermarks.
+func (a *Aggregator) ackFloor(p types.PartitionID, upstream int, w hlc.Timestamp) bool {
+	if a.upstreamAck == nil {
+		a.upstreamAck = make(map[types.PartitionID][]hlc.Timestamp)
+	}
+	per := a.upstreamAck[p]
+	if per == nil {
+		per = make([]hlc.Timestamp, len(a.conns))
+		a.upstreamAck[p] = per
+	}
+	if w > per[upstream] {
+		per[upstream] = w
+	}
+	// acked = min over live upstreams.
+	min := hlc.Timestamp(1<<63 - 1)
+	any := false
+	for i := range per {
+		if a.dead[i] {
+			continue
+		}
+		any = true
+		if per[i] < min {
+			min = per[i]
+		}
+	}
+	if any && min > a.acked[p] {
+		a.acked[p] = min
+	}
+	return any
+}
+
+// forward pushes one partition's batch (possibly empty, as an ack poll) to
+// every live upstream and folds the returned watermarks into the
+// partition's acknowledged state.
+func (a *Aggregator) forward(p types.PartitionID, ops []*types.Update) {
+	for i, conn := range a.conns {
+		if a.dead[i] {
+			continue
+		}
+		w, err := conn.NewBatch(p, ops)
+		if err != nil {
+			a.dead[i] = true
+			continue
+		}
+		a.mu.Lock()
+		a.ackFloor(p, i, w)
+		a.mu.Unlock()
+	}
+}

@@ -1,0 +1,177 @@
+package eunomia
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+func TestAggregatorForwardsAllOpsInOrder(t *testing.T) {
+	sink := &shipSink{}
+	cluster := NewCluster(1, Config{Partitions: 2, StableInterval: time.Millisecond}, sink.ship)
+	defer cluster.Stop()
+
+	agg := NewAggregator(ClusterConns(cluster), time.Millisecond)
+	defer agg.Close()
+
+	clocks := []*hlc.Clock{hlc.NewClock(nil), hlc.NewClock(nil)}
+	clients := []*Client{
+		NewClient(ClientConfig{Partition: 0, BatchInterval: time.Millisecond}, []Conn{agg}, clocks[0]),
+		NewClient(ClientConfig{Partition: 1, BatchInterval: time.Millisecond}, []Conn{agg}, clocks[1]),
+	}
+
+	const per = 200
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for s := 1; s <= per; s++ {
+				clients[i].Add(up(types.PartitionID(i), uint64(s), clocks[i].Tick(0)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, func() bool { return sink.len() == 2*per })
+	for _, c := range clients {
+		c.Close()
+	}
+
+	// Shipped output remains totally ordered and gap-free per stream.
+	got := sink.snapshot()
+	perSeen := map[types.PartitionID]uint64{}
+	for i := 1; i < len(got); i++ {
+		if got[i].TS < got[i-1].TS {
+			t.Fatalf("order violated through aggregator at %d", i)
+		}
+	}
+	for _, u := range got {
+		if u.Seq != perSeen[u.Partition]+1 {
+			t.Fatalf("partition %d stream has a gap at seq %d", u.Partition, u.Seq)
+		}
+		perSeen[u.Partition] = u.Seq
+	}
+}
+
+func TestAggregatorReducesMessageCount(t *testing.T) {
+	sink := &shipSink{}
+	cluster := NewCluster(1, Config{Partitions: 8, StableInterval: time.Millisecond}, sink.ship)
+	defer cluster.Stop()
+
+	// Aggregator flushes 4× slower than the partitions feed it: many
+	// incoming batches merge into few outgoing ones.
+	agg := NewAggregator(ClusterConns(cluster), 4*time.Millisecond)
+	defer agg.Close()
+
+	clocks := make([]*hlc.Clock, 8)
+	clients := make([]*Client, 8)
+	for i := range clients {
+		clocks[i] = hlc.NewClock(nil)
+		clients[i] = NewClient(ClientConfig{
+			Partition: types.PartitionID(i), BatchInterval: time.Millisecond,
+		}, []Conn{agg}, clocks[i])
+	}
+	for round := 0; round < 50; round++ {
+		for i := range clients {
+			clients[i].Add(up(types.PartitionID(i), uint64(round+1), clocks[i].Tick(0)))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitFor(t, 5*time.Second, func() bool { return sink.len() == 8*50 })
+	for _, c := range clients {
+		c.Close()
+	}
+	agg.Close()
+
+	in, out := agg.BatchesIn.Load(), agg.BatchesOut.Load()
+	if in == 0 || out == 0 {
+		t.Fatalf("counters empty: in=%d out=%d", in, out)
+	}
+	if out*2 > in {
+		t.Fatalf("no fan-in gain: %d batches in, %d out", in, out)
+	}
+}
+
+func TestAggregatorAcksOnlyUpstreamDurableState(t *testing.T) {
+	// Directly observe that a freshly buffered op is not acknowledged
+	// until a flush has pushed it upstream.
+	upstream := &fakeConn{}
+	agg := NewAggregator([]Conn{upstream}, time.Hour) // never auto-flush
+	defer agg.Close()
+
+	ack, err := agg.NewBatch(0, []*types.Update{up(0, 1, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != 0 {
+		t.Fatalf("aggregator acknowledged unforwarded data: %v", ack)
+	}
+	agg.flush()
+	ack, _ = agg.NewBatch(0, nil)
+	if ack != 10 {
+		t.Fatalf("ack after flush = %v, want 10", ack)
+	}
+	if upstream.opCount() != 1 {
+		t.Fatalf("upstream ops = %d", upstream.opCount())
+	}
+}
+
+func TestAggregatorFiltersDuplicates(t *testing.T) {
+	upstream := &fakeConn{}
+	agg := NewAggregator([]Conn{upstream}, time.Hour)
+	defer agg.Close()
+	batch := []*types.Update{up(0, 1, 10), up(0, 2, 20)}
+	agg.NewBatch(0, batch)
+	agg.NewBatch(0, batch) // client resend before any ack
+	agg.flush()
+	if got := upstream.opCount(); got != 2 {
+		t.Fatalf("upstream received %d ops, want 2", got)
+	}
+}
+
+func TestAggregatorTreeComposes(t *testing.T) {
+	// Two levels: partitions → leaf aggregators → root aggregator →
+	// replica. Aggregator implements Conn, so composition is free.
+	sink := &shipSink{}
+	cluster := NewCluster(1, Config{Partitions: 4, StableInterval: time.Millisecond}, sink.ship)
+	defer cluster.Stop()
+
+	root := NewAggregator(ClusterConns(cluster), time.Millisecond)
+	defer root.Close()
+	leafA := NewAggregator([]Conn{root}, time.Millisecond)
+	defer leafA.Close()
+	leafB := NewAggregator([]Conn{root}, time.Millisecond)
+	defer leafB.Close()
+
+	leaves := []Conn{leafA, leafA, leafB, leafB}
+	clients := make([]*Client, 4)
+	clocks := make([]*hlc.Clock, 4)
+	for i := range clients {
+		clocks[i] = hlc.NewClock(nil)
+		clients[i] = NewClient(ClientConfig{
+			Partition: types.PartitionID(i), BatchInterval: time.Millisecond,
+		}, []Conn{leaves[i]}, clocks[i])
+	}
+	for s := 1; s <= 50; s++ {
+		for i := range clients {
+			clients[i].Add(up(types.PartitionID(i), uint64(s), clocks[i].Tick(0)))
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return sink.len() == 200 })
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func TestAggregatorHeartbeatForwarding(t *testing.T) {
+	upstream := &fakeConn{}
+	agg := NewAggregator([]Conn{upstream}, time.Millisecond)
+	defer agg.Close()
+	if err := agg.Heartbeat(3, 500); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return upstream.hbCount() >= 1 })
+}

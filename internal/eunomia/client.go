@@ -1,0 +1,294 @@
+package eunomia
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+// Conn is the partition's view of one Eunomia replica. *Replica implements
+// it directly (intra-datacenter traffic); tests substitute flaky or
+// duplicating connections to exercise the at-least-once tolerance.
+type Conn interface {
+	NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timestamp, error)
+	Heartbeat(p types.PartitionID, ts hlc.Timestamp) error
+}
+
+// ClusterConns adapts a Cluster's replicas to the Conn slice a Client
+// expects.
+func ClusterConns(c *Cluster) []Conn {
+	conns := make([]Conn, len(c.replicas))
+	for i, r := range c.replicas {
+		conns[i] = r
+	}
+	return conns
+}
+
+// ClientConfig parameterises the partition-side batching client.
+type ClientConfig struct {
+	// Partition identifies the stream.
+	Partition types.PartitionID
+	// BatchInterval is how often buffered operations are propagated to
+	// the replicas (§5, Communication Patterns; the evaluation uses
+	// 1 ms). It doubles as the heartbeat period. Default 1ms.
+	BatchInterval time.Duration
+	// HeartbeatDelta is Δ of Algorithm 2: a heartbeat is emitted only if
+	// the physical clock has advanced Δ past the last issued timestamp.
+	// Default equals BatchInterval.
+	HeartbeatDelta time.Duration
+	// MaxPending bounds the unacknowledged buffer; Add blocks beyond it.
+	// This is the in-process analogue of TCP backpressure from the
+	// service — without it an overdriven service would just grow the
+	// queue unboundedly. Default 16384.
+	MaxPending int
+	// FireAndForget disables the acknowledgement/resend machinery and
+	// sends each batch exactly once to the first replica only — the
+	// partition side of the non-fault-tolerant Algorithm 3 service.
+	// Figure 3 measures the fault-tolerance overhead against this mode.
+	FireAndForget bool
+}
+
+func (c *ClientConfig) fill() {
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = time.Millisecond
+	}
+	if c.HeartbeatDelta <= 0 {
+		c.HeartbeatDelta = c.BatchInterval
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 16384
+	}
+}
+
+// Client buffers one partition's operations and propagates them to every
+// Eunomia replica, implementing the partition side of Algorithm 4: batches
+// are sent to all replicas, per-replica acknowledgement watermarks are
+// tracked (Ack_n), and unacknowledged suffixes are resent each round,
+// which establishes the prefix property over at-least-once delivery.
+//
+// Heartbeats are emitted only when the buffer is fully acknowledged by
+// every live replica; together with the hybrid clock's monotonicity this
+// guarantees no operation can ever be filtered as a duplicate without
+// having been ingested (see TestClientHeartbeatNeverMasksOps).
+type Client struct {
+	cfg   ClientConfig
+	conns []Conn
+	clock *hlc.Clock
+
+	mu      sync.Mutex
+	notFull *sync.Cond
+	pending []*types.Update // ascending by TS
+	acked   []hlc.Timestamp // per replica
+	dead    []bool          // per replica, sticky
+
+	interval atomic.Int64 // current batch interval in nanoseconds
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	added   metrics64
+	flushes metrics64
+}
+
+type metrics64 struct{ v atomic.Int64 }
+
+func (m *metrics64) inc()        { m.v.Add(1) }
+func (m *metrics64) load() int64 { return m.v.Load() }
+
+// NewClient starts the propagation loop for one partition. clock must be
+// the same hybrid clock the partition tags updates with, so that heartbeat
+// timestamps dominate every issued timestamp.
+func NewClient(cfg ClientConfig, conns []Conn, clock *hlc.Clock) *Client {
+	cfg.fill()
+	c := &Client{
+		cfg:   cfg,
+		conns: conns,
+		clock: clock,
+		acked: make([]hlc.Timestamp, len(conns)),
+		dead:  make([]bool, len(conns)),
+		stop:  make(chan struct{}),
+	}
+	c.notFull = sync.NewCond(&c.mu)
+	c.interval.Store(int64(cfg.BatchInterval))
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Add enqueues an operation for propagation. Operations must be produced
+// in ascending timestamp order (the partition's own serialization provides
+// this). Add blocks only under backpressure.
+func (c *Client) Add(u *types.Update) {
+	c.mu.Lock()
+	for len(c.pending) >= c.cfg.MaxPending {
+		select {
+		case <-c.stop:
+			c.mu.Unlock()
+			return
+		default:
+		}
+		c.notFull.Wait()
+	}
+	c.pending = append(c.pending, u)
+	c.mu.Unlock()
+	c.added.inc()
+}
+
+// SetInterval changes the propagation period at runtime. The straggler
+// experiment (Figure 7) uses it to make one partition communicate
+// abnormally slowly, then heal it.
+func (c *Client) SetInterval(d time.Duration) {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	c.interval.Store(int64(d))
+}
+
+// Pending returns the current unacknowledged buffer length.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Added returns the total number of operations enqueued.
+func (c *Client) Added() int64 { return c.added.load() }
+
+// Close stops the propagation loop after a final flush.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.mu.Lock()
+		c.notFull.Broadcast()
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+}
+
+func (c *Client) loop() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Duration(c.interval.Load()))
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stop:
+			c.flush()
+			return
+		case <-timer.C:
+		}
+		c.flush()
+		timer.Reset(time.Duration(c.interval.Load()))
+	}
+}
+
+// flush resends to each live replica the suffix of pending operations it
+// has not acknowledged, prunes fully acknowledged operations, and emits a
+// heartbeat when there is nothing outstanding.
+func (c *Client) flush() {
+	c.flushes.inc()
+	if c.cfg.FireAndForget {
+		c.flushFireAndForget()
+		return
+	}
+	c.mu.Lock()
+	snapshot := c.pending
+	acked := append([]hlc.Timestamp(nil), c.acked...)
+	dead := append([]bool(nil), c.dead...)
+	c.mu.Unlock()
+
+	anyAlive := false
+	for i, conn := range c.conns {
+		if dead[i] {
+			continue
+		}
+		// Suffix of operations with TS > acked[i].
+		start := sort.Search(len(snapshot), func(j int) bool { return snapshot[j].TS > acked[i] })
+		if start == len(snapshot) {
+			anyAlive = true
+			continue
+		}
+		w, err := conn.NewBatch(c.cfg.Partition, snapshot[start:])
+		if err != nil {
+			dead[i] = true
+			continue
+		}
+		anyAlive = true
+		if w > acked[i] {
+			acked[i] = w
+		}
+	}
+
+	c.mu.Lock()
+	for i := range c.acked {
+		if acked[i] > c.acked[i] {
+			c.acked[i] = acked[i]
+		}
+		c.dead[i] = c.dead[i] || dead[i]
+	}
+	// Prune the prefix acknowledged by every live replica.
+	minAck := hlc.Timestamp(1<<63 - 1)
+	for i := range c.acked {
+		if c.dead[i] {
+			continue
+		}
+		if c.acked[i] < minAck {
+			minAck = c.acked[i]
+		}
+	}
+	if !anyAlive {
+		// Every replica is gone; hold operations (the service is down,
+		// Figure 4's 1-FT case) and let backpressure stall producers.
+		c.mu.Unlock()
+		return
+	}
+	drop := sort.Search(len(c.pending), func(j int) bool { return c.pending[j].TS > minAck })
+	if drop > 0 {
+		c.pending = append([]*types.Update(nil), c.pending[drop:]...)
+		c.notFull.Broadcast()
+	}
+	outstanding := len(c.pending) > 0
+	c.mu.Unlock()
+
+	if outstanding {
+		return
+	}
+	// Nothing outstanding anywhere: heartbeat (Algorithm 2 lines 10-12).
+	if hb, ok := c.clock.Heartbeat(c.cfg.HeartbeatDelta); ok {
+		for i, conn := range c.conns {
+			if dead[i] {
+				continue
+			}
+			if err := conn.Heartbeat(c.cfg.Partition, hb); err != nil {
+				c.mu.Lock()
+				c.dead[i] = true
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// flushFireAndForget is the Algorithm 3 (non-fault-tolerant) propagation
+// path: one send to one replica, no watermark bookkeeping, buffered
+// operations dropped as soon as the send returns.
+func (c *Client) flushFireAndForget() {
+	c.mu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.notFull.Broadcast()
+	c.mu.Unlock()
+
+	if len(batch) > 0 {
+		if _, err := c.conns[0].NewBatch(c.cfg.Partition, batch); err != nil {
+			return // service down; Algorithm 3 has no recovery
+		}
+		return
+	}
+	if hb, ok := c.clock.Heartbeat(c.cfg.HeartbeatDelta); ok {
+		_ = c.conns[0].Heartbeat(c.cfg.Partition, hb)
+	}
+}

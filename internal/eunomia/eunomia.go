@@ -1,0 +1,428 @@
+// Package eunomia implements the paper's central contribution: the Eunomia
+// service, which unobtrusively establishes — in the background, off the
+// client's critical path — a serialization of all updates of a datacenter
+// consistent with causality (§3).
+//
+// A Replica ingests per-partition streams of timestamped operations and
+// heartbeats (Algorithm 3). Because every partition tags its stream with
+// strictly increasing hybrid-logical timestamps (Property 2) and timestamps
+// respect causality (Property 1), the minimum over the latest timestamp
+// received from each partition — the site stable time — bounds from below
+// every future arrival; all pending operations at or below it can be
+// serialized in timestamp order and shipped to remote datacenters.
+//
+// Fault tolerance (§3.3, Algorithm 4) runs several replicas: partitions
+// send each batch to every replica and track per-replica acknowledgement
+// watermarks, resending unacknowledged prefixes, which yields the
+// prefix-property over at-least-once channels; replicas deduplicate by
+// per-partition watermark; a single (elected, but not required to be
+// unique) leader ships stable operations and broadcasts the stable time so
+// that followers can prune.
+package eunomia
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/avltree"
+	"eunomia/internal/clock"
+	"eunomia/internal/hlc"
+	"eunomia/internal/metrics"
+	"eunomia/internal/ordered"
+	"eunomia/internal/rbtree"
+	"eunomia/internal/types"
+)
+
+// ErrStopped is returned by calls into a crashed or shut-down replica.
+var ErrStopped = errors.New("eunomia: replica stopped")
+
+// TreeKind selects the pending-set implementation (§6 ablation).
+type TreeKind int
+
+const (
+	// RedBlack is the paper's choice and the default.
+	RedBlack TreeKind = iota
+	// AVL reproduces the alternative the paper measured and rejected.
+	AVL
+)
+
+func newSet(k TreeKind) ordered.Set[*types.Update] {
+	switch k {
+	case AVL:
+		return avltree.New[*types.Update]()
+	default:
+		return rbtree.New[*types.Update]()
+	}
+}
+
+// ShipFunc consumes a stable, timestamp-ordered batch of operations
+// (PROCESS(StableOps) in Algorithms 3 and 4). The geo-replication layer
+// ships them to remote datacenters; benchmarks count them. from identifies
+// the replica acting as leader, so shippers can use per-sender FIFO
+// channels (receivers deduplicate overlapping streams after failover).
+type ShipFunc func(from types.ReplicaID, ops []*types.Update)
+
+// Config parameterises a replica set.
+type Config struct {
+	// Partitions is N, the number of partition streams feeding the
+	// service. Stability requires every partition to have reported at
+	// least once (by update or heartbeat).
+	Partitions int
+	// StableInterval is θ, the period of the PROCESS_STABLE loop.
+	// Default 1ms.
+	StableInterval time.Duration
+	// SuspectAfter is how long a follower waits without a STABLE
+	// notification before probing for a dead leader. Default
+	// 10×StableInterval.
+	SuspectAfter time.Duration
+	// Tree selects the pending-set structure.
+	Tree TreeKind
+	// MessageCost charges emulated per-batch processing time (one
+	// message receive and parse) to the replica. Because partitions
+	// batch (§5), this cost is amortized over every operation in the
+	// batch — the structural reason Eunomia out-scales sequencers,
+	// which pay it per operation. The saturation experiments set it;
+	// protocol tests leave it zero.
+	MessageCost time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Partitions <= 0 {
+		panic("eunomia: Config.Partitions must be positive")
+	}
+	if c.StableInterval <= 0 {
+		c.StableInterval = time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 10 * c.StableInterval
+	}
+}
+
+// Stats exposes replica counters for tests and reports.
+type Stats struct {
+	OpsReceived   int64 // fresh operations inserted
+	Duplicates    int64 // resent operations filtered by watermark
+	Batches       int64 // NewBatch calls (messages) received
+	Heartbeats    int64
+	OpsShipped    int64 // operations handed to ShipFunc (leader only)
+	Stabilization int64 // PROCESS_STABLE rounds executed as leader
+	Pending       int   // current pending-set size
+	StableTime    hlc.Timestamp
+	Leader        bool
+}
+
+// Replica is one member of the Eunomia service. All exported methods are
+// safe for concurrent use.
+type Replica struct {
+	id    types.ReplicaID
+	cfg   Config
+	ship  ShipFunc
+	peers []*Replica // all replicas including self, indexed by id
+
+	mu            sync.Mutex
+	ops           ordered.Set[*types.Update]
+	partitionTime []hlc.Timestamp
+	stableTime    hlc.Timestamp
+	lastStableMsg time.Time
+
+	leader  atomic.Int32
+	stopped atomic.Bool
+	done    chan struct{}
+	loopWG  sync.WaitGroup
+
+	opsReceived   metrics.Counter
+	duplicates    metrics.Counter
+	batches       metrics.Counter
+	heartbeats    metrics.Counter
+	opsShipped    metrics.Counter
+	stabilization metrics.Counter
+}
+
+// NewCluster builds n replicas wired to each other, with replica 0 as the
+// initial leader, and starts their stabilization loops. ship is invoked by
+// the acting leader with each stable batch, in timestamp order.
+//
+// n = 1 yields the non-fault-tolerant service of Algorithm 3 exactly.
+func NewCluster(n int, cfg Config, ship ShipFunc) *Cluster {
+	cfg.fill()
+	if n <= 0 {
+		n = 1
+	}
+	if ship == nil {
+		ship = func(types.ReplicaID, []*types.Update) {}
+	}
+	c := &Cluster{replicas: make([]*Replica, n)}
+	for i := range c.replicas {
+		r := &Replica{
+			id:            types.ReplicaID(i),
+			cfg:           cfg,
+			ship:          ship,
+			ops:           newSet(cfg.Tree),
+			partitionTime: make([]hlc.Timestamp, cfg.Partitions),
+			done:          make(chan struct{}),
+			lastStableMsg: time.Now(),
+		}
+		c.replicas[i] = r
+	}
+	for _, r := range c.replicas {
+		r.peers = c.replicas
+		r.loopWG.Add(1)
+		go r.loop()
+	}
+	return c
+}
+
+// Cluster groups the replicas of one datacenter's Eunomia service.
+type Cluster struct {
+	replicas []*Replica
+}
+
+// Replicas returns the replica set (crashed replicas included).
+func (c *Cluster) Replicas() []*Replica { return c.replicas }
+
+// Replica returns replica id.
+func (c *Cluster) Replica(id types.ReplicaID) *Replica { return c.replicas[id] }
+
+// Stop shuts down every replica.
+func (c *Cluster) Stop() {
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+}
+
+// Leader returns the lowest-id replica that currently believes itself
+// leader, for tests and reports; with a single replica this is replica 0.
+func (c *Cluster) Leader() *Replica {
+	for _, r := range c.replicas {
+		if !r.stopped.Load() && r.isLeader() {
+			return r
+		}
+	}
+	return nil
+}
+
+// ID returns the replica's identifier.
+func (r *Replica) ID() types.ReplicaID { return r.id }
+
+// NewBatch ingests a batch of operations from partition p (Algorithm 4
+// lines 1-5). Operations must be in ascending timestamp order, as produced
+// by the partition. Already-seen operations (timestamp at or below the
+// partition watermark) are filtered, which makes the call idempotent and
+// tolerant of at-least-once delivery. It returns the acknowledgement
+// watermark: the largest timestamp this replica now holds from p.
+func (r *Replica) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timestamp, error) {
+	if r.stopped.Load() {
+		return 0, ErrStopped
+	}
+	clock.SpinFor(r.cfg.MessageCost)
+	r.batches.Inc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.partitionTime[p]
+	for _, u := range ops {
+		if u.TS <= w {
+			r.duplicates.Inc()
+			continue
+		}
+		w = u.TS
+		r.ops.Insert(ordered.Key{TS: u.TS, Partition: int32(u.Partition), Seq: u.Seq}, u)
+		r.opsReceived.Inc()
+	}
+	r.partitionTime[p] = w
+	return w, nil
+}
+
+// NewMultiBatch ingests several partitions' batches in one message — the
+// §5 propagation-tree optimization: an aggregator merges its children's
+// streams so the replica pays one message receive for many streams. The
+// per-stream semantics are identical to NewBatch; the returned map holds
+// the post-ingest watermark per partition.
+func (r *Replica) NewMultiBatch(batches map[types.PartitionID][]*types.Update) (map[types.PartitionID]hlc.Timestamp, error) {
+	if r.stopped.Load() {
+		return nil, ErrStopped
+	}
+	clock.SpinFor(r.cfg.MessageCost)
+	r.batches.Inc()
+	acks := make(map[types.PartitionID]hlc.Timestamp, len(batches))
+	r.mu.Lock()
+	for p, ops := range batches {
+		w := r.partitionTime[p]
+		for _, u := range ops {
+			if u.TS <= w {
+				r.duplicates.Inc()
+				continue
+			}
+			w = u.TS
+			r.ops.Insert(ordered.Key{TS: u.TS, Partition: int32(u.Partition), Seq: u.Seq}, u)
+			r.opsReceived.Inc()
+		}
+		r.partitionTime[p] = w
+		acks[p] = w
+	}
+	r.mu.Unlock()
+	return acks, nil
+}
+
+// Heartbeat advances partition p's watermark without carrying an operation
+// (Algorithm 3 line 5). Stale heartbeats are ignored.
+func (r *Replica) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	r.mu.Lock()
+	if ts > r.partitionTime[p] {
+		r.partitionTime[p] = ts
+	}
+	r.mu.Unlock()
+	r.heartbeats.Inc()
+	return nil
+}
+
+// Ping reports liveness; the rank-based leader election probes with it.
+func (r *Replica) Ping() error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Stable installs a leader-announced stable time (Algorithm 4 lines
+// 13-15): the follower discards pending operations at or below it, since
+// the leader has already shipped them.
+func (r *Replica) Stable(ts hlc.Timestamp) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	r.mu.Lock()
+	if ts > r.stableTime {
+		r.stableTime = ts
+		r.ops.ExtractUpTo(ts)
+	}
+	r.lastStableMsg = time.Now()
+	r.mu.Unlock()
+	return nil
+}
+
+// Stop crashes the replica: the stabilization loop halts and every
+// subsequent call returns ErrStopped. Used by the failure-impact
+// experiments (Figure 4) and by orderly shutdown.
+func (r *Replica) Stop() {
+	if r.stopped.CompareAndSwap(false, true) {
+		close(r.done)
+	}
+	r.loopWG.Wait()
+}
+
+// Stopped reports whether the replica has been crashed or shut down.
+func (r *Replica) Stopped() bool { return r.stopped.Load() }
+
+func (r *Replica) isLeader() bool { return types.ReplicaID(r.leader.Load()) == r.id }
+
+// Stats snapshots the replica's counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	pending := r.ops.Len()
+	stable := r.stableTime
+	r.mu.Unlock()
+	return Stats{
+		OpsReceived:   r.opsReceived.Load(),
+		Duplicates:    r.duplicates.Load(),
+		Batches:       r.batches.Load(),
+		Heartbeats:    r.heartbeats.Load(),
+		OpsShipped:    r.opsShipped.Load(),
+		Stabilization: r.stabilization.Load(),
+		Pending:       pending,
+		StableTime:    stable,
+		Leader:        r.isLeader(),
+	}
+}
+
+// loop is the PROCESS_STABLE driver (Algorithm 3 line 7 / Algorithm 4 line
+// 6) plus the follower-side leader suspicion.
+func (r *Replica) loop() {
+	defer r.loopWG.Done()
+	ticker := time.NewTicker(r.cfg.StableInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+		if r.isLeader() {
+			r.processStable()
+		} else {
+			r.maybeTakeOver()
+		}
+	}
+}
+
+// processStable computes StableTime = MIN(PartitionTime), extracts every
+// pending operation at or below it in timestamp order, ships them, and
+// notifies follower replicas.
+func (r *Replica) processStable() {
+	r.mu.Lock()
+	stable := minTS(r.partitionTime)
+	var batch []*types.Update
+	if stable > r.stableTime {
+		r.stableTime = stable
+		batch = r.ops.ExtractUpTo(stable)
+	}
+	r.mu.Unlock()
+
+	r.stabilization.Inc()
+	if len(batch) > 0 {
+		r.ship(r.id, batch)
+		r.opsShipped.Add(int64(len(batch)))
+	}
+	if stable == 0 {
+		return // no partition has reported yet; nothing to announce
+	}
+	for _, peer := range r.peers {
+		if peer.id == r.id {
+			continue
+		}
+		_ = peer.Stable(stable) // dead followers are simply skipped
+	}
+}
+
+// maybeTakeOver implements the deterministic rank-based election: if the
+// follower has not heard a STABLE announcement for SuspectAfter, the
+// lowest-id replica that answers Ping (possibly itself) is the leader.
+// Correctness does not require a unique leader — concurrent leaders ship
+// duplicates, which receivers discard — so suspicion can be aggressive.
+func (r *Replica) maybeTakeOver() {
+	r.mu.Lock()
+	quiet := time.Since(r.lastStableMsg)
+	r.mu.Unlock()
+	if quiet < r.cfg.SuspectAfter {
+		return
+	}
+	for _, peer := range r.peers {
+		if peer.id == r.id {
+			break // every lower-ranked replica is dead; take over
+		}
+		if peer.Ping() == nil {
+			// A lower-ranked replica is alive; recognise it and keep
+			// waiting (it may itself be mid-takeover).
+			r.leader.Store(int32(peer.id))
+			return
+		}
+	}
+	r.leader.Store(int32(r.id))
+}
+
+func minTS(ts []hlc.Timestamp) hlc.Timestamp {
+	if len(ts) == 0 {
+		return 0
+	}
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}

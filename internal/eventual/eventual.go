@@ -1,0 +1,186 @@
+// Package eventual implements the eventually consistent baseline: a
+// multi-cluster Riak-style store that replicates updates across
+// datacenters and applies them on receipt, making no attempt to enforce
+// causality. It is the yardstick every causally consistent system is
+// normalized against in Figures 1 and 5 — the zero-overhead upper bound
+// on throughput and lower bound on visibility latency.
+package eventual
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/kvstore"
+	"eunomia/internal/metrics"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+// VisibleFunc observes a remote update being applied at dest.
+type VisibleFunc func(dest types.DCID, u *types.Update, arrived time.Time)
+
+// Config parameterises a deployment.
+type Config struct {
+	DCs        int
+	Partitions int
+	Delay      simnet.DelayFunc
+	// ShipInterval batches replication to siblings. Default 1ms.
+	ShipInterval time.Duration
+	ClockFor     func(dc types.DCID, p types.PartitionID) hlc.PhysSource
+	OnVisible    VisibleFunc
+}
+
+func (c *Config) fill() {
+	if c.DCs <= 0 {
+		c.DCs = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.ShipInterval <= 0 {
+		c.ShipInterval = time.Millisecond
+	}
+	if c.Delay == nil {
+		c.Delay = simnet.LatencyMatrix(simnet.PaperRTTs(1), 0)
+	}
+}
+
+// Store is a running eventually consistent deployment.
+type Store struct {
+	cfg  Config
+	net  *simnet.Network
+	ring kvstore.Ring
+	dcs  [][]*epart
+}
+
+type epart struct {
+	store *Store
+	dc    types.DCID
+	id    types.PartitionID
+	clock *hlc.Clock
+	kv    *kvstore.Store
+	ship  *simnet.Batcher[*types.Update]
+
+	seqMu sync.Mutex
+	seq   uint64
+
+	// Applied counts remote updates applied.
+	Applied metrics.Counter
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay), ring: kvstore.NewRing(cfg.Partitions)}
+	for m := 0; m < cfg.DCs; m++ {
+		var parts []*epart
+		for i := 0; i < cfg.Partitions; i++ {
+			var src hlc.PhysSource
+			if cfg.ClockFor != nil {
+				src = cfg.ClockFor(types.DCID(m), types.PartitionID(i))
+			}
+			p := &epart{
+				store: s,
+				dc:    types.DCID(m),
+				id:    types.PartitionID(i),
+				clock: hlc.NewClock(src),
+				kv:    kvstore.New(),
+			}
+			p.ship = simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(p.dc, p.id), cfg.ShipInterval)
+			part := p
+			s.net.Register(simnet.PartitionAddr(p.dc, p.id), func(msg simnet.Message) {
+				batch, ok := msg.Payload.([]*types.Update)
+				if !ok {
+					return
+				}
+				now := time.Now()
+				for _, u := range batch {
+					part.applyRemote(u, now)
+				}
+			})
+			parts = append(parts, p)
+		}
+		s.dcs = append(s.dcs, parts)
+	}
+	return s
+}
+
+func (p *epart) update(key types.Key, value types.Value) {
+	ts := p.clock.Tick(0)
+	p.seqMu.Lock()
+	p.seq++
+	seq := p.seq
+	p.seqMu.Unlock()
+	u := &types.Update{
+		Key:       key,
+		Value:     value.Clone(),
+		Origin:    p.dc,
+		Partition: p.id,
+		Seq:       seq,
+		TS:        ts,
+		CreatedAt: time.Now().UnixNano(),
+	}
+	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, Origin: p.dc})
+	for k := 0; k < p.store.cfg.DCs; k++ {
+		if types.DCID(k) == p.dc {
+			continue
+		}
+		p.ship.Add(simnet.PartitionAddr(types.DCID(k), p.id), u)
+	}
+}
+
+func (p *epart) applyRemote(u *types.Update, arrived time.Time) {
+	p.clock.Observe(u.TS)
+	p.kv.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, Origin: u.Origin})
+	p.Applied.Inc()
+	if p.store.cfg.OnVisible != nil {
+		p.store.cfg.OnVisible(p.dc, u, arrived)
+	}
+}
+
+// Client issues sessionless operations against one datacenter.
+type Client struct {
+	store *Store
+	dc    types.DCID
+}
+
+// NewClient opens a client at datacenter dcID.
+func (s *Store) NewClient(dcID types.DCID) *Client { return &Client{store: s, dc: dcID} }
+
+// Read returns the locally stored value of key.
+func (c *Client) Read(key types.Key) (types.Value, error) {
+	p := c.store.dcs[c.dc][c.store.ring.Responsible(key)]
+	v, _ := p.kv.Get(key)
+	return v.Value, nil
+}
+
+// Update writes key locally and replicates asynchronously.
+func (c *Client) Update(key types.Key, value types.Value) error {
+	p := c.store.dcs[c.dc][c.store.ring.Responsible(key)]
+	p.update(key, value)
+	return nil
+}
+
+// Partition exposes a partition's kvstore for convergence checks.
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+	return s.dcs[m][p].kv
+}
+
+// Network exposes the fabric.
+func (s *Store) Network() *simnet.Network { return s.net }
+
+// Close shuts the deployment down.
+func (s *Store) Close() {
+	for _, parts := range s.dcs {
+		for _, p := range parts {
+			p.ship.Close()
+		}
+	}
+	s.net.Close()
+}
+
+// NewVector is a convenience for tests needing a zero vector of the
+// deployment's width.
+func (s *Store) NewVector() vclock.V { return vclock.New(s.cfg.DCs) }

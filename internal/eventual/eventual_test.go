@@ -1,0 +1,133 @@
+package eventual
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+func fastDelay() simnet.DelayFunc {
+	return simnet.LatencyMatrix(simnet.PaperRTTs(0.1), 0)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", timeout)
+}
+
+func TestLocalReadYourWrites(t *testing.T) {
+	s := NewStore(Config{DCs: 2, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+	c := s.NewClient(0)
+	c.Update("k", []byte("v"))
+	v, err := c.Read("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Read = %q, %v", v, err)
+	}
+}
+
+func TestAsyncReplication(t *testing.T) {
+	visible := make(chan types.DCID, 8)
+	s := NewStore(Config{
+		DCs: 3, Partitions: 4, Delay: fastDelay(),
+		OnVisible: func(dest types.DCID, _ *types.Update, _ time.Time) { visible <- dest },
+	})
+	defer s.Close()
+	s.NewClient(0).Update("k", []byte("v"))
+	seen := map[types.DCID]bool{}
+	deadline := time.After(2 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case d := <-visible:
+			seen[d] = true
+		case <-deadline:
+			t.Fatalf("replication incomplete: %v", seen)
+		}
+	}
+	c2 := s.NewClient(2)
+	waitFor(t, time.Second, func() bool {
+		v, _ := c2.Read("k")
+		return string(v) == "v"
+	})
+}
+
+// TestNoCausalityEnforced documents the baseline's defining weakness: a
+// causally later write can become visible before its dependency when their
+// origins differ and the network is asymmetric.
+func TestNoCausalityEnforced(t *testing.T) {
+	// dc0→dc2 slow, dc1→dc2 fast.
+	delay := func(from, to simnet.Addr) time.Duration {
+		if from.DC == 0 && to.DC == 2 {
+			return 60 * time.Millisecond
+		}
+		if from.DC == 0 || to.DC == 0 {
+			return 2 * time.Millisecond
+		}
+		return 2 * time.Millisecond
+	}
+	s := NewStore(Config{DCs: 3, Partitions: 2, Delay: delay})
+	defer s.Close()
+
+	s.NewClient(0).Update("post", []byte("hello"))
+	// Bob at dc1 sees the post quickly and replies.
+	bob := s.NewClient(1)
+	waitFor(t, time.Second, func() bool {
+		v, _ := bob.Read("post")
+		return string(v) == "hello"
+	})
+	bob.Update("reply", []byte("hi"))
+
+	// At dc2 the reply (fast path) must overtake the post (slow path):
+	// the anomaly causal consistency exists to prevent.
+	carol := s.NewClient(2)
+	sawAnomaly := false
+	waitFor(t, 2*time.Second, func() bool {
+		reply, _ := carol.Read("reply")
+		post, _ := carol.Read("post")
+		if string(reply) == "hi" && post == nil {
+			sawAnomaly = true
+		}
+		return string(reply) == "hi" && string(post) == "hello" // eventually both
+	})
+	if !sawAnomaly {
+		t.Log("anomaly window not observed (timing); eventual delivery verified")
+	}
+}
+
+func TestConvergenceLWW(t *testing.T) {
+	s := NewStore(Config{DCs: 3, Partitions: 2, Delay: fastDelay()})
+	defer s.Close()
+	for dc := types.DCID(0); dc < 3; dc++ {
+		s.NewClient(dc).Update("contested", []byte(fmt.Sprintf("dc%d", dc)))
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		var vals [3]string
+		for dc := 0; dc < 3; dc++ {
+			for p := 0; p < 2; p++ {
+				if v, ok := s.Partition(types.DCID(dc), types.PartitionID(p)).Get("contested"); ok {
+					vals[dc] = string(v.Value)
+				}
+			}
+		}
+		return vals[0] != "" && vals[0] == vals[1] && vals[1] == vals[2]
+	})
+}
+
+func TestReadMissing(t *testing.T) {
+	s := NewStore(Config{DCs: 1, Partitions: 2})
+	defer s.Close()
+	v, err := s.NewClient(0).Read("missing")
+	if err != nil || v != nil {
+		t.Fatalf("Read missing = %q, %v", v, err)
+	}
+}

@@ -1,0 +1,420 @@
+// Package geostore wires the complete EunomiaKV deployment of §4-§6: M
+// datacenters, each with N partitions, a (possibly replicated) Eunomia
+// service and a receiver, all connected by the simulated WAN fabric.
+//
+// Data flow for one update accepted at datacenter m:
+//
+//	client ──► partition: HLC tag, local store        (Algorithm 2)
+//	partition ──► Eunomia replicas: metadata batches   (§5, batched 1ms)
+//	partition ──► sibling partitions: payload          (§5, immediate)
+//	Eunomia leader ──► remote receivers: ordered ids   (site stabilization)
+//	receiver ──► partition: release when deps applied  (Algorithm 5)
+//
+// The store implements the workload.Client factory surface the harness
+// drives, plus crash and straggler injection hooks for Figures 4 and 7.
+package geostore
+
+import (
+	"fmt"
+	"time"
+
+	"eunomia/internal/eunomia"
+	"eunomia/internal/hlc"
+	"eunomia/internal/kvstore"
+	"eunomia/internal/partition"
+	"eunomia/internal/receiver"
+	"eunomia/internal/session"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+// ShipMsg is the metadata batch a Eunomia leader ships to a remote
+// receiver: stable operations in timestamp order.
+type ShipMsg struct {
+	Origin types.DCID
+	Ops    []*types.Update
+}
+
+// VisibleFunc observes a remote update becoming visible at a destination
+// datacenter; arrived is when its payload reached the destination.
+type VisibleFunc func(dest types.DCID, u *types.Update, arrived time.Time)
+
+// Config parameterises a deployment. Zero values select the paper's
+// defaults (§7.2): 3 DCs, 8 partitions, 1 Eunomia replica, 1ms batching
+// and stabilization, data/metadata separation on, vector metadata.
+type Config struct {
+	DCs        int
+	Partitions int
+	// Replicas is the Eunomia replication factor per datacenter
+	// (1 = the non-fault-tolerant Algorithm 3 service).
+	Replicas int
+
+	// Delay is the fabric latency function; nil uses the paper's RTTs
+	// (80/80/160ms) at full scale via simnet.PaperRTTs(1).
+	Delay simnet.DelayFunc
+
+	// BatchInterval is the partition→Eunomia propagation period (and
+	// heartbeat period Δ). Default 1ms.
+	BatchInterval time.Duration
+	// StableInterval is Eunomia's θ. Default 1ms.
+	StableInterval time.Duration
+	// CheckInterval is the receiver's ρ. Default 1ms.
+	CheckInterval time.Duration
+
+	// SeparateData enables §5 data/metadata separation. The paper's
+	// prototype runs with it on; NewStore defaults it on (set
+	// NoSeparation to disable for the ablation).
+	NoSeparation bool
+	// ScalarMeta runs clients with scalar causal histories instead of
+	// vectors (the §4 metadata ablation).
+	ScalarMeta bool
+	// Tree selects Eunomia's pending-set structure.
+	Tree eunomia.TreeKind
+	// ClockFor, optional, supplies the physical clock source for each
+	// partition; nil uses the system clock everywhere. Tests inject
+	// skewed clocks here to verify skew tolerance.
+	ClockFor func(dc types.DCID, p types.PartitionID) hlc.PhysSource
+
+	// OnVisible, optional, observes remote update visibility.
+	OnVisible VisibleFunc
+}
+
+func (c *Config) fill() {
+	if c.DCs <= 0 {
+		c.DCs = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = time.Millisecond
+	}
+	if c.StableInterval <= 0 {
+		c.StableInterval = time.Millisecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = time.Millisecond
+	}
+	if c.Delay == nil {
+		c.Delay = simnet.LatencyMatrix(simnet.PaperRTTs(1), 0)
+	}
+}
+
+// Store is a running EunomiaKV deployment.
+type Store struct {
+	cfg  Config
+	net  *simnet.Network
+	ring kvstore.Ring
+	dcs  []*dc
+}
+
+// dc holds one datacenter's components.
+type dc struct {
+	id       types.DCID
+	parts    []*partition.Partition
+	cluster  *eunomia.Cluster
+	recv     *receiver.Receiver
+	shippers []*simnet.Batcher[*types.Update] // one per partition
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{
+		cfg:  cfg,
+		net:  simnet.New(cfg.Delay),
+		ring: kvstore.NewRing(cfg.Partitions),
+	}
+
+	for m := 0; m < cfg.DCs; m++ {
+		s.dcs = append(s.dcs, s.buildDC(types.DCID(m)))
+	}
+	return s
+}
+
+func (s *Store) buildDC(m types.DCID) *dc {
+	cfg := s.cfg
+	d := &dc{id: m}
+
+	// Eunomia replica set: the leader ships stable metadata to every
+	// remote receiver over its own FIFO channel.
+	ship := func(from types.ReplicaID, ops []*types.Update) {
+		for k := 0; k < cfg.DCs; k++ {
+			if types.DCID(k) == m {
+				continue
+			}
+			s.net.Send(simnet.EunomiaAddr(m, from), simnet.ReceiverAddr(types.DCID(k)),
+				ShipMsg{Origin: m, Ops: ops})
+		}
+	}
+	d.cluster = eunomia.NewCluster(cfg.Replicas, eunomia.Config{
+		Partitions:     cfg.Partitions,
+		StableInterval: cfg.StableInterval,
+		Tree:           cfg.Tree,
+	}, ship)
+
+	// Partitions.
+	for i := 0; i < cfg.Partitions; i++ {
+		pid := types.PartitionID(i)
+		var src hlc.PhysSource
+		if cfg.ClockFor != nil {
+			src = cfg.ClockFor(m, pid)
+		}
+		var onVisible partition.VisibleFunc
+		if cfg.OnVisible != nil {
+			dest := m
+			onVisible = func(u *types.Update, arrived time.Time) {
+				cfg.OnVisible(dest, u, arrived)
+			}
+		}
+		p := partition.New(partition.Config{
+			DC:           m,
+			ID:           pid,
+			DCs:          cfg.DCs,
+			Clock:        src,
+			SeparateData: !cfg.NoSeparation,
+			OnVisible:    onVisible,
+		})
+
+		euClient := eunomia.NewClient(eunomia.ClientConfig{
+			Partition:      pid,
+			BatchInterval:  cfg.BatchInterval,
+			HeartbeatDelta: cfg.BatchInterval,
+		}, eunomia.ClusterConns(d.cluster), p.Clock())
+
+		shipper := simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(m, pid), cfg.BatchInterval)
+		p.Attach(euClient, &payloadShipper{store: s, dc: m, pid: pid, batcher: shipper})
+		d.shippers = append(d.shippers, shipper)
+		d.parts = append(d.parts, p)
+
+		// Sibling payload ingress.
+		part := p
+		s.net.Register(simnet.PartitionAddr(m, pid), func(msg simnet.Message) {
+			batch, ok := msg.Payload.([]*types.Update)
+			if !ok {
+				return
+			}
+			for _, u := range batch {
+				part.ReceivePayload(u)
+			}
+		})
+	}
+
+	// Receiver: releases remote metadata to the responsible partition.
+	if cfg.DCs > 1 {
+		d.recv = receiver.New(receiver.Config{
+			DC:            m,
+			DCs:           cfg.DCs,
+			CheckInterval: cfg.CheckInterval,
+			Apply: func(u *types.Update, metaArrived time.Time) bool {
+				return d.parts[s.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
+			},
+		})
+		recv := d.recv
+		s.net.Register(simnet.ReceiverAddr(m), func(msg simnet.Message) {
+			sm, ok := msg.Payload.(ShipMsg)
+			if !ok {
+				return
+			}
+			recv.Enqueue(sm.Origin, sm.Ops)
+		})
+	}
+	return d
+}
+
+// payloadShipper fans one partition's payloads out to its siblings.
+type payloadShipper struct {
+	store   *Store
+	dc      types.DCID
+	pid     types.PartitionID
+	batcher *simnet.Batcher[*types.Update]
+}
+
+// ShipPayload implements partition.PayloadShipper.
+func (ps *payloadShipper) ShipPayload(u *types.Update) {
+	for k := 0; k < ps.store.cfg.DCs; k++ {
+		if types.DCID(k) == ps.dc {
+			continue
+		}
+		ps.batcher.Add(simnet.PartitionAddr(types.DCID(k), ps.pid), u)
+	}
+}
+
+// Client is a causal session bound to one datacenter, implementing the
+// workload.Client surface.
+type Client struct {
+	store *Store
+	dc    *dc
+	sess  *session.Session
+}
+
+// NewClient opens a session at datacenter dcID.
+func (s *Store) NewClient(dcID types.DCID) *Client {
+	mode := session.Vector
+	if s.cfg.ScalarMeta {
+		mode = session.Scalar
+	}
+	return &Client{store: s, dc: s.dcs[dcID], sess: session.New(mode, s.cfg.DCs)}
+}
+
+// Read implements Algorithm 1 READ against the local datacenter.
+func (c *Client) Read(key types.Key) (types.Value, error) {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	val, vts := p.Read(key)
+	c.sess.ObserveRead(vts)
+	return val, nil
+}
+
+// Update implements Algorithm 1 UPDATE against the local datacenter.
+func (c *Client) Update(key types.Key, value types.Value) error {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	vts := p.Update(key, value, c.sess.Dep())
+	c.sess.ObserveUpdate(vts)
+	return nil
+}
+
+// Session exposes the client's causal summary for tests.
+func (c *Client) Session() *session.Session { return c.sess }
+
+// Partition returns partition p of datacenter m, for test inspection.
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *partition.Partition {
+	return s.dcs[m].parts[p]
+}
+
+// Receiver returns the receiver of datacenter m (nil for single-DC runs).
+func (s *Store) Receiver(m types.DCID) *receiver.Receiver { return s.dcs[m].recv }
+
+// Eunomia returns the Eunomia replica set of datacenter m.
+func (s *Store) Eunomia(m types.DCID) *eunomia.Cluster { return s.dcs[m].cluster }
+
+// Ring returns the key-to-partition mapping shared by every datacenter.
+func (s *Store) Ring() kvstore.Ring { return s.ring }
+
+// Network exposes the fabric for fault injection in tests.
+func (s *Store) Network() *simnet.Network { return s.net }
+
+// SetPartitionInterval changes how often partition p of datacenter m
+// propagates to its local Eunomia — the Figure 7 straggler injection.
+func (s *Store) SetPartitionInterval(m types.DCID, p types.PartitionID, d time.Duration) {
+	s.dcs[m].parts[p].EunomiaClient().SetInterval(d)
+}
+
+// CrashEunomiaReplica stops replica r of datacenter m's Eunomia service.
+func (s *Store) CrashEunomiaReplica(m types.DCID, r types.ReplicaID) {
+	s.dcs[m].cluster.Replica(r).Stop()
+}
+
+// Close shuts the deployment down: partitions flush their final metadata
+// batches, then services and the fabric stop.
+func (s *Store) Close() {
+	for _, d := range s.dcs {
+		for _, p := range d.parts {
+			p.Close()
+		}
+		for _, sh := range d.shippers {
+			sh.Close()
+		}
+	}
+	for _, d := range s.dcs {
+		d.cluster.Stop()
+		if d.recv != nil {
+			d.recv.Close()
+		}
+	}
+	s.net.Close()
+}
+
+// WaitQuiescent blocks until every receiver queue is drained and every
+// partition's payload buffer is empty, or the timeout elapses. Tests use
+// it to assert convergence after load stops.
+func (s *Store) WaitQuiescent(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.quiescent() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("geostore: not quiescent after %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *Store) quiescent() bool {
+	for _, d := range s.dcs {
+		if d.recv != nil {
+			for k := 0; k < s.cfg.DCs; k++ {
+				if d.recv.QueueLen(types.DCID(k)) > 0 {
+					return false
+				}
+			}
+		}
+		for _, p := range d.parts {
+			if p.EunomiaClient().Pending() > 0 || p.PendingPayloads() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Convergent checks that every datacenter stores the same version for
+// every key; it returns a descriptive error for the first divergence.
+func (s *Store) Convergent() error {
+	if s.cfg.DCs < 2 {
+		return nil
+	}
+	ref := make(map[types.Key]types.Version)
+	for p := 0; p < s.cfg.Partitions; p++ {
+		s.dcs[0].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
+			ref[k] = v
+		})
+	}
+	for m := 1; m < s.cfg.DCs; m++ {
+		count := 0
+		var err error
+		for p := 0; p < s.cfg.Partitions; p++ {
+			s.dcs[m].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
+				count++
+				r, ok := ref[k]
+				if err != nil {
+					return
+				}
+				if !ok {
+					err = fmt.Errorf("dc%d has key %q missing at dc0", m, k)
+					return
+				}
+				if r.TS != v.TS || r.Origin != v.Origin {
+					err = fmt.Errorf("key %q diverged: dc0=(ts %s, origin %d) dc%d=(ts %s, origin %d)",
+						k, r.TS, r.Origin, m, v.TS, v.Origin)
+				}
+			})
+		}
+		if err != nil {
+			return err
+		}
+		if count != len(ref) {
+			return fmt.Errorf("dc%d stores %d keys, dc0 stores %d", m, count, len(ref))
+		}
+	}
+	return nil
+}
+
+// TotalUpdates sums updates accepted across all datacenters.
+func (s *Store) TotalUpdates() int64 {
+	var n int64
+	for _, d := range s.dcs {
+		for _, p := range d.parts {
+			n += p.Updates.Load()
+		}
+	}
+	return n
+}
+
+// VTS helper: returns the update vector type for examples without
+// importing internal/vclock directly.
+func (s *Store) NewVector() vclock.V { return vclock.New(s.cfg.DCs) }

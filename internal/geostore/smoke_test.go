@@ -1,0 +1,85 @@
+package geostore
+
+import (
+	"testing"
+	"time"
+
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+// fastDelay is a small latency matrix so tests complete quickly while
+// still exercising WAN reordering: dc0-dc1 and dc0-dc2 at 8ms RTT,
+// dc1-dc2 at 16ms.
+func fastDelay() simnet.DelayFunc {
+	return simnet.LatencyMatrix(simnet.PaperRTTs(0.1), 0)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", timeout)
+}
+
+// TestSmokeReplication writes at dc0 and expects the value to become
+// visible at dc1 and dc2.
+func TestSmokeReplication(t *testing.T) {
+	s := NewStore(Config{DCs: 3, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+
+	c0 := s.NewClient(0)
+	if err := c0.Update("user:alice", []byte("post-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	for dc := types.DCID(1); dc <= 2; dc++ {
+		dc := dc
+		c := s.NewClient(dc)
+		waitFor(t, 2*time.Second, func() bool {
+			v, _ := c.Read("user:alice")
+			return string(v) == "post-1"
+		})
+	}
+}
+
+// TestSmokeCausalOrder is the classic litmus: Alice posts, Bob (at another
+// datacenter) reads the post and replies; no datacenter may ever expose
+// the reply without the post.
+func TestSmokeCausalOrder(t *testing.T) {
+	s := NewStore(Config{DCs: 3, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+
+	alice := s.NewClient(0)
+	if err := alice.Update("post", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	bob := s.NewClient(1)
+	waitFor(t, 2*time.Second, func() bool {
+		v, _ := bob.Read("post")
+		return string(v) == "hello"
+	})
+	if err := bob.Update("reply", []byte("hi alice")); err != nil {
+		t.Fatal(err)
+	}
+
+	// At dc2, poll both keys; seeing the reply implies the post.
+	carol := s.NewClient(2)
+	waitFor(t, 3*time.Second, func() bool {
+		reply, _ := carol.Read("reply")
+		if string(reply) != "hi alice" {
+			return false
+		}
+		post, _ := carol.Read("post")
+		if string(post) != "hello" {
+			t.Fatalf("causality violated: reply visible without post")
+		}
+		return true
+	})
+}

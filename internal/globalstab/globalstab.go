@@ -1,0 +1,496 @@
+// Package globalstab implements the two sequencer-free, global-
+// stabilization baselines the paper evaluates against (§7):
+//
+//   - GentleRain (Du et al., SoCC'14): causal metadata over-compressed
+//     into a single scalar; a remote update with timestamp ts becomes
+//     visible when the Global Stable Time — the minimum, across every
+//     local partition, of the oldest knowledge that partition holds about
+//     every datacenter — has passed ts. The scalar makes the visibility
+//     lower bound the travel time to the *farthest* datacenter, regardless
+//     of the update's origin.
+//
+//   - Cure (Akkoorath et al., ICDCS'16): the same stabilization machinery
+//     with a vector per datacenter (the Global Stable Vector), avoiding
+//     cross-datacenter false dependencies at the cost of heavier metadata
+//     (one vector allocated and compared per operation).
+//
+// Both rely on sibling partitions exchanging periodic heartbeats (10ms in
+// the paper) and on a periodic local stable-time computation (5ms), whose
+// cost is exactly the throughput-versus-visibility tension Figure 1
+// sweeps.
+package globalstab
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/kvstore"
+	"eunomia/internal/metrics"
+	"eunomia/internal/session"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+// Mode selects the baseline.
+type Mode int
+
+const (
+	// GentleRain compresses causal metadata to one scalar.
+	GentleRain Mode = iota
+	// Cure tracks one entry per datacenter.
+	Cure
+)
+
+func (m Mode) String() string {
+	if m == Cure {
+		return "Cure"
+	}
+	return "GentleRain"
+}
+
+// VisibleFunc observes a remote update becoming visible at dest; arrived
+// is when the update reached the destination partition (the paper's
+// GentleRain/Cure measurement starts there).
+type VisibleFunc func(dest types.DCID, u *types.Update, arrived time.Time)
+
+// Config parameterises a deployment.
+type Config struct {
+	Mode       Mode
+	DCs        int
+	Partitions int
+	Delay      simnet.DelayFunc
+
+	// HeartbeatInterval is the sibling heartbeat period δ (paper: 10ms).
+	HeartbeatInterval time.Duration
+	// StableInterval is the local stable time computation period
+	// (paper: 5ms).
+	StableInterval time.Duration
+	// ShipInterval batches replication to siblings. Default 1ms.
+	ShipInterval time.Duration
+
+	ClockFor  func(dc types.DCID, p types.PartitionID) hlc.PhysSource
+	OnVisible VisibleFunc
+}
+
+func (c *Config) fill() {
+	if c.DCs <= 0 {
+		c.DCs = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.StableInterval <= 0 {
+		c.StableInterval = 5 * time.Millisecond
+	}
+	if c.ShipInterval <= 0 {
+		c.ShipInterval = time.Millisecond
+	}
+	if c.Delay == nil {
+		c.Delay = simnet.LatencyMatrix(simnet.PaperRTTs(1), 0)
+	}
+}
+
+// heartbeatMsg is the periodic sibling announcement: "I will never issue a
+// timestamp at or below ts again".
+type heartbeatMsg struct {
+	Origin types.DCID
+	Part   types.PartitionID
+	TS     hlc.Timestamp
+}
+
+// Store is a running GentleRain or Cure deployment.
+type Store struct {
+	cfg  Config
+	net  *simnet.Network
+	ring kvstore.Ring
+	dcs  []*gdc
+}
+
+type gdc struct {
+	id    types.DCID
+	parts []*gpart
+	stab  *stabilizer
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay), ring: kvstore.NewRing(cfg.Partitions)}
+	for m := 0; m < cfg.DCs; m++ {
+		d := &gdc{id: types.DCID(m)}
+		for i := 0; i < cfg.Partitions; i++ {
+			d.parts = append(d.parts, newGPart(s, types.DCID(m), types.PartitionID(i)))
+		}
+		d.stab = newStabilizer(s, d)
+		s.dcs = append(s.dcs, d)
+	}
+	return s
+}
+
+// gpart is one GentleRain/Cure partition server.
+type gpart struct {
+	store *Store
+	dc    types.DCID
+	id    types.PartitionID
+
+	clock *hlc.Clock
+	kv    *kvstore.Store
+
+	mu       sync.Mutex
+	vv       vclock.V  // vv[d]: latest timestamp known from sibling at d; vv[dc] = own watermark
+	queues   [][]gPend // pending remote updates per origin, in timestamp order
+	gst      hlc.Timestamp
+	gsv      vclock.V
+	seq      uint64
+	lastShip time.Time
+
+	shipper *simnet.Batcher[*types.Update]
+
+	// Applied counts remote updates made visible.
+	Applied metrics.Counter
+}
+
+type gPend struct {
+	u       *types.Update
+	arrived time.Time
+}
+
+func newGPart(s *Store, m types.DCID, pid types.PartitionID) *gpart {
+	var src hlc.PhysSource
+	if s.cfg.ClockFor != nil {
+		src = s.cfg.ClockFor(m, pid)
+	}
+	p := &gpart{
+		store:  s,
+		dc:     m,
+		id:     pid,
+		clock:  hlc.NewClock(src),
+		kv:     kvstore.New(),
+		vv:     vclock.New(s.cfg.DCs),
+		queues: make([][]gPend, s.cfg.DCs),
+		gsv:    vclock.New(s.cfg.DCs),
+	}
+	p.shipper = simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(m, pid), s.cfg.ShipInterval)
+	s.net.Register(simnet.PartitionAddr(m, pid), p.handle)
+	return p
+}
+
+// handle ingests sibling replication batches and heartbeats.
+func (p *gpart) handle(msg simnet.Message) {
+	switch payload := msg.Payload.(type) {
+	case []*types.Update:
+		now := time.Now()
+		p.mu.Lock()
+		for _, u := range payload {
+			k := int(u.Origin)
+			if u.TS > p.vv[k] {
+				p.vv[k] = u.TS
+				p.queues[k] = append(p.queues[k], gPend{u: u, arrived: now})
+			}
+		}
+		p.mu.Unlock()
+	case heartbeatMsg:
+		p.mu.Lock()
+		if payload.TS > p.vv[payload.Origin] {
+			p.vv[payload.Origin] = payload.TS
+		}
+		p.mu.Unlock()
+	}
+}
+
+// update implements the write path: tag, store, replicate.
+func (p *gpart) update(key types.Key, value types.Value, dep vclock.V) vclock.V {
+	var depTS hlc.Timestamp
+	if p.store.cfg.Mode == Cure {
+		depTS = dep.Get(int(p.dc))
+	} else {
+		depTS = dep.Max()
+	}
+	ts := p.clock.Tick(depTS)
+
+	vts := vclock.New(p.store.cfg.DCs)
+	copy(vts, dep)
+	vts.Set(int(p.dc), ts)
+
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	if ts > p.vv[p.dc] {
+		p.vv[p.dc] = ts
+	}
+	p.lastShip = time.Now()
+	p.mu.Unlock()
+
+	u := &types.Update{
+		Key:       key,
+		Value:     value.Clone(),
+		Origin:    p.dc,
+		Partition: p.id,
+		Seq:       seq,
+		TS:        ts,
+		VTS:       vts.Clone(),
+		CreatedAt: time.Now().UnixNano(),
+	}
+	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.dc})
+
+	for k := 0; k < p.store.cfg.DCs; k++ {
+		if types.DCID(k) == p.dc {
+			continue
+		}
+		p.shipper.Add(simnet.PartitionAddr(types.DCID(k), p.id), u)
+	}
+	return vts
+}
+
+func (p *gpart) read(key types.Key) (types.Value, vclock.V) {
+	v, ok := p.kv.Get(key)
+	if !ok {
+		return nil, nil
+	}
+	return v.Value, v.VTS
+}
+
+// heartbeat announces the partition's clock to its siblings when idle.
+func (p *gpart) heartbeat() {
+	hb, ok := p.clock.Heartbeat(p.store.cfg.HeartbeatInterval)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	if hb > p.vv[p.dc] {
+		p.vv[p.dc] = hb
+	}
+	p.mu.Unlock()
+	for k := 0; k < p.store.cfg.DCs; k++ {
+		if types.DCID(k) == p.dc {
+			continue
+		}
+		p.store.net.Send(simnet.PartitionAddr(p.dc, p.id), simnet.PartitionAddr(types.DCID(k), p.id),
+			heartbeatMsg{Origin: p.dc, Part: p.id, TS: hb})
+	}
+}
+
+// contribution returns the partition's input to the datacenter-wide
+// stabilization: its whole version vector.
+func (p *gpart) contribution() vclock.V {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vv.Clone()
+}
+
+// install publishes the freshly computed stable cut and applies every
+// pending remote update it covers, in timestamp order per origin.
+func (p *gpart) install(gst hlc.Timestamp, gsv vclock.V) {
+	type visible struct {
+		u       *types.Update
+		arrived time.Time
+	}
+	var release []visible
+
+	p.mu.Lock()
+	if gst > p.gst {
+		p.gst = gst
+	}
+	p.gsv.Merge(gsv)
+	for k := 0; k < p.store.cfg.DCs; k++ {
+		if types.DCID(k) == p.dc {
+			continue
+		}
+		q := p.queues[k]
+		for len(q) > 0 {
+			head := q[0]
+			if !p.visibleLocked(head.u, k) {
+				break
+			}
+			release = append(release, visible{head.u, head.arrived})
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			q = nil
+		}
+		p.queues[k] = q
+	}
+	p.mu.Unlock()
+
+	for _, r := range release {
+		p.clock.Observe(r.u.TS)
+		p.kv.Apply(r.u.Key, types.Version{Value: r.u.Value, TS: r.u.TS, VTS: r.u.VTS, Origin: r.u.Origin})
+		p.Applied.Inc()
+		if p.store.cfg.OnVisible != nil {
+			p.store.cfg.OnVisible(p.dc, r.u, r.arrived)
+		}
+	}
+}
+
+// visibleLocked is the visibility predicate: GentleRain compares the
+// update's scalar timestamp against the GST; Cure compares the update's
+// vector against the GSV entrywise over remote entries.
+func (p *gpart) visibleLocked(u *types.Update, k int) bool {
+	if p.store.cfg.Mode == GentleRain {
+		return u.TS <= p.gst
+	}
+	for d := 0; d < p.store.cfg.DCs; d++ {
+		if types.DCID(d) == p.dc {
+			continue
+		}
+		if u.VTS.Get(d) > p.gsv[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// stabilizer runs the periodic local stable-time computation for one
+// datacenter: gather every partition's version vector, aggregate the
+// minimum, and push the result back (partitions then release whatever the
+// new cut covers). It also drives the sibling heartbeats.
+type stabilizer struct {
+	store *Store
+	dc    *gdc
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Rounds counts stabilization executions (throughput-overhead probe).
+	Rounds metrics.Counter
+}
+
+func newStabilizer(s *Store, d *gdc) *stabilizer {
+	st := &stabilizer{store: s, dc: d, stop: make(chan struct{})}
+	st.wg.Add(2)
+	go st.stableLoop()
+	go st.heartbeatLoop()
+	return st
+}
+
+func (st *stabilizer) stableLoop() {
+	defer st.wg.Done()
+	ticker := time.NewTicker(st.store.cfg.StableInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-ticker.C:
+		}
+		st.Rounds.Inc()
+		vecs := make([]vclock.V, len(st.dc.parts))
+		for i, p := range st.dc.parts {
+			vecs[i] = p.contribution()
+		}
+		gsv := vclock.MinOf(vecs...)
+		gst := gsv.Min()
+		for _, p := range st.dc.parts {
+			p.install(gst, gsv)
+		}
+	}
+}
+
+func (st *stabilizer) heartbeatLoop() {
+	defer st.wg.Done()
+	ticker := time.NewTicker(st.store.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, p := range st.dc.parts {
+			p.heartbeat()
+		}
+	}
+}
+
+func (st *stabilizer) close() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	st.wg.Wait()
+}
+
+// Client is a causal session bound to one datacenter.
+type Client struct {
+	store *Store
+	dc    *gdc
+	sess  *session.Session
+}
+
+// NewClient opens a session at datacenter dcID. GentleRain clients carry a
+// scalar history, Cure clients a vector — the metadata difference under
+// evaluation.
+func (s *Store) NewClient(dcID types.DCID) *Client {
+	mode := session.Vector
+	if s.cfg.Mode == GentleRain {
+		mode = session.Scalar
+	}
+	return &Client{store: s, dc: s.dcs[dcID], sess: session.New(mode, s.cfg.DCs)}
+}
+
+// Read performs a causal read against the local datacenter.
+func (c *Client) Read(key types.Key) (types.Value, error) {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	val, vts := p.read(key)
+	c.sess.ObserveRead(vts)
+	return val, nil
+}
+
+// Update performs a causal write against the local datacenter.
+func (c *Client) Update(key types.Key, value types.Value) error {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	vts := p.update(key, value, c.sess.Dep())
+	c.sess.ObserveUpdate(vts)
+	return nil
+}
+
+// GST returns partition p of datacenter m's current global stable time.
+func (s *Store) GST(m types.DCID, p types.PartitionID) hlc.Timestamp {
+	gp := s.dcs[m].parts[p]
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	return gp.gst
+}
+
+// GSV returns a copy of partition p of datacenter m's global stable vector.
+func (s *Store) GSV(m types.DCID, p types.PartitionID) vclock.V {
+	gp := s.dcs[m].parts[p]
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	return gp.gsv.Clone()
+}
+
+// PendingRemote returns how many remote updates partition p of datacenter
+// m is still buffering.
+func (s *Store) PendingRemote(m types.DCID, p types.PartitionID) int {
+	gp := s.dcs[m].parts[p]
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	n := 0
+	for _, q := range gp.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Store returns the kvstore of partition p at datacenter m for inspection.
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+	return s.dcs[m].parts[p].kv
+}
+
+// Network exposes the fabric for fault injection.
+func (s *Store) Network() *simnet.Network { return s.net }
+
+// Close shuts the deployment down.
+func (s *Store) Close() {
+	for _, d := range s.dcs {
+		d.stab.close()
+		for _, p := range d.parts {
+			p.shipper.Close()
+		}
+	}
+	s.net.Close()
+}

@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/eunomia"
+	"eunomia/internal/geostore"
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// TreeAblationResult compares the red-black and AVL pending sets at the
+// saturating partition count (§6 reports the red-black tree won).
+type TreeAblationResult struct {
+	RedBlack float64 // ops/s
+	AVL      float64
+}
+
+// AblationTree measures both pending-set implementations under Figure 2
+// saturation load.
+func AblationTree(o ServiceOptions, partitions int) TreeAblationResult {
+	o.fill()
+	if partitions <= 0 {
+		partitions = 60
+	}
+	return TreeAblationResult{
+		RedBlack: eunomiaSaturation(o, partitions, 1, false, eunomia.RedBlack),
+		AVL:      eunomiaSaturation(o, partitions, 1, false, eunomia.AVL),
+	}
+}
+
+// BatchingPoint is one batching-interval measurement.
+type BatchingPoint struct {
+	Interval   time.Duration
+	Throughput float64
+}
+
+// AblationBatching sweeps the partition→Eunomia batching interval. The
+// paper (§7.1) notes Eunomia's throughput "can be further stretched by
+// increasing the batching time (while slightly increasing the remote
+// update visibility latency)" — unlike sequencers, whose batching would
+// block clients.
+func AblationBatching(o ServiceOptions, partitions int, intervals []time.Duration) []BatchingPoint {
+	o.fill()
+	if partitions <= 0 {
+		partitions = 60
+	}
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond,
+			5 * time.Millisecond, 10 * time.Millisecond,
+		}
+	}
+	var out []BatchingPoint
+	for _, iv := range intervals {
+		opts := o
+		opts.BatchInterval = iv
+		out = append(out, BatchingPoint{
+			Interval:   iv,
+			Throughput: eunomiaSaturation(opts, partitions, 1, false, eunomia.RedBlack),
+		})
+	}
+	return out
+}
+
+// TreeFanInResult compares direct all-to-one partition→Eunomia
+// communication against a §5 propagation tree of aggregators.
+type TreeFanInResult struct {
+	DirectThroughput float64
+	TreeThroughput   float64
+	// DirectBatches / TreeBatches are messages received by the Eunomia
+	// replica per second — the quantity the tree exists to reduce.
+	DirectBatches float64
+	TreeBatches   float64
+}
+
+// AblationPropagationTree runs the saturation load with partitions feeding
+// the replica directly, then through fanIn-way aggregators.
+func AblationPropagationTree(o ServiceOptions, partitions, fanIn int) TreeFanInResult {
+	o.fill()
+	if partitions <= 0 {
+		partitions = 60
+	}
+	if fanIn <= 0 {
+		fanIn = 15
+	}
+	var res TreeFanInResult
+	res.DirectThroughput, res.DirectBatches = eunomiaSaturationTree(o, partitions, 0)
+	res.TreeThroughput, res.TreeBatches = eunomiaSaturationTree(o, partitions, fanIn)
+	return res
+}
+
+// eunomiaSaturationTree mirrors eunomiaSaturation with an optional
+// aggregator layer (fanIn <= 0 means direct connection), returning
+// throughput and replica message rate.
+func eunomiaSaturationTree(o ServiceOptions, p, fanIn int) (thr, batchRate float64) {
+	counter := newDedupCounter(nil)
+	cluster := eunomia.NewCluster(1, eunomia.Config{
+		Partitions:     p,
+		StableInterval: time.Millisecond,
+		MessageCost:    o.EunomiaMsgCost,
+	}, func(_ types.ReplicaID, ops []*types.Update) { counter.consume(ops) })
+	defer cluster.Stop()
+
+	conns := eunomia.ClusterConns(cluster)
+	var aggs []*eunomia.Aggregator
+	connFor := func(i int) []eunomia.Conn { return conns }
+	if fanIn > 0 {
+		n := (p + fanIn - 1) / fanIn
+		aggs = make([]*eunomia.Aggregator, n)
+		for i := range aggs {
+			aggs[i] = eunomia.NewAggregator(conns, o.BatchInterval)
+		}
+		connFor = func(i int) []eunomia.Conn { return []eunomia.Conn{aggs[i/fanIn]} }
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	clients := make([]*eunomia.Client, p)
+	for i := 0; i < p; i++ {
+		clock := hlc.NewClock(nil)
+		clients[i] = eunomia.NewClient(eunomia.ClientConfig{
+			Partition:     types.PartitionID(i),
+			BatchInterval: o.BatchInterval,
+			MaxPending:    o.MaxPending,
+		}, connFor(i), clock)
+		wg.Add(1)
+		go func(i int, clock *hlc.Clock) {
+			defer wg.Done()
+			producePartition(stop, clients[i], clock, types.PartitionID(i), o.PerPartitionRate)
+		}(i, clock)
+	}
+
+	time.Sleep(o.Warmup)
+	beforeOps := counter.total()
+	beforeBatches := cluster.Replica(0).Stats().Batches
+	time.Sleep(o.Duration)
+	afterOps := counter.total()
+	afterBatches := cluster.Replica(0).Stats().Batches
+	close(stop)
+	for _, c := range clients {
+		c.Close()
+	}
+	wg.Wait()
+	for _, a := range aggs {
+		a.Close()
+	}
+	secs := o.Duration.Seconds()
+	return float64(afterOps-beforeOps) / secs, float64(afterBatches-beforeBatches) / secs
+}
+
+// MetaAblationResult compares vector against scalar client metadata in the
+// full geo store (§4's discussion of the metadata tradeoff).
+type MetaAblationResult struct {
+	// VisP90 per metadata mode, for updates dc0→dc1 — the pair where
+	// vectors should win (the scalar forces a wait on the farthest DC).
+	VectorVisP90 time.Duration
+	ScalarVisP90 time.Duration
+	VectorThr    float64
+	ScalarThr    float64
+}
+
+// AblationScalarVsVector runs EunomiaKV in both metadata modes.
+func AblationScalarVsVector(o Options) MetaAblationResult {
+	o.fill()
+	run := func(scalar bool) (time.Duration, float64) {
+		sys := buildSystem(EunomiaKV, o, buildOpts{eunomiaCfg: func(c *geostore.Config) {
+			c.ScalarMeta = scalar
+		}})
+		defer sys.close()
+		r := runWorkload(o, sys, workload.Mix{ReadPct: 90}, workload.Uniform{N: workload.DefaultKeys})
+		return time.Duration(sys.vis.Hist(types.DCID(0), types.DCID(1)).Percentile(90)), r.Throughput()
+	}
+	var res MetaAblationResult
+	res.VectorVisP90, res.VectorThr = run(false)
+	res.ScalarVisP90, res.ScalarThr = run(true)
+	return res
+}
+
+// SeparationAblationResult compares §5 data/metadata separation on vs off.
+type SeparationAblationResult struct {
+	SeparatedThr float64
+	CombinedThr  float64
+	SeparatedP90 time.Duration
+	CombinedP90  time.Duration
+}
+
+// AblationDataSeparation runs EunomiaKV with payloads shipped
+// partition-to-partition (the prototype's mode) and with payloads carried
+// through Eunomia.
+func AblationDataSeparation(o Options) SeparationAblationResult {
+	o.fill()
+	run := func(noSep bool) (float64, time.Duration) {
+		sys := buildSystem(EunomiaKV, o, buildOpts{eunomiaCfg: func(c *geostore.Config) {
+			c.NoSeparation = noSep
+		}})
+		defer sys.close()
+		r := runWorkload(o, sys, workload.Mix{ReadPct: 75}, workload.Uniform{N: workload.DefaultKeys})
+		return r.Throughput(), time.Duration(sys.vis.Hist(types.DCID(0), types.DCID(1)).Percentile(90))
+	}
+	var res SeparationAblationResult
+	res.SeparatedThr, res.SeparatedP90 = run(false)
+	res.CombinedThr, res.CombinedP90 = run(true)
+	return res
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"time"
+
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// Fig1Point is one (system, stabilization-interval) measurement of the
+// motivation experiment.
+type Fig1Point struct {
+	System     SystemKind
+	Interval   time.Duration // clock computation interval (GentleRain/Cure only)
+	Throughput float64       // ops/s
+	PenaltyPct float64       // throughput loss vs the eventual baseline, in %
+	// VisP90 is the 90th-percentile remote update visibility latency at
+	// dc1 for updates originating at dc0 (network travel included in the
+	// arrival stamp, i.e. already factored out as in the paper).
+	VisP90 time.Duration
+}
+
+// Fig1Result reproduces Figure 1: the update visibility latency versus
+// throughput tradeoff. Sequencer-based systems pay a flat throughput
+// penalty (the synchronous hop in the client's critical path); global
+// stabilization systems trade throughput against visibility latency via
+// the clock computation interval.
+type Fig1Result struct {
+	Baseline  float64 // eventual-consistency throughput (ops/s)
+	Intervals []time.Duration
+	Points    []Fig1Point
+}
+
+// DefaultFig1Intervals mirrors the paper's sweep; the paper's "0" tick is
+// its smallest practical interval, which we render as 1ms.
+var DefaultFig1Intervals = []time.Duration{
+	1 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond,
+}
+
+// Fig1 runs the motivation experiment: 3 DCs, 90:10 reads:writes, uniform
+// keys; eventual consistency as the baseline; S-Seq and A-Seq once each
+// (the interval does not apply to them); GentleRain and Cure across the
+// interval sweep.
+// Fig1SequencerRTT is the emulated intra-datacenter round trip of the
+// synchronous sequencer hop; with the default think time it yields a
+// penalty in the paper's ~15% ballpark for the 90:10 mix.
+const Fig1SequencerRTT = 300 * time.Microsecond
+
+// Fig1ThinkTime stands in for the per-operation service time of the
+// paper's Riak deployment, so the sequencer hop is measured against a
+// realistic base cost.
+const Fig1ThinkTime = 200 * time.Microsecond
+
+func Fig1(o Options, intervals []time.Duration) Fig1Result {
+	o.fill()
+	if o.ThinkTime <= 0 {
+		o.ThinkTime = Fig1ThinkTime
+	}
+	if len(intervals) == 0 {
+		intervals = DefaultFig1Intervals
+	}
+	mix := workload.Mix{ReadPct: 90}
+	keys := workload.Uniform{N: workload.DefaultKeys}
+
+	res := Fig1Result{Intervals: intervals}
+
+	measure := func(kind SystemKind, b buildOpts, interval time.Duration) Fig1Point {
+		settle()
+		sys := buildSystem(kind, o, b)
+		defer sys.close()
+		r := runWorkload(o, sys, mix, keys)
+		p90 := time.Duration(sys.vis.Hist(types.DCID(0), types.DCID(1)).Percentile(90))
+		return Fig1Point{
+			System:     kind,
+			Interval:   interval,
+			Throughput: r.Throughput(),
+			VisP90:     p90,
+		}
+	}
+
+	base := buildSystem(Eventual, o, buildOpts{})
+	baseRes := runWorkload(o, base, mix, keys)
+	base.close()
+	res.Baseline = baseRes.Throughput()
+
+	penalty := func(thr float64) float64 {
+		if res.Baseline <= 0 {
+			return 0
+		}
+		return (res.Baseline - thr) / res.Baseline * 100
+	}
+
+	for _, kind := range []SystemKind{SSeq, ASeq} {
+		pt := measure(kind, buildOpts{sequencerDelay: Fig1SequencerRTT}, 0)
+		pt.PenaltyPct = penalty(pt.Throughput)
+		res.Points = append(res.Points, pt)
+	}
+	for _, kind := range []SystemKind{GentleRain, Cure} {
+		for _, iv := range intervals {
+			pt := measure(kind, buildOpts{stabInterval: iv / 2, hbInterval: iv}, iv)
+			pt.PenaltyPct = penalty(pt.Throughput)
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"context"
+	"time"
+
+	"eunomia/internal/geostore"
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// Fig5Cell is one (system, workload) throughput measurement.
+type Fig5Cell struct {
+	System     SystemKind
+	Mix        workload.Mix
+	Dist       string // "uniform" or "powerlaw"
+	Throughput float64
+	// VsEventual is Throughput normalized against the eventual baseline
+	// for the same workload.
+	VsEventual float64
+}
+
+// Fig5Result reproduces Figure 5: geo-replicated throughput of Eventual,
+// EunomiaKV, GentleRain and Cure across read:write ratios and key
+// distributions. The paper's headline: EunomiaKV averages within ~4.7% of
+// eventual consistency while GentleRain and Cure trail it.
+type Fig5Result struct {
+	Cells []Fig5Cell
+}
+
+// Fig5 runs the full grid: 4 mixes × 2 distributions × 4 systems.
+func Fig5(o Options, mixes []workload.Mix, dists []workload.KeyDist) Fig5Result {
+	o.fill()
+	if len(mixes) == 0 {
+		mixes = workload.StandardMixes
+	}
+	if len(dists) == 0 {
+		dists = []workload.KeyDist{
+			workload.Uniform{N: workload.DefaultKeys},
+			workload.NewPowerLaw(workload.DefaultKeys),
+		}
+	}
+	// EunomiaKV runs with data/metadata separation off here: separation
+	// exists to spare the real Eunomia service from handling payload
+	// bytes (§5), but in a single-process deployment payloads are
+	// pointers, so the split buys nothing and only adds per-update
+	// bookkeeping. AblationDataSeparation measures the toggle itself.
+	inProc := func(c *geostore.Config) { c.NoSeparation = true }
+
+	var res Fig5Result
+	for _, dist := range dists {
+		for _, mix := range mixes {
+			var baseline float64
+			for _, kind := range []SystemKind{Eventual, EunomiaKV, GentleRain, Cure} {
+				sys := buildSystem(kind, o, buildOpts{eunomiaCfg: inProc})
+				r := runWorkload(o, sys, mix, dist)
+				sys.close()
+				settle()
+				cell := Fig5Cell{
+					System:     kind,
+					Mix:        mix,
+					Dist:       dist.Name(),
+					Throughput: r.Throughput(),
+				}
+				if kind == Eventual {
+					baseline = cell.Throughput
+					cell.VsEventual = 1
+				} else if baseline > 0 {
+					cell.VsEventual = cell.Throughput / baseline
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// Fig6Curve is one system's visibility CDF for one datacenter pair.
+type Fig6Curve struct {
+	System SystemKind
+	Origin types.DCID
+	Dest   types.DCID
+	CDF    []metrics.CDFPoint
+	P50    time.Duration
+	P90    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Count  int64
+}
+
+// Fig6Result reproduces Figure 6: CDFs of remote update visibility
+// latency with network travel factored out, for dc0→dc1 (80ms RTT pair)
+// and dc1→dc2 (160ms RTT pair). Expected shape: EunomiaKV near-zero extra
+// delay (bounded by batching + stabilization), Cure bounded by its false
+// sharing of the stabilization cut, GentleRain worst on the left pair
+// because its scalar waits on the farthest datacenter.
+type Fig6Result struct {
+	Curves []Fig6Curve
+}
+
+// Fig6 measures EunomiaKV, GentleRain and Cure under the 90:10 uniform
+// workload and extracts both datacenter pairs' CDFs.
+//
+// Visibility is a latency metric: the run must not saturate the host, or
+// queueing delay swamps the protocol-inherent delay under study. A default
+// think time keeps the offered load moderate, mirroring the paper's
+// deployment where client machines — not the datacenter — were the
+// bottleneck in this experiment.
+func Fig6(o Options) Fig6Result {
+	o.fill()
+	if o.ThinkTime <= 0 {
+		o.ThinkTime = time.Millisecond
+	}
+	mix := workload.Mix{ReadPct: 90}
+	keys := workload.Uniform{N: workload.DefaultKeys}
+	pairs := [][2]types.DCID{{0, 1}, {1, 2}}
+
+	var res Fig6Result
+	for _, kind := range []SystemKind{EunomiaKV, GentleRain, Cure} {
+		sys := buildSystem(kind, o, buildOpts{})
+		runWorkload(o, sys, mix, keys)
+		for _, pair := range pairs {
+			h := sys.vis.Hist(pair[0], pair[1])
+			res.Curves = append(res.Curves, Fig6Curve{
+				System: kind,
+				Origin: pair[0],
+				Dest:   pair[1],
+				CDF:    h.CDF(),
+				P50:    time.Duration(h.Percentile(50)),
+				P90:    time.Duration(h.Percentile(90)),
+				P95:    time.Duration(h.Percentile(95)),
+				P99:    time.Duration(h.Percentile(99)),
+				Count:  h.Count(),
+			})
+		}
+		sys.close()
+	}
+	return res
+}
+
+// Fig7Options shape the straggler experiment.
+type Fig7Options struct {
+	Options
+	// Phase is the length of each act (healthy, straggling, healed);
+	// default 4s.
+	Phase time.Duration
+	// Bucket is the time-series resolution; default 500ms.
+	Bucket time.Duration
+	// Intervals are the straggler communication intervals to test;
+	// default 10ms, 100ms, 1s as in the paper.
+	Intervals []time.Duration
+}
+
+func (o *Fig7Options) fill() {
+	o.Options.fill()
+	if o.ThinkTime <= 0 {
+		o.ThinkTime = time.Millisecond // latency experiment: stay unsaturated
+	}
+	if o.Phase <= 0 {
+		o.Phase = 4 * time.Second
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = 500 * time.Millisecond
+	}
+	if len(o.Intervals) == 0 {
+		o.Intervals = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second}
+	}
+}
+
+// Fig7Series is the visibility-over-time trace for one straggle interval.
+type Fig7Series struct {
+	Interval time.Duration
+	// VisibilityMs is the mean remote update visibility latency (ms) of
+	// dc2-origin updates measured at dc1, per bucket.
+	VisibilityMs []float64
+}
+
+// Fig7Result reproduces Figure 7: a partition of dc2 communicates with its
+// local Eunomia only every Interval during the middle act; the visibility
+// of updates originating at dc2's healthy partitions, observed at dc1,
+// degrades proportionally to the straggle interval and recovers after the
+// partition heals.
+type Fig7Result struct {
+	Options Fig7Options
+	Series  []Fig7Series
+}
+
+// Fig7 runs one EunomiaKV deployment per straggle interval.
+func Fig7(o Fig7Options) Fig7Result {
+	o.fill()
+	res := Fig7Result{Options: o}
+	for _, interval := range o.Intervals {
+		res.Series = append(res.Series, Fig7Series{
+			Interval:     interval,
+			VisibilityMs: fig7Run(o, interval),
+		})
+	}
+	return res
+}
+
+func fig7Run(o Fig7Options, straggle time.Duration) []float64 {
+	const stragglerDC, observerDC = 2, 1
+	series := metrics.NewGaugeSeries(o.Bucket)
+	st := geostore.NewStore(geostore.Config{
+		DCs:        o.DCs,
+		Partitions: o.Partitions,
+		Delay:      o.delay(),
+		OnVisible: func(dest types.DCID, u *types.Update, arrived time.Time) {
+			if dest == observerDC && u.Origin == stragglerDC {
+				series.Record(float64(time.Since(arrived).Milliseconds()))
+			}
+		},
+	})
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan workload.Result, 1)
+	go func() {
+		done <- workload.Run(ctx, workload.Config{
+			Workers:   o.WorkersPerDC * o.DCs,
+			Duration:  3 * o.Phase,
+			Warmup:    0,
+			Mix:       workload.Mix{ReadPct: 90},
+			Keys:      workload.Uniform{N: workload.DefaultKeys},
+			Seed:      o.Seed,
+			ThinkTime: o.ThinkTime,
+		}, func(w int) workload.Client { return st.NewClient(types.DCID(w % o.DCs)) })
+	}()
+
+	// Act 1: healthy. Act 2: partition 0 of dc2 straggles. Act 3: healed.
+	time.Sleep(o.Phase)
+	st.SetPartitionInterval(stragglerDC, 0, straggle)
+	time.Sleep(o.Phase)
+	st.SetPartitionInterval(stragglerDC, 0, time.Millisecond)
+	time.Sleep(o.Phase)
+	cancel()
+	<-done
+	return series.Averages()
+}

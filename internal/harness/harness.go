@@ -1,0 +1,262 @@
+// Package harness contains the experiment drivers that regenerate every
+// figure of the paper's evaluation (§7). Each FigN function runs the
+// corresponding experiment against the in-process deployment and returns
+// a typed result; cmd/eunomia-bench renders them as tables, and the
+// module-level benchmarks in bench_test.go wrap them for `go test -bench`.
+//
+// Durations are scaled down from the paper's six-minute runs to seconds by
+// default — the simulated fabric reaches steady state in tens of
+// milliseconds — and every driver accepts explicit durations for longer,
+// paper-faithful runs.
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"eunomia/internal/eventual"
+	"eunomia/internal/geostore"
+	"eunomia/internal/globalstab"
+	"eunomia/internal/metrics"
+	"eunomia/internal/sequencer"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// SystemKind names a system under test.
+type SystemKind string
+
+// The systems evaluated in §7.
+const (
+	Eventual   SystemKind = "Eventual"
+	EunomiaKV  SystemKind = "EunomiaKV"
+	GentleRain SystemKind = "GentleRain"
+	Cure       SystemKind = "Cure"
+	SSeq       SystemKind = "S-Seq"
+	ASeq       SystemKind = "A-Seq"
+)
+
+// Options are the common experiment knobs.
+type Options struct {
+	// Duration is the measured window per data point (default 2s).
+	Duration time.Duration
+	// Warmup precedes each measured window (default 500ms).
+	Warmup time.Duration
+	// WorkersPerDC is the closed-loop client count per datacenter
+	// (default 8).
+	WorkersPerDC int
+	// DCs and Partitions shape the deployment (defaults 3 and 8).
+	DCs        int
+	Partitions int
+	// RTTScale scales the paper's 80/80/160ms WAN matrix (default 1.0).
+	RTTScale float64
+	// Seed makes workloads reproducible (default 42).
+	Seed int64
+	// ThinkTime inserts a fixed pause between a client's operations,
+	// standing in for the per-operation service time of the paper's
+	// Riak deployment (~hundreds of microseconds). Figure 1 sets it so
+	// that the sequencer's synchronous hop is measured against a
+	// realistic base operation cost rather than an in-process method
+	// call. Zero (the default) means eager clients.
+	ThinkTime time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 500 * time.Millisecond
+	}
+	if o.WorkersPerDC <= 0 {
+		o.WorkersPerDC = 8
+	}
+	if o.DCs <= 0 {
+		o.DCs = 3
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 8
+	}
+	if o.RTTScale == 0 {
+		o.RTTScale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+func (o Options) delay() simnet.DelayFunc {
+	return simnet.LatencyMatrix(simnet.PaperRTTs(o.RTTScale), 0)
+}
+
+// VisMatrix aggregates remote-update visibility latencies per
+// (origin, destination) datacenter pair.
+type VisMatrix struct {
+	m int
+	h []*metrics.Histogram // index origin*m+dest
+}
+
+// NewVisMatrix returns a matrix for m datacenters.
+func NewVisMatrix(m int) *VisMatrix {
+	v := &VisMatrix{m: m, h: make([]*metrics.Histogram, m*m)}
+	for i := range v.h {
+		v.h[i] = metrics.NewHistogram()
+	}
+	return v
+}
+
+// Record adds one visibility sample (nanoseconds).
+func (v *VisMatrix) Record(origin, dest types.DCID, latency time.Duration) {
+	v.h[int(origin)*v.m+int(dest)].RecordDuration(latency)
+}
+
+// Hist returns the histogram for updates originating at origin observed
+// at dest.
+func (v *VisMatrix) Hist(origin, dest types.DCID) *metrics.Histogram {
+	return v.h[int(origin)*v.m+int(dest)]
+}
+
+// All returns a merged histogram over every remote pair.
+func (v *VisMatrix) All() *metrics.Histogram {
+	out := metrics.NewHistogram()
+	for o := 0; o < v.m; o++ {
+		for d := 0; d < v.m; d++ {
+			if o != d {
+				out.Merge(v.h[o*v.m+d])
+			}
+		}
+	}
+	return out
+}
+
+// system bundles a running store with its client factory and teardown.
+type system struct {
+	kind    SystemKind
+	factory workload.ClientFactory
+	close   func()
+	vis     *VisMatrix
+}
+
+// buildOpts tweaks baseline construction per experiment.
+type buildOpts struct {
+	stabInterval   time.Duration // GentleRain/Cure stabilization sweep (Fig. 1)
+	hbInterval     time.Duration
+	sequencerDelay time.Duration
+	chainReplicas  int
+	eunomiaCfg     func(*geostore.Config)
+}
+
+// buildSystem constructs one system under test with visibility recording.
+func buildSystem(kind SystemKind, o Options, b buildOpts) *system {
+	vis := NewVisMatrix(o.DCs)
+	sys := &system{kind: kind, vis: vis}
+	record := func(dest types.DCID, u *types.Update, arrived time.Time) {
+		vis.Record(u.Origin, dest, time.Since(arrived))
+	}
+	switch kind {
+	case Eventual:
+		st := eventual.NewStore(eventual.Config{
+			DCs: o.DCs, Partitions: o.Partitions, Delay: o.delay(), OnVisible: record,
+		})
+		sys.factory = func(w int) workload.Client { return st.NewClient(types.DCID(w % o.DCs)) }
+		sys.close = st.Close
+	case EunomiaKV:
+		cfg := geostore.Config{
+			DCs: o.DCs, Partitions: o.Partitions, Delay: o.delay(), OnVisible: record,
+		}
+		if b.eunomiaCfg != nil {
+			b.eunomiaCfg(&cfg)
+		}
+		st := geostore.NewStore(cfg)
+		sys.factory = func(w int) workload.Client { return st.NewClient(types.DCID(w % o.DCs)) }
+		sys.close = st.Close
+	case GentleRain, Cure:
+		mode := globalstab.GentleRain
+		if kind == Cure {
+			mode = globalstab.Cure
+		}
+		st := globalstab.NewStore(globalstab.Config{
+			Mode: mode, DCs: o.DCs, Partitions: o.Partitions, Delay: o.delay(),
+			StableInterval:    b.stabInterval,
+			HeartbeatInterval: b.hbInterval,
+			OnVisible:         record,
+		})
+		sys.factory = func(w int) workload.Client { return st.NewClient(types.DCID(w % o.DCs)) }
+		sys.close = st.Close
+	case SSeq, ASeq:
+		mode := sequencer.SSeq
+		if kind == ASeq {
+			mode = sequencer.ASeq
+		}
+		st := sequencer.NewStore(sequencer.StoreConfig{
+			Mode: mode, DCs: o.DCs, Partitions: o.Partitions, Delay: o.delay(),
+			SequencerDelay: b.sequencerDelay,
+			ChainReplicas:  b.chainReplicas,
+			OnVisible:      record,
+		})
+		sys.factory = func(w int) workload.Client { return st.NewClient(types.DCID(w % o.DCs)) }
+		sys.close = st.Close
+	default:
+		panic("harness: unknown system " + string(kind))
+	}
+	return sys
+}
+
+// settle reclaims the previous run's heap so garbage from earlier systems
+// (each deployment populates up to 100k keys × M datacenters) does not tax
+// the next measurement's GC. Multi-system sweeps call it between runs.
+func settle() {
+	runtime.GC()
+}
+
+// runWorkload drives a system with the standard closed-loop driver.
+func runWorkload(o Options, sys *system, mix workload.Mix, keys workload.KeyDist) workload.Result {
+	return workload.Run(context.Background(), workload.Config{
+		Workers:   o.WorkersPerDC * o.DCs,
+		Duration:  o.Duration,
+		Warmup:    o.Warmup,
+		Mix:       mix,
+		Keys:      keys,
+		Seed:      o.Seed,
+		ThinkTime: o.ThinkTime,
+	}, sys.factory)
+}
+
+// dedupCounter counts shipped operations exactly once per partition
+// watermark, so duplicate shipping during Eunomia leader failover does not
+// inflate throughput (Figures 2-4 count stabilized operations).
+type dedupCounter struct {
+	mu    sync.Mutex
+	last  map[types.PartitionID]uint64 // per-partition max Seq counted
+	count int64
+	ts    *metrics.TimeSeries // optional per-bucket series
+}
+
+func newDedupCounter(series *metrics.TimeSeries) *dedupCounter {
+	return &dedupCounter{last: make(map[types.PartitionID]uint64), ts: series}
+}
+
+func (d *dedupCounter) consume(ops []*types.Update) {
+	now := time.Now()
+	d.mu.Lock()
+	for _, u := range ops {
+		if u.Seq <= d.last[u.Partition] {
+			continue
+		}
+		d.last[u.Partition] = u.Seq
+		d.count++
+		if d.ts != nil {
+			d.ts.RecordAt(now)
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (d *dedupCounter) total() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}

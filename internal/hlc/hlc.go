@@ -1,0 +1,207 @@
+// Package hlc implements hybrid logical clocks (Kulkarni et al., "Logical
+// Physical Clocks", OPODIS 2014), the timestamp mechanism the Eunomia
+// protocol uses to satisfy its two ordering properties (§3.1 of the paper):
+//
+//	Property 1: if update uj causally depends on ui then uj.ts > ui.ts.
+//	Property 2: consecutive updates accepted by one partition carry
+//	            strictly increasing timestamps.
+//
+// A Timestamp packs 48 bits of physical time (microseconds since Epoch)
+// and 16 bits of logical counter into one uint64. Packing has a pleasant
+// consequence: ts+1 performs exactly the hybrid-clock "increment" — the
+// logical counter advances, and on overflow it carries into the physical
+// part, preserving monotonicity without any special casing.
+//
+// The logical bits make the protocol resilient to clock skew: when a
+// partition receives a dependency ahead of its physical clock it moves the
+// hybrid clock forward instead of blocking until physical time catches up
+// (§3.2, Hybrid Clocks).
+package hlc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LogicalBits is the width of the logical counter within a Timestamp.
+const LogicalBits = 16
+
+// logicalMask extracts the logical counter.
+const logicalMask = (1 << LogicalBits) - 1
+
+// Epoch is the origin of the physical component. 48 bits of microseconds
+// give ~8.9 years of range from the epoch.
+var Epoch = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+var epochUnixMicro = Epoch.UnixMicro()
+
+// Timestamp is a hybrid logical timestamp: 48 bits of physical microseconds
+// since Epoch, 16 bits of logical counter. The natural uint64 order is the
+// hybrid-clock order.
+type Timestamp uint64
+
+// New packs a physical component (microseconds since Epoch) and a logical
+// counter into a Timestamp. Negative physical components clamp to zero.
+func New(physMicros int64, logical uint16) Timestamp {
+	if physMicros < 0 {
+		physMicros = 0
+	}
+	return Timestamp(uint64(physMicros)<<LogicalBits | uint64(logical))
+}
+
+// FromTime converts a wall-clock instant to a Timestamp with a zero
+// logical component.
+func FromTime(t time.Time) Timestamp {
+	return New(t.UnixMicro()-epochUnixMicro, 0)
+}
+
+// Physical returns the physical component in microseconds since Epoch.
+func (t Timestamp) Physical() int64 { return int64(t >> LogicalBits) }
+
+// Logical returns the logical counter.
+func (t Timestamp) Logical() uint16 { return uint16(t & logicalMask) }
+
+// Time converts the physical component back to a wall-clock instant.
+func (t Timestamp) Time() time.Time {
+	return time.UnixMicro(t.Physical() + epochUnixMicro).UTC()
+}
+
+// Next returns the smallest timestamp strictly greater than t.
+func (t Timestamp) Next() Timestamp { return t + 1 }
+
+// String renders the timestamp as physical.logical for debugging.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d", t.Physical(), t.Logical())
+}
+
+// Max returns the largest of the given timestamps; zero if none are given.
+func Max(ts ...Timestamp) Timestamp {
+	var m Timestamp
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Min returns the smallest of the given timestamps; zero if none are given.
+func Min(ts ...Timestamp) Timestamp {
+	if len(ts) == 0 {
+		return 0
+	}
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// PhysSource supplies physical time in microseconds since Epoch. It is a
+// tiny interface (rather than a func type) so that the richer clock sources
+// in internal/clock — skewed, drifting, manual — plug in without adapters.
+type PhysSource interface {
+	NowMicros() int64
+}
+
+// PhysFunc adapts a plain function to PhysSource.
+type PhysFunc func() int64
+
+// NowMicros implements PhysSource.
+func (f PhysFunc) NowMicros() int64 { return f() }
+
+// SystemSource is a PhysSource backed by the host clock.
+type SystemSource struct{}
+
+// NowMicros implements PhysSource.
+func (SystemSource) NowMicros() int64 { return time.Now().UnixMicro() - epochUnixMicro }
+
+// Clock is a hybrid logical clock owned by one partition (or one client in
+// tests). It is safe for concurrent use.
+//
+// The zero value is not usable; construct with NewClock.
+type Clock struct {
+	src PhysSource
+
+	mu   sync.Mutex
+	last Timestamp
+}
+
+// NewClock returns a Clock reading physical time from src. A nil src uses
+// the system clock.
+func NewClock(src PhysSource) *Clock {
+	if src == nil {
+		src = SystemSource{}
+	}
+	return &Clock{src: src}
+}
+
+// Tick produces the timestamp for a new update, implementing Algorithm 2
+// line 5 of the paper:
+//
+//	MaxTs_n <- max(Clock_n, Clock_c + 1, MaxTs_n + 1)
+//
+// dep is the client's clock (the largest timestamp in its causal history);
+// pass zero when there is no dependency. The returned timestamp is strictly
+// greater than both dep and every timestamp previously returned or observed
+// by this clock, which yields Properties 1 and 2.
+func (c *Clock) Tick(dep Timestamp) Timestamp {
+	phys := New(c.src.NowMicros(), 0)
+	c.mu.Lock()
+	ts := Max(phys, dep+1, c.last+1)
+	c.last = ts
+	c.mu.Unlock()
+	return ts
+}
+
+// Heartbeat implements Algorithm 2 lines 10-12. If the physical clock has
+// advanced at least delta past the largest timestamp this clock has issued,
+// Heartbeat advances the clock to the current physical time and returns
+// (that timestamp, true); otherwise it returns (0, false) and the partition
+// sends nothing.
+//
+// Advancing last on a heartbeat is a deliberate strengthening of the
+// paper's pseudo-code: it guarantees that an update tagged in the same
+// microsecond as a heartbeat still gets a strictly larger timestamp, so
+// Property 2 holds even with a coarse physical clock.
+func (c *Clock) Heartbeat(delta time.Duration) (Timestamp, bool) {
+	phys := New(c.src.NowMicros(), 0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if phys < c.last+Timestamp(delta.Microseconds()<<LogicalBits) {
+		return 0, false
+	}
+	c.last = phys
+	return phys, true
+}
+
+// Observe merges an externally observed timestamp into the clock, ensuring
+// that future Ticks are strictly greater than it. Partitions use it when
+// applying remote updates so that a locally originated overwrite of a
+// remote version is ordered after it.
+func (c *Clock) Observe(ts Timestamp) {
+	c.mu.Lock()
+	if ts > c.last {
+		c.last = ts
+	}
+	c.mu.Unlock()
+}
+
+// Now returns the current hybrid time without advancing the clock's issued
+// watermark: the max of physical time and the last issued timestamp.
+func (c *Clock) Now() Timestamp {
+	phys := New(c.src.NowMicros(), 0)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Max(phys, c.last)
+}
+
+// Last returns the largest timestamp issued or observed so far.
+func (c *Clock) Last() Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}

@@ -1,0 +1,283 @@
+package hlc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPackUnpack(t *testing.T) {
+	cases := []struct {
+		phys    int64
+		logical uint16
+	}{
+		{0, 0}, {1, 0}, {0, 1}, {12345678, 42}, {1 << 40, 65535},
+	}
+	for _, c := range cases {
+		ts := New(c.phys, c.logical)
+		if ts.Physical() != c.phys {
+			t.Errorf("New(%d,%d).Physical() = %d", c.phys, c.logical, ts.Physical())
+		}
+		if ts.Logical() != c.logical {
+			t.Errorf("New(%d,%d).Logical() = %d", c.phys, c.logical, ts.Logical())
+		}
+	}
+}
+
+func TestNegativePhysicalClamps(t *testing.T) {
+	if ts := New(-5, 3); ts.Physical() != 0 || ts.Logical() != 3 {
+		t.Errorf("New(-5,3) = %v, want physical clamped to 0", ts)
+	}
+}
+
+func TestIncrementCarriesIntoPhysical(t *testing.T) {
+	ts := New(7, 65535)
+	next := ts.Next()
+	if next.Physical() != 8 || next.Logical() != 0 {
+		t.Errorf("overflow carry: got %d.%d, want 8.0", next.Physical(), next.Logical())
+	}
+}
+
+func TestOrderMatchesComponents(t *testing.T) {
+	// uint64 order must equal (physical, logical) lexicographic order.
+	f := func(p1, p2 uint32, l1, l2 uint16) bool {
+		a := New(int64(p1), l1)
+		b := New(int64(p2), l2)
+		lex := p1 < p2 || (p1 == p2 && l1 < l2)
+		return (a < b) == lex
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTimeRoundTrip(t *testing.T) {
+	now := time.Date(2025, 6, 15, 12, 30, 45, 123456000, time.UTC)
+	ts := FromTime(now)
+	if got := ts.Time(); !got.Equal(now) {
+		t.Errorf("Time() = %v, want %v", got, now)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max() != 0 {
+		t.Error("Max() of nothing should be 0")
+	}
+	if Max(3, 9, 1) != 9 {
+		t.Error("Max(3,9,1) != 9")
+	}
+	if Min() != 0 {
+		t.Error("Min() of nothing should be 0")
+	}
+	if Min(3, 9, 1) != 1 {
+		t.Error("Min(3,9,1) != 1")
+	}
+}
+
+// manualSource is a controllable physical source for clock tests.
+type manualSource struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (m *manualSource) NowMicros() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+func (m *manualSource) set(t int64) {
+	m.mu.Lock()
+	m.t = t
+	m.mu.Unlock()
+}
+
+func TestTickStrictlyIncreasing(t *testing.T) {
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	prev := c.Tick(0)
+	for i := 0; i < 1000; i++ {
+		ts := c.Tick(0)
+		if ts <= prev {
+			t.Fatalf("Tick not strictly increasing: %v then %v", prev, ts)
+		}
+		prev = ts
+	}
+}
+
+func TestTickDominatesDependency(t *testing.T) {
+	// Property 1 machinery: the issued timestamp strictly exceeds the
+	// dependency even when it is far ahead of physical time.
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	dep := New(999999, 17) // way ahead of the 1000µs physical clock
+	ts := c.Tick(dep)
+	if ts <= dep {
+		t.Fatalf("Tick(%v) = %v, not greater", dep, ts)
+	}
+	// And the clock did not block: it absorbed the skew logically.
+	if ts != dep+1 {
+		t.Fatalf("expected logical absorption dep+1, got %v", ts)
+	}
+}
+
+func TestTickFollowsPhysicalWhenAhead(t *testing.T) {
+	src := &manualSource{t: 5000}
+	c := NewClock(src)
+	ts := c.Tick(0)
+	if ts.Physical() != 5000 || ts.Logical() != 0 {
+		t.Fatalf("Tick with fresh clock = %v, want 5000.0", ts)
+	}
+	src.set(6000)
+	ts2 := c.Tick(0)
+	if ts2.Physical() != 6000 {
+		t.Fatalf("Tick after physical advance = %v, want physical 6000", ts2)
+	}
+}
+
+func TestHeartbeatRequiresQuietPeriod(t *testing.T) {
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	c.Tick(0) // last = 1000.0
+	if _, ok := c.Heartbeat(time.Millisecond); ok {
+		t.Fatal("heartbeat fired without the clock advancing Δ past last")
+	}
+	src.set(1000 + 1000) // advance 1ms
+	hb, ok := c.Heartbeat(time.Millisecond)
+	if !ok {
+		t.Fatal("heartbeat should fire after Δ of quiet")
+	}
+	if hb.Physical() != 2000 {
+		t.Fatalf("heartbeat ts = %v, want 2000.0", hb)
+	}
+}
+
+func TestHeartbeatNeverExceededByLaterTick(t *testing.T) {
+	// Property 2: an update tagged right after a heartbeat must carry a
+	// strictly larger timestamp even if physical time has not advanced.
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	c.Tick(0)
+	src.set(5000)
+	hb, ok := c.Heartbeat(time.Millisecond)
+	if !ok {
+		t.Fatal("expected heartbeat")
+	}
+	ts := c.Tick(0) // same physical instant
+	if ts <= hb {
+		t.Fatalf("update ts %v not greater than heartbeat %v", ts, hb)
+	}
+}
+
+func TestObserveAdvancesWatermark(t *testing.T) {
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	c.Observe(New(9999, 5))
+	if ts := c.Tick(0); ts <= New(9999, 5) {
+		t.Fatalf("Tick after Observe = %v, want > 9999.5", ts)
+	}
+}
+
+func TestObserveIgnoresStale(t *testing.T) {
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	first := c.Tick(0)
+	c.Observe(first - 100)
+	if got := c.Last(); got != first {
+		t.Fatalf("stale Observe moved Last: %v -> %v", first, got)
+	}
+}
+
+func TestNowDoesNotAdvanceWatermark(t *testing.T) {
+	src := &manualSource{t: 1000}
+	c := NewClock(src)
+	issued := c.Tick(0)
+	src.set(2000)
+	now := c.Now()
+	if now.Physical() != 2000 {
+		t.Fatalf("Now = %v, want physical 2000", now)
+	}
+	if c.Last() != issued {
+		t.Fatal("Now advanced the issued watermark")
+	}
+}
+
+func TestConcurrentTickUniqueAndMonotonicPerGoroutineObservation(t *testing.T) {
+	c := NewClock(nil)
+	const workers = 8
+	const per = 2000
+	out := make([][]Timestamp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dep Timestamp
+			for i := 0; i < per; i++ {
+				dep = c.Tick(dep)
+				out[w] = append(out[w], dep)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Timestamp]bool, workers*per)
+	for w := range out {
+		prev := Timestamp(0)
+		for _, ts := range out[w] {
+			if ts <= prev {
+				t.Fatalf("worker %d saw non-increasing timestamps", w)
+			}
+			prev = ts
+			if seen[ts] {
+				t.Fatalf("duplicate timestamp %v issued", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+// TestCausalChainProperty checks Property 1 end to end over random causal
+// chains: following any chain of reads-from edges, timestamps strictly
+// increase.
+func TestCausalChainProperty(t *testing.T) {
+	const partitions = 5
+	src := make([]*manualSource, partitions)
+	clocks := make([]*Clock, partitions)
+	for i := range clocks {
+		src[i] = &manualSource{t: int64(1000 * i)} // deliberately skewed
+		clocks[i] = NewClock(src[i])
+	}
+	r := rand.New(rand.NewSource(7))
+	var clientClock Timestamp
+	for i := 0; i < 10000; i++ {
+		p := r.Intn(partitions)
+		// Sometimes advance a partition's physical clock.
+		if r.Intn(3) == 0 {
+			src[p].set(src[p].NowMicros() + int64(r.Intn(2000)))
+		}
+		ts := clocks[p].Tick(clientClock)
+		if ts <= clientClock {
+			t.Fatalf("causality violated at step %d: client %v, update %v", i, clientClock, ts)
+		}
+		clientClock = ts
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	c := NewClock(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Tick(0)
+	}
+}
+
+func BenchmarkTickWithDependency(b *testing.B) {
+	c := NewClock(nil)
+	var dep Timestamp
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dep = c.Tick(dep)
+	}
+}

@@ -1,0 +1,130 @@
+// Package kvstore is the storage engine beneath each logical partition —
+// the stand-in for Riak KV's per-vnode storage in the paper's prototype.
+//
+// It stores one version per key (the paper's protocols deliver remote
+// updates in causal order, so a single version suffices) and resolves
+// concurrent cross-datacenter writes with deterministic last-writer-wins
+// on (timestamp, origin), the same convergence rule an eventually
+// consistent Riak deployment would apply.
+//
+// The store is sharded internally so that many client goroutines can hit
+// one partition concurrently, mirroring the paper's requirement that local
+// updates proceed "without any a priori synchronization".
+package kvstore
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"eunomia/internal/types"
+)
+
+const numShards = 16
+
+var hashSeed = maphash.MakeSeed()
+
+// Store holds the versions of one partition's key range.
+type Store struct {
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[types.Key]types.Version
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[types.Key]types.Version)
+	}
+	return s
+}
+
+func (s *Store) shardFor(k types.Key) *shard {
+	return &s.shards[maphash.String(hashSeed, string(k))%numShards]
+}
+
+// Get returns the stored version of k, if any.
+func (s *Store) Get(k types.Key) (types.Version, bool) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores v under k unconditionally. Partitions use it on the local
+// update path, where Algorithm 2 has already serialized writes to the key
+// and assigned a timestamp greater than the stored one.
+func (s *Store) Put(k types.Key, v types.Version) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Apply merges v into k under last-writer-wins: it stores v only if it is
+// newer than the current version (types.Version.Newer). It returns whether
+// v won. Remote update application and the eventual-consistency baseline
+// both use this path; LWW makes concurrent sibling writes converge to the
+// same version at every datacenter.
+func (s *Store) Apply(k types.Key, v types.Version) bool {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.m[k]; ok && !v.Newer(old) {
+		return false
+	}
+	sh.m[k] = v
+	return true
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// ForEach visits every (key, version) pair; the snapshot is per-shard
+// consistent. Used by convergence checks in tests.
+func (s *Store) ForEach(fn func(types.Key, types.Version)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			fn(k, v)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Ring maps keys to partitions by hash, the moral equivalent of Riak's
+// consistent-hashing ring. Sibling partitions at different datacenters use
+// the same ring, so replicated keys land on matching partition ids.
+type Ring struct {
+	n int
+}
+
+// NewRing returns a ring over n partitions.
+func NewRing(n int) Ring {
+	if n <= 0 {
+		panic("kvstore: ring needs at least one partition")
+	}
+	return Ring{n: n}
+}
+
+// Partitions returns the partition count.
+func (r Ring) Partitions() int { return r.n }
+
+// Responsible returns the partition owning key k (RESPONSIBLE(Key) in
+// Algorithms 1 and 5).
+func (r Ring) Responsible(k types.Key) types.PartitionID {
+	return types.PartitionID(maphash.String(hashSeed, string(k)) % uint64(r.n))
+}

@@ -1,0 +1,172 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+func TestGetPut(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get of missing key returned ok")
+	}
+	s.Put("k", types.Version{Value: []byte("v1"), TS: 10})
+	v, ok := s.Get("k")
+	if !ok || string(v.Value) != "v1" || v.TS != 10 {
+		t.Fatalf("Get = %+v, %v", v, ok)
+	}
+	s.Put("k", types.Version{Value: []byte("v2"), TS: 5}) // unconditional
+	if v, _ := s.Get("k"); string(v.Value) != "v2" {
+		t.Fatal("Put should be unconditional")
+	}
+}
+
+func TestApplyLWW(t *testing.T) {
+	s := New()
+	if !s.Apply("k", types.Version{Value: []byte("a"), TS: 10, Origin: 0}) {
+		t.Fatal("first Apply should win")
+	}
+	if s.Apply("k", types.Version{Value: []byte("b"), TS: 5, Origin: 1}) {
+		t.Fatal("older timestamp should lose")
+	}
+	if v, _ := s.Get("k"); string(v.Value) != "a" {
+		t.Fatal("losing Apply overwrote the value")
+	}
+	if !s.Apply("k", types.Version{Value: []byte("c"), TS: 20, Origin: 1}) {
+		t.Fatal("newer timestamp should win")
+	}
+}
+
+func TestApplyTieBreaksByOrigin(t *testing.T) {
+	s := New()
+	s.Apply("k", types.Version{Value: []byte("dc0"), TS: 10, Origin: 0})
+	if !s.Apply("k", types.Version{Value: []byte("dc2"), TS: 10, Origin: 2}) {
+		t.Fatal("equal TS: higher origin should win deterministically")
+	}
+	if s.Apply("k", types.Version{Value: []byte("dc1"), TS: 10, Origin: 1}) {
+		t.Fatal("equal TS: lower origin should lose")
+	}
+}
+
+// TestApplyOrderIndependence: any permutation of the same set of versions
+// converges to the same winner — the convergence property LWW provides to
+// the eventually consistent baseline and to concurrent sibling writes.
+// Distinct versions of one key never share (TS, Origin) in the real system
+// (same-key updates are serialized by one partition, which issues strictly
+// increasing timestamps), so the generator enforces that invariant.
+func TestApplyOrderIndependence(t *testing.T) {
+	f := func(ts [5]uint8, origins [5]uint8, perm2 uint8) bool {
+		versions := make([]types.Version, 5)
+		seen := map[[2]uint64]bool{}
+		for i := range versions {
+			t := hlc.Timestamp(ts[i])
+			origin := types.DCID(origins[i] % 3)
+			for seen[[2]uint64{uint64(t), uint64(origin)}] {
+				t++ // the origin partition would have issued a later ts
+			}
+			seen[[2]uint64{uint64(t), uint64(origin)}] = true
+			versions[i] = types.Version{
+				Value:  []byte{byte(i)},
+				TS:     t,
+				Origin: origin,
+			}
+		}
+		a, b := New(), New()
+		for _, v := range versions {
+			a.Apply("k", v)
+		}
+		// A different order (rotation by perm2).
+		r := int(perm2) % 5
+		for i := 0; i < 5; i++ {
+			b.Apply("k", versions[(i+r)%5])
+		}
+		va, _ := a.Get("k")
+		vb, _ := b.Get("k")
+		return va.TS == vb.TS && va.Origin == vb.Origin && string(va.Value) == string(vb.Value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLenAndForEach(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Put(types.Key(fmt.Sprintf("key%d", i)), types.Version{TS: 1})
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	count := 0
+	s.ForEach(func(types.Key, types.Version) { count++ })
+	if count != 100 {
+		t.Fatalf("ForEach visited %d", count)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := types.Key(fmt.Sprintf("key%d", i%50))
+				if w%2 == 0 {
+					s.Apply(k, types.Version{TS: hlc.Timestamp(i), Origin: types.DCID(w)})
+				} else {
+					s.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	r := NewRing(8)
+	if r.Partitions() != 8 {
+		t.Fatal("Partitions")
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 10000; i++ {
+		k := types.Key(fmt.Sprintf("key%08d", i))
+		p := r.Responsible(k)
+		if p != r.Responsible(k) {
+			t.Fatal("Responsible not deterministic")
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < 800 || c > 1800 { // expect ~1250 ± slack
+			t.Fatalf("partition %d owns %d of 10000 keys — unbalanced", p, c)
+		}
+	}
+}
+
+func TestRingPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) should panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestValueClone(t *testing.T) {
+	orig := types.Value("abc")
+	c := orig.Clone()
+	c[0] = 'x'
+	if orig[0] != 'a' {
+		t.Fatal("Clone shares storage")
+	}
+	if types.Value(nil).Clone() != nil {
+		t.Fatal("nil Clone should be nil")
+	}
+}

@@ -1,0 +1,358 @@
+// Package metrics provides the measurement pipeline for the evaluation:
+// atomic counters, log-bucketed latency histograms with percentile and CDF
+// extraction, and wall-clock time series.
+//
+// The histogram mirrors what the paper's Basho Bench deployment measured:
+// remote update visibility latencies (CDFs and 90th percentiles, Figures 1
+// and 6) and throughput over time (Figures 4 and 7). It uses power-of-two
+// buckets with linear sub-buckets — the HdrHistogram layout — giving a
+// bounded relative error (~1/32) with fixed memory and lock-free recording.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// subBucketBits controls histogram resolution: each power-of-two range is
+// split into 2^subBucketBits linear sub-buckets (relative error ≤ 2^-5).
+const subBucketBits = 5
+
+const subBuckets = 1 << subBucketBits
+
+// maxExp covers values up to ~2^40 ns ≈ 18 minutes, far beyond any
+// latency this repository measures.
+const maxExp = 40
+
+// Histogram records int64 samples (by convention, nanoseconds) into
+// fixed-size buckets. All methods are safe for concurrent use; Record is
+// lock-free.
+type Histogram struct {
+	buckets [maxExp * subBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stores math.MaxInt64 when empty
+	zero    atomic.Int64 // samples <= 0 recorded separately
+	initMin sync.Once
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketIndex(v int64) int {
+	// Values below subBuckets map directly to their own bucket.
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 - subBucketBits
+	if exp >= maxExp-subBucketBits {
+		exp = maxExp - subBucketBits - 1
+	}
+	sub := v >> exp // in [subBuckets, 2*subBuckets)
+	return int(exp+1)*subBuckets + int(sub) - subBuckets
+}
+
+// bucketLow returns the lowest value mapping to bucket i; used to
+// reconstruct representative values for percentiles.
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i/subBuckets - 1
+	sub := i%subBuckets + subBuckets
+	return int64(sub) << exp
+}
+
+// Record adds one sample. Non-positive samples count toward the zero
+// bucket (they arise when a visibility event races the arrival stamp by a
+// scheduler quantum; treating them as zero latency is the honest choice).
+func (h *Histogram) Record(v int64) {
+	h.count.Add(1)
+	if v <= 0 {
+		h.zero.Add(1)
+		for {
+			cur := h.min.Load()
+			if cur <= 0 || h.min.CompareAndSwap(cur, 0) {
+				break
+			}
+		}
+		return
+	}
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of the samples, zero when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Min returns the smallest recorded sample, zero when empty.
+func (h *Histogram) Min() int64 {
+	m := h.min.Load()
+	if m == math.MaxInt64 {
+		return 0
+	}
+	return m
+}
+
+// Percentile returns the value at quantile p in [0, 100]. The result is a
+// bucket lower bound, i.e. an underestimate by at most the bucket width
+// (~3%).
+func (h *Histogram) Percentile(p float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := h.zero.Load()
+	if seen >= rank {
+		return 0
+	}
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// CDFPoint is one point of a cumulative distribution: the fraction of
+// samples at or below Value.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution over the occupied buckets.
+func (h *Histogram) CDF() []CDFPoint {
+	total := h.count.Load()
+	if total == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	seen := h.zero.Load()
+	if seen > 0 {
+		out = append(out, CDFPoint{Value: 0, Fraction: float64(seen) / float64(total)})
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		out = append(out, CDFPoint{Value: bucketLow(i), Fraction: float64(seen) / float64(total)})
+	}
+	return out
+}
+
+// Merge adds every sample of o into h (bucket-wise; max/min/sum merged).
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	h.zero.Add(o.zero.Load())
+	for {
+		cur := h.max.Load()
+		v := o.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		v := o.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// String summarises the distribution for logs and test output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%v p90=%v p99=%v max=%v",
+		h.Count(), h.Mean()/1e3,
+		time.Duration(h.Percentile(50)),
+		time.Duration(h.Percentile(90)),
+		time.Duration(h.Percentile(99)),
+		time.Duration(h.Max()))
+}
+
+// TimeSeries counts events into fixed-width wall-clock buckets, producing
+// the throughput-over-time plots of Figures 4 and 7.
+type TimeSeries struct {
+	start  time.Time
+	width  time.Duration
+	mu     sync.Mutex
+	counts []int64
+}
+
+// NewTimeSeries returns a series with the given bucket width, starting now.
+func NewTimeSeries(width time.Duration) *TimeSeries {
+	return &TimeSeries{start: time.Now(), width: width}
+}
+
+// Record counts one event at the current instant.
+func (s *TimeSeries) Record() { s.RecordAt(time.Now()) }
+
+// RecordAt counts one event at instant t. Events before the start are
+// folded into bucket zero.
+func (s *TimeSeries) RecordAt(t time.Time) {
+	i := int(t.Sub(s.start) / s.width)
+	if i < 0 {
+		i = 0
+	}
+	s.mu.Lock()
+	for len(s.counts) <= i {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[i]++
+	s.mu.Unlock()
+}
+
+// Buckets returns a copy of the per-bucket counts.
+func (s *TimeSeries) Buckets() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+// Rates converts bucket counts to events/second.
+func (s *TimeSeries) Rates() []float64 {
+	buckets := s.Buckets()
+	out := make([]float64, len(buckets))
+	per := s.width.Seconds()
+	for i, c := range buckets {
+		out[i] = float64(c) / per
+	}
+	return out
+}
+
+// Width returns the bucket width.
+func (s *TimeSeries) Width() time.Duration { return s.width }
+
+// GaugeSeries records (instant, value) observations, e.g. visibility
+// latency over time for the straggler experiment (Figure 7).
+type GaugeSeries struct {
+	start time.Time
+	width time.Duration
+	mu    sync.Mutex
+	sums  []float64
+	ns    []int64
+}
+
+// NewGaugeSeries returns a series averaging observations per width bucket.
+func NewGaugeSeries(width time.Duration) *GaugeSeries {
+	return &GaugeSeries{start: time.Now(), width: width}
+}
+
+// Record adds an observation at the current instant.
+func (g *GaugeSeries) Record(v float64) {
+	i := int(time.Since(g.start) / g.width)
+	if i < 0 {
+		i = 0
+	}
+	g.mu.Lock()
+	for len(g.sums) <= i {
+		g.sums = append(g.sums, 0)
+		g.ns = append(g.ns, 0)
+	}
+	g.sums[i] += v
+	g.ns[i]++
+	g.mu.Unlock()
+}
+
+// Averages returns the per-bucket mean observation (NaN for empty buckets).
+func (g *GaugeSeries) Averages() []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]float64, len(g.sums))
+	for i := range g.sums {
+		if g.ns[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = g.sums[i] / float64(g.ns[i])
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of a float64 sample set;
+// it sorts a copy. Used by harness post-processing.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", c.Load())
+	}
+	if c.Reset() != 5 || c.Load() != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("Load = %d, want 8000", c.Load())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	h.Record(100)
+	h.Record(200)
+	h.Record(300)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if h.Max() != 300 || h.Min() != 100 {
+		t.Fatalf("Max/Min = %d/%d", h.Max(), h.Min())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 10000; i++ {
+		h.Record(i)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got := h.Percentile(p)
+		want := int64(p / 100 * 10000)
+		// Bucketed percentiles may underestimate by one bucket width
+		// (~1/32 relative).
+		if got > want || float64(got) < float64(want)*0.90 {
+			t.Errorf("p%.0f = %d, want within [%.0f, %d]", p, got, float64(want)*0.90, want)
+		}
+	}
+}
+
+func TestHistogramNonPositiveSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	h.Record(0)
+	h.Record(10)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("p50 with two zero samples = %d, want 0", got)
+	}
+	if h.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", h.Min())
+	}
+}
+
+func TestHistogramCDFMonotonic(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(r.Intn(1_000_000)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevV, prevF := int64(-1), 0.0
+	for _, pt := range cdf {
+		if pt.Value <= prevV {
+			t.Fatal("CDF values not increasing")
+		}
+		if pt.Fraction < prevF {
+			t.Fatal("CDF fractions not monotone")
+		}
+		prevV, prevF = pt.Value, pt.Fraction
+	}
+	last := cdf[len(cdf)-1].Fraction
+	if math.Abs(last-1.0) > 1e-9 {
+		t.Fatalf("CDF does not end at 1.0: %f", last)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+		b.Record(i + 100)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 200 || a.Min() != 1 {
+		t.Fatalf("merged Max/Min = %d/%d", a.Max(), a.Min())
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(r.Intn(1 << 30)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("Count = %d, want 40000", h.Count())
+	}
+}
+
+func TestBucketRoundTripBounds(t *testing.T) {
+	// bucketLow(bucketIndex(v)) must be <= v and within ~1/32 of it.
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100000; i++ {
+		v := int64(1 + r.Intn(1<<35))
+		low := bucketLow(bucketIndex(v))
+		if low > v {
+			t.Fatalf("bucketLow(%d) = %d > sample", v, low)
+		}
+		if float64(low) < float64(v)*(1-2.0/subBuckets)-1 {
+			t.Fatalf("bucket error too large: v=%d low=%d", v, low)
+		}
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	s := NewTimeSeries(10 * time.Millisecond)
+	base := time.Now()
+	s.RecordAt(base.Add(1 * time.Millisecond))
+	s.RecordAt(base.Add(2 * time.Millisecond))
+	s.RecordAt(base.Add(25 * time.Millisecond))
+	s.RecordAt(base.Add(-5 * time.Millisecond)) // folds into bucket 0
+	buckets := s.Buckets()
+	if len(buckets) < 3 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if buckets[0] != 3 || buckets[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [3 0 1]", buckets)
+	}
+	rates := s.Rates()
+	if rates[0] != 300 { // 3 events / 10ms = 300/s
+		t.Fatalf("rate[0] = %f, want 300", rates[0])
+	}
+}
+
+func TestGaugeSeries(t *testing.T) {
+	g := NewGaugeSeries(5 * time.Millisecond)
+	g.Record(10)
+	g.Record(20)
+	avgs := g.Averages()
+	if len(avgs) == 0 || avgs[0] != 15 {
+		t.Fatalf("averages = %v, want [15]", avgs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile of empty should be NaN")
+	}
+	s := []float64{4, 1, 3, 2}
+	if q := Quantile(s, 0); q != 1 {
+		t.Fatalf("q0 = %f", q)
+	}
+	if q := Quantile(s, 1); q != 4 {
+		t.Fatalf("q1 = %f", q)
+	}
+	if q := Quantile(s, 0.5); q != 2.5 {
+		t.Fatalf("q0.5 = %f", q)
+	}
+	// Input must be untouched.
+	if s[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)%1_000_000 + 1)
+	}
+}

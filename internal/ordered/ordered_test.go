@@ -1,0 +1,61 @@
+package ordered
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/hlc"
+)
+
+func TestKeyLess(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want bool
+	}{
+		{Key{TS: 1}, Key{TS: 2}, true},
+		{Key{TS: 2}, Key{TS: 1}, false},
+		{Key{TS: 1, Partition: 1}, Key{TS: 1, Partition: 2}, true},
+		{Key{TS: 1, Partition: 1, Seq: 1}, Key{TS: 1, Partition: 1, Seq: 2}, true},
+		{Key{TS: 1, Partition: 1, Seq: 1}, Key{TS: 1, Partition: 1, Seq: 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v Less %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(ts1, ts2 uint16, p1, p2 int8, s1, s2 uint8) bool {
+		a := Key{TS: hlc.Timestamp(ts1), Partition: int32(p1), Seq: uint64(s1)}
+		b := Key{TS: hlc.Timestamp(ts2), Partition: int32(p2), Seq: uint64(s2)}
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b) && !b.Less(a)
+		case 1:
+			return b.Less(a) && !a.Less(b)
+		default:
+			return !a.Less(b) && !b.Less(a) && a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLessIsStrictWeakOrder validates transitivity on random triples so
+// sorting by Key is well-defined.
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	f := func(raw [3][3]uint8) bool {
+		ks := make([]Key, 3)
+		for i, r := range raw {
+			ks[i] = Key{TS: hlc.Timestamp(r[0]), Partition: int32(r[1]), Seq: uint64(r[2])}
+		}
+		sort.Slice(ks, func(i, j int) bool { return ks[i].Less(ks[j]) })
+		return !ks[1].Less(ks[0]) && !ks[2].Less(ks[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eunomia/internal/types"
+	"eunomia/internal/wal"
+)
+
+// TestCrashRecoveryRebuildsState writes through a durable partition,
+// "crashes" it (drops the in-memory state), recovers a fresh partition
+// from the log, and checks versions, clock monotonicity and the sequence
+// counter all survive.
+func TestCrashRecoveryRebuildsState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p0.wal")
+	log, err := wal.Open(path, wal.SyncOnFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false, WAL: log})
+	session := dep(0, 0)
+	var lastTS uint64
+	for i := 0; i < 50; i++ {
+		vts := p.Update(types.Key(fmt.Sprintf("key%d", i%10)), []byte(fmt.Sprintf("v%d", i)), session)
+		session = vts
+		lastTS = uint64(vts.Get(0))
+	}
+	// A remote update arrives and is applied too.
+	remote := &types.Update{
+		Key: "remote", Value: []byte("from-dc1"), Origin: 1,
+		TS: 999_999_999, VTS: dep(0, 999_999_999),
+	}
+	if !p.ApplyRemote(remote, time.Now()) {
+		t.Fatal("remote apply failed")
+	}
+	p.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: rebuild a brand-new partition from the log alone.
+	p2 := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false})
+	if err := p2.Recover(path); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 40; i < 50; i++ { // last writer per key wins
+		v, _ := p2.Read(types.Key(fmt.Sprintf("key%d", i%10)))
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key%d recovered as %q, want v%d", i%10, v, i)
+		}
+	}
+	if v, _ := p2.Read("remote"); string(v) != "from-dc1" {
+		t.Fatalf("remote update lost in recovery: %q", v)
+	}
+
+	// Property 2 must hold across the crash: the first post-recovery
+	// update carries a timestamp above everything recovered.
+	vts := p2.Update("post-crash", []byte("x"), dep(0, 0))
+	if uint64(vts.Get(0)) <= lastTS {
+		t.Fatalf("post-recovery timestamp %v not above pre-crash %v", vts.Get(0), lastTS)
+	}
+	// And the sequence counter resumed past the logged ones.
+	p2.seqMu.Lock()
+	seq := p2.seq
+	p2.seqMu.Unlock()
+	if seq != 51 {
+		t.Fatalf("sequence counter resumed at %d, want 51", seq)
+	}
+}
+
+func TestRecoverFromEmptyOrMissingLog(t *testing.T) {
+	p := New(Config{DC: 0, ID: 0, DCs: 1})
+	if err := p.Recover(filepath.Join(t.TempDir(), "never-existed.wal")); err != nil {
+		t.Fatal(err)
+	}
+	if p.Store().Len() != 0 {
+		t.Fatal("recovery invented state")
+	}
+}
+
+func TestDurablePartitionSurvivesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.wal")
+	log, err := wal.Open(path, wal.SyncOnFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{DC: 0, ID: 0, DCs: 1, WAL: log})
+	p.Update("a", []byte("1"), dep(0))
+	p.Update("b", []byte("2"), dep(0))
+	p.Close()
+	log.Close()
+
+	// Append garbage simulating a torn write, then recover.
+	f, err := wal.Open(path, wal.SyncOnFlush) // Open truncates torn tails,
+	if err != nil {                           // so corrupt it via raw append first
+		t.Fatal(err)
+	}
+	f.Close()
+	appendGarbage(t, path)
+
+	p2 := New(Config{DC: 0, ID: 0, DCs: 1})
+	if err := p2.Recover(path); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p2.Read("a"); string(v) != "1" {
+		t.Fatal("lost record a")
+	}
+	if v, _ := p2.Read("b"); string(v) != "2" {
+		t.Fatal("lost record b")
+	}
+}
+
+func appendGarbage(t *testing.T, path string) {
+	t.Helper()
+	// Raw partial header: length says 100 bytes, payload missing.
+	garbage := []byte{100, 0, 0, 0, 0xaa, 0xbb}
+	if err := appendRaw(path, garbage); err != nil {
+		t.Fatal(err)
+	}
+}

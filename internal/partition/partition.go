@@ -1,0 +1,293 @@
+// Package partition implements the EunomiaKV datacenter partition server —
+// Algorithm 2 of the paper extended with the geo-replication tagging of §4
+// and the data/metadata separation of §5.
+//
+// A partition serializes updates to its key range, tags each with a hybrid
+// logical timestamp strictly greater than the client's causal history and
+// than every timestamp it previously issued (Properties 1 and 2), stores
+// the version, hands the lightweight metadata to the local Eunomia service
+// through the batching client, and ships the payload directly to its
+// sibling partitions at remote datacenters. Remote updates are applied when
+// the local receiver has established that their causal dependencies are
+// satisfied and the payload has arrived.
+package partition
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/eunomia"
+	"eunomia/internal/hlc"
+	"eunomia/internal/kvstore"
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+	"eunomia/internal/wal"
+)
+
+// PayloadShipper sends an update's payload to the sibling partitions of
+// every remote datacenter. The geo store backs it with simnet sends; unit
+// tests use in-memory fakes. Shipping happens outside the client's
+// critical path and needs no ordering guarantees (§5).
+type PayloadShipper interface {
+	ShipPayload(u *types.Update)
+}
+
+// VisibleFunc observes a remote update becoming visible locally, with the
+// instant its payload arrived; the harness derives visibility latencies
+// (Figures 6 and 7) from it.
+type VisibleFunc func(u *types.Update, payloadArrived time.Time)
+
+// Config parameterises a partition.
+type Config struct {
+	DC    types.DCID
+	ID    types.PartitionID
+	DCs   int // M, number of datacenters
+	Clock hlc.PhysSource
+	// SeparateData enables §5 data/metadata separation (the prototype's
+	// configuration): Eunomia carries only ids, payloads travel
+	// partition-to-partition. When false, full updates flow through
+	// Eunomia and arrive via the receiver alone.
+	SeparateData bool
+	// OnVisible, optional, observes remote update visibility.
+	OnVisible VisibleFunc
+	// WAL, optional, makes the partition durable: every locally
+	// accepted update and every applied remote update is logged before
+	// the operation is acknowledged. Recover rebuilds a partition from
+	// the log after a crash.
+	WAL *wal.Log
+}
+
+// Partition is one logical partition server. All methods are safe for
+// concurrent use.
+type Partition struct {
+	cfg   Config
+	clock *hlc.Clock
+	store *kvstore.Store
+
+	seqMu sync.Mutex
+	seq   uint64
+
+	euClient *eunomia.Client
+	shipper  PayloadShipper
+
+	// payloadMu guards the payload/arrival buffers for remote updates
+	// whose metadata has not yet been released by the receiver.
+	payloadMu sync.Mutex
+	payloads  map[types.UpdateID]*types.Update
+	arrivals  map[types.UpdateID]time.Time
+
+	// Reads, Updates, RemoteApplied count operations for reports.
+	Reads         metrics.Counter
+	Updates       metrics.Counter
+	RemoteApplied metrics.Counter
+	// PayloadWait counts receiver release attempts that found the
+	// payload missing (§7.2.2 observes this is rare because payloads
+	// ship immediately while metadata waits for stabilization).
+	PayloadWait metrics.Counter
+}
+
+// New constructs a partition. The Eunomia batching client and payload
+// shipper are attached afterwards (Attach) because they need the
+// partition's clock.
+func New(cfg Config) *Partition {
+	if cfg.DCs <= 0 {
+		cfg.DCs = 1
+	}
+	return &Partition{
+		cfg:      cfg,
+		clock:    hlc.NewClock(cfg.Clock),
+		store:    kvstore.New(),
+		payloads: make(map[types.UpdateID]*types.Update),
+		arrivals: make(map[types.UpdateID]time.Time),
+	}
+}
+
+// Clock exposes the partition's hybrid clock (the Eunomia client shares it
+// so heartbeat timestamps dominate issued timestamps).
+func (p *Partition) Clock() *hlc.Clock { return p.clock }
+
+// Store exposes the underlying version store for convergence checks.
+func (p *Partition) Store() *kvstore.Store { return p.store }
+
+// Attach wires the Eunomia batching client and the payload shipper.
+// Either may be nil (the service-saturation experiments drive Eunomia
+// without partitions; single-DC tests need no shipper).
+func (p *Partition) Attach(eu *eunomia.Client, shipper PayloadShipper) {
+	p.euClient = eu
+	p.shipper = shipper
+}
+
+// EunomiaClient returns the attached batching client (nil before Attach).
+func (p *Partition) EunomiaClient() *eunomia.Client { return p.euClient }
+
+// Read implements the partition side of Algorithm 1/2 READ: it returns the
+// stored value and the vector timestamp of the update that produced it.
+// Missing keys return a nil value and a nil vector (no dependency).
+func (p *Partition) Read(key types.Key) (types.Value, vclock.V) {
+	p.Reads.Inc()
+	v, ok := p.store.Get(key)
+	if !ok {
+		return nil, nil
+	}
+	return v.Value, v.VTS
+}
+
+// Update implements Algorithm 2 UPDATE with §4's vector tagging: the local
+// entry is max(Clock_n, MaxTs_n+1, VClock_c[m]+1); remote entries copy the
+// client's vector. It stores the version, forwards metadata to Eunomia and
+// ships the payload, then returns the update's vector timestamp, which the
+// client adopts wholesale (it strictly dominates VClock_c).
+func (p *Partition) Update(key types.Key, value types.Value, dep vclock.V) vclock.V {
+	p.Updates.Inc()
+	m := int(p.cfg.DC)
+	ts := p.clock.Tick(dep.Get(m))
+
+	vts := vclock.New(p.cfg.DCs)
+	copy(vts, dep)
+	vts.Set(m, ts)
+
+	p.seqMu.Lock()
+	p.seq++
+	seq := p.seq
+	p.seqMu.Unlock()
+
+	u := &types.Update{
+		Key:       key,
+		Value:     value.Clone(),
+		Origin:    p.cfg.DC,
+		Partition: p.cfg.ID,
+		Seq:       seq,
+		TS:        ts,
+		VTS:       vts.Clone(),
+		CreatedAt: time.Now().UnixNano(),
+	}
+
+	if p.cfg.WAL != nil {
+		// Log before acknowledging: the update must survive a crash
+		// once the client has seen its timestamp.
+		if err := p.cfg.WAL.Append(wal.EncodeUpdate(wal.KindLocal, u)); err != nil {
+			panic("partition: WAL append failed: " + err.Error())
+		}
+	}
+
+	// Store through the LWW path so a concurrent remote version with a
+	// larger timestamp is never shadowed; see kvstore.Apply.
+	p.store.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.cfg.DC})
+
+	if p.euClient != nil {
+		if p.cfg.SeparateData {
+			p.euClient.Add(u.Meta())
+		} else {
+			p.euClient.Add(u)
+		}
+	}
+	if p.shipper != nil && p.cfg.SeparateData {
+		p.shipper.ShipPayload(u)
+	}
+	return vts
+}
+
+// ReceivePayload ingests an update payload shipped directly by a sibling
+// partition (§5). Payloads may arrive in any order and ahead of their
+// metadata; they are buffered until the receiver releases the metadata.
+func (p *Partition) ReceivePayload(u *types.Update) {
+	id := u.ID()
+	p.payloadMu.Lock()
+	if _, ok := p.payloads[id]; !ok {
+		p.payloads[id] = u
+		p.arrivals[id] = time.Now()
+	}
+	p.payloadMu.Unlock()
+}
+
+// ApplyRemote is invoked by the local receiver once the update's causal
+// dependencies are satisfied (Algorithm 5 line 14). metaArrived is the
+// instant the receiver first saw the metadata. For metadata-only updates
+// ApplyRemote consults the payload buffer and reports false if the payload
+// has not arrived yet — the receiver retries on its next pass. On success
+// the version is merged under LWW, the partition clock observes the
+// remote timestamp, and the visibility callback fires with the data
+// arrival instant (§7.2.2 measures visibility latency from data arrival).
+func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
+	full := u
+	arrived := metaArrived // when the payload rides along, data == metadata
+	if u.Value == nil {
+		id := u.ID()
+		p.payloadMu.Lock()
+		payload, ok := p.payloads[id]
+		if !ok {
+			p.payloadMu.Unlock()
+			p.PayloadWait.Inc()
+			return false
+		}
+		arrived = p.arrivals[id]
+		delete(p.payloads, id)
+		delete(p.arrivals, id)
+		p.payloadMu.Unlock()
+		full = payload
+	}
+
+	if p.cfg.WAL != nil {
+		if err := p.cfg.WAL.Append(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {
+			panic("partition: WAL append failed: " + err.Error())
+		}
+	}
+
+	p.clock.Observe(full.TS)
+	p.store.Apply(full.Key, types.Version{
+		Value:  full.Value,
+		TS:     full.TS,
+		VTS:    full.VTS,
+		Origin: full.Origin,
+	})
+	p.RemoteApplied.Inc()
+	if p.cfg.OnVisible != nil {
+		p.cfg.OnVisible(full, arrived)
+	}
+	return true
+}
+
+// PendingPayloads returns the number of buffered payloads awaiting
+// metadata, for tests and leak checks.
+func (p *Partition) PendingPayloads() int {
+	p.payloadMu.Lock()
+	defer p.payloadMu.Unlock()
+	return len(p.payloads)
+}
+
+// Close stops the attached Eunomia client, flushing buffered metadata,
+// and flushes the WAL if one is attached.
+func (p *Partition) Close() {
+	if p.euClient != nil {
+		p.euClient.Close()
+	}
+	if p.cfg.WAL != nil {
+		_ = p.cfg.WAL.Flush()
+	}
+}
+
+// Recover rebuilds a partition's state from its write-ahead log: versions
+// are re-applied under the same LWW rule, the hybrid clock observes every
+// logged timestamp (so post-recovery updates keep Property 2), and the
+// per-partition sequence counter resumes after the highest locally
+// accepted sequence number. Call it on a freshly constructed partition
+// before serving traffic.
+func (p *Partition) Recover(path string) error {
+	return wal.Replay(path, func(rec []byte) error {
+		kind, u, err := wal.DecodeUpdate(rec)
+		if err != nil {
+			return err
+		}
+		p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
+		p.clock.Observe(u.TS)
+		if kind == wal.KindLocal {
+			p.seqMu.Lock()
+			if u.Seq > p.seq {
+				p.seq = u.Seq
+			}
+			p.seqMu.Unlock()
+		}
+		return nil
+	})
+}

@@ -1,0 +1,17 @@
+package partition
+
+import "os"
+
+// appendRaw writes bytes to the end of a file without any framing, used to
+// simulate torn writes in durability tests.
+func appendRaw(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,4 @@
+package rbtree
+
+// CheckInvariants exposes the red-black structural validation to tests.
+func (t *Tree[V]) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,373 @@
+// Package rbtree implements the red-black tree backing the Eunomia
+// service's pending-operation set.
+//
+// The paper (§6) singles this structure out: Eunomia stores every not-yet-
+// stable update and periodically traverses the stable prefix in timestamp
+// order, so it needs logarithmic insert/delete and cheap in-order prefix
+// extraction. This is a classical CLRS red-black tree with a shared nil
+// sentinel, specialised to ordered.Key keys and generic values.
+package rbtree
+
+import (
+	"eunomia/internal/hlc"
+	"eunomia/internal/ordered"
+)
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[V any] struct {
+	key                 ordered.Key
+	val                 V
+	left, right, parent *node[V]
+	color               color
+}
+
+// Tree is a red-black tree keyed by ordered.Key. The zero value is not
+// usable; construct with New. Tree implements ordered.Set[V].
+type Tree[V any] struct {
+	root *node[V]
+	nil_ *node[V] // shared sentinel; always black
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	sentinel := &node[V]{color: black}
+	sentinel.left, sentinel.right, sentinel.parent = sentinel, sentinel, sentinel
+	return &Tree[V]{root: sentinel, nil_: sentinel}
+}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Insert adds (k, v), replacing the value if k is already present.
+// It returns true for a fresh insert, false for a replacement.
+func (t *Tree[V]) Insert(k ordered.Key, v V) bool {
+	y := t.nil_
+	x := t.root
+	for x != t.nil_ {
+		y = x
+		switch c := k.Compare(x.key); {
+		case c < 0:
+			x = x.left
+		case c > 0:
+			x = x.right
+		default:
+			x.val = v
+			return false
+		}
+	}
+	z := &node[V]{key: k, val: v, left: t.nil_, right: t.nil_, parent: y, color: red}
+	switch {
+	case y == t.nil_:
+		t.root = z
+	case k.Less(y.key):
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.size++
+	t.insertFixup(z)
+	return true
+}
+
+func (t *Tree[V]) insertFixup(z *node[V]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[V]) rotateLeft(x *node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) minimum(x *node[V]) *node[V] {
+	for x.left != t.nil_ {
+		x = x.left
+	}
+	return x
+}
+
+// Min returns the smallest entry without removing it.
+func (t *Tree[V]) Min() (ordered.Key, V, bool) {
+	if t.root == t.nil_ {
+		var zero V
+		return ordered.Key{}, zero, false
+	}
+	n := t.minimum(t.root)
+	return n.key, n.val, true
+}
+
+func (t *Tree[V]) transplant(u, v *node[V]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[V]) delete(z *node[V]) {
+	y := z
+	yOrig := y.color
+	var x *node[V]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x)
+	}
+	t.size--
+}
+
+func (t *Tree[V]) deleteFixup(x *node[V]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+// Delete removes k, returning whether it was present.
+func (t *Tree[V]) Delete(k ordered.Key) bool {
+	x := t.root
+	for x != t.nil_ {
+		switch c := k.Compare(x.key); {
+		case c < 0:
+			x = x.left
+		case c > 0:
+			x = x.right
+		default:
+			t.delete(x)
+			return true
+		}
+	}
+	return false
+}
+
+// ExtractUpTo removes and returns, in ascending order, every entry with
+// key.TS <= max. This is the stabilization step: a linear in-order walk of
+// the stable prefix followed by its removal.
+func (t *Tree[V]) ExtractUpTo(max hlc.Timestamp) []V {
+	var out []V
+	for t.root != t.nil_ {
+		n := t.minimum(t.root)
+		if n.key.TS > max {
+			break
+		}
+		out = append(out, n.val)
+		t.delete(n)
+	}
+	return out
+}
+
+// Ascend visits entries in ascending key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(ordered.Key, V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[V]) ascend(n *node[V], fn func(ordered.Key, V) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+// checkInvariants validates the red-black properties; exported to the test
+// file through export_test.go.
+func (t *Tree[V]) checkInvariants() error {
+	if t.root.color != black {
+		return errRootNotBlack
+	}
+	_, err := t.check(t.root)
+	return err
+}
+
+var (
+	errRootNotBlack = errorString("rbtree: root is not black")
+	errRedRed       = errorString("rbtree: red node has red child")
+	errBlackHeight  = errorString("rbtree: unequal black heights")
+	errOrder        = errorString("rbtree: keys out of order")
+)
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func (t *Tree[V]) check(n *node[V]) (blackHeight int, err error) {
+	if n == t.nil_ {
+		return 1, nil
+	}
+	if n.color == red && (n.left.color == red || n.right.color == red) {
+		return 0, errRedRed
+	}
+	if n.left != t.nil_ && !n.left.key.Less(n.key) {
+		return 0, errOrder
+	}
+	if n.right != t.nil_ && !n.key.Less(n.right.key) {
+		return 0, errOrder
+	}
+	lh, err := t.check(n.left)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackHeight
+	}
+	if n.color == black {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,100 @@
+package rbtree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/ordered"
+	"eunomia/internal/ordered/orderedtest"
+	"eunomia/internal/rbtree"
+)
+
+func TestConformance(t *testing.T) {
+	orderedtest.Run(t, func() ordered.Set[int] { return rbtree.New[int]() })
+}
+
+func key(ts uint64, p int32, seq uint64) ordered.Key {
+	return ordered.Key{TS: hlc.Timestamp(ts), Partition: p, Seq: seq}
+}
+
+// TestInvariantsUnderChurn validates the red-black properties (root black,
+// no red-red edges, equal black heights, BST order) after every batch of
+// mutations.
+func TestInvariantsUnderChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := rbtree.New[int]()
+	live := map[ordered.Key]bool{}
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 50; i++ {
+			k := key(uint64(r.Intn(500)), int32(r.Intn(3)), uint64(r.Intn(20)))
+			switch r.Intn(3) {
+			case 0, 1:
+				tr.Insert(k, i)
+				live[k] = true
+			case 2:
+				got := tr.Delete(k)
+				want := live[k]
+				if got != want {
+					t.Fatalf("Delete(%v) = %v, want %v", k, got, want)
+				}
+				delete(live, k)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: Len %d, want %d", round, tr.Len(), len(live))
+		}
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := rbtree.New[int]()
+	tr.Insert(key(1, 0, 0), 1)
+	if tr.Delete(key(2, 0, 0)) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("Delete of absent key changed Len")
+	}
+}
+
+func TestInvariantsAfterExtract(t *testing.T) {
+	tr := rbtree.New[int]()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key(uint64(i), 0, uint64(i)), i)
+	}
+	for max := 100; max <= 1000; max += 100 {
+		tr.ExtractUpTo(hlc.Timestamp(max))
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after ExtractUpTo(%d): %v", max, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after extracting everything", tr.Len())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := rbtree.New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(uint64(i), 0, uint64(i)), i)
+	}
+}
+
+// BenchmarkInsertExtract replays the Eunomia stabilization pattern: insert
+// a window of operations, then extract the stable prefix in order.
+func BenchmarkInsertExtract(b *testing.B) {
+	tr := rbtree.New[int]()
+	const window = 1024
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(uint64(i), int32(i%8), uint64(i)), i)
+		if i%window == window-1 {
+			tr.ExtractUpTo(hlc.Timestamp(i - window/2))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package receiver implements Algorithm 5 of the paper: the per-datacenter
+// component that accepts the causally ordered update streams shipped by
+// remote Eunomia services and releases each update to the local partitions
+// once its causal dependencies are satisfied.
+//
+// Because every origin ships its updates totally ordered by the origin
+// entry of their vector timestamp, dependency checking is trivial — the
+// paper's key payoff versus global stabilization: the receiver maintains
+// one FIFO queue per remote datacenter plus the SiteTime vector of latest
+// applied timestamps, and releases a queue head when every other remote
+// entry of its vector is already covered by SiteTime.
+//
+// The receiver tolerates duplicate and overlapping streams (they arise
+// during Eunomia leader failover) by discarding updates whose origin
+// timestamp does not advance past what is already enqueued or applied.
+package receiver
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+// ApplyFunc routes a released update to the responsible local partition.
+// It returns false when the update cannot be executed yet (its payload has
+// not arrived, §5); the receiver then retries on its next pass without
+// advancing SiteTime.
+type ApplyFunc func(u *types.Update, metaArrived time.Time) bool
+
+// Config parameterises a receiver.
+type Config struct {
+	DC  types.DCID // m, the local datacenter
+	DCs int        // M
+	// CheckInterval is ρ, the period of the CHECK_PENDING loop.
+	// Default 1ms.
+	CheckInterval time.Duration
+	Apply         ApplyFunc
+}
+
+// Receiver coordinates remote update execution for one datacenter.
+type Receiver struct {
+	cfg Config
+
+	mu       sync.Mutex
+	queues   [][]entry // indexed by origin DC; queues[m] unused
+	lastEnq  vclock.V  // largest origin timestamp enqueued per origin
+	siteTime vclock.V  // SiteTime_m: latest applied per origin
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// Enqueued, Applied, DupDropped count receiver activity.
+	Enqueued   metrics.Counter
+	Applied    metrics.Counter
+	DupDropped metrics.Counter
+}
+
+type entry struct {
+	u       *types.Update
+	arrived time.Time
+}
+
+// New starts a receiver. Apply must be set.
+func New(cfg Config) *Receiver {
+	if cfg.Apply == nil {
+		panic("receiver: Config.Apply is required")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Millisecond
+	}
+	r := &Receiver{
+		cfg:      cfg,
+		queues:   make([][]entry, cfg.DCs),
+		lastEnq:  vclock.New(cfg.DCs),
+		siteTime: vclock.New(cfg.DCs),
+		stop:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Enqueue accepts a batch of updates shipped by origin datacenter k, in
+// ascending origin-timestamp order (NEW_UPDATE of Algorithm 5). Updates
+// whose origin timestamp is not beyond both the queue tail and SiteTime[k]
+// are duplicates from a prior or concurrent leader and are dropped.
+func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
+	now := time.Now()
+	r.mu.Lock()
+	for _, u := range batch {
+		ts := u.VTS.Get(int(k))
+		if ts <= r.lastEnq[k] || ts <= r.siteTime[k] {
+			r.DupDropped.Inc()
+			continue
+		}
+		r.lastEnq[k] = ts
+		r.queues[k] = append(r.queues[k], entry{u: u, arrived: now})
+		r.Enqueued.Inc()
+	}
+	r.mu.Unlock()
+}
+
+// SiteTime returns a copy of the applied-updates vector.
+func (r *Receiver) SiteTime() vclock.V {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.siteTime.Clone()
+}
+
+// QueueLen returns the number of pending updates from origin k.
+func (r *Receiver) QueueLen(k types.DCID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queues[k])
+}
+
+// Flush runs dependency resolution until no further progress is possible,
+// equivalent to the tail-recursive FLUSH of Algorithm 5. It is exported so
+// tests can drive the receiver deterministically without the timer.
+func (r *Receiver) Flush() {
+	m := int(r.cfg.DC)
+	for {
+		progress := false
+		for k := 0; k < r.cfg.DCs; k++ {
+			if k == m {
+				continue
+			}
+			for {
+				r.mu.Lock()
+				if len(r.queues[k]) == 0 {
+					r.mu.Unlock()
+					break
+				}
+				head := r.queues[k][0]
+				if !r.depsSatisfiedLocked(head.u, k) {
+					r.mu.Unlock()
+					break
+				}
+				r.mu.Unlock()
+
+				// Apply outside the lock: the partition may take its own
+				// locks and fire visibility callbacks.
+				if !r.cfg.Apply(head.u, head.arrived) {
+					break // payload not yet here; retry next pass
+				}
+
+				r.mu.Lock()
+				r.siteTime[k] = head.u.VTS.Get(k)
+				r.queues[k] = r.queues[k][1:]
+				if len(r.queues[k]) == 0 {
+					r.queues[k] = nil
+				}
+				r.mu.Unlock()
+				r.Applied.Inc()
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// depsSatisfiedLocked checks Algorithm 5 line 12: every remote dependency
+// entry other than the origin's own must already be applied locally.
+func (r *Receiver) depsSatisfiedLocked(u *types.Update, k int) bool {
+	m := int(r.cfg.DC)
+	for d := 0; d < r.cfg.DCs; d++ {
+		if d == m || d == k {
+			continue
+		}
+		if r.siteTime[d] < u.VTS.Get(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// SiteTimeEntry returns SiteTime[k].
+func (r *Receiver) SiteTimeEntry(k types.DCID) hlc.Timestamp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.siteTime[k]
+}
+
+// Close stops the CHECK_PENDING loop.
+func (r *Receiver) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+func (r *Receiver) loop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.Flush()
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package sequencer
+
+import (
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/kvstore"
+	"eunomia/internal/metrics"
+	"eunomia/internal/receiver"
+	"eunomia/internal/session"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+// StoreMode selects how the geo store consults the sequencer.
+type StoreMode int
+
+const (
+	// SSeq is the faithful sequencer-based design (§2): every update
+	// operation synchronously obtains its number before returning to the
+	// client.
+	SSeq StoreMode = iota
+	// ASeq is the paper's deliberately bogus asynchronous variant: the
+	// sequencer is contacted in parallel with applying the update. It
+	// performs the same total work but removes the round trip from the
+	// client's critical path — and does not actually capture causality.
+	// It exists to quantify what sequencers cost purely by being
+	// synchronous (Figure 1).
+	ASeq
+)
+
+func (m StoreMode) String() string {
+	if m == ASeq {
+		return "A-Seq"
+	}
+	return "S-Seq"
+}
+
+// StoreConfig parameterises a sequencer-based geo store.
+type StoreConfig struct {
+	Mode       StoreMode
+	DCs        int
+	Partitions int
+	Delay      simnet.DelayFunc
+	// SequencerDelay emulates the intra-datacenter round trip to the
+	// sequencer; zero leaves only the in-process channel round trip.
+	SequencerDelay time.Duration
+	// ChainReplicas > 1 replicates each datacenter's sequencer with
+	// chain replication (Figure 3's FT sequencer).
+	ChainReplicas int
+	// ShipInterval batches inter-DC replication. Default 1ms.
+	ShipInterval time.Duration
+	// CheckInterval is the remote receiver's period. Default 1ms.
+	CheckInterval time.Duration
+	ClockFor      func(dc types.DCID, p types.PartitionID) hlc.PhysSource
+	// OnVisible observes remote update visibility at a destination.
+	OnVisible func(dest types.DCID, u *types.Update, arrived time.Time)
+}
+
+func (c *StoreConfig) fill() {
+	if c.DCs <= 0 {
+		c.DCs = 3
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.ShipInterval <= 0 {
+		c.ShipInterval = time.Millisecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = time.Millisecond
+	}
+	if c.Delay == nil {
+		c.Delay = simnet.LatencyMatrix(simnet.PaperRTTs(1), 0)
+	}
+}
+
+// Store is a running sequencer-based causally consistent geo store, in the
+// style of SwiftCloud and ChainReaction: a per-datacenter sequencer totally
+// orders local updates, updates carry a vector with one sequence number
+// per datacenter, and remote datacenters apply them in sequence order with
+// trivially checkable dependencies.
+type Store struct {
+	cfg  StoreConfig
+	net  *simnet.Network
+	ring kvstore.Ring
+	dcs  []*sdc
+}
+
+type sdc struct {
+	id    types.DCID
+	seq   Service
+	prop  *propagator
+	parts []*spart
+	recv  *receiver.Receiver
+}
+
+type spart struct {
+	store *Store
+	dc    *sdc
+	id    types.PartitionID
+	clock *hlc.Clock
+	kv    *kvstore.Store
+
+	// Applied counts remote updates made visible.
+	Applied metrics.Counter
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg StoreConfig) *Store {
+	cfg.fill()
+	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay), ring: kvstore.NewRing(cfg.Partitions)}
+	for m := 0; m < cfg.DCs; m++ {
+		d := &sdc{id: types.DCID(m)}
+		if cfg.ChainReplicas > 1 {
+			ch := NewChain(cfg.ChainReplicas)
+			ch.Delay = cfg.SequencerDelay
+			d.seq = ch
+		} else {
+			single := NewSingle()
+			single.Delay = cfg.SequencerDelay
+			d.seq = single
+		}
+		d.prop = newPropagator(s, types.DCID(m))
+		for i := 0; i < cfg.Partitions; i++ {
+			var src hlc.PhysSource
+			if cfg.ClockFor != nil {
+				src = cfg.ClockFor(types.DCID(m), types.PartitionID(i))
+			}
+			d.parts = append(d.parts, &spart{
+				store: s,
+				dc:    d,
+				id:    types.PartitionID(i),
+				clock: hlc.NewClock(src),
+				kv:    kvstore.New(),
+			})
+		}
+		if cfg.DCs > 1 {
+			dd := d
+			d.recv = receiver.New(receiver.Config{
+				DC:            types.DCID(m),
+				DCs:           cfg.DCs,
+				CheckInterval: cfg.CheckInterval,
+				Apply: func(u *types.Update, metaArrived time.Time) bool {
+					p := dd.parts[s.ring.Responsible(u.Key)]
+					p.applyRemote(u, metaArrived)
+					return true
+				},
+			})
+			recv := d.recv
+			s.net.Register(simnet.ReceiverAddr(types.DCID(m)), func(msg simnet.Message) {
+				ops, ok := msg.Payload.([]*types.Update)
+				if !ok {
+					return
+				}
+				recv.Enqueue(msg.From.DC, ops)
+			})
+		}
+		s.dcs = append(s.dcs, d)
+	}
+	return s
+}
+
+// propagator emits one datacenter's sequenced updates to every remote
+// datacenter in dense sequence order. With S-Seq, updates can reach it
+// slightly out of order (partitions race between obtaining the number and
+// submitting), so it holds a reorder buffer keyed by sequence number.
+type propagator struct {
+	store *Store
+	dc    types.DCID
+
+	mu   sync.Mutex
+	buf  map[uint64]*types.Update
+	next uint64
+
+	ship *simnet.Batcher[*types.Update]
+}
+
+func newPropagator(s *Store, dc types.DCID) *propagator {
+	p := &propagator{store: s, dc: dc, buf: make(map[uint64]*types.Update), next: 1}
+	p.ship = newShipBatcher(s, dc)
+	return p
+}
+
+// newShipBatcher wraps a Batcher that sends shipMsg batches to remote
+// receivers in FIFO order.
+func newShipBatcher(s *Store, dc types.DCID) *simnet.Batcher[*types.Update] {
+	return simnet.NewBatcher[*types.Update](s.net, simnet.SequencerAddr(dc, 0), s.cfg.ShipInterval)
+}
+
+// submit hands over an update already tagged with its sequence number
+// (u.TS holds the number, u.VTS the dependency vector of numbers).
+func (p *propagator) submit(u *types.Update) {
+	p.mu.Lock()
+	p.buf[uint64(u.TS)] = u
+	for {
+		next, ok := p.buf[p.next]
+		if !ok {
+			break
+		}
+		delete(p.buf, p.next)
+		p.next++
+		for k := 0; k < p.store.cfg.DCs; k++ {
+			if types.DCID(k) == p.dc {
+				continue
+			}
+			p.ship.Add(simnet.ReceiverAddr(types.DCID(k)), next)
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *spart) read(key types.Key) (types.Value, vclock.V) {
+	v, ok := p.kv.Get(key)
+	if !ok {
+		return nil, nil
+	}
+	return v.Value, v.VTS
+}
+
+// update implements the sequencer-based write path. dep is the client's
+// vector of per-datacenter sequence numbers.
+func (p *spart) update(key types.Key, value types.Value, dep vclock.V) vclock.V {
+	m := int(p.dc.id)
+	u := &types.Update{
+		Key:       key,
+		Value:     value.Clone(),
+		Origin:    p.dc.id,
+		Partition: p.id,
+		CreatedAt: time.Now().UnixNano(),
+	}
+
+	// The stored version's LWW order uses the hybrid clock, which is
+	// comparable across datacenters; sequence numbers are not.
+	hts := p.clock.Tick(0)
+	u.HTS = hts
+
+	assign := func() (vclock.V, bool) {
+		n, err := p.dc.seq.Next()
+		if err != nil {
+			return nil, false
+		}
+		vts := vclock.New(p.store.cfg.DCs)
+		copy(vts, dep)
+		vts.Set(m, hlc.Timestamp(n))
+		u.TS = hlc.Timestamp(n)
+		u.Seq = n
+		u.VTS = vts.Clone()
+		p.dc.prop.submit(u)
+		return vts, true
+	}
+
+	if p.store.cfg.Mode == ASeq {
+		// A-Seq: same total work, but the sequencer round trip happens
+		// in parallel with applying the update; the client does not wait
+		// (and causality is knowingly not captured).
+		p.kv.Apply(key, types.Version{Value: u.Value, TS: hts, VTS: dep.Clone(), Origin: p.dc.id})
+		go assign()
+		return dep
+	}
+
+	vts, ok := assign()
+	if !ok {
+		return dep
+	}
+	p.kv.Apply(key, types.Version{Value: u.Value, TS: hts, VTS: vts, Origin: p.dc.id})
+	return vts
+}
+
+func (p *spart) applyRemote(u *types.Update, arrived time.Time) {
+	p.clock.Observe(u.HTS)
+	p.kv.Apply(u.Key, types.Version{Value: u.Value, TS: u.HTS, VTS: u.VTS, Origin: u.Origin})
+	p.Applied.Inc()
+	if p.store.cfg.OnVisible != nil {
+		p.store.cfg.OnVisible(p.dc.id, u, arrived)
+	}
+}
+
+// Client is a causal session of per-datacenter sequence numbers.
+type Client struct {
+	store *Store
+	dc    *sdc
+	sess  *session.Session
+}
+
+// NewClient opens a session at datacenter dcID.
+func (s *Store) NewClient(dcID types.DCID) *Client {
+	return &Client{store: s, dc: s.dcs[dcID], sess: session.New(session.Vector, s.cfg.DCs)}
+}
+
+// Read performs a causal read against the local datacenter.
+func (c *Client) Read(key types.Key) (types.Value, error) {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	val, vts := p.read(key)
+	c.sess.ObserveRead(vts)
+	return val, nil
+}
+
+// Update performs a write against the local datacenter, synchronously
+// sequenced under S-Seq, asynchronously under A-Seq.
+func (c *Client) Update(key types.Key, value types.Value) error {
+	p := c.dc.parts[c.store.ring.Responsible(key)]
+	vts := p.update(key, value, c.sess.Dep())
+	c.sess.ObserveUpdate(vts)
+	return nil
+}
+
+// Partition exposes a partition's kvstore for convergence checks.
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+	return s.dcs[m].parts[p].kv
+}
+
+// Network exposes the fabric.
+func (s *Store) Network() *simnet.Network { return s.net }
+
+// Close shuts the deployment down.
+func (s *Store) Close() {
+	for _, d := range s.dcs {
+		d.seq.Stop()
+		d.prop.ship.Close()
+		if d.recv != nil {
+			d.recv.Close()
+		}
+	}
+	s.net.Close()
+}

@@ -1,0 +1,175 @@
+package sequencer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+func fastDelay() simnet.DelayFunc {
+	return simnet.LatencyMatrix(simnet.PaperRTTs(0.1), 0)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", timeout)
+}
+
+func TestSSeqReplication(t *testing.T) {
+	s := NewStore(StoreConfig{Mode: SSeq, DCs: 3, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+	c0 := s.NewClient(0)
+	if err := c0.Update("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for dc := types.DCID(1); dc <= 2; dc++ {
+		c := s.NewClient(dc)
+		waitFor(t, 2*time.Second, func() bool {
+			v, _ := c.Read("k")
+			return string(v) == "v"
+		})
+	}
+}
+
+func TestSSeqCausalLitmus(t *testing.T) {
+	s := NewStore(StoreConfig{Mode: SSeq, DCs: 3, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+
+	alice := s.NewClient(0)
+	if err := alice.Update("post", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	bob := s.NewClient(1)
+	waitFor(t, 2*time.Second, func() bool {
+		v, _ := bob.Read("post")
+		return string(v) == "hello"
+	})
+	if err := bob.Update("reply", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	carol := s.NewClient(2)
+	waitFor(t, 3*time.Second, func() bool {
+		reply, _ := carol.Read("reply")
+		if string(reply) != "hi" {
+			return false
+		}
+		post, _ := carol.Read("post")
+		if string(post) != "hello" {
+			t.Fatalf("S-Seq causality violated: reply without post")
+		}
+		return true
+	})
+}
+
+func TestSSeqLocalTotalOrderShipping(t *testing.T) {
+	// Updates from one datacenter must arrive at remote receivers in
+	// sequence order even when issued concurrently across partitions.
+	s := NewStore(StoreConfig{Mode: SSeq, DCs: 2, Partitions: 4, Delay: fastDelay()})
+	defer s.Close()
+	const n = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c := s.NewClient(0)
+		for i := 0; i < n; i++ {
+			c.Update(types.Key(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+		}
+	}()
+	<-done
+	waitFor(t, 3*time.Second, func() bool {
+		total := 0
+		for p := 0; p < 4; p++ {
+			total += s.Partition(1, types.PartitionID(p)).Len()
+		}
+		return total == n
+	})
+}
+
+func TestASeqDoesNotBlockClient(t *testing.T) {
+	s := NewStore(StoreConfig{
+		Mode: ASeq, DCs: 2, Partitions: 2, Delay: fastDelay(),
+		SequencerDelay: 50 * time.Millisecond,
+	})
+	defer s.Close()
+	c := s.NewClient(0)
+	start := time.Now()
+	if err := c.Update("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("A-Seq update blocked on the sequencer: %v", elapsed)
+	}
+	// The update still replicates (the sequencer round trip completes
+	// in the background).
+	c1 := s.NewClient(1)
+	waitFor(t, 2*time.Second, func() bool {
+		v, _ := c1.Read("k")
+		return string(v) == "v"
+	})
+}
+
+func TestSSeqBlocksOnSequencerDelay(t *testing.T) {
+	s := NewStore(StoreConfig{
+		Mode: SSeq, DCs: 2, Partitions: 2, Delay: fastDelay(),
+		SequencerDelay: 30 * time.Millisecond,
+	})
+	defer s.Close()
+	c := s.NewClient(0)
+	start := time.Now()
+	if err := c.Update("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("S-Seq update did not wait for the sequencer: %v", elapsed)
+	}
+}
+
+func TestChainReplicatedStore(t *testing.T) {
+	s := NewStore(StoreConfig{
+		Mode: SSeq, DCs: 2, Partitions: 2, Delay: fastDelay(), ChainReplicas: 3,
+	})
+	defer s.Close()
+	c := s.NewClient(0)
+	if err := c.Update("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c1 := s.NewClient(1)
+	waitFor(t, 2*time.Second, func() bool {
+		v, _ := c1.Read("k")
+		return string(v) == "v"
+	})
+}
+
+func TestSSeqConvergenceUnderConcurrentWrites(t *testing.T) {
+	s := NewStore(StoreConfig{Mode: SSeq, DCs: 3, Partitions: 2, Delay: fastDelay()})
+	defer s.Close()
+	// Concurrent writes to the same key from every datacenter.
+	for dc := types.DCID(0); dc < 3; dc++ {
+		c := s.NewClient(dc)
+		c.Update("contested", []byte(fmt.Sprintf("dc%d", dc)))
+	}
+	// All replicas converge to one winner.
+	waitFor(t, 3*time.Second, func() bool {
+		var vals [3]string
+		for dc := 0; dc < 3; dc++ {
+			ring := 0
+			_ = ring
+			for p := 0; p < 2; p++ {
+				if v, ok := s.Partition(types.DCID(dc), types.PartitionID(p)).Get("contested"); ok {
+					vals[dc] = string(v.Value)
+				}
+			}
+		}
+		return vals[0] != "" && vals[0] == vals[1] && vals[1] == vals[2]
+	})
+}

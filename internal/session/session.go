@@ -1,0 +1,102 @@
+// Package session implements the client side of the protocol (Algorithm 1
+// and its §4 geo-replicated extension): a session object carries the
+// client's causal history and is consulted and advanced around every
+// operation.
+//
+// Two modes are provided. Vector mode is the paper's EunomiaKV
+// configuration: VClock_c has one entry per datacenter, introducing no
+// false dependencies across datacenters. Scalar mode compresses the
+// history into a single timestamp (the GentleRain-style alternative the
+// paper describes as possible but inferior); the geo store exposes it for
+// the metadata ablation.
+package session
+
+import (
+	"sync"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/vclock"
+)
+
+// Mode selects causal-history tracking precision.
+type Mode int
+
+const (
+	// Vector tracks one entry per datacenter (EunomiaKV default).
+	Vector Mode = iota
+	// Scalar compresses the history into one timestamp.
+	Scalar
+)
+
+// Session carries one client's causal history. Sessions are safe for
+// concurrent use, although a client is normally a single logical thread.
+type Session struct {
+	mode Mode
+	dcs  int
+
+	mu sync.Mutex
+	v  vclock.V      // vector mode state
+	s  hlc.Timestamp // scalar mode state
+}
+
+// New returns a fresh session over dcs datacenters.
+func New(mode Mode, dcs int) *Session {
+	return &Session{mode: mode, dcs: dcs, v: vclock.New(dcs)}
+}
+
+// Dep returns the dependency vector to attach to an update request
+// (VClock_c in §4). In scalar mode every entry carries the compressed
+// timestamp, which forces remote datacenters to wait for *all* sites to
+// catch up — exactly the false-dependency cost the paper attributes to
+// scalar metadata.
+func (s *Session) Dep() vclock.V {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == Vector {
+		return s.v.Clone()
+	}
+	dep := vclock.New(s.dcs)
+	for i := range dep {
+		dep[i] = s.s
+	}
+	return dep
+}
+
+// ObserveRead folds a read version's vector timestamp into the session
+// (Algorithm 1 line 4: Clock_c <- MAX(Clock_c, Ts), per entry in vector
+// mode).
+func (s *Session) ObserveRead(vts vclock.V) {
+	if vts == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == Vector {
+		s.v.Merge(vts)
+		return
+	}
+	if m := vts.Max(); m > s.s {
+		s.s = m
+	}
+}
+
+// ObserveUpdate installs an update's returned vector timestamp (Algorithm
+// 1 line 9; in vector mode the returned vector strictly dominates the
+// session's, so it replaces it wholesale).
+func (s *Session) ObserveUpdate(vts vclock.V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == Vector {
+		copy(s.v, vts)
+		return
+	}
+	if m := vts.Max(); m > s.s {
+		s.s = m
+	}
+}
+
+// Vector returns a copy of the session's current causal summary as a
+// vector (scalar mode returns the broadcast form).
+func (s *Session) Vector() vclock.V {
+	return s.Dep()
+}

@@ -1,0 +1,104 @@
+package session
+
+import (
+	"testing"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/vclock"
+)
+
+func v(entries ...uint64) vclock.V {
+	out := make(vclock.V, len(entries))
+	for i, e := range entries {
+		out[i] = hlc.Timestamp(e)
+	}
+	return out
+}
+
+func TestVectorSessionTracksPerEntry(t *testing.T) {
+	s := New(Vector, 3)
+	if !s.Dep().Equal(v(0, 0, 0)) {
+		t.Fatal("fresh session should have zero deps")
+	}
+	s.ObserveRead(v(5, 0, 0))
+	s.ObserveRead(v(0, 7, 2))
+	if !s.Dep().Equal(v(5, 7, 2)) {
+		t.Fatalf("Dep = %v, want [5 7 2]", s.Dep())
+	}
+}
+
+func TestVectorSessionUpdateReplaces(t *testing.T) {
+	s := New(Vector, 3)
+	s.ObserveRead(v(5, 7, 2))
+	s.ObserveUpdate(v(9, 7, 2)) // the returned vector strictly dominates
+	if !s.Dep().Equal(v(9, 7, 2)) {
+		t.Fatalf("Dep = %v", s.Dep())
+	}
+}
+
+func TestScalarSessionBroadcasts(t *testing.T) {
+	s := New(Scalar, 3)
+	s.ObserveRead(v(5, 90, 2))
+	dep := s.Dep()
+	// Scalar mode compresses to the max and broadcasts it to every
+	// entry — the false-dependency cost under study.
+	if !dep.Equal(v(90, 90, 90)) {
+		t.Fatalf("scalar Dep = %v, want [90 90 90]", dep)
+	}
+}
+
+func TestScalarSessionUpdate(t *testing.T) {
+	s := New(Scalar, 2)
+	s.ObserveUpdate(v(3, 50))
+	if !s.Dep().Equal(v(50, 50)) {
+		t.Fatalf("Dep = %v", s.Dep())
+	}
+	s.ObserveUpdate(v(10, 10)) // stale: must not regress
+	if !s.Dep().Equal(v(50, 50)) {
+		t.Fatalf("Dep regressed: %v", s.Dep())
+	}
+}
+
+func TestObserveReadNilIsNoop(t *testing.T) {
+	s := New(Vector, 2)
+	s.ObserveRead(nil)
+	if !s.Dep().Equal(v(0, 0)) {
+		t.Fatal("nil read changed session")
+	}
+}
+
+func TestDepReturnsCopy(t *testing.T) {
+	s := New(Vector, 2)
+	s.ObserveRead(v(1, 2))
+	d := s.Dep()
+	d.Set(0, 99)
+	if !s.Dep().Equal(v(1, 2)) {
+		t.Fatal("Dep exposed internal state")
+	}
+}
+
+func TestVectorAlias(t *testing.T) {
+	s := New(Vector, 2)
+	s.ObserveRead(v(3, 4))
+	if !s.Vector().Equal(v(3, 4)) {
+		t.Fatal("Vector() mismatch")
+	}
+}
+
+// TestSessionMonotonicity: a session's dependency vector never regresses,
+// the substrate of session guarantees (monotonic reads, read-your-writes).
+func TestSessionMonotonicity(t *testing.T) {
+	s := New(Vector, 3)
+	prev := s.Dep()
+	observations := []vclock.V{
+		v(1, 0, 0), v(0, 5, 0), v(2, 2, 2), v(0, 0, 1), v(9, 9, 9), v(1, 1, 1),
+	}
+	for _, o := range observations {
+		s.ObserveRead(o)
+		cur := s.Dep()
+		if !cur.Dominates(prev) {
+			t.Fatalf("session regressed: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,352 @@
+// Package simnet is the in-process network fabric that stands in for the
+// paper's testbed (20 physical machines on a Gigabit switch, with WAN
+// latencies emulated by netem).
+//
+// It preserves the network properties the protocols rely on:
+//
+//   - FIFO links between any ordered pair of endpoints (§3.1 and §4 both
+//     assume FIFO channels);
+//   - configurable one-way delays per datacenter pair (the latency matrix
+//     models the Virginia/Oregon/Ireland RTTs of §7.2);
+//   - fault injection: message drop rules (network partitions, crashed
+//     processes) and message duplication (to exercise the at-least-once /
+//     prefix-property tolerance of the fault-tolerant Eunomia).
+//
+// Delivery is asynchronous: each ordered endpoint pair owns a queue drained
+// by one goroutine that sleeps until a message's delivery deadline, then
+// invokes the destination handler. Handlers therefore run on link
+// goroutines and must be quick or hand off internally.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+// Addr identifies an endpoint: a named process within a datacenter.
+type Addr struct {
+	DC   types.DCID
+	Name string
+}
+
+// String renders "dc1/partition3"-style addresses.
+func (a Addr) String() string { return fmt.Sprintf("dc%d/%s", a.DC, a.Name) }
+
+// PartitionAddr names partition p of datacenter dc.
+func PartitionAddr(dc types.DCID, p types.PartitionID) Addr {
+	return Addr{DC: dc, Name: fmt.Sprintf("partition%d", p)}
+}
+
+// EunomiaAddr names Eunomia replica r of datacenter dc.
+func EunomiaAddr(dc types.DCID, r types.ReplicaID) Addr {
+	return Addr{DC: dc, Name: fmt.Sprintf("eunomia%d", r)}
+}
+
+// ReceiverAddr names the geo-replication receiver of datacenter dc.
+func ReceiverAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "receiver"} }
+
+// StabilizerAddr names the GentleRain/Cure stabilizer of datacenter dc.
+func StabilizerAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "stabilizer"} }
+
+// SequencerAddr names sequencer replica r of datacenter dc.
+func SequencerAddr(dc types.DCID, r types.ReplicaID) Addr {
+	return Addr{DC: dc, Name: fmt.Sprintf("sequencer%d", r)}
+}
+
+// Message is one fabric datagram. Payload is an arbitrary protocol struct;
+// the fabric never inspects it.
+type Message struct {
+	From, To Addr
+	Payload  any
+	// SentAt is stamped by Send; receivers use it for latency metrics.
+	SentAt time.Time
+}
+
+// Handler consumes delivered messages.
+type Handler func(Message)
+
+// DelayFunc returns the one-way delay from one address to another.
+type DelayFunc func(from, to Addr) time.Duration
+
+// LatencyMatrix builds a DelayFunc from per-datacenter-pair round-trip
+// times: one-way delay is RTT/2; intra-datacenter traffic takes localDelay.
+// The matrix is symmetric; only rtt[i][j] with i<j is consulted.
+func LatencyMatrix(rtt map[[2]types.DCID]time.Duration, localDelay time.Duration) DelayFunc {
+	return func(from, to Addr) time.Duration {
+		if from.DC == to.DC {
+			return localDelay
+		}
+		a, b := from.DC, to.DC
+		if a > b {
+			a, b = b, a
+		}
+		return rtt[[2]types.DCID{a, b}] / 2
+	}
+}
+
+// PaperRTTs is the §7.2 latency setup: RTT(dc0,dc1)=RTT(dc0,dc2)=80ms and
+// RTT(dc1,dc2)=160ms, approximately Virginia/Oregon/Ireland on EC2,
+// optionally scaled (scale=1 reproduces the paper; smaller scales speed up
+// CI runs without changing shapes).
+func PaperRTTs(scale float64) map[[2]types.DCID]time.Duration {
+	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * scale) }
+	return map[[2]types.DCID]time.Duration{
+		{0, 1}: s(80 * time.Millisecond),
+		{0, 2}: s(80 * time.Millisecond),
+		{1, 2}: s(160 * time.Millisecond),
+	}
+}
+
+// Network is the fabric. All methods are safe for concurrent use.
+type Network struct {
+	delay DelayFunc
+
+	mu        sync.RWMutex
+	endpoints map[Addr]Handler
+	links     map[linkKey]*link
+	dropRules map[dropKey]bool
+	dupRules  map[dropKey]int // extra copies to deliver
+	closed    bool
+
+	// Stats counts fabric activity for tests and reports.
+	Sent      atomic.Int64
+	Delivered atomic.Int64
+	Dropped   atomic.Int64
+}
+
+type linkKey struct{ from, to Addr }
+
+// dropKey matches either a concrete endpoint pair or a wildcard on one
+// side (empty Addr means "any").
+type dropKey struct{ from, to Addr }
+
+// New returns a fabric using the given delay function; nil means zero
+// delay everywhere.
+func New(delay DelayFunc) *Network {
+	if delay == nil {
+		delay = func(from, to Addr) time.Duration { return 0 }
+	}
+	return &Network{
+		delay:     delay,
+		endpoints: make(map[Addr]Handler),
+		links:     make(map[linkKey]*link),
+		dropRules: make(map[dropKey]bool),
+		dupRules:  make(map[dropKey]int),
+	}
+}
+
+// Register installs the handler for an address, replacing any previous
+// registration (used by restart tests).
+func (n *Network) Register(a Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[a] = h
+}
+
+// Unregister removes an endpoint; in-flight and future messages to it are
+// dropped. This models a process crash.
+func (n *Network) Unregister(a Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, a)
+}
+
+// SetDrop installs (or clears) a drop rule between two endpoints. A zero
+// Addr on either side acts as a wildcard: SetDrop(Addr{}, a, true) cuts
+// all traffic into a. Dropping in both directions partitions the pair.
+func (n *Network) SetDrop(from, to Addr, drop bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if drop {
+		n.dropRules[dropKey{from, to}] = true
+	} else {
+		delete(n.dropRules, dropKey{from, to})
+	}
+}
+
+// SetDuplicate makes the fabric deliver extra copies of every message from
+// from to to, exercising at-least-once tolerance. copies=0 clears the rule.
+func (n *Network) SetDuplicate(from, to Addr, copies int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if copies <= 0 {
+		delete(n.dupRules, dropKey{from, to})
+	} else {
+		n.dupRules[dropKey{from, to}] = copies
+	}
+}
+
+func (n *Network) shouldDrop(from, to Addr) bool {
+	if n.dropRules[dropKey{from, to}] {
+		return true
+	}
+	if n.dropRules[dropKey{Addr{}, to}] {
+		return true
+	}
+	if n.dropRules[dropKey{from, Addr{}}] {
+		return true
+	}
+	return false
+}
+
+// Send queues a message for delivery. Messages between the same ordered
+// pair are delivered in send order (FIFO links). Sends to unregistered
+// endpoints are counted as drops.
+func (n *Network) Send(from, to Addr, payload any) {
+	n.Sent.Add(1)
+	n.mu.RLock()
+	if n.closed || n.shouldDrop(from, to) {
+		n.mu.RUnlock()
+		n.Dropped.Add(1)
+		return
+	}
+	dups := n.dupRules[dropKey{from, to}]
+	lk := linkKey{from, to}
+	l := n.links[lk]
+	n.mu.RUnlock()
+
+	if l == nil {
+		l = n.getOrCreateLink(lk)
+		if l == nil { // fabric closed meanwhile
+			n.Dropped.Add(1)
+			return
+		}
+	}
+	msg := Message{From: from, To: to, Payload: payload, SentAt: time.Now()}
+	deadline := msg.SentAt.Add(n.delay(from, to))
+	for i := 0; i <= dups; i++ {
+		l.enqueue(queued{msg: msg, deliverAt: deadline})
+	}
+}
+
+func (n *Network) getOrCreateLink(lk linkKey) *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	if l, ok := n.links[lk]; ok {
+		return l
+	}
+	l := newLink(n, lk.to)
+	n.links[lk] = l
+	return l
+}
+
+// deliver hands a message to its destination handler if still registered.
+func (n *Network) deliver(to Addr, msg Message) {
+	n.mu.RLock()
+	h := n.endpoints[to]
+	dropped := n.shouldDrop(msg.From, to)
+	n.mu.RUnlock()
+	if h == nil || dropped {
+		n.Dropped.Add(1)
+		return
+	}
+	n.Delivered.Add(1)
+	h(msg)
+}
+
+// Close shuts down every link goroutine. Subsequent sends are dropped.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.links = map[linkKey]*link{}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.close()
+	}
+}
+
+// queued is one in-flight message on a link.
+type queued struct {
+	msg       Message
+	deliverAt time.Time
+}
+
+// link drains one ordered endpoint pair in FIFO order, honouring each
+// message's delivery deadline. Because delivery deadlines are assigned at
+// send time from a single delay function, FIFO order is preserved even if
+// delays change between sends (head-of-line blocking matches real FIFO
+// channel semantics).
+type link struct {
+	net  *Network
+	to   Addr
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []queued
+	dead bool
+}
+
+func newLink(n *Network, to Addr) *link {
+	l := &link{net: n, to: to}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+func (l *link) enqueue(m queued) {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		l.net.Dropped.Add(1)
+		return
+	}
+	l.q = append(l.q, m)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	l.dead = true
+	l.q = nil
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+func (l *link) run() {
+	for {
+		l.mu.Lock()
+		for len(l.q) == 0 && !l.dead {
+			l.cond.Wait()
+		}
+		if l.dead {
+			l.mu.Unlock()
+			return
+		}
+		head := l.q[0]
+		l.mu.Unlock()
+
+		if wait := time.Until(head.deliverAt); wait > 0 {
+			time.Sleep(wait)
+		}
+
+		l.mu.Lock()
+		if l.dead {
+			l.mu.Unlock()
+			return
+		}
+		// Pop head; the queue can only have grown behind it.
+		l.q = l.q[1:]
+		if len(l.q) == 0 {
+			// Reset backing array so long-lived idle links don't pin memory.
+			l.q = nil
+		}
+		l.mu.Unlock()
+
+		l.net.deliver(l.to, head.msg)
+	}
+}

@@ -1,0 +1,242 @@
+// Package transport runs the Eunomia service over real TCP, as the
+// paper's deployment does (a standalone C++ service the datacenter's
+// partitions stream to). The in-process experiments don't need it; it
+// exists so the service can be deployed as an actual network daemon
+// (cmd/eunomia-server) and so the protocol's tolerance of real sockets —
+// reconnects, partial failures, at-least-once resends — is exercised by
+// tests rather than assumed.
+//
+// The wire format is gob with length-delimited framing provided by gob's
+// own stream protocol: one request, one response, in order, per
+// connection. Partition clients already batch (§5), so a synchronous
+// round trip per flush costs one RTT per BatchInterval, not per
+// operation — the whole point of the design.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"eunomia/internal/eunomia"
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+// reqKind discriminates request envelopes.
+type reqKind uint8
+
+const (
+	reqBatch reqKind = iota + 1
+	reqHeartbeat
+	reqPing
+)
+
+// request is the client→server envelope.
+type request struct {
+	Kind      reqKind
+	Partition types.PartitionID
+	TS        hlc.Timestamp
+	Ops       []*types.Update
+}
+
+// response is the server→client envelope.
+type response struct {
+	Watermark hlc.Timestamp
+	Err       string
+}
+
+// Server exposes one Eunomia replica over a listener.
+type Server struct {
+	replica *eunomia.Replica
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// Serve starts accepting connections for replica on ln. It returns
+// immediately; Close stops the server.
+func Serve(ln net.Listener, replica *eunomia.Replica) *Server {
+	s := &Server{replica: replica, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and tears down every open connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Kind {
+		case reqBatch:
+			w, err := s.replica.NewBatch(req.Partition, req.Ops)
+			resp.Watermark = w
+			if err != nil {
+				resp.Err = err.Error()
+			}
+		case reqHeartbeat:
+			if err := s.replica.Heartbeat(req.Partition, req.TS); err != nil {
+				resp.Err = err.Error()
+			}
+		case reqPing:
+			if err := s.replica.Ping(); err != nil {
+				resp.Err = err.Error()
+			}
+		default:
+			resp.Err = fmt.Sprintf("transport: unknown request kind %d", req.Kind)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Conn is a TCP-backed eunomia.Conn: one socket, synchronous round trips
+// serialized by a mutex (partition clients flush one batch at a time, so
+// there is no pipelining to win).
+type Conn struct {
+	addr string
+
+	mu   sync.Mutex
+	sock net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a served replica.
+func Dial(addr string) (*Conn, error) {
+	c := &Conn{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Conn) connect() error {
+	sock, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.sock = sock
+	c.enc = gob.NewEncoder(sock)
+	c.dec = gob.NewDecoder(sock)
+	return nil
+}
+
+// roundTrip performs one request/response exchange, reconnecting once on a
+// broken socket. The at-least-once semantics this can produce (a request
+// applied but its response lost) are exactly what the protocol tolerates:
+// replicas deduplicate by watermark.
+func (c *Conn) roundTrip(req *request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.sock == nil {
+			if err := c.connect(); err != nil {
+				return response{}, err
+			}
+		}
+		var resp response
+		err := c.enc.Encode(req)
+		if err == nil {
+			err = c.dec.Decode(&resp)
+		}
+		if err == nil {
+			if resp.Err != "" {
+				return resp, errors.New(resp.Err)
+			}
+			return resp, nil
+		}
+		_ = c.sock.Close()
+		c.sock = nil
+		if attempt >= 1 {
+			return response{}, err
+		}
+	}
+}
+
+// NewBatch implements eunomia.Conn.
+func (c *Conn) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timestamp, error) {
+	resp, err := c.roundTrip(&request{Kind: reqBatch, Partition: p, Ops: ops})
+	return resp.Watermark, err
+}
+
+// Heartbeat implements eunomia.Conn.
+func (c *Conn) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
+	_, err := c.roundTrip(&request{Kind: reqHeartbeat, Partition: p, TS: ts})
+	return err
+}
+
+// Ping checks server liveness.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip(&request{Kind: reqPing})
+	return err
+}
+
+// Close tears the socket down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sock != nil {
+		err := c.sock.Close()
+		c.sock = nil
+		return err
+	}
+	return nil
+}

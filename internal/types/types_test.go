@@ -1,0 +1,79 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/vclock"
+)
+
+func TestValueClone(t *testing.T) {
+	v := Value("hello")
+	c := v.Clone()
+	c[0] = 'x'
+	if string(v) != "hello" {
+		t.Fatal("Clone aliases the original")
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+}
+
+func TestUpdateID(t *testing.T) {
+	u := &Update{Key: "k", Origin: 2, TS: 77}
+	id := u.ID()
+	if id.Origin != 2 || id.TS != 77 || id.Key != "k" {
+		t.Fatalf("ID = %+v", id)
+	}
+	// Same origin+ts, different key → different id (the §5 uniqueness
+	// argument relies on same-key updates sharing a partition).
+	u2 := &Update{Key: "other", Origin: 2, TS: 77}
+	if u2.ID() == id {
+		t.Fatal("distinct keys share an id")
+	}
+}
+
+func TestMetaStripsPayloadOnly(t *testing.T) {
+	u := &Update{
+		Key: "k", Value: Value("payload"), Origin: 1, Partition: 3,
+		Seq: 9, TS: 5, VTS: vclock.V{5, 0}, CreatedAt: 42,
+	}
+	m := u.Meta()
+	if m.Value != nil {
+		t.Fatal("Meta kept the payload")
+	}
+	if m.Key != u.Key || m.TS != u.TS || m.Seq != u.Seq || m.CreatedAt != u.CreatedAt {
+		t.Fatal("Meta dropped metadata fields")
+	}
+	if m.ID() != u.ID() {
+		t.Fatal("Meta changed the update id")
+	}
+	// The original must be untouched.
+	if string(u.Value) != "payload" {
+		t.Fatal("Meta mutated the original")
+	}
+}
+
+func TestVersionNewerDeterministicTotalOrder(t *testing.T) {
+	f := func(ts1, ts2 uint32, o1, o2 uint8) bool {
+		a := Version{TS: hlc.Timestamp(ts1), Origin: DCID(o1 % 4)}
+		b := Version{TS: hlc.Timestamp(ts2), Origin: DCID(o2 % 4)}
+		if a.TS == b.TS && a.Origin == b.Origin {
+			// Same identity: neither strictly newer.
+			return !a.Newer(b) && !b.Newer(a)
+		}
+		// Antisymmetric total order: exactly one direction wins.
+		return a.Newer(b) != b.Newer(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	u := &Update{Key: "k", Origin: 1, Partition: 2, Seq: 3, TS: 4}
+	if u.String() == "" {
+		t.Fatal("String empty")
+	}
+}

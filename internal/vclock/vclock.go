@@ -1,0 +1,180 @@
+// Package vclock implements the per-datacenter vector clocks used by the
+// geo-replication layer (§4 of the paper). Each entry holds an hlc.Timestamp
+// for one datacenter; entry m of an update's vector is the scalar timestamp
+// assigned by the origin partition, and the remaining entries summarize the
+// client's causal dependencies on remote datacenters.
+//
+// The paper chooses vectors over a single scalar because they introduce no
+// false dependencies across datacenters: the lower-bound visibility latency
+// becomes the origin-to-destination delay rather than the delay to the
+// farthest datacenter. The scalar alternative is retained (Scalar / the
+// geostore's ScalarMeta mode) to reproduce that comparison.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+
+	"eunomia/internal/hlc"
+)
+
+// V is a vector clock with one entry per datacenter, indexed by DCID.
+// The zero-length vector is valid and compares as all-zeros.
+type V []hlc.Timestamp
+
+// New returns a zero vector for m datacenters.
+func New(m int) V { return make(V, m) }
+
+// Clone returns an independent copy of v.
+func (v V) Clone() V {
+	if v == nil {
+		return nil
+	}
+	c := make(V, len(v))
+	copy(c, v)
+	return c
+}
+
+// Get returns entry i, treating out-of-range entries as zero so that
+// vectors of different (growing) sizes compare sensibly.
+func (v V) Get(i int) hlc.Timestamp {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Set assigns entry i. It panics if i is out of range: vector sizes are
+// fixed at deployment time (one entry per datacenter).
+func (v V) Set(i int, ts hlc.Timestamp) { v[i] = ts }
+
+// Merge raises each entry of v to the maximum of v and o, in place.
+// This is the per-entry MAX a client applies after a read (§4, Read).
+func (v V) Merge(o V) {
+	for i := range v {
+		if o.Get(i) > v[i] {
+			v[i] = o.Get(i)
+		}
+	}
+}
+
+// Dominates reports whether every entry of v is >= the matching entry of o.
+// The receiver's dependency check (Algorithm 5 line 12) is a Dominates test
+// restricted to remote entries.
+func (v V) Dominates(o V) bool {
+	for i := range o {
+		if v.Get(i) < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether v Dominates o and differs from it in at
+// least one entry.
+func (v V) StrictlyDominates(o V) bool {
+	return v.Dominates(o) && !v.Equal(o)
+}
+
+// Equal reports entrywise equality, treating missing entries as zero.
+func (v V) Equal(o V) bool {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if v.Get(i) != o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither vector dominates the other, i.e. the
+// events they summarize are causally unrelated.
+func (v V) Concurrent(o V) bool {
+	return !v.Dominates(o) && !o.Dominates(v)
+}
+
+// Max returns the scalar maximum over all entries; zero for empty vectors.
+// It is the compression applied when running in scalar-metadata mode.
+func (v V) Max() hlc.Timestamp {
+	var m hlc.Timestamp
+	for _, ts := range v {
+		if ts > m {
+			m = ts
+		}
+	}
+	return m
+}
+
+// Min returns the scalar minimum over all entries; zero for empty vectors.
+func (v V) Min() hlc.Timestamp {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, ts := range v[1:] {
+		if ts < m {
+			m = ts
+		}
+	}
+	return m
+}
+
+// MergeOf returns a fresh vector holding the entrywise maximum of a and b.
+func MergeOf(a, b V) V {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(V, n)
+	for i := range out {
+		x, y := a.Get(i), b.Get(i)
+		if x > y {
+			out[i] = x
+		} else {
+			out[i] = y
+		}
+	}
+	return out
+}
+
+// MinOf returns a fresh vector holding the entrywise minimum of the given
+// vectors. It is the aggregation step of the Cure baseline's global
+// stabilization (GSV computation). All vectors must have the same length;
+// MinOf panics otherwise, since mixed sizes indicate a wiring bug.
+func MinOf(vs ...V) V {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := vs[0].Clone()
+	for _, v := range vs[1:] {
+		if len(v) != len(out) {
+			panic(fmt.Sprintf("vclock.MinOf: mixed sizes %d and %d", len(out), len(v)))
+		}
+		for i, ts := range v {
+			if ts < out[i] {
+				out[i] = ts
+			}
+		}
+	}
+	return out
+}
+
+// String renders the vector as [e0 e1 ...] for debugging.
+func (v V) String() string {
+	if v == nil {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, ts := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(ts.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"eunomia/internal/hlc"
+)
+
+func v(entries ...uint64) V {
+	out := make(V, len(entries))
+	for i, e := range entries {
+		out[i] = hlc.Timestamp(e)
+	}
+	return out
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := v(1, 2, 3)
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+	if V(nil).Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+}
+
+func TestGetOutOfRangeIsZero(t *testing.T) {
+	a := v(5)
+	if a.Get(1) != 0 || a.Get(-1) != 0 {
+		t.Fatal("out-of-range Get should read zero")
+	}
+	if a.Get(0) != 5 {
+		t.Fatal("in-range Get broken")
+	}
+}
+
+func TestMergeIsEntrywiseMax(t *testing.T) {
+	a := v(1, 9, 3)
+	a.Merge(v(4, 2, 3))
+	if !a.Equal(v(4, 9, 3)) {
+		t.Fatalf("Merge = %v, want [4 9 3]", a)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b V
+		want bool
+	}{
+		{v(2, 2), v(1, 2), true},
+		{v(2, 2), v(2, 2), true},
+		{v(1, 2), v(2, 1), false},
+		{v(), v(1), false}, // missing entries are zero
+		{v(1), v(), true},  // dominating the empty vector
+		{v(0, 5), v(0, 5), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%v Dominates %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	if !v(2, 3).StrictlyDominates(v(2, 2)) {
+		t.Fatal("[2 3] should strictly dominate [2 2]")
+	}
+	if v(2, 2).StrictlyDominates(v(2, 2)) {
+		t.Fatal("a vector must not strictly dominate itself")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	if !v(1, 2).Concurrent(v(2, 1)) {
+		t.Fatal("[1 2] and [2 1] are concurrent")
+	}
+	if v(2, 2).Concurrent(v(1, 1)) {
+		t.Fatal("[2 2] dominates [1 1]; not concurrent")
+	}
+}
+
+func TestMaxMinScalars(t *testing.T) {
+	a := v(3, 7, 1)
+	if a.Max() != 7 || a.Min() != 1 {
+		t.Fatalf("Max/Min = %v/%v, want 7/1", a.Max(), a.Min())
+	}
+	var empty V
+	if empty.Max() != 0 || empty.Min() != 0 {
+		t.Fatal("empty vector Max/Min should be 0")
+	}
+}
+
+func TestMergeOf(t *testing.T) {
+	got := MergeOf(v(1, 5), v(3, 2, 4))
+	if !got.Equal(v(3, 5, 4)) {
+		t.Fatalf("MergeOf = %v, want [3 5 4]", got)
+	}
+}
+
+func TestMinOf(t *testing.T) {
+	got := MinOf(v(3, 5, 4), v(1, 9, 4), v(2, 6, 0))
+	if !got.Equal(v(1, 5, 0)) {
+		t.Fatalf("MinOf = %v, want [1 5 0]", got)
+	}
+	if MinOf() != nil {
+		t.Fatal("MinOf() should be nil")
+	}
+}
+
+func TestMinOfPanicsOnMixedSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinOf with mixed sizes should panic")
+		}
+	}()
+	MinOf(v(1, 2), v(1))
+}
+
+// Property: Merge is commutative, associative and idempotent (it computes
+// a join in the lattice of vectors).
+func TestMergeLatticeProperties(t *testing.T) {
+	mk := func(xs [3]uint16) V { return v(uint64(xs[0]), uint64(xs[1]), uint64(xs[2])) }
+	commut := func(x, y [3]uint16) bool {
+		return MergeOf(mk(x), mk(y)).Equal(MergeOf(mk(y), mk(x)))
+	}
+	assoc := func(x, y, z [3]uint16) bool {
+		return MergeOf(MergeOf(mk(x), mk(y)), mk(z)).Equal(MergeOf(mk(x), MergeOf(mk(y), mk(z))))
+	}
+	idem := func(x [3]uint16) bool {
+		return MergeOf(mk(x), mk(x)).Equal(mk(x))
+	}
+	for name, f := range map[string]any{"commutative": commut, "associative": assoc, "idempotent": idem} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: MergeOf dominates both inputs, and is the least such vector.
+func TestMergeIsLeastUpperBound(t *testing.T) {
+	f := func(x, y [4]uint16) bool {
+		a := v(uint64(x[0]), uint64(x[1]), uint64(x[2]), uint64(x[3]))
+		b := v(uint64(y[0]), uint64(y[1]), uint64(y[2]), uint64(y[3]))
+		j := MergeOf(a, b)
+		if !j.Dominates(a) || !j.Dominates(b) {
+			return false
+		}
+		for i := range j {
+			if j[i] != a.Get(i) && j[i] != b.Get(i) {
+				return false // not least
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := V(nil).String(); got != "[]" {
+		t.Fatalf("nil String = %q", got)
+	}
+	if got := v(1, 2).String(); got == "" {
+		t.Fatal("String should render entries")
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	a := v(1, 2, 3)
+	o := v(3, 2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Merge(o)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	a := v(1, 2, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Clone()
+	}
+}

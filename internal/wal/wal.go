@@ -1,0 +1,225 @@
+// Package wal is a write-ahead log giving partitions crash durability —
+// the piece a production deployment of the paper's design needs beneath
+// the in-memory version store (Riak persists through bitcask/leveldb; this
+// is the equivalent for our kvstore substrate).
+//
+// Format: length-prefixed records, each framed as
+//
+//	uint32 length | uint32 CRC32C(payload) | payload
+//
+// Appends are buffered and fsynced according to SyncPolicy. Replay
+// tolerates a torn tail (a crash mid-append): the first corrupt or
+// truncated record ends recovery, and the file is truncated back to the
+// last durable boundary on open, which makes recovery idempotent.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SyncPolicy controls when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEachAppend fsyncs on every append: slowest, no loss window.
+	SyncEachAppend SyncPolicy = iota
+	// SyncOnFlush fsyncs only on explicit Flush/Close: the batching
+	// analogue — a partition flushing its Eunomia batch every 1ms
+	// flushes its log on the same cadence, bounding loss to one batch.
+	SyncOnFlush
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only record log. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	policy SyncPolicy
+	closed bool
+	size   int64
+}
+
+const headerSize = 8
+
+// maxRecord guards against corrupt length prefixes during replay.
+const maxRecord = 64 << 20
+
+// Open opens (creating if needed) the log at path, truncates any torn
+// tail, and positions for appending.
+func Open(path string, policy SyncPolicy) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	valid, err := scanValidPrefix(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), policy: policy, size: valid}, nil
+}
+
+// scanValidPrefix returns the byte offset of the last whole, checksummed
+// record.
+func scanValidPrefix(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	r := bufio.NewReader(f)
+	var offset int64
+	var header [headerSize]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return offset, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecord {
+			return offset, nil // corrupt length: stop here
+		}
+		if int(length) > len(buf) {
+			buf = make([]byte, length)
+		}
+		if _, err := io.ReadFull(r, buf[:length]); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.Checksum(buf[:length], castagnoli) != sum {
+			return offset, nil // corrupt payload
+		}
+		offset += headerSize + int64(length)
+	}
+}
+
+// Append writes one record.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.w.Write(header[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size += headerSize + int64(len(payload))
+	if l.policy == SyncEachAppend {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Flush forces buffered records to stable storage.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes (including buffered appends).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay invokes fn for every durable record in append order. It opens the
+// file read-only and may be used while another Log has it open for append
+// only if the caller guarantees quiescence; the intended use is recovery
+// before opening for append.
+func Replay(path string, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // nothing to recover
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var header [headerSize]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecord {
+			return nil
+		}
+		if int(length) > len(buf) {
+			buf = make([]byte, length)
+		}
+		if _, err := io.ReadFull(r, buf[:length]); err != nil {
+			return nil
+		}
+		if crc32.Checksum(buf[:length], castagnoli) != sum {
+			return nil
+		}
+		if err := fn(buf[:length]); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package workload reimplements the load-generation side of the paper's
+// evaluation: a Basho-Bench-like closed-loop driver with the exact
+// parameters of §7 — 100k keys, 100-byte values, uniform and power-law key
+// distributions, and read:write ratios of 99:1, 90:10, 75:25 and 50:50.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+)
+
+// Defaults from §7 "Workload Generator".
+const (
+	DefaultKeys      = 100_000
+	DefaultValueSize = 100
+)
+
+// KeyDist produces key indices in [0, N).
+type KeyDist interface {
+	// Next draws a key index using r.
+	Next(r *rand.Rand) uint64
+	// Size returns the key-space size N.
+	Size() uint64
+	// Name labels the distribution in reports ("uniform", "powerlaw").
+	Name() string
+}
+
+// Uniform draws keys uniformly, the paper's default distribution.
+type Uniform struct{ N uint64 }
+
+// Next implements KeyDist.
+func (u Uniform) Next(r *rand.Rand) uint64 { return uint64(r.Int63n(int64(u.N))) }
+
+// Size implements KeyDist.
+func (u Uniform) Size() uint64 { return u.N }
+
+// Name implements KeyDist.
+func (u Uniform) Name() string { return "uniform" }
+
+// PowerLaw draws keys from a Zipf-like distribution (the paper's "P"
+// workloads), concentrating traffic on a small hot set.
+type PowerLaw struct {
+	N uint64
+	// S is the Zipf skew parameter (> 1). The conventional
+	// "power-law web workload" value of ~1.01-1.3 applies; New uses 1.1.
+	S float64
+}
+
+// NewPowerLaw returns a power-law distribution over n keys with the
+// default skew.
+func NewPowerLaw(n uint64) PowerLaw { return PowerLaw{N: n, S: 1.1} }
+
+// Next implements KeyDist. rand.Zipf is not safe for concurrent use, so a
+// generator is derived per call site via zipfPool keyed by the rand.Rand.
+func (p PowerLaw) Next(r *rand.Rand) uint64 {
+	z := zipfFor(r, p)
+	return z.Uint64()
+}
+
+// Size implements KeyDist.
+func (p PowerLaw) Size() uint64 { return p.N }
+
+// Name implements KeyDist.
+func (p PowerLaw) Name() string { return "powerlaw" }
+
+// zipfCache memoizes one rand.Zipf per (rand.Rand, params); each driver
+// goroutine owns its Rand, so there is no cross-goroutine sharing.
+var zipfCache sync.Map // map[*rand.Rand]*rand.Zipf
+
+func zipfFor(r *rand.Rand, p PowerLaw) *rand.Zipf {
+	if z, ok := zipfCache.Load(r); ok {
+		return z.(*rand.Zipf)
+	}
+	z := rand.NewZipf(r, p.S, 1, p.N-1)
+	zipfCache.Store(r, z)
+	return z
+}
+
+// Mix is an operation mix. ReadPct of 90 models the 90:10 workload.
+type Mix struct{ ReadPct int }
+
+// IsRead draws the next operation type.
+func (m Mix) IsRead(r *rand.Rand) bool { return r.Intn(100) < m.ReadPct }
+
+// String renders "90:10"-style labels.
+func (m Mix) String() string { return fmt.Sprintf("%d:%d", m.ReadPct, 100-m.ReadPct) }
+
+// StandardMixes are the four ratios evaluated in Figure 5.
+var StandardMixes = []Mix{{50}, {75}, {90}, {99}}
+
+// KeyName formats key index i as a fixed-width store key so that hashing
+// spreads keys across partitions independently of the distribution.
+func KeyName(i uint64) types.Key { return types.Key(fmt.Sprintf("key%08d", i)) }
+
+// Client is the store-facing surface the driver exercises: the operations
+// of Algorithm 1. Implementations carry their own causal session state
+// (Clock_c or VClock_c).
+type Client interface {
+	Read(key types.Key) (types.Value, error)
+	Update(key types.Key, value types.Value) error
+}
+
+// ClientFactory mints a fresh session-carrying client; the driver calls it
+// once per worker goroutine.
+type ClientFactory func(worker int) Client
+
+// Config parameterises one driver run.
+type Config struct {
+	Workers   int           // concurrent closed-loop clients
+	Duration  time.Duration // measured run length (after warmup)
+	Warmup    time.Duration // untimed lead-in, discarded (paper trims first/last minute)
+	Mix       Mix
+	Keys      KeyDist
+	ValueSize int
+	Seed      int64
+	// ThinkTime inserts a fixed pause between operations; zero means
+	// eager clients ("zero waiting time between operations", §7.1).
+	ThinkTime time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Keys == nil {
+		c.Keys = Uniform{N: DefaultKeys}
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = DefaultValueSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Result aggregates one driver run.
+type Result struct {
+	Ops     int64 // operations completed in the measured window
+	Reads   int64
+	Updates int64
+	Errors  int64
+	Elapsed time.Duration // measured window length
+	OpLat   *metrics.Histogram
+	UpdLat  *metrics.Histogram
+}
+
+// Throughput returns measured operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Run drives the store with cfg.Workers closed-loop clients and returns
+// aggregate results for the measured window. It honours ctx cancellation.
+func Run(ctx context.Context, cfg Config, factory ClientFactory) Result {
+	cfg.fill()
+	res := Result{OpLat: metrics.NewHistogram(), UpdLat: metrics.NewHistogram()}
+
+	var ops, reads, updates, errs metrics.Counter
+	measure := &measurePhase{}
+
+	var wg sync.WaitGroup
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			client := factory(w)
+			value := make(types.Value, cfg.ValueSize)
+			r.Read(value)
+			for runCtx.Err() == nil {
+				key := KeyName(cfg.Keys.Next(r))
+				start := time.Now()
+				var err error
+				isRead := cfg.Mix.IsRead(r)
+				if isRead {
+					_, err = client.Read(key)
+				} else {
+					err = client.Update(key, value)
+				}
+				lat := time.Since(start)
+				if measure.active() {
+					ops.Inc()
+					if err != nil {
+						errs.Inc()
+					} else if isRead {
+						reads.Inc()
+					} else {
+						updates.Inc()
+					}
+					res.OpLat.RecordDuration(lat)
+					if !isRead {
+						res.UpdLat.RecordDuration(lat)
+					}
+				}
+				if cfg.ThinkTime > 0 {
+					time.Sleep(cfg.ThinkTime)
+				}
+			}
+		}(w)
+	}
+
+	// Warmup, then measured window, then stop.
+	sleepCtx(runCtx, cfg.Warmup)
+	measure.start()
+	startT := time.Now()
+	sleepCtx(runCtx, cfg.Duration)
+	measure.stop()
+	res.Elapsed = time.Since(startT)
+	cancel()
+	wg.Wait()
+
+	res.Ops = ops.Load()
+	res.Reads = reads.Load()
+	res.Updates = updates.Load()
+	res.Errors = errs.Load()
+	return res
+}
+
+type measurePhase struct {
+	v atomic.Bool
+}
+
+func (m *measurePhase) start()       { m.v.Store(true) }
+func (m *measurePhase) stop()        { m.v.Store(false) }
+func (m *measurePhase) active() bool { return m.v.Load() }
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	u := Uniform{N: 100}
+	r := rand.New(rand.NewSource(1))
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := u.Next(r)
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform covered only %d/100 keys", len(seen))
+	}
+	if u.Name() != "uniform" || u.Size() != 100 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestUniformApproximatelyFlat(t *testing.T) {
+	u := Uniform{N: 10}
+	r := rand.New(rand.NewSource(2))
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[u.Next(r)]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-draws/10) > draws/10*0.1 {
+			t.Fatalf("key %d drawn %d times, expected ~%d", k, c, draws/10)
+		}
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	p := NewPowerLaw(10000)
+	r := rand.New(rand.NewSource(3))
+	counts := map[uint64]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := p.Next(r)
+		if k >= 10000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key must take a disproportionate share and the head
+	// must dominate: definitive power-law signatures.
+	var top int
+	headShare := 0
+	for k, c := range counts {
+		if c > top {
+			top = c
+		}
+		if k < 100 {
+			headShare += c
+		}
+	}
+	if float64(top) < draws*0.05 {
+		t.Fatalf("hottest key only %d/%d draws — not skewed", top, draws)
+	}
+	if float64(headShare) < draws*0.5 {
+		t.Fatalf("head (1%% of keys) drew only %d/%d", headShare, draws)
+	}
+	if p.Name() != "powerlaw" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := Mix{ReadPct: 90}
+	r := rand.New(rand.NewSource(4))
+	reads := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if m.IsRead(r) {
+			reads++
+		}
+	}
+	if math.Abs(float64(reads)/draws-0.9) > 0.01 {
+		t.Fatalf("90:10 mix drew %d reads of %d", reads, draws)
+	}
+	if m.String() != "90:10" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestStandardMixes(t *testing.T) {
+	if len(StandardMixes) != 4 {
+		t.Fatal("expected the paper's four mixes")
+	}
+}
+
+func TestKeyName(t *testing.T) {
+	if KeyName(7) != "key00000007" {
+		t.Fatalf("KeyName = %q", KeyName(7))
+	}
+}
+
+// countingClient is a thread-safe fake store client.
+type countingClient struct {
+	mu      sync.Mutex
+	reads   int
+	updates int
+	fail    bool
+}
+
+func (c *countingClient) Read(types.Key) (types.Value, error) {
+	c.mu.Lock()
+	c.reads++
+	c.mu.Unlock()
+	return nil, nil
+}
+
+func (c *countingClient) Update(types.Key, types.Value) error {
+	c.mu.Lock()
+	c.updates++
+	c.mu.Unlock()
+	return nil
+}
+
+func TestRunDrivesClients(t *testing.T) {
+	var mu sync.Mutex
+	clients := map[int]*countingClient{}
+	res := Run(context.Background(), Config{
+		Workers:  4,
+		Duration: 100 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Mix:      Mix{ReadPct: 50},
+		Keys:     Uniform{N: 10},
+	}, func(w int) Client {
+		mu.Lock()
+		defer mu.Unlock()
+		c := &countingClient{}
+		clients[w] = c
+		return c
+	})
+	if len(clients) != 4 {
+		t.Fatalf("factory called %d times", len(clients))
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations measured")
+	}
+	if res.Reads == 0 || res.Updates == 0 {
+		t.Fatalf("mix not exercised: %d reads, %d updates", res.Reads, res.Updates)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if res.OpLat.Count() != res.Ops {
+		t.Fatalf("latency histogram has %d samples for %d ops", res.OpLat.Count(), res.Ops)
+	}
+}
+
+func TestRunHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	Run(ctx, Config{
+		Workers:  2,
+		Duration: 10 * time.Second, // would run far too long without ctx
+		Mix:      Mix{ReadPct: 100},
+	}, func(int) Client { return &countingClient{} })
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Run ignored context cancellation")
+	}
+}
+
+func TestRunThinkTime(t *testing.T) {
+	res := Run(context.Background(), Config{
+		Workers:   1,
+		Duration:  200 * time.Millisecond,
+		ThinkTime: 10 * time.Millisecond,
+		Mix:       Mix{ReadPct: 100},
+	}, func(int) Client { return &countingClient{} })
+	// ~20 ops expected; allow broad slack for scheduler jitter.
+	if res.Ops > 40 {
+		t.Fatalf("think time not applied: %d ops in 200ms", res.Ops)
+	}
+}
+
+func TestThroughputZeroElapsed(t *testing.T) {
+	var r Result
+	if r.Throughput() != 0 {
+		t.Fatal("zero-elapsed throughput should be 0")
+	}
+}

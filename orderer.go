@@ -1,0 +1,163 @@
+package eunomia
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	internal "eunomia/internal/eunomia"
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+// StableOp is one operation emitted by an Orderer once stable: no
+// operation with a smaller timestamp will ever be emitted after it.
+type StableOp struct {
+	// Partition is the stream the operation arrived on.
+	Partition int
+	// Timestamp is the hybrid logical timestamp assigned at Submit.
+	Timestamp Timestamp
+	// Data is the opaque payload passed to Submit.
+	Data []byte
+}
+
+// OrdererConfig parameterises a standalone Eunomia ordering service.
+type OrdererConfig struct {
+	// Partitions is the number of input streams. Every stream must
+	// submit or stay attached (heartbeats are automatic) for stability
+	// to progress.
+	Partitions int
+	// Replicas is the fault-tolerance factor (default 1).
+	Replicas int
+	// StabilizationInterval is θ (default 1 ms).
+	StabilizationInterval time.Duration
+	// BatchInterval is the per-stream propagation period (default 1 ms).
+	BatchInterval time.Duration
+	// Tree selects the pending-set structure (default red-black).
+	Tree TreeKind
+	// OnStable receives stable operations in timestamp order. Required.
+	OnStable func(ops []StableOp)
+}
+
+// Orderer is the standalone Eunomia service: it ingests timestamped
+// operations from P concurrent partition streams and emits them totally
+// ordered, consistently with causality, without ever synchronizing in the
+// submitter's critical path. It is the building block the paper proposes
+// as a drop-in replacement for datacenter sequencers.
+//
+// Usage:
+//
+//	ord, _ := eunomia.NewOrderer(eunomia.OrdererConfig{
+//	    Partitions: 4,
+//	    OnStable:   func(ops []eunomia.StableOp) { ... },
+//	})
+//	h := ord.Partition(0)
+//	ts := h.Submit(dep, []byte("op"))   // dep: largest Timestamp observed
+//	...
+//	ord.Close()
+type Orderer struct {
+	cfg     OrdererConfig
+	cluster *internal.Cluster
+	handles []*PartitionHandle
+}
+
+// NewOrderer builds and starts an ordering service.
+func NewOrderer(cfg OrdererConfig) (*Orderer, error) {
+	if cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("eunomia: OrdererConfig.Partitions must be positive, got %d", cfg.Partitions)
+	}
+	if cfg.OnStable == nil {
+		return nil, fmt.Errorf("eunomia: OrdererConfig.OnStable is required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	onStable := cfg.OnStable
+	ship := func(_ types.ReplicaID, ops []*types.Update) {
+		out := make([]StableOp, len(ops))
+		for i, u := range ops {
+			out[i] = StableOp{Partition: int(u.Partition), Timestamp: u.TS, Data: u.Value}
+		}
+		onStable(out)
+	}
+	o := &Orderer{cfg: cfg}
+	o.cluster = internal.NewCluster(cfg.Replicas, internal.Config{
+		Partitions:     cfg.Partitions,
+		StableInterval: cfg.StabilizationInterval,
+		Tree:           cfg.Tree,
+	}, ship)
+	o.handles = make([]*PartitionHandle, cfg.Partitions)
+	for i := range o.handles {
+		clock := hlc.NewClock(nil)
+		o.handles[i] = &PartitionHandle{
+			partition: i,
+			clock:     clock,
+			client: internal.NewClient(internal.ClientConfig{
+				Partition:     types.PartitionID(i),
+				BatchInterval: cfg.BatchInterval,
+			}, internal.ClusterConns(o.cluster), clock),
+		}
+	}
+	return o, nil
+}
+
+// Partition returns the submission handle for stream i.
+func (o *Orderer) Partition(i int) *PartitionHandle { return o.handles[i] }
+
+// CrashReplica stops replica r, exercising the §3.3 failover path.
+func (o *Orderer) CrashReplica(r int) { o.cluster.Replica(types.ReplicaID(r)).Stop() }
+
+// Close flushes every stream and stops the service.
+func (o *Orderer) Close() {
+	for _, h := range o.handles {
+		h.client.Close()
+	}
+	// Give the leader one stabilization period to emit the final ops.
+	time.Sleep(2 * o.stabilization())
+	o.cluster.Stop()
+}
+
+func (o *Orderer) stabilization() time.Duration {
+	if o.cfg.StabilizationInterval > 0 {
+		return o.cfg.StabilizationInterval
+	}
+	return time.Millisecond
+}
+
+// PartitionHandle is one input stream of an Orderer. Submissions on one
+// handle are serialized by the handle itself (matching the paper's
+// assumption that updates within a partition are serialized by the native
+// update protocol).
+type PartitionHandle struct {
+	partition int
+	clock     *hlc.Clock
+	client    *internal.Client
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// Submit tags data with a hybrid timestamp strictly greater than dep and
+// than every timestamp previously issued by this handle, enqueues it for
+// ordering, and returns the timestamp. It never blocks on the ordering
+// service (only on backpressure if the service is saturated).
+//
+// To capture causality across handles, pass as dep the largest Timestamp
+// the submitting actor has observed (the paper's client clock).
+func (h *PartitionHandle) Submit(dep Timestamp, data []byte) Timestamp {
+	h.mu.Lock()
+	ts := h.clock.Tick(dep)
+	h.seq++
+	u := &types.Update{
+		Partition: types.PartitionID(h.partition),
+		Seq:       h.seq,
+		TS:        ts,
+		Value:     data,
+	}
+	h.mu.Unlock()
+	h.client.Add(u)
+	return ts
+}
+
+// Timestamp returns the largest timestamp issued by this handle.
+func (h *PartitionHandle) Timestamp() Timestamp { return h.clock.Last() }

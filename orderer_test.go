@@ -1,0 +1,156 @@
+package eunomia
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// stableCollector gathers the ordered output of an Orderer.
+type stableCollector struct {
+	mu  sync.Mutex
+	ops []StableOp
+}
+
+func (c *stableCollector) collect(ops []StableOp) {
+	c.mu.Lock()
+	c.ops = append(c.ops, ops...)
+	c.mu.Unlock()
+}
+
+func (c *stableCollector) snapshot() []StableOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StableOp(nil), c.ops...)
+}
+
+func (c *stableCollector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
+func TestOrdererValidation(t *testing.T) {
+	if _, err := NewOrderer(OrdererConfig{Partitions: 0, OnStable: func([]StableOp) {}}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := NewOrderer(OrdererConfig{Partitions: 1}); err == nil {
+		t.Fatal("missing OnStable accepted")
+	}
+}
+
+func TestOrdererTotalOrder(t *testing.T) {
+	col := &stableCollector{}
+	ord, err := NewOrderer(OrdererConfig{
+		Partitions:            3,
+		StabilizationInterval: time.Millisecond,
+		BatchInterval:         time.Millisecond,
+		OnStable:              col.collect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perStream = 200
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := ord.Partition(p)
+			var dep Timestamp
+			for i := 0; i < perStream; i++ {
+				dep = h.Submit(dep, []byte{byte(p), byte(i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	waitFor(t, 5*time.Second, func() bool { return col.len() == 3*perStream })
+	ord.Close()
+
+	got := col.snapshot()
+	for i := 1; i < len(got); i++ {
+		if got[i].Timestamp < got[i-1].Timestamp {
+			t.Fatalf("output not ordered at %d: %v after %v",
+				i, got[i].Timestamp, got[i-1].Timestamp)
+		}
+	}
+}
+
+// TestOrdererCausalOrder submits causally chained ops across streams and
+// checks the chain appears in order in the output.
+func TestOrdererCausalOrder(t *testing.T) {
+	col := &stableCollector{}
+	ord, err := NewOrderer(OrdererConfig{
+		Partitions:            2,
+		StabilizationInterval: time.Millisecond,
+		OnStable:              col.collect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A single actor alternates between streams: each submission
+	// causally follows the previous one.
+	var dep Timestamp
+	const chain = 100
+	for i := 0; i < chain; i++ {
+		h := ord.Partition(i % 2)
+		dep = h.Submit(dep, []byte{byte(i)})
+	}
+	waitFor(t, 5*time.Second, func() bool { return col.len() == chain })
+	ord.Close()
+
+	got := col.snapshot()
+	for i, op := range got {
+		if int(op.Data[0]) != i {
+			t.Fatalf("causal chain reordered: position %d holds op %d", i, op.Data[0])
+		}
+	}
+}
+
+func TestOrdererFaultTolerance(t *testing.T) {
+	col := &stableCollector{}
+	ord, err := NewOrderer(OrdererConfig{
+		Partitions:            1,
+		Replicas:              2,
+		StabilizationInterval: time.Millisecond,
+		OnStable:              col.collect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ord.Close()
+
+	h := ord.Partition(0)
+	h.Submit(0, []byte("before"))
+	waitFor(t, 2*time.Second, func() bool { return col.len() == 1 })
+
+	ord.CrashReplica(0)
+	h.Submit(h.Timestamp(), []byte("after"))
+	waitFor(t, 3*time.Second, func() bool { return col.len() >= 2 })
+
+	found := false
+	for _, op := range col.snapshot() {
+		if string(op.Data) == "after" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("op submitted after crash never ordered")
+	}
+}
+
+func TestPartitionHandleTimestamp(t *testing.T) {
+	ord, err := NewOrderer(OrdererConfig{Partitions: 1, OnStable: func([]StableOp) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ord.Close()
+	h := ord.Partition(0)
+	ts := h.Submit(0, nil)
+	if h.Timestamp() != ts {
+		t.Fatal("Timestamp() does not reflect the last submission")
+	}
+}
