@@ -1,39 +1,74 @@
-// Command eunomia-server runs the Eunomia ordering service as a network
-// daemon, the role the paper's standalone C++ service plays inside a
-// datacenter: partitions stream timestamped operations and heartbeats to
-// it over TCP (internal/transport), and it emits the site-stable, causally
-// consistent total order.
+// Command eunomia-server runs EunomiaKV components as network daemons on
+// the TCP fabric (internal/transport), the way the paper's prototype ran
+// its standalone C++ service inside a datacenter.
 //
-//	eunomia-server -addr :7077 -partitions 8
+// A process can host any role of a datacenter, so a full multi-process
+// geo-replicated deployment is launched from the CLI alone:
 //
-// Stable operations are reported on stdout as a running rate; a real
-// deployment would hook the shipping callback to its inter-datacenter
-// replication channel.
+//	# the classic standalone orderer: partitions stream timestamped
+//	# operations and heartbeats to it, it emits the site-stable order
+//	eunomia-server -role orderer -listen :7077 -partitions 8
+//
+//	# a two-datacenter cluster, one process per datacenter
+//	eunomia-server -role dc -dc 0 -dcs 2 -listen :7100 -route dc1=hostB:7100
+//	eunomia-server -role dc -dc 1 -dcs 2 -listen :7100 -route dc0=hostA:7100
+//
+//	# or split a datacenter by role across processes
+//	eunomia-server -role partitions,eunomia -dc 0 ... -route dc0:receiver=...
+//	eunomia-server -role receiver          -dc 0 ... -route dc0:partitions=...
+//
+// Routes name where remote endpoints live: "dcK=host:port" maps a whole
+// datacenter to one process, "dcK:partitions=..." / "dcK:eunomia=..." /
+// "dcK:receiver=..." map one role of it. Exact routes beat wildcards;
+// reply routes are learned from connection hellos.
+//
+// The -demo flag drives a built-in causal workload for end-to-end smoke
+// testing of a multi-process cluster: "write:N" issues N causally chained
+// data/flag pairs, "watch:N" polls until every pair is visible and exits
+// non-zero if a flag is ever visible without its causally preceding data.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"eunomia/internal/eunomia"
+	"eunomia/internal/fabric"
+	"eunomia/internal/geostore"
 	"eunomia/internal/transport"
 	"eunomia/internal/types"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7077", "listen address")
-		partitions = flag.Int("partitions", 8, "number of partition streams (stability waits for all)")
+		role       = flag.String("role", "orderer", "orderer, dc, or a comma list of partitions,eunomia,receiver")
+		dcID       = flag.Int("dc", 0, "this process's datacenter id")
+		dcs        = flag.Int("dcs", 3, "number of datacenters in the deployment")
+		partitions = flag.Int("partitions", 8, "partitions per datacenter")
+		replicas   = flag.Int("replicas", 1, "Eunomia replicas per datacenter")
+		listen     = flag.String("listen", ":7077", "fabric listen address")
+		addr       = flag.String("addr", "", "legacy alias for -listen")
+		advertise  = flag.String("advertise", "", "address peers dial to reach this process (default: listen address)")
+		batchIvl   = flag.Duration("batch-interval", time.Millisecond, "partition→Eunomia propagation period")
 		stableIvl  = flag.Duration("stable-interval", time.Millisecond, "stabilization period θ")
+		checkIvl   = flag.Duration("check-interval", time.Millisecond, "receiver dependency-check period ρ")
 		statsIvl   = flag.Duration("stats-interval", time.Second, "stats reporting period")
 		tree       = flag.String("tree", "redblack", "pending-set structure: redblack|avl")
+		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
 	)
+	var routeSpecs []string
+	flag.Func("route", `endpoint route, repeatable: "dc1=host:port" or "dc1:receiver=host:port"`, func(s string) error {
+		routeSpecs = append(routeSpecs, s)
+		return nil
+	})
 	flag.Parse()
 
 	kind := eunomia.RedBlack
@@ -44,29 +79,104 @@ func main() {
 	default:
 		log.Fatalf("unknown -tree %q", *tree)
 	}
+	if *addr != "" {
+		listenSet := false
+		flag.Visit(func(f *flag.Flag) { listenSet = listenSet || f.Name == "listen" })
+		if listenSet {
+			log.Fatal("-addr is a legacy alias for -listen; pass only one of them")
+		}
+		*listen = *addr
+	}
 
+	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fab.Close()
+	if err := applyRoutes(fab, routeSpecs, *partitions, *replicas); err != nil {
+		log.Fatal(err)
+	}
+
+	if *role == "orderer" {
+		runOrderer(fab, *dcID, *partitions, *replicas, *stableIvl, *statsIvl, kind)
+		return
+	}
+
+	roles, err := parseRoles(*role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := geostore.NewNode(geostore.NodeConfig{
+		Config: geostore.Config{
+			DCs:            *dcs,
+			Partitions:     *partitions,
+			Replicas:       *replicas,
+			BatchInterval:  *batchIvl,
+			StableInterval: *stableIvl,
+			CheckInterval:  *checkIvl,
+			Tree:           kind,
+		},
+		DC:        types.DCID(*dcID),
+		Roles:     roles,
+		Fabric:    fab,
+		Pipelined: true,
+	})
+	defer node.Close()
+	log.Printf("eunomia-server: dc%d role %s on %s (%d dcs × %d partitions, %d replicas)",
+		*dcID, *role, fab.Addr(), *dcs, *partitions, *replicas)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if strings.HasPrefix(*demo, "watch:") {
+		n := demoCount(*demo)
+		if err := demoWatch(node, n); err != nil {
+			fmt.Println("demo: FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("demo: causal chain OK (%d pairs)\n", n)
+		return
+	}
+	if strings.HasPrefix(*demo, "write:") {
+		n := demoCount(*demo)
+		demoWrite(node, n)
+		fmt.Printf("demo: wrote %d causal data/flag pairs\n", n)
+	}
+
+	ticker := time.NewTicker(*statsIvl)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Printf("shutting down dc%d", *dcID)
+			return
+		case <-ticker.C:
+			logNodeStats(node, fab)
+		}
+	}
+}
+
+// runOrderer serves a bare ordering service: the role the original daemon
+// played, now over the pipelined fabric protocol.
+func runOrderer(fab *transport.TCP, dc, partitions, replicas int, stableIvl, statsIvl time.Duration, kind eunomia.TreeKind) {
 	var shipped atomic.Int64
-	cluster := eunomia.NewCluster(1, eunomia.Config{
-		Partitions:     *partitions,
-		StableInterval: *stableIvl,
+	cluster := eunomia.NewCluster(replicas, eunomia.Config{
+		Partitions:     partitions,
+		StableInterval: stableIvl,
 		Tree:           kind,
 	}, func(_ types.ReplicaID, ops []*types.Update) {
 		shipped.Add(int64(len(ops)))
 	})
 	defer cluster.Stop()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
+	for r, rep := range cluster.Replicas() {
+		fabric.ServeReplica(fab, fabric.EunomiaAddr(types.DCID(dc), types.ReplicaID(r)), rep)
 	}
-	srv := transport.Serve(ln, cluster.Replica(0))
-	defer srv.Close()
-	log.Printf("eunomia-server: serving %d partition streams on %s (θ=%v, %s tree)",
-		*partitions, srv.Addr(), *stableIvl, *tree)
+	log.Printf("eunomia-server: ordering %d partition streams on %s (θ=%v, %d replicas)",
+		partitions, fab.Addr(), stableIvl, replicas)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(*statsIvl)
+	ticker := time.NewTicker(statsIvl)
 	defer ticker.Stop()
 	var last int64
 	for {
@@ -80,8 +190,132 @@ func main() {
 			cur := shipped.Load()
 			st := cluster.Replica(0).Stats()
 			log.Printf("ordered %d ops/s (total %d, pending %d, stable %v)",
-				(cur-last)*int64(time.Second / *statsIvl), cur, st.Pending, st.StableTime)
+				(cur-last)*int64(time.Second/statsIvl), cur, st.Pending, st.StableTime)
 			last = cur
 		}
+	}
+}
+
+func parseRoles(s string) (geostore.Roles, error) {
+	var roles geostore.Roles
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "dc":
+			roles |= geostore.RoleAll
+		case "partitions":
+			roles |= geostore.RolePartitions
+		case "eunomia":
+			roles |= geostore.RoleEunomia
+		case "receiver":
+			roles |= geostore.RoleReceiver
+		default:
+			return 0, fmt.Errorf("unknown role %q (want dc, partitions, eunomia, receiver, orderer)", part)
+		}
+	}
+	return roles, nil
+}
+
+// applyRoutes expands "dcK=hp" and "dcK:role=hp" specs into fabric routes.
+func applyRoutes(fab *transport.TCP, specs []string, partitions, replicas int) error {
+	for _, spec := range specs {
+		target, hostport, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -route %q (want dcK=host:port or dcK:role=host:port)", spec)
+		}
+		dcPart, rolePart, hasRole := strings.Cut(target, ":")
+		if !strings.HasPrefix(dcPart, "dc") {
+			return fmt.Errorf("bad -route target %q (want dcK...)", target)
+		}
+		dcN, err := strconv.Atoi(strings.TrimPrefix(dcPart, "dc"))
+		if err != nil {
+			return fmt.Errorf("bad -route datacenter in %q: %v", spec, err)
+		}
+		dc := types.DCID(dcN)
+		if !hasRole {
+			fab.AddDCRoute(dc, hostport)
+			continue
+		}
+		switch rolePart {
+		case "partitions":
+			for p := 0; p < partitions; p++ {
+				fab.AddRoute(fabric.PartitionAddr(dc, types.PartitionID(p)), hostport)
+			}
+		case "eunomia":
+			for r := 0; r < replicas; r++ {
+				fab.AddRoute(fabric.EunomiaAddr(dc, types.ReplicaID(r)), hostport)
+			}
+		case "receiver":
+			fab.AddRoute(fabric.ReceiverAddr(dc), hostport)
+		default:
+			return fmt.Errorf("bad -route role %q in %q", rolePart, spec)
+		}
+	}
+	return nil
+}
+
+func demoCount(s string) int {
+	_, ns, _ := strings.Cut(s, ":")
+	n, err := strconv.Atoi(ns)
+	if err != nil || n <= 0 {
+		log.Fatalf("bad -demo %q (want write:N or watch:N)", s)
+	}
+	return n
+}
+
+// demoWrite issues n causally chained data/flag pairs from one session:
+// each flag causally follows its data, and each pair follows the previous.
+func demoWrite(node *geostore.Node, n int) {
+	c := node.NewClient()
+	for i := 0; i < n; i++ {
+		must(c.Update(types.Key(fmt.Sprintf("data%d", i)), []byte(fmt.Sprintf("payload%d", i))))
+		must(c.Update(types.Key(fmt.Sprintf("flag%d", i)), []byte("set")))
+	}
+}
+
+// demoWatch waits for every pair and verifies the causal invariant: a
+// visible flag implies its data is visible.
+func demoWatch(node *geostore.Node, n int) error {
+	c := node.NewClient()
+	deadline := time.Now().Add(2 * time.Minute)
+	for i := 0; i < n; i++ {
+		flag := types.Key(fmt.Sprintf("flag%d", i))
+		data := types.Key(fmt.Sprintf("data%d", i))
+		for {
+			v, _ := c.Read(flag)
+			if string(v) == "set" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %s", flag)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		d, _ := c.Read(data)
+		if string(d) != fmt.Sprintf("payload%d", i) {
+			return fmt.Errorf("CAUSALITY VIOLATION: %s visible without %s", flag, data)
+		}
+	}
+	return nil
+}
+
+func logNodeStats(node *geostore.Node, fab *transport.TCP) {
+	var recvApplied int64
+	if node.Receiver() != nil {
+		recvApplied = node.Receiver().Applied.Load()
+	}
+	var stable string
+	if node.Cluster() != nil {
+		if l := node.Cluster().Leader(); l != nil {
+			st := l.Stats()
+			stable = fmt.Sprintf("stable=%s ordered=%d pending=%d", st.StableTime, st.OpsShipped, st.Pending)
+		}
+	}
+	log.Printf("stats: local updates=%d, remote applied=%d, %s, fabric sent=%d delivered=%d dropped=%d",
+		node.TotalUpdates(), recvApplied, stable, fab.Sent.Load(), fab.Delivered.Load(), fab.Dropped.Load())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
 	}
 }

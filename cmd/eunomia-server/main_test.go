@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePort reserves a loopback port and returns "127.0.0.1:port". The
+// listener is closed before use; the tiny reuse race is acceptable for a
+// test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestTwoProcessDatacenterOverTCP is the end-to-end acceptance check for
+// the CLI: it builds the server binary, launches a two-process EunomiaKV
+// datacenter over TCP — one process per datacenter, each hosting every
+// role — drives a causally chained workload in the writer process, and
+// has the watcher process verify causally ordered visibility before
+// exiting.
+func TestTwoProcessDatacenterOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "eunomia-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addr0, addr1 := freePort(t), freePort(t)
+	common := []string{"-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}
+
+	writer := exec.Command(bin, append([]string{
+		"-role", "dc", "-dc", "0", "-listen", addr0,
+		"-route", "dc1=" + addr1,
+		"-demo", "write:12",
+	}, common...)...)
+	var writerOut bytes.Buffer
+	writer.Stdout = &writerOut
+	writer.Stderr = &writerOut
+	if err := writer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var stopOnce sync.Once
+	// The exec pipe goroutine writes into writerOut until the process
+	// exits; always stop the writer before reading its buffer.
+	stopWriter := func() {
+		stopOnce.Do(func() {
+			_ = writer.Process.Kill()
+			_ = writer.Wait()
+		})
+	}
+	defer stopWriter()
+
+	watcher := exec.Command(bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", addr1,
+		"-route", "dc0=" + addr0,
+		"-demo", "watch:12",
+	}, common...)...)
+	var watcherOut bytes.Buffer
+	watcher.Stdout = &watcherOut
+	watcher.Stderr = &watcherOut
+	if err := watcher.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- watcher.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			stopWriter()
+			t.Fatalf("watcher failed: %v\nwatcher output:\n%s\nwriter output:\n%s",
+				err, watcherOut.String(), writerOut.String())
+		}
+	case <-time.After(150 * time.Second):
+		_ = watcher.Process.Kill()
+		<-done
+		stopWriter()
+		t.Fatalf("watcher did not finish\nwatcher output:\n%s\nwriter output:\n%s",
+			watcherOut.String(), writerOut.String())
+	}
+	stopWriter()
+	if !strings.Contains(watcherOut.String(), "causal chain OK (12 pairs)") {
+		t.Fatalf("watcher did not confirm causal order:\n%s", watcherOut.String())
+	}
+	if !strings.Contains(writerOut.String(), fmt.Sprintf("wrote %d causal data/flag pairs", 12)) {
+		t.Fatalf("writer did not confirm workload:\n%s", writerOut.String())
+	}
+}

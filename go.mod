@@ -1,0 +1,3 @@
+module eunomia
+
+go 1.24

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// Batcher accumulates items per destination and flushes each destination's
+// accumulated slice as a single message every interval, preserving FIFO
+// order per destination. It implements the §5 "Communication Patterns"
+// optimization — batch at the sender, propagate periodically — for every
+// component that ships streams across the fabric (payload shipping,
+// baseline replication, heartbeats ride along implicitly).
+type Batcher[T any] struct {
+	net      Fabric
+	from     Addr
+	interval time.Duration
+
+	mu     sync.Mutex
+	queues map[Addr][]T
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewBatcher starts a batcher sending from the given address every
+// interval (default 1ms if non-positive).
+func NewBatcher[T any](net Fabric, from Addr, interval time.Duration) *Batcher[T] {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	b := &Batcher[T]{
+		net:      net,
+		from:     from,
+		interval: interval,
+		queues:   make(map[Addr][]T),
+		stop:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Add queues one item for destination to.
+func (b *Batcher[T]) Add(to Addr, item T) {
+	b.mu.Lock()
+	b.queues[to] = append(b.queues[to], item)
+	b.mu.Unlock()
+}
+
+// Flush sends every queued batch immediately. It is also called on Close
+// so no items are lost on orderly shutdown.
+func (b *Batcher[T]) Flush() {
+	b.mu.Lock()
+	batches := b.queues
+	b.queues = make(map[Addr][]T, len(batches))
+	b.mu.Unlock()
+	for to, items := range batches {
+		if len(items) > 0 {
+			b.net.Send(b.from, to, items)
+		}
+	}
+}
+
+// Close flushes outstanding items and stops the loop.
+func (b *Batcher[T]) Close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}
+
+func (b *Batcher[T]) loop() {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			b.Flush()
+			return
+		case <-ticker.C:
+			b.Flush()
+		}
+	}
+}

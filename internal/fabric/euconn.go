@@ -1,0 +1,283 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"eunomia/internal/eunomia"
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+// This file adapts the partition↔Eunomia protocol — metadata batches,
+// heartbeats, and acknowledgement watermarks — onto a Fabric, so the same
+// batching client (internal/eunomia.Client) runs over the in-process
+// simulated WAN and over real TCP without knowing which.
+
+// BatchMsg carries one partition's metadata batch to a replica
+// (Algorithm 4 lines 1-5). ID correlates the acknowledgement.
+type BatchMsg struct {
+	ID        uint64
+	Partition types.PartitionID
+	Ops       []*types.Update
+}
+
+// HeartbeatMsg advances a partition's watermark without an operation
+// (Algorithm 3 line 5).
+type HeartbeatMsg struct {
+	ID        uint64
+	Partition types.PartitionID
+	TS        hlc.Timestamp
+}
+
+// AckMsg is the replica's acknowledgement: the watermark is the largest
+// timestamp the replica now holds from the partition — the resend window's
+// lower bound. A non-empty Err reports a stopped replica.
+type AckMsg struct {
+	ID        uint64
+	Partition types.PartitionID
+	Watermark hlc.Timestamp
+	Err       string
+}
+
+func init() {
+	RegisterPayload(BatchMsg{})
+	RegisterPayload(HeartbeatMsg{})
+	RegisterPayload(AckMsg{})
+}
+
+// ConnMode selects how a ReplicaConn waits for acknowledgements.
+type ConnMode int
+
+const (
+	// SyncConn performs one blocking request/response round trip per
+	// call, exactly mirroring a direct method call on the replica. The
+	// in-process deployments use it: over a zero-delay local link the
+	// round trip is free and the timing of the protocol is unchanged.
+	SyncConn ConnMode = iota
+	// PipelinedConn never waits: batches are streamed and the call
+	// returns the latest watermark the replica has acknowledged so far.
+	// Acknowledgements flow back asynchronously and advance the window;
+	// the client's own resend-unacknowledged-suffix loop supplies
+	// at-least-once delivery and the replica deduplicates by watermark.
+	// TCP deployments use it so a flush never blocks on a WAN/LAN round
+	// trip before the next batch can be sent.
+	PipelinedConn
+)
+
+// ErrAckTimeout is returned by a SyncConn call when no acknowledgement
+// arrives within the timeout; callers treat the replica as failed.
+var ErrAckTimeout = errors.New("fabric: replica acknowledgement timeout")
+
+// ReplicaConn implements eunomia.Conn over a Fabric. The owner of the
+// local address must route incoming AckMsg messages to HandleMessage.
+type ReplicaConn struct {
+	f             Fabric
+	local, remote Addr
+	mode          ConnMode
+	timeout       time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan AckMsg
+	marks   map[types.PartitionID]hlc.Timestamp
+	// sent is the highest timestamp already streamed per partition
+	// (pipelined mode). The client's flush loop re-offers the whole
+	// unacknowledged suffix every interval; over a reliable ordered
+	// fabric each operation only needs to travel once, so the conn trims
+	// what it has already sent instead of amplifying every flush by
+	// ~RTT/interval duplicate copies. progress remembers when the
+	// acknowledged watermark last moved (or the window was last resent):
+	// if it stalls — a fabric that silently dropped the stream, e.g. a
+	// route installed late — the trim is reset and the whole
+	// unacknowledged window goes out again.
+	sent     map[types.PartitionID]hlc.Timestamp
+	progress map[types.PartitionID]time.Time
+	failed   string // sticky remote failure (pipelined mode)
+}
+
+// pipelinedResendAfter is how long the acknowledgement watermark may
+// stall before a pipelined conn retransmits the unacknowledged window.
+// Well above any sane RTT, well below human patience.
+const pipelinedResendAfter = 250 * time.Millisecond
+
+var _ eunomia.Conn = (*ReplicaConn)(nil)
+
+// NewReplicaConn builds a connection from local (a partition address) to
+// remote (a replica address served by ServeReplica). timeout bounds sync
+// round trips; non-positive selects 10s.
+func NewReplicaConn(f Fabric, local, remote Addr, mode ConnMode, timeout time.Duration) *ReplicaConn {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &ReplicaConn{
+		f:        f,
+		local:    local,
+		remote:   remote,
+		mode:     mode,
+		timeout:  timeout,
+		waiters:  make(map[uint64]chan AckMsg),
+		marks:    make(map[types.PartitionID]hlc.Timestamp),
+		sent:     make(map[types.PartitionID]hlc.Timestamp),
+		progress: make(map[types.PartitionID]time.Time),
+	}
+}
+
+// Remote returns the replica address this conn targets.
+func (c *ReplicaConn) Remote() Addr { return c.remote }
+
+// HandleMessage consumes an acknowledgement addressed to this conn,
+// returning false for messages that belong to someone else. Duplicate
+// acknowledgements (an at-least-once fabric may replay them) are harmless:
+// the watermark is monotonic and stale waiter ids find no channel.
+func (c *ReplicaConn) HandleMessage(m Message) bool {
+	ack, ok := m.Payload.(AckMsg)
+	if !ok || m.From != c.remote {
+		return false
+	}
+	c.mu.Lock()
+	if ch, ok := c.waiters[ack.ID]; ok {
+		delete(c.waiters, ack.ID)
+		ch <- ack
+	}
+	if ack.Err == "" {
+		if ack.Watermark > c.marks[ack.Partition] {
+			c.marks[ack.Partition] = ack.Watermark
+			c.progress[ack.Partition] = time.Now()
+		}
+	} else {
+		c.failed = ack.Err
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// Watermark returns the largest acknowledged timestamp for partition p.
+func (c *ReplicaConn) Watermark(p types.PartitionID) hlc.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.marks[p]
+}
+
+func (c *ReplicaConn) send(payload any) { c.f.Send(c.local, c.remote, payload) }
+
+func (c *ReplicaConn) newCall() (uint64, chan AckMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if c.mode == SyncConn {
+		ch := make(chan AckMsg, 1)
+		c.waiters[id] = ch
+		return id, ch
+	}
+	return id, nil
+}
+
+func (c *ReplicaConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+func (c *ReplicaConn) await(id uint64, ch chan AckMsg) (AckMsg, error) {
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case ack := <-ch:
+		if ack.Err != "" {
+			return ack, errors.New(ack.Err)
+		}
+		return ack, nil
+	case <-timer.C:
+		c.forget(id)
+		return AckMsg{}, fmt.Errorf("%w (%s)", ErrAckTimeout, c.remote)
+	}
+}
+
+// NewBatch implements eunomia.Conn.
+func (c *ReplicaConn) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timestamp, error) {
+	id, ch := c.newCall()
+	if c.mode == SyncConn {
+		c.send(BatchMsg{ID: id, Partition: p, Ops: ops})
+		ack, err := c.await(id, ch)
+		return ack.Watermark, err
+	}
+	c.mu.Lock()
+	failed, w, streamed := c.failed, c.marks[p], c.sent[p]
+	if failed == "" && streamed > w {
+		// Operations are in flight beyond the acknowledged watermark.
+		// If acknowledgements have stalled, assume the stream was lost
+		// (Send is fire-and-forget: a missing route drops silently) and
+		// retransmit the unacknowledged window.
+		if last, ok := c.progress[p]; !ok {
+			c.progress[p] = time.Now()
+		} else if time.Since(last) > pipelinedResendAfter {
+			c.sent[p] = w
+			streamed = w
+			c.progress[p] = time.Now()
+		}
+	}
+	c.mu.Unlock()
+	if failed != "" {
+		return 0, errors.New(failed)
+	}
+	// Trim the prefix already streamed: the fabric delivers it (FIFO,
+	// retransmitted across reconnects), so only the fresh suffix needs
+	// to go out.
+	start := sort.Search(len(ops), func(i int) bool { return ops[i].TS > streamed })
+	if start < len(ops) {
+		c.send(BatchMsg{ID: id, Partition: p, Ops: ops[start:]})
+		c.mu.Lock()
+		if last := ops[len(ops)-1].TS; last > c.sent[p] {
+			c.sent[p] = last
+		}
+		c.mu.Unlock()
+	}
+	return w, nil
+}
+
+// Heartbeat implements eunomia.Conn.
+func (c *ReplicaConn) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
+	id, ch := c.newCall()
+	if c.mode == SyncConn {
+		c.send(HeartbeatMsg{ID: id, Partition: p, TS: ts})
+		_, err := c.await(id, ch)
+		return err
+	}
+	c.mu.Lock()
+	failed := c.failed
+	c.mu.Unlock()
+	if failed != "" {
+		return errors.New(failed)
+	}
+	c.send(HeartbeatMsg{ID: id, Partition: p, TS: ts})
+	return nil
+}
+
+// ServeReplica registers a handler at addr that feeds batches and
+// heartbeats into the replica and returns acknowledgement watermarks to
+// the sender. Unknown payloads are ignored, so the address can be shared
+// with other protocols if needed.
+func ServeReplica(f Fabric, at Addr, r *eunomia.Replica) {
+	f.Register(at, func(m Message) {
+		switch v := m.Payload.(type) {
+		case BatchMsg:
+			w, err := r.NewBatch(v.Partition, v.Ops)
+			f.Send(at, m.From, AckMsg{ID: v.ID, Partition: v.Partition, Watermark: w, Err: errString(err)})
+		case HeartbeatMsg:
+			err := r.Heartbeat(v.Partition, v.TS)
+			f.Send(at, m.From, AckMsg{ID: v.ID, Partition: v.Partition, Watermark: v.TS, Err: errString(err)})
+		}
+	})
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

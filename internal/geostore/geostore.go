@@ -1,6 +1,7 @@
 // Package geostore wires the complete EunomiaKV deployment of §4-§6: M
 // datacenters, each with N partitions, a (possibly replicated) Eunomia
-// service and a receiver, all connected by the simulated WAN fabric.
+// service and a receiver, all connected by a message fabric
+// (internal/fabric).
 //
 // Data flow for one update accepted at datacenter m:
 //
@@ -10,15 +11,23 @@
 //	Eunomia leader ──► remote receivers: ordered ids   (site stabilization)
 //	receiver ──► partition: release when deps applied  (Algorithm 5)
 //
+// Every arrow crosses the fabric, so the same deployment code runs over
+// the in-process simulated WAN (simnet: one Store hosts all datacenters,
+// as the tests and figure harness do) and over real TCP (transport: each
+// process hosts a Node with a subset of roles, as cmd/eunomia-server
+// does).
+//
 // The store implements the workload.Client factory surface the harness
 // drives, plus crash and straggler injection hooks for Figures 4 and 7.
 package geostore
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"eunomia/internal/eunomia"
+	"eunomia/internal/fabric"
 	"eunomia/internal/hlc"
 	"eunomia/internal/kvstore"
 	"eunomia/internal/partition"
@@ -36,6 +45,29 @@ type ShipMsg struct {
 	Ops    []*types.Update
 }
 
+// ApplyMsg asks the partition responsible for U.Key to apply a released
+// remote update; it is used when a datacenter's receiver and partition
+// group run in different processes. ArrivedUnixNano carries the metadata
+// arrival instant for visibility metrics.
+type ApplyMsg struct {
+	ID              uint64
+	U               *types.Update
+	ArrivedUnixNano int64
+}
+
+// ApplyAckMsg reports whether the partition could execute the update (a
+// false means its payload has not arrived yet; the receiver retries).
+type ApplyAckMsg struct {
+	ID uint64
+	OK bool
+}
+
+func init() {
+	fabric.RegisterPayload(ShipMsg{})
+	fabric.RegisterPayload(ApplyMsg{})
+	fabric.RegisterPayload(ApplyAckMsg{})
+}
+
 // VisibleFunc observes a remote update becoming visible at a destination
 // datacenter; arrived is when its payload reached the destination.
 type VisibleFunc func(dest types.DCID, u *types.Update, arrived time.Time)
@@ -50,8 +82,9 @@ type Config struct {
 	// (1 = the non-fault-tolerant Algorithm 3 service).
 	Replicas int
 
-	// Delay is the fabric latency function; nil uses the paper's RTTs
-	// (80/80/160ms) at full scale via simnet.PaperRTTs(1).
+	// Delay is the simnet latency function; nil uses the paper's RTTs
+	// (80/80/160ms) at full scale via simnet.PaperRTTs(1). TCP nodes
+	// ignore it — real sockets bring their own latency.
 	Delay simnet.DelayFunc
 
 	// BatchInterval is the partition→Eunomia propagation period (and
@@ -104,60 +137,149 @@ func (c *Config) fill() {
 	}
 }
 
-// Store is a running EunomiaKV deployment.
-type Store struct {
-	cfg  Config
-	net  *simnet.Network
-	ring kvstore.Ring
-	dcs  []*dc
+// Roles selects which components of a datacenter a Node hosts.
+type Roles uint8
+
+const (
+	// RolePartitions hosts the datacenter's partition servers (and their
+	// Eunomia batching clients and payload shippers).
+	RolePartitions Roles = 1 << iota
+	// RoleEunomia hosts the datacenter's Eunomia replica set.
+	RoleEunomia
+	// RoleReceiver hosts the datacenter's remote-update receiver.
+	RoleReceiver
+)
+
+// RoleAll hosts a complete datacenter in one process.
+const RoleAll = RolePartitions | RoleEunomia | RoleReceiver
+
+// Has reports whether r includes any of the given roles.
+func (r Roles) Has(x Roles) bool { return r&x != 0 }
+
+// NodeConfig parameterises one fabric-attached process of a deployment.
+type NodeConfig struct {
+	Config
+	// DC is the datacenter this node belongs to.
+	DC types.DCID
+	// Roles selects the components hosted here; other roles of the same
+	// datacenter are expected elsewhere on the fabric.
+	Roles Roles
+	// Fabric carries every inter-component edge. The node registers its
+	// endpoints on it but does not own it: the caller closes it after
+	// the node.
+	Fabric fabric.Fabric
+	// Pipelined selects non-blocking replica conns with asynchronous
+	// watermark acknowledgements (TCP deployments). Default is
+	// synchronous round trips, whose timing over the zero-delay local
+	// simnet link is identical to the direct calls they replace.
+	Pipelined bool
+	// AckTimeout bounds synchronous round trips and remote apply calls.
+	// Default 10s.
+	AckTimeout time.Duration
 }
 
-// dc holds one datacenter's components.
-type dc struct {
-	id       types.DCID
-	parts    []*partition.Partition
-	cluster  *eunomia.Cluster
-	recv     *receiver.Receiver
-	shippers []*simnet.Batcher[*types.Update] // one per partition
+// Node hosts a subset of one datacenter's components on a fabric. A Store
+// is M all-role nodes on one simnet; cmd/eunomia-server runs one Node per
+// process on TCP.
+type Node struct {
+	cfg   Config
+	id    types.DCID
+	roles Roles
+	fab   fabric.Fabric
+	ring  kvstore.Ring
+
+	parts      []*partition.Partition
+	shippers   []*fabric.Batcher[*types.Update]
+	shipQueues []*shipQueue
+	cluster    *eunomia.Cluster
+	recv       *receiver.Receiver
+
+	ackTimeout time.Duration
+
+	applyMu   sync.Mutex
+	applyID   uint64
+	applyWait map[uint64]chan bool
 }
 
-// NewStore builds and starts a deployment.
-func NewStore(cfg Config) *Store {
-	cfg.fill()
-	s := &Store{
-		cfg:  cfg,
-		net:  simnet.New(cfg.Delay),
-		ring: kvstore.NewRing(cfg.Partitions),
+// NewNode builds and starts the selected roles, registering their
+// endpoints on the fabric.
+func NewNode(nc NodeConfig) *Node {
+	nc.Config.fill()
+	if nc.Roles == 0 {
+		nc.Roles = RoleAll
 	}
-
-	for m := 0; m < cfg.DCs; m++ {
-		s.dcs = append(s.dcs, s.buildDC(types.DCID(m)))
+	if nc.AckTimeout <= 0 {
+		nc.AckTimeout = 10 * time.Second
 	}
-	return s
+	n := &Node{
+		cfg:        nc.Config,
+		id:         nc.DC,
+		roles:      nc.Roles,
+		fab:        nc.Fabric,
+		ring:       kvstore.NewRing(nc.Partitions),
+		ackTimeout: nc.AckTimeout,
+		applyWait:  make(map[uint64]chan bool),
+	}
+	if nc.Roles.Has(RoleEunomia) {
+		n.buildEunomia()
+	}
+	if nc.Roles.Has(RolePartitions) {
+		n.buildPartitions(nc)
+	}
+	if nc.Roles.Has(RoleReceiver) && n.cfg.DCs > 1 {
+		n.buildReceiver()
+	}
+	return n
 }
 
-func (s *Store) buildDC(m types.DCID) *dc {
-	cfg := s.cfg
-	d := &dc{id: m}
-
-	// Eunomia replica set: the leader ships stable metadata to every
-	// remote receiver over its own FIFO channel.
+// buildEunomia starts the replica set and serves each replica's batch and
+// heartbeat ingestion at its fabric address; the acting leader ships
+// stable metadata to every remote receiver over its own FIFO channel.
+//
+// Shipping goes through one asynchronous queue per destination
+// datacenter: a networked fabric applies backpressure (Send blocks on a
+// full window) when a destination is unreachable, and that must stall
+// neither the replica's stabilization loop nor shipping to the healthy
+// datacenters.
+func (n *Node) buildEunomia() {
+	m := n.id
+	cfg := n.cfg
+	queues := make(map[types.DCID]*shipQueue, cfg.DCs)
+	for k := 0; k < cfg.DCs; k++ {
+		if types.DCID(k) == m {
+			continue
+		}
+		q := newShipQueue(n.fab, fabric.ReceiverAddr(types.DCID(k)))
+		queues[types.DCID(k)] = q
+		n.shipQueues = append(n.shipQueues, q)
+	}
 	ship := func(from types.ReplicaID, ops []*types.Update) {
-		for k := 0; k < cfg.DCs; k++ {
-			if types.DCID(k) == m {
-				continue
-			}
-			s.net.Send(simnet.EunomiaAddr(m, from), simnet.ReceiverAddr(types.DCID(k)),
-				ShipMsg{Origin: m, Ops: ops})
+		for _, q := range queues {
+			q.add(fabric.EunomiaAddr(m, from), ShipMsg{Origin: m, Ops: ops})
 		}
 	}
-	d.cluster = eunomia.NewCluster(cfg.Replicas, eunomia.Config{
+	n.cluster = eunomia.NewCluster(cfg.Replicas, eunomia.Config{
 		Partitions:     cfg.Partitions,
 		StableInterval: cfg.StableInterval,
 		Tree:           cfg.Tree,
 	}, ship)
+	for r, rep := range n.cluster.Replicas() {
+		fabric.ServeReplica(n.fab, fabric.EunomiaAddr(m, types.ReplicaID(r)), rep)
+	}
+}
 
-	// Partitions.
+// buildPartitions starts the partition servers, their batching clients
+// (replica conns over the fabric) and payload shippers, and the partition
+// ingress handler: sibling payload batches, replica acknowledgement
+// watermarks, and receiver release requests all arrive at the partition's
+// address.
+func (n *Node) buildPartitions(nc NodeConfig) {
+	m := n.id
+	cfg := n.cfg
+	mode := fabric.SyncConn
+	if nc.Pipelined {
+		mode = fabric.PipelinedConn
+	}
 	for i := 0; i < cfg.Partitions; i++ {
 		pid := types.PartitionID(i)
 		var src hlc.PhysSource
@@ -167,8 +289,9 @@ func (s *Store) buildDC(m types.DCID) *dc {
 		var onVisible partition.VisibleFunc
 		if cfg.OnVisible != nil {
 			dest := m
+			cb := cfg.OnVisible
 			onVisible = func(u *types.Update, arrived time.Time) {
-				cfg.OnVisible(dest, u, arrived)
+				cb(dest, u, arrived)
 			}
 		}
 		p := partition.New(partition.Config{
@@ -180,90 +303,321 @@ func (s *Store) buildDC(m types.DCID) *dc {
 			OnVisible:    onVisible,
 		})
 
+		local := fabric.PartitionAddr(m, pid)
+		pconns := make([]*fabric.ReplicaConn, cfg.Replicas)
+		euConns := make([]eunomia.Conn, cfg.Replicas)
+		for r := 0; r < cfg.Replicas; r++ {
+			rc := fabric.NewReplicaConn(n.fab, local, fabric.EunomiaAddr(m, types.ReplicaID(r)), mode, n.ackTimeout)
+			pconns[r] = rc
+			euConns[r] = rc
+		}
 		euClient := eunomia.NewClient(eunomia.ClientConfig{
 			Partition:      pid,
 			BatchInterval:  cfg.BatchInterval,
 			HeartbeatDelta: cfg.BatchInterval,
-		}, eunomia.ClusterConns(d.cluster), p.Clock())
+		}, euConns, p.Clock())
 
-		shipper := simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(m, pid), cfg.BatchInterval)
-		p.Attach(euClient, &payloadShipper{store: s, dc: m, pid: pid, batcher: shipper})
-		d.shippers = append(d.shippers, shipper)
-		d.parts = append(d.parts, p)
+		// One batcher per destination datacenter: each has its own
+		// flush goroutine, so fabric backpressure from one unreachable
+		// sibling never stalls payload shipping to the healthy ones
+		// (same isolation the metadata edge gets from shipQueue).
+		batchers := make(map[types.DCID]*fabric.Batcher[*types.Update], cfg.DCs)
+		for k := 0; k < cfg.DCs; k++ {
+			if types.DCID(k) == m {
+				continue
+			}
+			b := fabric.NewBatcher[*types.Update](n.fab, local, cfg.BatchInterval)
+			batchers[types.DCID(k)] = b
+			n.shippers = append(n.shippers, b)
+		}
+		p.Attach(euClient, &payloadShipper{node: n, pid: pid, batchers: batchers})
+		n.parts = append(n.parts, p)
 
-		// Sibling payload ingress.
 		part := p
-		s.net.Register(simnet.PartitionAddr(m, pid), func(msg simnet.Message) {
-			batch, ok := msg.Payload.([]*types.Update)
-			if !ok {
-				return
-			}
-			for _, u := range batch {
-				part.ReceivePayload(u)
+		n.fab.Register(local, func(msg fabric.Message) {
+			switch v := msg.Payload.(type) {
+			case []*types.Update:
+				for _, u := range v {
+					part.ReceivePayload(u)
+				}
+			case fabric.AckMsg:
+				for _, rc := range pconns {
+					if rc.HandleMessage(msg) {
+						return
+					}
+				}
+			case ApplyMsg:
+				ok := part.ApplyRemote(v.U, time.Unix(0, v.ArrivedUnixNano))
+				n.fab.Send(local, msg.From, ApplyAckMsg{ID: v.ID, OK: ok})
 			}
 		})
 	}
-
-	// Receiver: releases remote metadata to the responsible partition.
-	if cfg.DCs > 1 {
-		d.recv = receiver.New(receiver.Config{
-			DC:            m,
-			DCs:           cfg.DCs,
-			CheckInterval: cfg.CheckInterval,
-			Apply: func(u *types.Update, metaArrived time.Time) bool {
-				return d.parts[s.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
-			},
-		})
-		recv := d.recv
-		s.net.Register(simnet.ReceiverAddr(m), func(msg simnet.Message) {
-			sm, ok := msg.Payload.(ShipMsg)
-			if !ok {
-				return
-			}
-			recv.Enqueue(sm.Origin, sm.Ops)
-		})
-	}
-	return d
 }
 
-// payloadShipper fans one partition's payloads out to its siblings.
+// buildReceiver starts the receiver, releasing remote metadata to the
+// responsible partition: directly when the partition group is colocated,
+// through a fabric round trip when it runs in another process.
+func (n *Node) buildReceiver() {
+	m := n.id
+	apply := func(u *types.Update, metaArrived time.Time) bool {
+		return n.parts[n.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
+	}
+	if !n.roles.Has(RolePartitions) {
+		apply = n.remoteApply
+	}
+	n.recv = receiver.New(receiver.Config{
+		DC:            m,
+		DCs:           n.cfg.DCs,
+		CheckInterval: n.cfg.CheckInterval,
+		Apply:         apply,
+	})
+	recv := n.recv
+	n.fab.Register(fabric.ReceiverAddr(m), func(msg fabric.Message) {
+		switch v := msg.Payload.(type) {
+		case ShipMsg:
+			recv.Enqueue(v.Origin, v.Ops)
+		case ApplyAckMsg:
+			n.applyMu.Lock()
+			ch := n.applyWait[v.ID]
+			delete(n.applyWait, v.ID)
+			n.applyMu.Unlock()
+			if ch != nil {
+				ch <- v.OK
+			}
+		}
+	})
+}
+
+// remoteApply releases one update to the (remote-process) responsible
+// partition and waits for its verdict. Timeouts report false, which the
+// receiver treats exactly like a missing payload: retry on the next pass.
+func (n *Node) remoteApply(u *types.Update, metaArrived time.Time) bool {
+	pid := n.ring.Responsible(u.Key)
+	n.applyMu.Lock()
+	n.applyID++
+	id := n.applyID
+	ch := make(chan bool, 1)
+	n.applyWait[id] = ch
+	n.applyMu.Unlock()
+
+	n.fab.Send(fabric.ReceiverAddr(n.id), fabric.PartitionAddr(n.id, pid),
+		ApplyMsg{ID: id, U: u, ArrivedUnixNano: metaArrived.UnixNano()})
+
+	timer := time.NewTimer(n.ackTimeout)
+	defer timer.Stop()
+	select {
+	case ok := <-ch:
+		return ok
+	case <-timer.C:
+		n.applyMu.Lock()
+		delete(n.applyWait, id)
+		n.applyMu.Unlock()
+		return false
+	}
+}
+
+// DC returns the node's datacenter.
+func (n *Node) DC() types.DCID { return n.id }
+
+// Cluster returns the hosted Eunomia replica set (nil without
+// RoleEunomia).
+func (n *Node) Cluster() *eunomia.Cluster { return n.cluster }
+
+// Receiver returns the hosted receiver (nil without RoleReceiver or in
+// single-DC deployments).
+func (n *Node) Receiver() *receiver.Receiver { return n.recv }
+
+// Partition returns hosted partition p (RolePartitions only).
+func (n *Node) Partition(p types.PartitionID) *partition.Partition { return n.parts[p] }
+
+// Ring returns the key-to-partition mapping.
+func (n *Node) Ring() kvstore.Ring { return n.ring }
+
+// TotalUpdates sums updates accepted by the hosted partitions.
+func (n *Node) TotalUpdates() int64 {
+	var t int64
+	for _, p := range n.parts {
+		t += p.Updates.Load()
+	}
+	return t
+}
+
+// NewClient opens a causal session against the hosted partition group.
+func (n *Node) NewClient() *Client {
+	if !n.roles.Has(RolePartitions) {
+		panic("geostore: NewClient on a node without RolePartitions")
+	}
+	mode := session.Vector
+	if n.cfg.ScalarMeta {
+		mode = session.Scalar
+	}
+	return &Client{node: n, sess: session.New(mode, n.cfg.DCs)}
+}
+
+// CloseIngress stops the components that produce traffic: partitions
+// flush their final metadata batches, payload shippers drain. Call on
+// every node of a deployment before CloseServices on any of them.
+func (n *Node) CloseIngress() {
+	for _, p := range n.parts {
+		p.Close()
+	}
+	for _, sh := range n.shippers {
+		sh.Close()
+	}
+}
+
+// CloseServices stops the Eunomia replica set and the receiver.
+func (n *Node) CloseServices() {
+	if n.cluster != nil {
+		n.cluster.Stop()
+	}
+	for _, q := range n.shipQueues {
+		// Signal only: a drain blocked in a backpressured Send is
+		// released when the caller closes the fabric afterwards.
+		q.close()
+	}
+	if n.recv != nil {
+		n.recv.Close()
+	}
+}
+
+// Close shuts the node down in order. The fabric is the caller's to
+// close afterwards.
+func (n *Node) Close() {
+	n.CloseIngress()
+	n.CloseServices()
+}
+
+// shipQueue decouples the stabilization loop from one destination's
+// fabric backpressure: add never blocks (the queue is unbounded, like the
+// receiver's own queues — a long-dead destination costs memory, not
+// datacenter liveness), and a single drain goroutine preserves FIFO
+// order toward the destination.
+type shipQueue struct {
+	fab fabric.Fabric
+	to  fabric.Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []shipItem
+	closed bool
+}
+
+type shipItem struct {
+	from fabric.Addr
+	msg  ShipMsg
+}
+
+func newShipQueue(fab fabric.Fabric, to fabric.Addr) *shipQueue {
+	s := &shipQueue{fab: fab, to: to}
+	s.cond = sync.NewCond(&s.mu)
+	go s.drain()
+	return s
+}
+
+func (s *shipQueue) add(from fabric.Addr, msg ShipMsg) {
+	s.mu.Lock()
+	if !s.closed {
+		s.q = append(s.q, shipItem{from: from, msg: msg})
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// close stops the drain after its current send; it deliberately does not
+// wait, because that send may sit in fabric backpressure until the owner
+// closes the fabric.
+func (s *shipQueue) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *shipQueue) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q)
+}
+
+func (s *shipQueue) drain() {
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.q) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		item := s.q[0]
+		s.q = s.q[1:]
+		if len(s.q) == 0 {
+			s.q = nil
+		}
+		s.mu.Unlock()
+		s.fab.Send(item.from, s.to, item.msg)
+	}
+}
+
+// payloadShipper fans one partition's payloads out to its siblings, one
+// independently flushed batcher per destination datacenter.
 type payloadShipper struct {
-	store   *Store
-	dc      types.DCID
-	pid     types.PartitionID
-	batcher *simnet.Batcher[*types.Update]
+	node     *Node
+	pid      types.PartitionID
+	batchers map[types.DCID]*fabric.Batcher[*types.Update]
 }
 
 // ShipPayload implements partition.PayloadShipper.
 func (ps *payloadShipper) ShipPayload(u *types.Update) {
-	for k := 0; k < ps.store.cfg.DCs; k++ {
-		if types.DCID(k) == ps.dc {
-			continue
-		}
-		ps.batcher.Add(simnet.PartitionAddr(types.DCID(k), ps.pid), u)
+	for k, b := range ps.batchers {
+		b.Add(fabric.PartitionAddr(k, ps.pid), u)
 	}
+}
+
+// Store is a running in-process EunomiaKV deployment: every datacenter as
+// an all-role Node on one simulated-WAN fabric.
+type Store struct {
+	cfg   Config
+	net   *simnet.Network
+	ring  kvstore.Ring
+	nodes []*Node
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{
+		cfg:  cfg,
+		net:  simnet.New(cfg.Delay),
+		ring: kvstore.NewRing(cfg.Partitions),
+	}
+	for m := 0; m < cfg.DCs; m++ {
+		s.nodes = append(s.nodes, NewNode(NodeConfig{
+			Config: cfg,
+			DC:     types.DCID(m),
+			Roles:  RoleAll,
+			Fabric: s.net,
+		}))
+	}
+	return s
 }
 
 // Client is a causal session bound to one datacenter, implementing the
 // workload.Client surface.
 type Client struct {
-	store *Store
-	dc    *dc
-	sess  *session.Session
+	node *Node
+	sess *session.Session
 }
 
 // NewClient opens a session at datacenter dcID.
 func (s *Store) NewClient(dcID types.DCID) *Client {
-	mode := session.Vector
-	if s.cfg.ScalarMeta {
-		mode = session.Scalar
-	}
-	return &Client{store: s, dc: s.dcs[dcID], sess: session.New(mode, s.cfg.DCs)}
+	return s.nodes[dcID].NewClient()
 }
 
 // Read implements Algorithm 1 READ against the local datacenter.
 func (c *Client) Read(key types.Key) (types.Value, error) {
-	p := c.dc.parts[c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	val, vts := p.Read(key)
 	c.sess.ObserveRead(vts)
 	return val, nil
@@ -271,7 +625,7 @@ func (c *Client) Read(key types.Key) (types.Value, error) {
 
 // Update implements Algorithm 1 UPDATE against the local datacenter.
 func (c *Client) Update(key types.Key, value types.Value) error {
-	p := c.dc.parts[c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	vts := p.Update(key, value, c.sess.Dep())
 	c.sess.ObserveUpdate(vts)
 	return nil
@@ -282,14 +636,17 @@ func (c *Client) Session() *session.Session { return c.sess }
 
 // Partition returns partition p of datacenter m, for test inspection.
 func (s *Store) Partition(m types.DCID, p types.PartitionID) *partition.Partition {
-	return s.dcs[m].parts[p]
+	return s.nodes[m].parts[p]
 }
 
 // Receiver returns the receiver of datacenter m (nil for single-DC runs).
-func (s *Store) Receiver(m types.DCID) *receiver.Receiver { return s.dcs[m].recv }
+func (s *Store) Receiver(m types.DCID) *receiver.Receiver { return s.nodes[m].recv }
 
 // Eunomia returns the Eunomia replica set of datacenter m.
-func (s *Store) Eunomia(m types.DCID) *eunomia.Cluster { return s.dcs[m].cluster }
+func (s *Store) Eunomia(m types.DCID) *eunomia.Cluster { return s.nodes[m].cluster }
+
+// Node returns datacenter m's node, for role-level inspection.
+func (s *Store) Node(m types.DCID) *Node { return s.nodes[m] }
 
 // Ring returns the key-to-partition mapping shared by every datacenter.
 func (s *Store) Ring() kvstore.Ring { return s.ring }
@@ -300,30 +657,22 @@ func (s *Store) Network() *simnet.Network { return s.net }
 // SetPartitionInterval changes how often partition p of datacenter m
 // propagates to its local Eunomia — the Figure 7 straggler injection.
 func (s *Store) SetPartitionInterval(m types.DCID, p types.PartitionID, d time.Duration) {
-	s.dcs[m].parts[p].EunomiaClient().SetInterval(d)
+	s.nodes[m].parts[p].EunomiaClient().SetInterval(d)
 }
 
 // CrashEunomiaReplica stops replica r of datacenter m's Eunomia service.
 func (s *Store) CrashEunomiaReplica(m types.DCID, r types.ReplicaID) {
-	s.dcs[m].cluster.Replica(r).Stop()
+	s.nodes[m].cluster.Replica(r).Stop()
 }
 
 // Close shuts the deployment down: partitions flush their final metadata
 // batches, then services and the fabric stop.
 func (s *Store) Close() {
-	for _, d := range s.dcs {
-		for _, p := range d.parts {
-			p.Close()
-		}
-		for _, sh := range d.shippers {
-			sh.Close()
-		}
+	for _, n := range s.nodes {
+		n.CloseIngress()
 	}
-	for _, d := range s.dcs {
-		d.cluster.Stop()
-		if d.recv != nil {
-			d.recv.Close()
-		}
+	for _, n := range s.nodes {
+		n.CloseServices()
 	}
 	s.net.Close()
 }
@@ -345,15 +694,20 @@ func (s *Store) WaitQuiescent(timeout time.Duration) error {
 }
 
 func (s *Store) quiescent() bool {
-	for _, d := range s.dcs {
-		if d.recv != nil {
+	for _, n := range s.nodes {
+		if n.recv != nil {
 			for k := 0; k < s.cfg.DCs; k++ {
-				if d.recv.QueueLen(types.DCID(k)) > 0 {
+				if n.recv.QueueLen(types.DCID(k)) > 0 {
 					return false
 				}
 			}
 		}
-		for _, p := range d.parts {
+		for _, q := range n.shipQueues {
+			if q.len() > 0 {
+				return false
+			}
+		}
+		for _, p := range n.parts {
 			if p.EunomiaClient().Pending() > 0 || p.PendingPayloads() > 0 {
 				return false
 			}
@@ -370,7 +724,7 @@ func (s *Store) Convergent() error {
 	}
 	ref := make(map[types.Key]types.Version)
 	for p := 0; p < s.cfg.Partitions; p++ {
-		s.dcs[0].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
+		s.nodes[0].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
 			ref[k] = v
 		})
 	}
@@ -378,7 +732,7 @@ func (s *Store) Convergent() error {
 		count := 0
 		var err error
 		for p := 0; p < s.cfg.Partitions; p++ {
-			s.dcs[m].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
+			s.nodes[m].parts[p].Store().ForEach(func(k types.Key, v types.Version) {
 				count++
 				r, ok := ref[k]
 				if err != nil {
@@ -407,10 +761,8 @@ func (s *Store) Convergent() error {
 // TotalUpdates sums updates accepted across all datacenters.
 func (s *Store) TotalUpdates() int64 {
 	var n int64
-	for _, d := range s.dcs {
-		for _, p := range d.parts {
-			n += p.Updates.Load()
-		}
+	for _, node := range s.nodes {
+		n += node.TotalUpdates()
 	}
 	return n
 }

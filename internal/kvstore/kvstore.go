@@ -108,6 +108,11 @@ func (s *Store) ForEach(fn func(types.Key, types.Version)) {
 // Ring maps keys to partitions by hash, the moral equivalent of Riak's
 // consistent-hashing ring. Sibling partitions at different datacenters use
 // the same ring, so replicated keys land on matching partition ids.
+//
+// Unlike the store's internal shard hash, the ring hash must agree across
+// OS processes (a payload shipped by one process is matched to metadata
+// released in another), so it is a fixed FNV-1a — never a per-process
+// random seed.
 type Ring struct {
 	n int
 }
@@ -126,5 +131,14 @@ func (r Ring) Partitions() int { return r.n }
 // Responsible returns the partition owning key k (RESPONSIBLE(Key) in
 // Algorithms 1 and 5).
 func (r Ring) Responsible(k types.Key) types.PartitionID {
-	return types.PartitionID(maphash.String(hashSeed, string(k)) % uint64(r.n))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return types.PartitionID(h % uint64(r.n))
 }

@@ -150,6 +150,32 @@ func TestRingDeterministicAndBalanced(t *testing.T) {
 	}
 }
 
+// TestRingStableAcrossProcesses pins the ring hash to known values: the
+// mapping must be a fixed function of the key bytes, identical in every
+// OS process of a multi-process deployment (a payload shipped by one
+// process is matched to metadata released in another). These pins fail if
+// the ring ever picks up a per-process random seed again.
+func TestRingStableAcrossProcesses(t *testing.T) {
+	for _, tc := range []struct {
+		key  types.Key
+		n    int
+		want types.PartitionID
+	}{
+		{"user:alice", 8, 0},
+		{"post", 8, 7},
+		{"data0", 8, 7},
+		{"flag0", 8, 5},
+		{"echo", 8, 4},
+		{"data0", 2, 1},
+		{"flag0", 2, 1},
+		{"echo", 2, 0},
+	} {
+		if got := NewRing(tc.n).Responsible(tc.key); got != tc.want {
+			t.Fatalf("Responsible(%q) over %d partitions = %d, want %d", tc.key, tc.n, got, tc.want)
+		}
+	}
+}
+
 func TestRingPanicsOnZero(t *testing.T) {
 	defer func() {
 		if recover() == nil {

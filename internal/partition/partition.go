@@ -72,10 +72,18 @@ type Partition struct {
 	shipper  PayloadShipper
 
 	// payloadMu guards the payload/arrival buffers for remote updates
-	// whose metadata has not yet been released by the receiver.
+	// whose metadata has not yet been released by the receiver, and the
+	// per-origin applied watermark.
 	payloadMu sync.Mutex
 	payloads  map[types.UpdateID]*types.Update
 	arrivals  map[types.UpdateID]time.Time
+	// appliedRemote[origin] is the highest origin timestamp applied via
+	// ApplyRemote. Releases from one origin arrive in ascending
+	// timestamp order (the receiver serializes them), so the watermark
+	// makes retried releases — the cross-process receiver path is
+	// at-least-once — idempotent even if the stored version has since
+	// been overwritten.
+	appliedRemote map[types.DCID]hlc.Timestamp
 
 	// Reads, Updates, RemoteApplied count operations for reports.
 	Reads         metrics.Counter
@@ -95,11 +103,12 @@ func New(cfg Config) *Partition {
 		cfg.DCs = 1
 	}
 	return &Partition{
-		cfg:      cfg,
-		clock:    hlc.NewClock(cfg.Clock),
-		store:    kvstore.New(),
-		payloads: make(map[types.UpdateID]*types.Update),
-		arrivals: make(map[types.UpdateID]time.Time),
+		cfg:           cfg,
+		clock:         hlc.NewClock(cfg.Clock),
+		store:         kvstore.New(),
+		payloads:      make(map[types.UpdateID]*types.Update),
+		arrivals:      make(map[types.UpdateID]time.Time),
+		appliedRemote: make(map[types.DCID]hlc.Timestamp),
 	}
 }
 
@@ -212,9 +221,17 @@ func (p *Partition) ReceivePayload(u *types.Update) {
 func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 	full := u
 	arrived := metaArrived // when the payload rides along, data == metadata
+	p.payloadMu.Lock()
+	if u.TS <= p.appliedRemote[u.Origin] {
+		// A previous release already applied this update but its
+		// acknowledgement was lost — the cross-process receiver path
+		// retries at-least-once. Reporting success keeps the call
+		// idempotent (no double counting, no consumed-payload wedge).
+		p.payloadMu.Unlock()
+		return true
+	}
 	if u.Value == nil {
 		id := u.ID()
-		p.payloadMu.Lock()
 		payload, ok := p.payloads[id]
 		if !ok {
 			p.payloadMu.Unlock()
@@ -224,9 +241,10 @@ func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 		arrived = p.arrivals[id]
 		delete(p.payloads, id)
 		delete(p.arrivals, id)
-		p.payloadMu.Unlock()
 		full = payload
 	}
+	p.appliedRemote[u.Origin] = u.TS
+	p.payloadMu.Unlock()
 
 	if p.cfg.WAL != nil {
 		if err := p.cfg.WAL.Append(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {

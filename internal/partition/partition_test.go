@@ -248,3 +248,38 @@ func TestCountersAdvance(t *testing.T) {
 		t.Fatal("counters not advancing")
 	}
 }
+
+// TestApplyRemoteIdempotentAfterAckLoss models the cross-process receiver
+// path: a release is applied (consuming the buffered payload) but the
+// acknowledgement is lost, so the receiver retries the same metadata.
+// The retry must report success — not wedge forever on the consumed
+// payload — while genuinely missing payloads still report false.
+func TestApplyRemoteIdempotentAfterAckLoss(t *testing.T) {
+	p := newPart(1, 2)
+	u := &types.Update{
+		Key: "k", Value: []byte("v"), Origin: 0, Partition: 0,
+		Seq: 1, TS: 10, VTS: dep(10, 0),
+	}
+	p.ReceivePayload(u)
+	if !p.ApplyRemote(u.Meta(), time.Now()) {
+		t.Fatal("first apply failed with payload buffered")
+	}
+	if !p.ApplyRemote(u.Meta(), time.Now()) {
+		t.Fatal("retry after lost ack wedged instead of reporting success")
+	}
+	if got := p.RemoteApplied.Load(); got != 1 {
+		t.Fatalf("RemoteApplied = %d, want 1 (retry must not double count)", got)
+	}
+	// Even if the key has since been overwritten locally (LWW), a
+	// replayed release of the already-applied update must still report
+	// success — the idempotency comes from the per-origin watermark,
+	// not from the stored version.
+	p.Update("k", []byte("newer"), dep(0, 0))
+	if !p.ApplyRemote(u.Meta(), time.Now()) {
+		t.Fatal("retry after local overwrite wedged")
+	}
+	missing := &types.Update{Key: "other", Origin: 0, Partition: 0, Seq: 2, TS: 11, VTS: dep(11, 0)}
+	if p.ApplyRemote(missing.Meta(), time.Now()) {
+		t.Fatal("apply succeeded with no payload and nothing stored")
+	}
+}

@@ -1,6 +1,6 @@
-// Package simnet is the in-process network fabric that stands in for the
-// paper's testbed (20 physical machines on a Gigabit switch, with WAN
-// latencies emulated by netem).
+// Package simnet is the in-process implementation of the message fabric
+// (internal/fabric) that stands in for the paper's testbed (20 physical
+// machines on a Gigabit switch, with WAN latencies emulated by netem).
 //
 // It preserves the network properties the protocols rely on:
 //
@@ -16,58 +16,38 @@
 // by one goroutine that sleeps until a message's delivery deadline, then
 // invokes the destination handler. Handlers therefore run on link
 // goroutines and must be quick or hand off internally.
+//
+// The endpoint, message and handler types are aliases of the fabric
+// package's: code written against fabric.Fabric runs on a *Network
+// unchanged, and the historical simnet.Addr-style names keep working.
 package simnet
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"eunomia/internal/fabric"
 	"eunomia/internal/types"
 )
 
 // Addr identifies an endpoint: a named process within a datacenter.
-type Addr struct {
-	DC   types.DCID
-	Name string
-}
+type Addr = fabric.Addr
 
-// String renders "dc1/partition3"-style addresses.
-func (a Addr) String() string { return fmt.Sprintf("dc%d/%s", a.DC, a.Name) }
+// Message is one fabric datagram; see fabric.Message.
+type Message = fabric.Message
 
-// PartitionAddr names partition p of datacenter dc.
-func PartitionAddr(dc types.DCID, p types.PartitionID) Addr {
-	return Addr{DC: dc, Name: fmt.Sprintf("partition%d", p)}
-}
+// Handler consumes delivered messages; see fabric.Handler.
+type Handler = fabric.Handler
 
-// EunomiaAddr names Eunomia replica r of datacenter dc.
-func EunomiaAddr(dc types.DCID, r types.ReplicaID) Addr {
-	return Addr{DC: dc, Name: fmt.Sprintf("eunomia%d", r)}
-}
-
-// ReceiverAddr names the geo-replication receiver of datacenter dc.
-func ReceiverAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "receiver"} }
-
-// StabilizerAddr names the GentleRain/Cure stabilizer of datacenter dc.
-func StabilizerAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "stabilizer"} }
-
-// SequencerAddr names sequencer replica r of datacenter dc.
-func SequencerAddr(dc types.DCID, r types.ReplicaID) Addr {
-	return Addr{DC: dc, Name: fmt.Sprintf("sequencer%d", r)}
-}
-
-// Message is one fabric datagram. Payload is an arbitrary protocol struct;
-// the fabric never inspects it.
-type Message struct {
-	From, To Addr
-	Payload  any
-	// SentAt is stamped by Send; receivers use it for latency metrics.
-	SentAt time.Time
-}
-
-// Handler consumes delivered messages.
-type Handler func(Message)
+// Re-exported address constructors; see the fabric package for docs.
+var (
+	PartitionAddr  = fabric.PartitionAddr
+	EunomiaAddr    = fabric.EunomiaAddr
+	ReceiverAddr   = fabric.ReceiverAddr
+	StabilizerAddr = fabric.StabilizerAddr
+	SequencerAddr  = fabric.SequencerAddr
+)
 
 // DelayFunc returns the one-way delay from one address to another.
 type DelayFunc func(from, to Addr) time.Duration
@@ -101,7 +81,8 @@ func PaperRTTs(scale float64) map[[2]types.DCID]time.Duration {
 	}
 }
 
-// Network is the fabric. All methods are safe for concurrent use.
+// Network is the in-process fabric. All methods are safe for concurrent
+// use; *Network implements fabric.Fabric.
 type Network struct {
 	delay DelayFunc
 
@@ -117,6 +98,8 @@ type Network struct {
 	Delivered atomic.Int64
 	Dropped   atomic.Int64
 }
+
+var _ fabric.Fabric = (*Network)(nil)
 
 type linkKey struct{ from, to Addr }
 

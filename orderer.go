@@ -107,13 +107,54 @@ func (o *Orderer) Partition(i int) *PartitionHandle { return o.handles[i] }
 // CrashReplica stops replica r, exercising the §3.3 failover path.
 func (o *Orderer) CrashReplica(r int) { o.cluster.Replica(types.ReplicaID(r)).Stop() }
 
-// Close flushes every stream and stops the service.
+// Close flushes every stream, waits for the last submitted timestamp to
+// become stable — so every submitted operation has been emitted through
+// OnStable — and stops the service. The drain is deterministic: closing
+// the clients flushes their buffers, a final heartbeat at the global
+// maximum timestamp advances every partition watermark past every
+// submission (safe, because no handle will ever issue again), and Close
+// then waits for the acting leader's stable time to cover it.
 func (o *Orderer) Close() {
+	var maxTS Timestamp
 	for _, h := range o.handles {
 		h.client.Close()
+		if ts := h.clock.Last(); ts > maxTS {
+			maxTS = ts
+		}
 	}
-	// Give the leader one stabilization period to emit the final ops.
-	time.Sleep(2 * o.stabilization())
+	if maxTS > 0 {
+		for _, r := range o.cluster.Replicas() {
+			for p := 0; p < o.cfg.Partitions; p++ {
+				if err := r.Heartbeat(types.PartitionID(p), maxTS); err != nil {
+					break // crashed replica; the survivors drain
+				}
+			}
+		}
+		// The drain needs at least one stabilization round after the
+		// final heartbeat; scale the bound with θ so large intervals
+		// still drain instead of hitting an absolute cutoff first.
+		wait := 10 * o.stabilization()
+		if wait < 5*time.Second {
+			wait = 5 * time.Second
+		}
+		deadline := time.Now().Add(wait)
+		poll := o.stabilization() / 4
+		if poll <= 0 {
+			poll = 250 * time.Microsecond
+		}
+		for time.Now().Before(deadline) {
+			l := o.cluster.Leader()
+			if l == nil {
+				break // every replica crashed; nothing will drain
+			}
+			if st := l.Stats(); st.StableTime >= maxTS && st.Pending == 0 {
+				break
+			}
+			time.Sleep(poll)
+		}
+	}
+	// Stop waits for each replica's current stabilization round, so a
+	// ship in progress completes before Close returns.
 	o.cluster.Stop()
 }
 

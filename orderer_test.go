@@ -142,6 +142,42 @@ func TestOrdererFaultTolerance(t *testing.T) {
 	}
 }
 
+// TestOrdererCloseDrainsAllSubmissions closes the orderer immediately
+// after the last Submit, with no settling wait: Close must deterministically
+// drain — every submitted operation is emitted, in order, before it
+// returns.
+func TestOrdererCloseDrainsAllSubmissions(t *testing.T) {
+	col := &stableCollector{}
+	ord, err := NewOrderer(OrdererConfig{
+		Partitions:            4,
+		StabilizationInterval: time.Millisecond,
+		BatchInterval:         time.Millisecond,
+		OnStable:              col.collect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perStream = 50
+	for p := 0; p < 4; p++ {
+		h := ord.Partition(p)
+		var dep Timestamp
+		for i := 0; i < perStream; i++ {
+			dep = h.Submit(dep, []byte{byte(p), byte(i)})
+		}
+	}
+	ord.Close() // no waitFor: the drain itself must deliver everything
+
+	got := col.snapshot()
+	if len(got) != 4*perStream {
+		t.Fatalf("Close drained %d of %d submitted ops", len(got), 4*perStream)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Timestamp < got[i-1].Timestamp {
+			t.Fatalf("drained output unordered at %d", i)
+		}
+	}
+}
+
 func TestPartitionHandleTimestamp(t *testing.T) {
 	ord, err := NewOrderer(OrdererConfig{Partitions: 1, OnStable: func([]StableOp) {}})
 	if err != nil {
