@@ -162,6 +162,36 @@ func BenchmarkFig7_Stragglers(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricPipelinedTCP compares the pipelined, windowed-ack wire
+// protocol against the original one-request-one-response protocol over a
+// real TCP connection on loopback.
+func BenchmarkFabricPipelinedTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.PipelineBench(harness.PipelineBenchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PipelinedPerSec, "pipelined-msgs/s")
+		b.ReportMetric(res.RequestResponsePerSec, "reqresp-msgs/s")
+		b.ReportMetric(res.Speedup, "pipeline-speedup-x")
+	}
+}
+
+// BenchmarkFabricWindowedRelease compares the windowed receiver→partition
+// release stream against the original blocking round-trip release in a
+// split-role datacenter with a 1ms link delay.
+func BenchmarkFabricWindowedRelease(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ReleaseBench(harness.ReleaseBenchOptions{Updates: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WindowedPerSec, "windowed-applies/s")
+		b.ReportMetric(res.BlockingPerSec, "blocking-applies/s")
+		b.ReportMetric(res.Speedup, "release-speedup-x")
+	}
+}
+
 // BenchmarkAblationTreeChoice re-checks §6's claim that the red-black tree
 // beats an AVL tree for Eunomia's insert/extract workload.
 func BenchmarkAblationTreeChoice(b *testing.B) {

@@ -17,15 +17,27 @@
 //	eunomia-server -role partitions,eunomia -dc 0 ... -route dc0:receiver=...
 //	eunomia-server -role receiver          -dc 0 ... -route dc0:partitions=...
 //
+// The -mode flag selects which protocol the process runs, so the paper's
+// whole comparison matrix deploys multi-process over the same fabric:
+//
+//	eunomia   the EunomiaKV deployment (default)
+//	sequencer the S-Seq baseline; -role sequencer runs the number service
+//	          alone in its own process (-aseq switches to A-Seq)
+//	globalstab / gentlerain  the GentleRain baseline (one process per DC)
+//	cure      the Cure baseline (one process per DC)
+//	eventual  the eventually consistent baseline (one process per DC)
+//
 // Routes name where remote endpoints live: "dcK=host:port" maps a whole
 // datacenter to one process, "dcK:partitions=..." / "dcK:eunomia=..." /
-// "dcK:receiver=..." map one role of it. Exact routes beat wildcards;
-// reply routes are learned from connection hellos.
+// "dcK:receiver=..." / "dcK:sequencer=..." map one role of it. Exact
+// routes beat wildcards; reply routes are learned from connection hellos.
 //
 // The -demo flag drives a built-in causal workload for end-to-end smoke
 // testing of a multi-process cluster: "write:N" issues N causally chained
 // data/flag pairs, "watch:N" polls until every pair is visible and exits
-// non-zero if a flag is ever visible without its causally preceding data.
+// non-zero if a flag is ever visible without its causally preceding data
+// (for -mode eventual, which promises no order, it checks visibility
+// only).
 package main
 
 import (
@@ -41,15 +53,46 @@ import (
 	"time"
 
 	"eunomia/internal/eunomia"
+	"eunomia/internal/eventual"
 	"eunomia/internal/fabric"
 	"eunomia/internal/geostore"
+	"eunomia/internal/globalstab"
+	"eunomia/internal/sequencer"
 	"eunomia/internal/transport"
 	"eunomia/internal/types"
 )
 
+// demoClient is the operation surface the demo workload drives; every
+// mode's session type implements it.
+type demoClient interface {
+	Update(types.Key, types.Value) error
+	Read(types.Key) (types.Value, error)
+}
+
+// hosted is a running protocol node behind a mode-independent surface.
+type hosted struct {
+	// newClient is nil when this process hosts no partitions (e.g. a
+	// standalone sequencer or receiver process).
+	newClient func() demoClient
+	stats     func() string
+	close     func()
+	// causal reports whether the protocol promises causally ordered
+	// visibility (everything except eventual).
+	causal bool
+	// causalGrace is how long the watcher lets a causally preceding key
+	// trail its dependent before declaring a violation. Zero = strict
+	// (eunomia and sequencer apply updates in dependency order at one
+	// component). GentleRain/Cure need a round: the stabilizer installs
+	// the stable cut to partitions sequentially, so within one round a
+	// flag can be momentarily visible before its data — resolved by the
+	// time the installation pass completes, never later.
+	causalGrace time.Duration
+}
+
 func main() {
 	var (
-		role       = flag.String("role", "orderer", "orderer, dc, or a comma list of partitions,eunomia,receiver")
+		mode       = flag.String("mode", "eunomia", "protocol: eunomia, sequencer, globalstab|gentlerain, cure, or eventual")
+		role       = flag.String("role", "orderer", "orderer, dc, or a comma list of partitions,eunomia,receiver (mode sequencer: dc, sequencer, partitions)")
 		dcID       = flag.Int("dc", 0, "this process's datacenter id")
 		dcs        = flag.Int("dcs", 3, "number of datacenters in the deployment")
 		partitions = flag.Int("partitions", 8, "partitions per datacenter")
@@ -57,11 +100,12 @@ func main() {
 		listen     = flag.String("listen", ":7077", "fabric listen address")
 		addr       = flag.String("addr", "", "legacy alias for -listen")
 		advertise  = flag.String("advertise", "", "address peers dial to reach this process (default: listen address)")
-		batchIvl   = flag.Duration("batch-interval", time.Millisecond, "partition→Eunomia propagation period")
+		batchIvl   = flag.Duration("batch-interval", time.Millisecond, "partition→Eunomia propagation period (baseline modes: inter-DC ship batching interval)")
 		stableIvl  = flag.Duration("stable-interval", time.Millisecond, "stabilization period θ")
 		checkIvl   = flag.Duration("check-interval", time.Millisecond, "receiver dependency-check period ρ")
 		statsIvl   = flag.Duration("stats-interval", time.Second, "stats reporting period")
-		tree       = flag.String("tree", "redblack", "pending-set structure: redblack|avl")
+		tree       = flag.String("tree", "redblack", "pending-set structure: redblack|avl (mode eunomia)")
+		aseq       = flag.Bool("aseq", false, "mode sequencer: contact the sequencer asynchronously (A-Seq)")
 		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
 	)
 	var routeSpecs []string
@@ -93,53 +137,66 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fab.Close()
-	if err := applyRoutes(fab, routeSpecs, *partitions, *replicas); err != nil {
+	if err := applyRoutes(fab, routeSpecs, *mode, *partitions, *replicas); err != nil {
 		log.Fatal(err)
 	}
 
 	if *role == "orderer" {
+		if *mode != "eunomia" {
+			// The bare ordering service is Eunomia's; don't silently boot
+			// it when a baseline was requested with the default role.
+			log.Fatalf("-role orderer supports only -mode eunomia (got %q); baselines need -role dc", *mode)
+		}
 		runOrderer(fab, *dcID, *partitions, *replicas, *stableIvl, *statsIvl, kind)
 		return
 	}
 
-	roles, err := parseRoles(*role)
+	var h hosted
+	switch *mode {
+	case "eunomia":
+		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind)
+	case "sequencer":
+		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
+	case "globalstab", "gentlerain", "cure":
+		h, err = hostGlobalstab(fab, *role, *mode, *dcID, *dcs, *partitions, *batchIvl, *stableIvl)
+	case "eventual":
+		h, err = hostEventual(fab, *role, *dcID, *dcs, *partitions, *batchIvl)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want eunomia, sequencer, globalstab, gentlerain, cure, or eventual)", *mode)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	node := geostore.NewNode(geostore.NodeConfig{
-		Config: geostore.Config{
-			DCs:            *dcs,
-			Partitions:     *partitions,
-			Replicas:       *replicas,
-			BatchInterval:  *batchIvl,
-			StableInterval: *stableIvl,
-			CheckInterval:  *checkIvl,
-			Tree:           kind,
-		},
-		DC:        types.DCID(*dcID),
-		Roles:     roles,
-		Fabric:    fab,
-		Pipelined: true,
-	})
-	defer node.Close()
-	log.Printf("eunomia-server: dc%d role %s on %s (%d dcs × %d partitions, %d replicas)",
-		*dcID, *role, fab.Addr(), *dcs, *partitions, *replicas)
+	defer h.close()
+	log.Printf("eunomia-server: mode %s, dc%d role %s on %s (%d dcs × %d partitions)",
+		*mode, *dcID, *role, fab.Addr(), *dcs, *partitions)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	if strings.HasPrefix(*demo, "watch:") {
 		n := demoCount(*demo)
-		if err := demoWatch(node, n); err != nil {
+		if h.newClient == nil {
+			log.Fatal("-demo watch needs a process that hosts partitions")
+		}
+		if err := demoWatch(h.newClient(), n, h.causal, h.causalGrace); err != nil {
 			fmt.Println("demo: FAILED:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("demo: causal chain OK (%d pairs)\n", n)
+		if h.causal {
+			fmt.Printf("demo: causal chain OK (%d pairs)\n", n)
+		} else {
+			// Don't claim an order guarantee the protocol doesn't make.
+			fmt.Printf("demo: visibility OK (%d pairs)\n", n)
+		}
 		return
 	}
 	if strings.HasPrefix(*demo, "write:") {
 		n := demoCount(*demo)
-		demoWrite(node, n)
+		if h.newClient == nil {
+			log.Fatal("-demo write needs a process that hosts partitions")
+		}
+		demoWrite(h.newClient(), n)
 		fmt.Printf("demo: wrote %d causal data/flag pairs\n", n)
 	}
 
@@ -151,9 +208,156 @@ func main() {
 			log.Printf("shutting down dc%d", *dcID)
 			return
 		case <-ticker.C:
-			logNodeStats(node, fab)
+			log.Printf("stats: %s, fabric sent=%d delivered=%d dropped=%d",
+				h.stats(), fab.Sent.Load(), fab.Delivered.Load(), fab.Dropped.Load())
 		}
 	}
+}
+
+// hostEunomia boots the EunomiaKV node for the selected roles.
+func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
+	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind) (hosted, error) {
+	roles, err := parseRoles(role)
+	if err != nil {
+		return hosted{}, err
+	}
+	node := geostore.NewNode(geostore.NodeConfig{
+		Config: geostore.Config{
+			DCs:            dcs,
+			Partitions:     partitions,
+			Replicas:       replicas,
+			BatchInterval:  batchIvl,
+			StableInterval: stableIvl,
+			CheckInterval:  checkIvl,
+			Tree:           kind,
+		},
+		DC:        types.DCID(dcID),
+		Roles:     roles,
+		Fabric:    fab,
+		Pipelined: true,
+	})
+	h := hosted{close: node.Close, causal: true}
+	if roles.Has(geostore.RolePartitions) {
+		h.newClient = func() demoClient { return node.NewClient() }
+	}
+	h.stats = func() string {
+		var recvApplied int64
+		if node.Receiver() != nil {
+			recvApplied = node.Receiver().Applied.Load()
+		}
+		var stable string
+		if node.Cluster() != nil {
+			if l := node.Cluster().Leader(); l != nil {
+				st := l.Stats()
+				stable = fmt.Sprintf(" stable=%s ordered=%d pending=%d", st.StableTime, st.OpsShipped, st.Pending)
+			}
+		}
+		return fmt.Sprintf("local updates=%d, remote applied=%d,%s release inflight=%d",
+			node.TotalUpdates(), recvApplied, stable, node.ReleaseInflight())
+	}
+	return h, nil
+}
+
+// hostSequencer boots the S-Seq/A-Seq baseline node. -role sequencer runs
+// the number service alone; dc (or partitions/receiver) hosts the
+// partition group, consulting the sequencer over the fabric when remote.
+func hostSequencer(fab *transport.TCP, role string, dcID, dcs, partitions int, aseq bool, shipIvl, checkIvl time.Duration) (hosted, error) {
+	var roles sequencer.Roles
+	for _, part := range strings.Split(role, ",") {
+		switch strings.TrimSpace(part) {
+		case "dc":
+			roles |= sequencer.RoleAll
+		case "sequencer":
+			roles |= sequencer.RoleSequencer
+		case "partitions":
+			// The partition group hosts the datacenter's receiver too;
+			// there is no separate receiver role in this baseline.
+			roles |= sequencer.RolePartitions
+		default:
+			return hosted{}, fmt.Errorf("unknown role %q for -mode sequencer (want dc, sequencer, partitions)", part)
+		}
+	}
+	mode := sequencer.SSeq
+	if aseq {
+		mode = sequencer.ASeq
+	}
+	node := sequencer.NewNode(sequencer.NodeConfig{
+		StoreConfig: sequencer.StoreConfig{
+			Mode:          mode,
+			DCs:           dcs,
+			Partitions:    partitions,
+			ShipInterval:  shipIvl,
+			CheckInterval: checkIvl,
+		},
+		DC:     types.DCID(dcID),
+		Roles:  roles,
+		Fabric: fab,
+	})
+	// A-Seq knowingly fails to capture causality (that is the point of
+	// the ablation), so the demo watcher must not assert it.
+	h := hosted{close: node.Close, causal: !aseq}
+	if roles.Has(sequencer.RolePartitions) {
+		h.newClient = func() demoClient { return node.NewClient() }
+	}
+	h.stats = func() string {
+		if single, ok := node.Sequencer().(*sequencer.Single); ok {
+			return fmt.Sprintf("remote applied=%d, issued=%d", node.Applied(), single.Issued())
+		}
+		return fmt.Sprintf("remote applied=%d", node.Applied())
+	}
+	return h, nil
+}
+
+// hostGlobalstab boots a GentleRain or Cure datacenter; these baselines
+// deploy one process per datacenter.
+func hostGlobalstab(fab *transport.TCP, role, mode string, dcID, dcs, partitions int, shipIvl, stableIvl time.Duration) (hosted, error) {
+	if role != "dc" {
+		return hosted{}, fmt.Errorf("-mode %s supports only -role dc (got %q)", mode, role)
+	}
+	m := globalstab.GentleRain
+	if mode == "cure" {
+		m = globalstab.Cure
+	}
+	node := globalstab.NewNode(globalstab.NodeConfig{
+		Config: globalstab.Config{
+			Mode:           m,
+			DCs:            dcs,
+			Partitions:     partitions,
+			ShipInterval:   shipIvl,
+			StableInterval: stableIvl,
+		},
+		DC:     types.DCID(dcID),
+		Fabric: fab,
+	})
+	grace := 10 * stableIvl
+	if grace < 100*time.Millisecond {
+		grace = 100 * time.Millisecond
+	}
+	return hosted{
+		newClient:   func() demoClient { return node.NewClient() },
+		stats:       func() string { return fmt.Sprintf("remote applied=%d", node.Applied()) },
+		close:       node.Close,
+		causal:      true,
+		causalGrace: grace,
+	}, nil
+}
+
+// hostEventual boots the eventually consistent baseline datacenter.
+func hostEventual(fab *transport.TCP, role string, dcID, dcs, partitions int, shipIvl time.Duration) (hosted, error) {
+	if role != "dc" {
+		return hosted{}, fmt.Errorf("-mode eventual supports only -role dc (got %q)", role)
+	}
+	node := eventual.NewNode(eventual.NodeConfig{
+		Config: eventual.Config{DCs: dcs, Partitions: partitions, ShipInterval: shipIvl},
+		DC:     types.DCID(dcID),
+		Fabric: fab,
+	})
+	return hosted{
+		newClient: func() demoClient { return node.NewClient() },
+		stats:     func() string { return fmt.Sprintf("remote applied=%d", node.Applied()) },
+		close:     node.Close,
+		causal:    false,
+	}, nil
 }
 
 // runOrderer serves a bare ordering service: the role the original daemon
@@ -215,8 +419,11 @@ func parseRoles(s string) (geostore.Roles, error) {
 	return roles, nil
 }
 
-// applyRoutes expands "dcK=hp" and "dcK:role=hp" specs into fabric routes.
-func applyRoutes(fab *transport.TCP, specs []string, partitions, replicas int) error {
+// applyRoutes expands "dcK=hp" and "dcK:role=hp" specs into fabric
+// routes. The "partitions" role is mode-aware: in -mode sequencer the
+// partition-group process also hosts the datacenter's receiver and the
+// remote-sequencer reply endpoint, so those addresses route with it.
+func applyRoutes(fab *transport.TCP, specs []string, mode string, partitions, replicas int) error {
 	for _, spec := range specs {
 		target, hostport, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -240,12 +447,24 @@ func applyRoutes(fab *transport.TCP, specs []string, partitions, replicas int) e
 			for p := 0; p < partitions; p++ {
 				fab.AddRoute(fabric.PartitionAddr(dc, types.PartitionID(p)), hostport)
 			}
+			// The windowed release stream's ordered ingress lives with the
+			// partition group.
+			fab.AddRoute(fabric.ApplierAddr(dc), hostport)
+			if mode == "sequencer" {
+				// The sequencer baseline colocates the datacenter's
+				// receiver (all inter-DC shipping targets it) and the
+				// remote-sequencer reply endpoint with the partitions.
+				fab.AddRoute(fabric.ReceiverAddr(dc), hostport)
+				fab.AddRoute(sequencer.ClientAddr(dc), hostport)
+			}
 		case "eunomia":
 			for r := 0; r < replicas; r++ {
 				fab.AddRoute(fabric.EunomiaAddr(dc, types.ReplicaID(r)), hostport)
 			}
 		case "receiver":
 			fab.AddRoute(fabric.ReceiverAddr(dc), hostport)
+		case "sequencer":
+			fab.AddRoute(fabric.SequencerAddr(dc, 0), hostport)
 		default:
 			return fmt.Errorf("bad -route role %q in %q", rolePart, spec)
 		}
@@ -264,54 +483,53 @@ func demoCount(s string) int {
 
 // demoWrite issues n causally chained data/flag pairs from one session:
 // each flag causally follows its data, and each pair follows the previous.
-func demoWrite(node *geostore.Node, n int) {
-	c := node.NewClient()
+func demoWrite(c demoClient, n int) {
 	for i := 0; i < n; i++ {
 		must(c.Update(types.Key(fmt.Sprintf("data%d", i)), []byte(fmt.Sprintf("payload%d", i))))
 		must(c.Update(types.Key(fmt.Sprintf("flag%d", i)), []byte("set")))
 	}
 }
 
-// demoWatch waits for every pair and verifies the causal invariant: a
-// visible flag implies its data is visible.
-func demoWatch(node *geostore.Node, n int) error {
-	c := node.NewClient()
+// waitVisible polls until key holds want or the deadline passes.
+func waitVisible(c demoClient, key types.Key, want string, deadline time.Time) error {
+	for {
+		v, _ := c.Read(key)
+		if string(v) == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %s", key)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// demoWatch waits for every pair and, when the protocol promises causal
+// order, verifies the invariant: a visible flag implies its data is
+// visible (within grace, for protocols whose stable cut reaches
+// partitions over a short installation pass).
+func demoWatch(c demoClient, n int, causal bool, grace time.Duration) error {
 	deadline := time.Now().Add(2 * time.Minute)
 	for i := 0; i < n; i++ {
 		flag := types.Key(fmt.Sprintf("flag%d", i))
 		data := types.Key(fmt.Sprintf("data%d", i))
-		for {
-			v, _ := c.Read(flag)
-			if string(v) == "set" {
-				break
-			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("timed out waiting for %s", flag)
-			}
-			time.Sleep(2 * time.Millisecond)
+		payload := fmt.Sprintf("payload%d", i)
+		if err := waitVisible(c, flag, "set", deadline); err != nil {
+			return err
 		}
-		d, _ := c.Read(data)
-		if string(d) != fmt.Sprintf("payload%d", i) {
-			return fmt.Errorf("CAUSALITY VIOLATION: %s visible without %s", flag, data)
+		if causal {
+			if err := waitVisible(c, data, payload, time.Now().Add(grace)); err != nil {
+				return fmt.Errorf("CAUSALITY VIOLATION: %s visible without %s (%v)", flag, data, err)
+			}
+			continue
+		}
+		// Eventual consistency promises visibility, not order: wait for
+		// the data too instead of asserting it arrived first.
+		if err := waitVisible(c, data, payload, deadline); err != nil {
+			return err
 		}
 	}
 	return nil
-}
-
-func logNodeStats(node *geostore.Node, fab *transport.TCP) {
-	var recvApplied int64
-	if node.Receiver() != nil {
-		recvApplied = node.Receiver().Applied.Load()
-	}
-	var stable string
-	if node.Cluster() != nil {
-		if l := node.Cluster().Leader(); l != nil {
-			st := l.Stats()
-			stable = fmt.Sprintf("stable=%s ordered=%d pending=%d", st.StableTime, st.OpsShipped, st.Pending)
-		}
-	}
-	log.Printf("stats: local updates=%d, remote applied=%d, %s, fabric sent=%d delivered=%d dropped=%d",
-		node.TotalUpdates(), recvApplied, stable, fab.Sent.Load(), fab.Delivered.Load(), fab.Dropped.Load())
 }
 
 func must(err error) {

@@ -26,29 +26,31 @@ func freePort(t *testing.T) string {
 	return addr
 }
 
-// TestTwoProcessDatacenterOverTCP is the end-to-end acceptance check for
-// the CLI: it builds the server binary, launches a two-process EunomiaKV
-// datacenter over TCP — one process per datacenter, each hosting every
-// role — drives a causally chained workload in the writer process, and
-// has the watcher process verify causally ordered visibility before
-// exiting.
-func TestTwoProcessDatacenterOverTCP(t *testing.T) {
-	if testing.Short() {
-		t.Skip("skipping multi-process demo in -short mode")
-	}
+// buildServer compiles the server binary once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "eunomia-server")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
+	return bin
+}
 
+// runTwoProcessDemo launches a two-process datacenter pair — one process
+// per datacenter, each hosting every role of the given mode — drives a
+// causally chained workload in the writer process, and has the watcher
+// process verify visibility (and, where promised, causal order) before
+// exiting. confirm is the mode's expected watcher verdict line.
+func runTwoProcessDemo(t *testing.T, bin, mode, confirm string, pairs int) {
+	t.Helper()
 	addr0, addr1 := freePort(t), freePort(t)
-	common := []string{"-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}
+	common := []string{"-mode", mode, "-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}
 
 	writer := exec.Command(bin, append([]string{
 		"-role", "dc", "-dc", "0", "-listen", addr0,
 		"-route", "dc1=" + addr1,
-		"-demo", "write:12",
+		"-demo", fmt.Sprintf("write:%d", pairs),
 	}, common...)...)
 	var writerOut bytes.Buffer
 	writer.Stdout = &writerOut
@@ -70,7 +72,7 @@ func TestTwoProcessDatacenterOverTCP(t *testing.T) {
 	watcher := exec.Command(bin, append([]string{
 		"-role", "dc", "-dc", "1", "-listen", addr1,
 		"-route", "dc0=" + addr0,
-		"-demo", "watch:12",
+		"-demo", fmt.Sprintf("watch:%d", pairs),
 	}, common...)...)
 	var watcherOut bytes.Buffer
 	watcher.Stdout = &watcherOut
@@ -96,10 +98,122 @@ func TestTwoProcessDatacenterOverTCP(t *testing.T) {
 			watcherOut.String(), writerOut.String())
 	}
 	stopWriter()
-	if !strings.Contains(watcherOut.String(), "causal chain OK (12 pairs)") {
-		t.Fatalf("watcher did not confirm causal order:\n%s", watcherOut.String())
+	if !strings.Contains(watcherOut.String(), fmt.Sprintf("%s (%d pairs)", confirm, pairs)) {
+		t.Fatalf("watcher did not print %q:\n%s", confirm, watcherOut.String())
 	}
-	if !strings.Contains(writerOut.String(), fmt.Sprintf("wrote %d causal data/flag pairs", 12)) {
+	if !strings.Contains(writerOut.String(), fmt.Sprintf("wrote %d causal data/flag pairs", pairs)) {
 		t.Fatalf("writer did not confirm workload:\n%s", writerOut.String())
+	}
+}
+
+// TestTwoProcessDatacenterOverTCP is the end-to-end acceptance check for
+// the CLI across the whole comparison matrix: for every -mode, a
+// two-process deployment (one OS process per datacenter) must replicate a
+// causally chained workload over real TCP.
+func TestTwoProcessDatacenterOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	bin := buildServer(t)
+	for mode, confirm := range map[string]string{
+		"eunomia":    "causal chain OK",
+		"sequencer":  "causal chain OK",
+		"globalstab": "causal chain OK",
+		"cure":       "causal chain OK",
+		// Eventual consistency promises visibility only; the watcher must
+		// not claim to have verified an order.
+		"eventual": "visibility OK",
+	} {
+		t.Run(mode, func(t *testing.T) {
+			runTwoProcessDemo(t, bin, mode, confirm, 12)
+		})
+	}
+}
+
+// TestThreeProcessSequencerOverTCP splits dc0 of the sequencer baseline
+// by role: the number service runs alone in one process, the partition
+// group in another, so every update's sequence number is assigned over a
+// real TCP round trip; dc1 watches the causal chain from a third process.
+func TestThreeProcessSequencerOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	bin := buildServer(t)
+	seqAddr, addr0, addr1 := freePort(t), freePort(t), freePort(t)
+	common := []string{"-mode", "sequencer", "-dcs", "2", "-partitions", "2", "-stats-interval", "1h"}
+
+	procs := []*exec.Cmd{
+		exec.Command(bin, append([]string{
+			"-role", "sequencer", "-dc", "0", "-listen", seqAddr,
+		}, common...)...),
+		exec.Command(bin, append([]string{
+			"-role", "partitions", "-dc", "0", "-listen", addr0,
+			"-route", "dc0:sequencer=" + seqAddr,
+			"-route", "dc1=" + addr1,
+			"-demo", "write:8",
+		}, common...)...),
+	}
+	watcher := exec.Command(bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", addr1,
+		// Role-scoped route: in sequencer mode this must cover dc0's
+		// receiver (hosted by the partition-group process), or shipping
+		// to dc0 would be silently dropped.
+		"-route", "dc0:partitions=" + addr0,
+		"-demo", "watch:8",
+	}, common...)...)
+
+	var outs []*bytes.Buffer
+	for _, p := range append(procs, watcher) {
+		var buf bytes.Buffer
+		p.Stdout = &buf
+		p.Stderr = &buf
+		outs = append(outs, &buf)
+	}
+	var killOnce sync.Once
+	killAll := func() {
+		killOnce.Do(func() {
+			for _, p := range procs {
+				if p.Process == nil {
+					continue // never started
+				}
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+		})
+	}
+	defer killAll()
+	// dump stops every process first so the exec pipe goroutines are done
+	// writing into the buffers before we read them.
+	dump := func() string {
+		killAll()
+		var sb strings.Builder
+		for i, buf := range outs {
+			fmt.Fprintf(&sb, "--- process %d ---\n%s\n", i, buf.String())
+		}
+		return sb.String()
+	}
+	for _, p := range procs {
+		if err := p.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := watcher.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- watcher.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watcher failed: %v\n%s", err, dump())
+		}
+	case <-time.After(150 * time.Second):
+		_ = watcher.Process.Kill()
+		<-done
+		t.Fatalf("watcher did not finish\n%s", dump())
+	}
+	if !strings.Contains(outs[len(outs)-1].String(), "causal chain OK (8 pairs)") {
+		t.Fatalf("watcher did not confirm causal order:\n%s", dump())
 	}
 }

@@ -4,12 +4,17 @@
 // causality. It is the yardstick every causally consistent system is
 // normalized against in Figures 1 and 5 — the zero-overhead upper bound
 // on throughput and lower bound on visibility latency.
+//
+// Each datacenter is a fabric-attached Node, so the same deployment runs
+// in-process on the simulated WAN (Store) and as one OS process per
+// datacenter over TCP (cmd/eunomia-server -mode eventual).
 package eventual
 
 import (
 	"sync"
 	"time"
 
+	"eunomia/internal/fabric"
 	"eunomia/internal/hlc"
 	"eunomia/internal/kvstore"
 	"eunomia/internal/metrics"
@@ -47,21 +52,117 @@ func (c *Config) fill() {
 	}
 }
 
-// Store is a running eventually consistent deployment.
-type Store struct {
-	cfg  Config
-	net  *simnet.Network
-	ring kvstore.Ring
-	dcs  [][]*epart
+// NodeConfig parameterises one fabric-attached process: a complete
+// datacenter (eventual consistency has no per-datacenter service at all).
+type NodeConfig struct {
+	Config
+	// DC is the datacenter this node hosts.
+	DC types.DCID
+	// Fabric carries sibling replication. The node registers its
+	// partition endpoints but does not own the fabric.
+	Fabric fabric.Fabric
 }
 
+// Node hosts one eventually consistent datacenter on a fabric.
+type Node struct {
+	cfg   Config
+	id    types.DCID
+	fab   fabric.Fabric
+	ring  kvstore.Ring
+	parts []*epart
+}
+
+// NewNode builds and starts a datacenter, registering its partition
+// endpoints on the fabric.
+func NewNode(nc NodeConfig) *Node {
+	nc.Config.fill()
+	n := &Node{
+		cfg:  nc.Config,
+		id:   nc.DC,
+		fab:  nc.Fabric,
+		ring: kvstore.NewRing(nc.Partitions),
+	}
+	for i := 0; i < n.cfg.Partitions; i++ {
+		pid := types.PartitionID(i)
+		var src hlc.PhysSource
+		if n.cfg.ClockFor != nil {
+			src = n.cfg.ClockFor(n.id, pid)
+		}
+		p := &epart{
+			node:  n,
+			id:    pid,
+			clock: hlc.NewClock(src),
+			kv:    kvstore.New(),
+		}
+		p.ship = fabric.NewBatcher[*types.Update](n.fab, fabric.PartitionAddr(n.id, pid), n.cfg.ShipInterval)
+		part := p
+		n.fab.Register(fabric.PartitionAddr(n.id, pid), func(msg fabric.Message) {
+			batch, ok := msg.Payload.([]*types.Update)
+			if !ok {
+				return
+			}
+			now := time.Now()
+			for _, u := range batch {
+				part.applyRemote(u, now)
+			}
+		})
+		n.parts = append(n.parts, p)
+	}
+	return n
+}
+
+// DC returns the node's datacenter.
+func (n *Node) DC() types.DCID { return n.id }
+
+// Applied sums remote updates applied by the hosted partitions.
+func (n *Node) Applied() int64 {
+	var total int64
+	for _, p := range n.parts {
+		total += p.Applied.Load()
+	}
+	return total
+}
+
+// NewClient opens a client against the hosted datacenter.
+func (n *Node) NewClient() *Client { return &Client{node: n} }
+
+// Close shuts the node down: the shippers flush their final batches. The
+// fabric is the caller's to close afterwards.
+func (n *Node) Close() {
+	for _, p := range n.parts {
+		p.ship.Close()
+	}
+}
+
+// Store is a running eventually consistent deployment: every datacenter
+// as a Node on one simulated-WAN fabric.
+type Store struct {
+	cfg   Config
+	net   *simnet.Network
+	nodes []*Node
+}
+
+// NewStore builds and starts a deployment.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay)}
+	for m := 0; m < cfg.DCs; m++ {
+		s.nodes = append(s.nodes, NewNode(NodeConfig{
+			Config: cfg,
+			DC:     types.DCID(m),
+			Fabric: s.net,
+		}))
+	}
+	return s
+}
+
+// epart is one eventually consistent partition server.
 type epart struct {
-	store *Store
-	dc    types.DCID
+	node  *Node
 	id    types.PartitionID
 	clock *hlc.Clock
 	kv    *kvstore.Store
-	ship  *simnet.Batcher[*types.Update]
+	ship  *fabric.Batcher[*types.Update]
 
 	seqMu sync.Mutex
 	seq   uint64
@@ -70,44 +171,8 @@ type epart struct {
 	Applied metrics.Counter
 }
 
-// NewStore builds and starts a deployment.
-func NewStore(cfg Config) *Store {
-	cfg.fill()
-	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay), ring: kvstore.NewRing(cfg.Partitions)}
-	for m := 0; m < cfg.DCs; m++ {
-		var parts []*epart
-		for i := 0; i < cfg.Partitions; i++ {
-			var src hlc.PhysSource
-			if cfg.ClockFor != nil {
-				src = cfg.ClockFor(types.DCID(m), types.PartitionID(i))
-			}
-			p := &epart{
-				store: s,
-				dc:    types.DCID(m),
-				id:    types.PartitionID(i),
-				clock: hlc.NewClock(src),
-				kv:    kvstore.New(),
-			}
-			p.ship = simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(p.dc, p.id), cfg.ShipInterval)
-			part := p
-			s.net.Register(simnet.PartitionAddr(p.dc, p.id), func(msg simnet.Message) {
-				batch, ok := msg.Payload.([]*types.Update)
-				if !ok {
-					return
-				}
-				now := time.Now()
-				for _, u := range batch {
-					part.applyRemote(u, now)
-				}
-			})
-			parts = append(parts, p)
-		}
-		s.dcs = append(s.dcs, parts)
-	}
-	return s
-}
-
 func (p *epart) update(key types.Key, value types.Value) {
+	n := p.node
 	ts := p.clock.Tick(0)
 	p.seqMu.Lock()
 	p.seq++
@@ -116,18 +181,18 @@ func (p *epart) update(key types.Key, value types.Value) {
 	u := &types.Update{
 		Key:       key,
 		Value:     value.Clone(),
-		Origin:    p.dc,
+		Origin:    n.id,
 		Partition: p.id,
 		Seq:       seq,
 		TS:        ts,
 		CreatedAt: time.Now().UnixNano(),
 	}
-	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, Origin: p.dc})
-	for k := 0; k < p.store.cfg.DCs; k++ {
-		if types.DCID(k) == p.dc {
+	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, Origin: n.id})
+	for k := 0; k < n.cfg.DCs; k++ {
+		if types.DCID(k) == n.id {
 			continue
 		}
-		p.ship.Add(simnet.PartitionAddr(types.DCID(k), p.id), u)
+		p.ship.Add(fabric.PartitionAddr(types.DCID(k), p.id), u)
 	}
 }
 
@@ -135,48 +200,48 @@ func (p *epart) applyRemote(u *types.Update, arrived time.Time) {
 	p.clock.Observe(u.TS)
 	p.kv.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, Origin: u.Origin})
 	p.Applied.Inc()
-	if p.store.cfg.OnVisible != nil {
-		p.store.cfg.OnVisible(p.dc, u, arrived)
+	if p.node.cfg.OnVisible != nil {
+		p.node.cfg.OnVisible(p.node.id, u, arrived)
 	}
 }
 
 // Client issues sessionless operations against one datacenter.
 type Client struct {
-	store *Store
-	dc    types.DCID
+	node *Node
 }
 
 // NewClient opens a client at datacenter dcID.
-func (s *Store) NewClient(dcID types.DCID) *Client { return &Client{store: s, dc: dcID} }
+func (s *Store) NewClient(dcID types.DCID) *Client { return s.nodes[dcID].NewClient() }
 
 // Read returns the locally stored value of key.
 func (c *Client) Read(key types.Key) (types.Value, error) {
-	p := c.store.dcs[c.dc][c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	v, _ := p.kv.Get(key)
 	return v.Value, nil
 }
 
 // Update writes key locally and replicates asynchronously.
 func (c *Client) Update(key types.Key, value types.Value) error {
-	p := c.store.dcs[c.dc][c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	p.update(key, value)
 	return nil
 }
 
 // Partition exposes a partition's kvstore for convergence checks.
 func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
-	return s.dcs[m][p].kv
+	return s.nodes[m].parts[p].kv
 }
+
+// Node returns datacenter m's node, for role-level inspection.
+func (s *Store) Node(m types.DCID) *Node { return s.nodes[m] }
 
 // Network exposes the fabric.
 func (s *Store) Network() *simnet.Network { return s.net }
 
 // Close shuts the deployment down.
 func (s *Store) Close() {
-	for _, parts := range s.dcs {
-		for _, p := range parts {
-			p.ship.Close()
-		}
+	for _, n := range s.nodes {
+		n.Close()
 	}
 	s.net.Close()
 }

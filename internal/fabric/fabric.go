@@ -53,6 +53,14 @@ func EunomiaAddr(dc types.DCID, r types.ReplicaID) Addr {
 // ReceiverAddr names the geo-replication receiver of datacenter dc.
 func ReceiverAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "receiver"} }
 
+// ApplierAddr names the remote-release applier of datacenter dc: the
+// single ordered ingress the partition-hosting process exposes for the
+// receiver's windowed release stream. A single address (rather than the
+// per-partition ones) matters because the stream's apply order is the
+// causal order — one ordered endpoint pair means one FIFO channel on any
+// fabric implementation.
+func ApplierAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "applier"} }
+
 // StabilizerAddr names the GentleRain/Cure stabilizer of datacenter dc.
 func StabilizerAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "stabilizer"} }
 

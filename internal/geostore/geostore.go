@@ -46,9 +46,11 @@ type ShipMsg struct {
 }
 
 // ApplyMsg asks the partition responsible for U.Key to apply a released
-// remote update; it is used when a datacenter's receiver and partition
-// group run in different processes. ArrivedUnixNano carries the metadata
-// arrival instant for visibility metrics.
+// remote update, one blocking round trip at a time. It is the original
+// cross-process release protocol, kept for the blocking-release ablation
+// (NodeConfig.BlockingRelease); deployments default to the windowed
+// protocol in release.go. ArrivedUnixNano carries the metadata arrival
+// instant for visibility metrics.
 type ApplyMsg struct {
 	ID              uint64
 	U               *types.Update
@@ -176,6 +178,14 @@ type NodeConfig struct {
 	// AckTimeout bounds synchronous round trips and remote apply calls.
 	// Default 10s.
 	AckTimeout time.Duration
+	// ReleaseWindow bounds in-flight releases on the windowed
+	// receiver→partition release path (split-role nodes only).
+	// Default 256.
+	ReleaseWindow int
+	// BlockingRelease selects the original one-round-trip-per-update
+	// release protocol instead of the windowed stream — the ablation the
+	// fabric benchmark compares against.
+	BlockingRelease bool
 }
 
 // Node hosts a subset of one datacenter's components on a fabric. A Store
@@ -194,8 +204,14 @@ type Node struct {
 	cluster    *eunomia.Cluster
 	recv       *receiver.Receiver
 
+	// Windowed cross-process release: relWin on receiver-only nodes,
+	// app on partition-hosting nodes whose receiver lives elsewhere.
+	relWin *releaseWindow
+	app    *applier
+
 	ackTimeout time.Duration
 
+	// Blocking-release ablation state (remoteApply).
 	applyMu   sync.Mutex
 	applyID   uint64
 	applyWait map[uint64]chan bool
@@ -227,7 +243,7 @@ func NewNode(nc NodeConfig) *Node {
 		n.buildPartitions(nc)
 	}
 	if nc.Roles.Has(RoleReceiver) && n.cfg.DCs > 1 {
-		n.buildReceiver()
+		n.buildReceiver(nc)
 	}
 	return n
 }
@@ -352,18 +368,31 @@ func (n *Node) buildPartitions(nc NodeConfig) {
 			}
 		})
 	}
+	if !nc.Roles.Has(RoleReceiver) && cfg.DCs > 1 {
+		// Our datacenter's receiver runs in another process: expose the
+		// ordered ingress its windowed release stream targets.
+		n.app = newApplier(n)
+		n.fab.Register(fabric.ApplierAddr(m), n.app.handle)
+	}
 }
 
 // buildReceiver starts the receiver, releasing remote metadata to the
 // responsible partition: directly when the partition group is colocated,
-// through a fabric round trip when it runs in another process.
-func (n *Node) buildReceiver() {
+// through the windowed release stream (release.go) when it runs in
+// another process — or through blocking fabric round trips when the
+// BlockingRelease ablation asks for the original protocol.
+func (n *Node) buildReceiver(nc NodeConfig) {
 	m := n.id
 	apply := func(u *types.Update, metaArrived time.Time) bool {
 		return n.parts[n.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
 	}
 	if !n.roles.Has(RolePartitions) {
-		apply = n.remoteApply
+		if nc.BlockingRelease {
+			apply = n.remoteApply
+		} else {
+			n.relWin = newReleaseWindow(n.fab, fabric.ReceiverAddr(m), fabric.ApplierAddr(m), nc.ReleaseWindow)
+			apply = n.relWin.release
+		}
 	}
 	n.recv = receiver.New(receiver.Config{
 		DC:            m,
@@ -376,6 +405,10 @@ func (n *Node) buildReceiver() {
 		switch v := msg.Payload.(type) {
 		case ShipMsg:
 			recv.Enqueue(v.Origin, v.Ops)
+		case ReleaseAckMsg:
+			if n.relWin != nil {
+				n.relWin.handleAck(v)
+			}
 		case ApplyAckMsg:
 			n.applyMu.Lock()
 			ch := n.applyWait[v.ID]
@@ -433,6 +466,41 @@ func (n *Node) Partition(p types.PartitionID) *partition.Partition { return n.pa
 // Ring returns the key-to-partition mapping.
 func (n *Node) Ring() kvstore.Ring { return n.ring }
 
+// ReleaseInflight reports how many releases the node's windowed release
+// stream is holding unacknowledged (0 unless the node hosts RoleReceiver
+// without RolePartitions).
+func (n *Node) ReleaseInflight() int {
+	if n.relWin == nil {
+		return 0
+	}
+	return n.relWin.inflightLen()
+}
+
+// ReleaseResent reports how many releases the window retransmitted after
+// acknowledgement stalls.
+func (n *Node) ReleaseResent() int64 {
+	if n.relWin == nil {
+		return 0
+	}
+	return n.relWin.resentCount()
+}
+
+// ReleaseWedged reports whether the node's release stream was declared
+// unrecoverable (the partition process restarted without persisted
+// state); the datacenter needs a restart/resync.
+func (n *Node) ReleaseWedged() bool {
+	return n.relWin != nil && n.relWin.isWedged()
+}
+
+// ApplierPending reports releases admitted by the node's applier but not
+// yet applied (0 unless the node hosts partitions for a remote receiver).
+func (n *Node) ApplierPending() int {
+	if n.app == nil {
+		return 0
+	}
+	return n.app.pending()
+}
+
 // TotalUpdates sums updates accepted by the hosted partitions.
 func (n *Node) TotalUpdates() int64 {
 	var t int64
@@ -476,8 +544,16 @@ func (n *Node) CloseServices() {
 		// released when the caller closes the fabric afterwards.
 		q.close()
 	}
+	if n.relWin != nil {
+		// Before recv.Close: the receiver loop may be blocked in a
+		// release() on a full window, and Close waits for that loop.
+		n.relWin.close()
+	}
 	if n.recv != nil {
 		n.recv.Close()
+	}
+	if n.app != nil {
+		n.app.close()
 	}
 }
 

@@ -1,0 +1,475 @@
+package geostore
+
+// The cross-process receiver→partition release path.
+//
+// When a datacenter's receiver and partition group run in different
+// processes, every update the receiver releases must cross the fabric
+// before it becomes visible. The original protocol (remoteApply, kept
+// below for the blocking-release ablation) performed one blocking round
+// trip per update, which caps split-role deployments at ~1/RTT applies per
+// origin. The windowed protocol here removes the round trips while keeping
+// the property the blocking path provided — the visible set at the
+// partition process is always a causal prefix:
+//
+//   - The receiver releases updates into a bounded in-flight window
+//     (releaseWindow): each release is assigned a dense per-stream
+//     sequence number and streamed to the partition process's single
+//     applier endpoint (fabric.ApplierAddr). One ordered endpoint pair
+//     means one FIFO channel, so releases arrive in release order — which
+//     is the causal order Algorithm 5 computed.
+//   - The applier admits only the next expected sequence number (gaps wait
+//     for the retransmit pass; duplicates are re-acknowledged and dropped)
+//     and applies strictly in order. An update whose payload has not yet
+//     arrived parks the stream head — nothing causally after it may become
+//     visible anyway — and retries until payload replication catches up.
+//   - Acknowledgements are cumulative (ReleaseAckMsg carries the highest
+//     sequence applied) and flow back asynchronously, pruning the window.
+//     If they stall — a dropped stream, a crashed-and-recovered link, a
+//     route installed late — the window retransmits its whole
+//     unacknowledged suffix in order, and the applier's sequence filter
+//     makes the retransmission idempotent.
+//   - When the partition process is down, the window fills and release()
+//     blocks: the receiver's flush loop stalls with bounded memory in the
+//     stream (its own per-origin queues keep absorbing shipped metadata,
+//     exactly as before), and releases resume on reconnect.
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/types"
+)
+
+// ReleaseMsg releases one update to the remote partition group, Seq-th in
+// the receiver's release order. Epoch identifies the sender incarnation:
+// a restarted receiver process restarts Seq at 1, and without the epoch
+// the applier would discard its whole stream as duplicates (while acking
+// it as applied — fake success). ArrivedUnixNano carries the metadata
+// arrival instant for visibility metrics.
+type ReleaseMsg struct {
+	Epoch           uint64
+	Seq             uint64
+	U               *types.Update
+	ArrivedUnixNano int64
+}
+
+// ReleaseAckMsg is the applier's cumulative acknowledgement for one sender
+// epoch: every release with Seq <= Cum has been applied, and every release
+// with Seq <= Admitted has been received into the apply queue. The window
+// prunes by Cum (so backpressure tracks actual applies) but judges stream
+// health by Admitted: a stream whose tail is admitted lost nothing and
+// must not be retransmitted just because the applier is slow (e.g. parked
+// on a payload that replication has not delivered yet). Acks from a
+// different epoch are ignored by the window.
+type ReleaseAckMsg struct {
+	Epoch    uint64
+	Cum      uint64
+	Admitted uint64
+	// NeedReset reports that the applier is a fresh incarnation being
+	// offered the middle of a stream whose prefix it never saw. If the
+	// sender has already pruned that prefix (it was acked by the dead
+	// incarnation), the stream is unrecoverable without persisted state
+	// and the sender wedges loudly instead of retransmitting forever.
+	NeedReset bool
+}
+
+func init() {
+	fabric.RegisterPayload(ReleaseMsg{})
+	fabric.RegisterPayload(ReleaseAckMsg{})
+}
+
+const (
+	// defaultReleaseWindow bounds in-flight (released but unacknowledged)
+	// updates per receiver. Far below the transport's frame window, so the
+	// release path backpressures on its own bound, never inside a fabric
+	// Send.
+	defaultReleaseWindow = 256
+	// releaseResendAfter is how long acknowledgements may stall before the
+	// window retransmits its unacknowledged suffix. Well above any sane
+	// RTT, well below human patience.
+	releaseResendAfter = 250 * time.Millisecond
+	// releaseAckEvery caps how many applies the applier folds into one
+	// cumulative acknowledgement while its queue stays non-empty.
+	releaseAckEvery = 32
+)
+
+// releaseWindow is the sender half of the windowed release protocol,
+// owned by a node that hosts RoleReceiver without RolePartitions.
+type releaseWindow struct {
+	fab      fabric.Fabric
+	from, to fabric.Addr
+	limit    int
+	// epoch identifies this window incarnation; the applier resets its
+	// sequence state when it changes (receiver process restart).
+	epoch uint64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight []ReleaseMsg // unacknowledged, ascending dense Seq
+	nextSeq  uint64
+	// progress is when the window last advanced (ack) or was last
+	// retransmitted; a stall beyond releaseResendAfter triggers a resend.
+	progress time.Time
+	// lastAdmitted is the highest admission watermark seen; any advance
+	// proves the stream is intact even while applies are parked.
+	lastAdmitted uint64
+	resent       int64
+	// wedged records an unrecoverable stream (the partition process
+	// restarted without persisted state); releases fail fast and
+	// retransmission stops.
+	wedged bool
+	closed bool
+
+	stop chan struct{}
+}
+
+func newReleaseWindow(fab fabric.Fabric, from, to fabric.Addr, limit int) *releaseWindow {
+	if limit <= 0 {
+		limit = defaultReleaseWindow
+	}
+	w := &releaseWindow{
+		fab: fab, from: from, to: to, limit: limit,
+		epoch: uint64(time.Now().UnixNano()),
+		stop:  make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.resendLoop()
+	return w
+}
+
+// release implements receiver.ApplyFunc: it admits the update into the
+// window — blocking while the window is full — and streams it out. The
+// optimistic true return advances SiteTime immediately; ordering is
+// preserved because every subsequent release travels the same FIFO stream
+// behind this one. A false return (window closed mid-shutdown) makes the
+// receiver keep the update queued, like any other failed apply.
+func (w *releaseWindow) release(u *types.Update, metaArrived time.Time) bool {
+	w.mu.Lock()
+	for !w.closed && !w.wedged && len(w.inflight) >= w.limit {
+		w.cond.Wait()
+	}
+	if w.closed || w.wedged {
+		w.mu.Unlock()
+		return false
+	}
+	w.nextSeq++
+	m := ReleaseMsg{Epoch: w.epoch, Seq: w.nextSeq, U: u, ArrivedUnixNano: metaArrived.UnixNano()}
+	if len(w.inflight) == 0 {
+		// A fresh window starts its stall clock now, not at the last ack.
+		w.progress = time.Now()
+	}
+	w.inflight = append(w.inflight, m)
+	w.mu.Unlock()
+	// Send outside the lock: a networked fabric may block here under
+	// backpressure, and acknowledgements must still be able to prune the
+	// window meanwhile. Only the receiver's flush loop calls release, so
+	// sends leave in sequence order; the rare race with a concurrent
+	// retransmit is healed by the applier's in-order admission.
+	w.fab.Send(w.from, w.to, m)
+	return true
+}
+
+// handleAck prunes the window up to the cumulative apply acknowledgement.
+// Progress (the retransmission stall clock) advances when applies
+// advance, and also when the whole in-flight suffix is admitted — the
+// stream is intact, the applier is just still working.
+func (w *releaseWindow) handleAck(ack ReleaseAckMsg) {
+	if ack.Epoch != w.epoch {
+		return // stale ack for a previous window incarnation
+	}
+	w.mu.Lock()
+	if ack.NeedReset && !w.wedged && len(w.inflight) > 0 && w.inflight[0].Seq > 1 {
+		// A fresh applier incarnation is missing a prefix this window has
+		// already pruned: the dead incarnation applied it and took that
+		// state to its grave. Without persisted partition state (a
+		// ROADMAP follow-up) the stream cannot be rebuilt — fail loudly
+		// and stop retransmitting instead of churning forever.
+		w.wedged = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		log.Printf("geostore: release stream to %s lost: partition process restarted without persisted state; datacenter needs a full restart/resync", w.to)
+		return
+	}
+	drop := 0
+	for drop < len(w.inflight) && w.inflight[drop].Seq <= ack.Cum {
+		drop++
+	}
+	if drop > 0 {
+		w.inflight = append([]ReleaseMsg(nil), w.inflight[drop:]...)
+		w.cond.Broadcast()
+	}
+	// Progress: applies advanced, the whole in-flight suffix is admitted,
+	// or the admission watermark moved at all — the latter matters when
+	// the applier is parked but new releases keep extending the tail, so
+	// a heartbeat's snapshot never quite covers it.
+	if drop > 0 || len(w.inflight) == 0 ||
+		ack.Admitted >= w.inflight[len(w.inflight)-1].Seq || ack.Admitted > w.lastAdmitted {
+		w.progress = time.Now()
+	}
+	if ack.Admitted > w.lastAdmitted {
+		w.lastAdmitted = ack.Admitted
+	}
+	w.mu.Unlock()
+}
+
+// resendLoop retransmits the unacknowledged suffix when acknowledgements
+// stall, restoring the stream after drops or outages. It exits on close
+// without being joined: a retransmit Send may sit in fabric backpressure
+// until the owner closes the fabric (same contract as shipQueue).
+func (w *releaseWindow) resendLoop() {
+	ticker := time.NewTicker(releaseResendAfter / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		w.mu.Lock()
+		if w.wedged || len(w.inflight) == 0 || time.Since(w.progress) < releaseResendAfter {
+			w.mu.Unlock()
+			continue
+		}
+		batch := append([]ReleaseMsg(nil), w.inflight...)
+		w.progress = time.Now()
+		w.resent += int64(len(batch))
+		w.mu.Unlock()
+		for _, m := range batch {
+			w.fab.Send(w.from, w.to, m)
+		}
+	}
+}
+
+// inflightLen reports the current window occupancy (tests).
+func (w *releaseWindow) inflightLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.inflight)
+}
+
+// resentCount reports how many releases were retransmitted (tests).
+func (w *releaseWindow) resentCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resent
+}
+
+// isWedged reports whether the stream was declared unrecoverable.
+func (w *releaseWindow) isWedged() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wedged
+}
+
+// close signals shutdown: blocked release calls return false. It does not
+// wait for the resend goroutine, which may sit in fabric backpressure
+// until the owner closes the fabric (same contract as shipQueue).
+func (w *releaseWindow) close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.stop)
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// applier is the receiving half: the single ordered ingress a
+// partition-hosting node exposes when its datacenter's receiver runs
+// elsewhere. One worker applies releases strictly in sequence order.
+type applier struct {
+	node *Node
+	from fabric.Addr // our address (acks originate here)
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []ReleaseMsg // admitted, contiguous, awaiting apply
+	// epoch is the sender incarnation the sequence state below belongs
+	// to; a new epoch (restarted receiver process) resets it.
+	epoch uint64
+	// enq is the highest sequence admitted (tail of q); applied is the
+	// highest applied. applied == enq when the queue is empty.
+	enq, applied uint64
+	sinceAck     int
+	// lastResetAck rate-limits NeedReset replies during a retransmit
+	// burst aimed at a dead predecessor's stream position.
+	lastResetAck time.Time
+	closed       bool
+
+	stop chan struct{}
+}
+
+func newApplier(n *Node) *applier {
+	a := &applier{node: n, from: fabric.ApplierAddr(n.id), stop: make(chan struct{})}
+	a.cond = sync.NewCond(&a.mu)
+	go a.run()
+	return a
+}
+
+// handle is the fabric handler for the applier endpoint.
+func (a *applier) handle(msg fabric.Message) {
+	m, ok := msg.Payload.(ReleaseMsg)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	if m.Epoch < a.epoch {
+		// A leftover frame from a dead incarnation delivered late (its
+		// connection outlived it): it must not touch the live successor's
+		// stream state. Epochs are start timestamps, so newer incarnations
+		// always compare greater (a successor on a machine whose clock is
+		// behind by more than the restart gap is out of the paper's
+		// loosely-synchronized-clocks model).
+		a.mu.Unlock()
+		return
+	}
+	if m.Epoch > a.epoch {
+		// New sender incarnation: its stream restarts at sequence 1.
+		// Entries of the dead incarnation are abandoned — updates that
+		// still matter are re-released by the successor (and re-applies
+		// are idempotent: partitions dedup by origin timestamp).
+		a.epoch = m.Epoch
+		a.q = nil
+		a.enq, a.applied, a.sinceAck = 0, 0, 0
+	}
+	switch {
+	case m.Seq <= a.enq:
+		// Duplicate (a retransmission overlap): drop it. Only the tail
+		// duplicate re-acknowledges — one coalesced ack per retransmit
+		// pass, not one per message, since Sends here run on the fabric
+		// delivery goroutine.
+		if m.Seq != a.enq {
+			a.mu.Unlock()
+			return
+		}
+		cum, adm, ep := a.applied, a.enq, a.epoch
+		a.mu.Unlock()
+		a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+		return
+	case m.Seq != a.enq+1:
+		// Gap: something before it was dropped. The sender retransmits
+		// the whole unacknowledged suffix in order, so normally just
+		// wait — but a gap at a completely fresh incarnation (nothing
+		// ever admitted) may be a stream whose prefix died with our
+		// predecessor; tell the sender, which wedges only if it can no
+		// longer supply that prefix.
+		if a.enq == 0 && a.applied == 0 && time.Since(a.lastResetAck) >= time.Second {
+			a.lastResetAck = time.Now()
+			ep := a.epoch
+			a.mu.Unlock()
+			a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, NeedReset: true})
+			return
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.enq = m.Seq
+	a.q = append(a.q, m)
+	a.cond.Signal()
+	a.mu.Unlock()
+}
+
+// run applies admitted releases in order, parking on a missing payload
+// until replication delivers it, and returns cumulative acknowledgements.
+// Like resendLoop it exits on close without being joined: an ack Send may
+// sit in fabric backpressure until the owner closes the fabric.
+func (a *applier) run() {
+	n := a.node
+	for {
+		a.mu.Lock()
+		for len(a.q) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		if a.closed {
+			a.mu.Unlock()
+			return
+		}
+		head := a.q[0]
+		a.mu.Unlock()
+
+		part := n.parts[n.ring.Responsible(head.U.Key)]
+		var parked time.Duration
+		for !part.ApplyRemote(head.U, time.Unix(0, head.ArrivedUnixNano)) {
+			// Payload not here yet. In-order release means nothing behind
+			// this update may become visible first, so wait for the
+			// payload replication stream to catch up — heartbeating the
+			// admission watermark meanwhile, so the sender knows the
+			// stream is intact and does not retransmit it.
+			if a.sleep(n.cfg.CheckInterval) {
+				return
+			}
+			a.mu.Lock()
+			stale := len(a.q) == 0 || a.q[0] != head
+			cum, adm, ep := a.applied, a.enq, a.epoch
+			a.mu.Unlock()
+			if stale {
+				break // epoch reset replaced the queue under us
+			}
+			if parked += n.cfg.CheckInterval; parked >= releaseResendAfter/2 {
+				parked = 0
+				n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+			}
+		}
+
+		a.mu.Lock()
+		if len(a.q) == 0 || a.q[0] != head {
+			// The queue was reset (new sender epoch) while this entry was
+			// being applied; its bookkeeping died with the old epoch.
+			a.mu.Unlock()
+			continue
+		}
+		a.q = a.q[1:]
+		if len(a.q) == 0 {
+			a.q = nil
+		}
+		a.applied = head.Seq
+		a.sinceAck++
+		ack := len(a.q) == 0 || a.sinceAck >= releaseAckEvery
+		if ack {
+			a.sinceAck = 0
+		}
+		cum, adm, ep := a.applied, a.enq, a.epoch
+		a.mu.Unlock()
+		if ack {
+			n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+		}
+	}
+}
+
+// sleep pauses for d (at least 1ms) and reports whether the applier was
+// closed meanwhile.
+func (a *applier) sleep(d time.Duration) bool {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return false
+	case <-a.stop:
+		return true
+	}
+}
+
+// pending reports admitted-but-unapplied releases (tests).
+func (a *applier) pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.q)
+}
+
+// close stops the worker. Like releaseWindow.close it only signals; a
+// worker blocked in a backpressured ack Send is released when the owner
+// closes the fabric.
+func (a *applier) close() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		close(a.stop)
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}

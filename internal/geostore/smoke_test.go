@@ -17,14 +17,7 @@ func fastDelay() simnet.DelayFunc {
 
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("condition not reached within %v", timeout)
+	waitUntil(t, timeout, "condition", cond)
 }
 
 // TestSmokeReplication writes at dc0 and expects the value to become

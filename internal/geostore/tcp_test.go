@@ -42,6 +42,7 @@ func TestDatacenterOverTCPFabrics(t *testing.T) {
 	for p := types.PartitionID(0); p < 2; p++ {
 		fabB.AddRoute(fabric.PartitionAddr(0, p), a)
 	}
+	fabB.AddRoute(fabric.ApplierAddr(0), a)
 	fabB.AddDCRoute(1, c)
 	fabC.AddRoute(fabric.ReceiverAddr(0), b)
 	fabC.AddDCRoute(0, a)

@@ -18,12 +18,18 @@
 // the paper) and on a periodic local stable-time computation (5ms), whose
 // cost is exactly the throughput-versus-visibility tension Figure 1
 // sweeps.
+//
+// Each datacenter is a fabric-attached Node: replication batches and
+// sibling heartbeats cross a fabric.Fabric, so the same deployment runs
+// in-process on the simulated WAN (Store) and as one OS process per
+// datacenter over TCP (cmd/eunomia-server -mode globalstab|cure).
 package globalstab
 
 import (
 	"sync"
 	"time"
 
+	"eunomia/internal/fabric"
 	"eunomia/internal/hlc"
 	"eunomia/internal/kvstore"
 	"eunomia/internal/metrics"
@@ -95,48 +101,115 @@ func (c *Config) fill() {
 	}
 }
 
-// heartbeatMsg is the periodic sibling announcement: "I will never issue a
+// HeartbeatMsg is the periodic sibling announcement: "I will never issue a
 // timestamp at or below ts again".
-type heartbeatMsg struct {
+type HeartbeatMsg struct {
 	Origin types.DCID
 	Part   types.PartitionID
 	TS     hlc.Timestamp
 }
 
-// Store is a running GentleRain or Cure deployment.
-type Store struct {
-	cfg  Config
-	net  *simnet.Network
-	ring kvstore.Ring
-	dcs  []*gdc
+func init() {
+	fabric.RegisterPayload(HeartbeatMsg{})
 }
 
-type gdc struct {
+// NodeConfig parameterises one fabric-attached process of a deployment:
+// a complete datacenter (partitions plus its stabilizer — GentleRain and
+// Cure have no standalone per-datacenter service to split out).
+type NodeConfig struct {
+	Config
+	// DC is the datacenter this node hosts.
+	DC types.DCID
+	// Fabric carries sibling replication and heartbeats. The node
+	// registers its partition endpoints but does not own the fabric.
+	Fabric fabric.Fabric
+}
+
+// Node hosts one GentleRain/Cure datacenter on a fabric.
+type Node struct {
+	cfg   Config
 	id    types.DCID
+	fab   fabric.Fabric
+	ring  kvstore.Ring
 	parts []*gpart
 	stab  *stabilizer
+}
+
+// NewNode builds and starts a datacenter, registering its partition
+// endpoints on the fabric.
+func NewNode(nc NodeConfig) *Node {
+	nc.Config.fill()
+	n := &Node{
+		cfg:  nc.Config,
+		id:   nc.DC,
+		fab:  nc.Fabric,
+		ring: kvstore.NewRing(nc.Partitions),
+	}
+	for i := 0; i < n.cfg.Partitions; i++ {
+		n.parts = append(n.parts, newGPart(n, types.PartitionID(i)))
+	}
+	n.stab = newStabilizer(n)
+	return n
+}
+
+// DC returns the node's datacenter.
+func (n *Node) DC() types.DCID { return n.id }
+
+// Applied sums remote updates made visible by the hosted partitions.
+func (n *Node) Applied() int64 {
+	var total int64
+	for _, p := range n.parts {
+		total += p.Applied.Load()
+	}
+	return total
+}
+
+// NewClient opens a causal session against the hosted datacenter.
+// GentleRain clients carry a scalar history, Cure clients a vector — the
+// metadata difference under evaluation.
+func (n *Node) NewClient() *Client {
+	mode := session.Vector
+	if n.cfg.Mode == GentleRain {
+		mode = session.Scalar
+	}
+	return &Client{node: n, sess: session.New(mode, n.cfg.DCs)}
+}
+
+// Close shuts the node down: the stabilizer stops, then the shippers
+// flush. The fabric is the caller's to close afterwards.
+func (n *Node) Close() {
+	n.stab.close()
+	for _, p := range n.parts {
+		p.shipper.Close()
+	}
+}
+
+// Store is a running GentleRain or Cure deployment: every datacenter as a
+// Node on one simulated-WAN fabric.
+type Store struct {
+	cfg   Config
+	net   *simnet.Network
+	nodes []*Node
 }
 
 // NewStore builds and starts a deployment.
 func NewStore(cfg Config) *Store {
 	cfg.fill()
-	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay), ring: kvstore.NewRing(cfg.Partitions)}
+	s := &Store{cfg: cfg, net: simnet.New(cfg.Delay)}
 	for m := 0; m < cfg.DCs; m++ {
-		d := &gdc{id: types.DCID(m)}
-		for i := 0; i < cfg.Partitions; i++ {
-			d.parts = append(d.parts, newGPart(s, types.DCID(m), types.PartitionID(i)))
-		}
-		d.stab = newStabilizer(s, d)
-		s.dcs = append(s.dcs, d)
+		s.nodes = append(s.nodes, NewNode(NodeConfig{
+			Config: cfg,
+			DC:     types.DCID(m),
+			Fabric: s.net,
+		}))
 	}
 	return s
 }
 
 // gpart is one GentleRain/Cure partition server.
 type gpart struct {
-	store *Store
-	dc    types.DCID
-	id    types.PartitionID
+	node *Node
+	id   types.PartitionID
 
 	clock *hlc.Clock
 	kv    *kvstore.Store
@@ -149,7 +222,7 @@ type gpart struct {
 	seq      uint64
 	lastShip time.Time
 
-	shipper *simnet.Batcher[*types.Update]
+	shipper *fabric.Batcher[*types.Update]
 
 	// Applied counts remote updates made visible.
 	Applied metrics.Counter
@@ -160,28 +233,27 @@ type gPend struct {
 	arrived time.Time
 }
 
-func newGPart(s *Store, m types.DCID, pid types.PartitionID) *gpart {
+func newGPart(n *Node, pid types.PartitionID) *gpart {
 	var src hlc.PhysSource
-	if s.cfg.ClockFor != nil {
-		src = s.cfg.ClockFor(m, pid)
+	if n.cfg.ClockFor != nil {
+		src = n.cfg.ClockFor(n.id, pid)
 	}
 	p := &gpart{
-		store:  s,
-		dc:     m,
+		node:   n,
 		id:     pid,
 		clock:  hlc.NewClock(src),
 		kv:     kvstore.New(),
-		vv:     vclock.New(s.cfg.DCs),
-		queues: make([][]gPend, s.cfg.DCs),
-		gsv:    vclock.New(s.cfg.DCs),
+		vv:     vclock.New(n.cfg.DCs),
+		queues: make([][]gPend, n.cfg.DCs),
+		gsv:    vclock.New(n.cfg.DCs),
 	}
-	p.shipper = simnet.NewBatcher[*types.Update](s.net, simnet.PartitionAddr(m, pid), s.cfg.ShipInterval)
-	s.net.Register(simnet.PartitionAddr(m, pid), p.handle)
+	p.shipper = fabric.NewBatcher[*types.Update](n.fab, fabric.PartitionAddr(n.id, pid), n.cfg.ShipInterval)
+	n.fab.Register(fabric.PartitionAddr(n.id, pid), p.handle)
 	return p
 }
 
 // handle ingests sibling replication batches and heartbeats.
-func (p *gpart) handle(msg simnet.Message) {
+func (p *gpart) handle(msg fabric.Message) {
 	switch payload := msg.Payload.(type) {
 	case []*types.Update:
 		now := time.Now()
@@ -194,7 +266,7 @@ func (p *gpart) handle(msg simnet.Message) {
 			}
 		}
 		p.mu.Unlock()
-	case heartbeatMsg:
+	case HeartbeatMsg:
 		p.mu.Lock()
 		if payload.TS > p.vv[payload.Origin] {
 			p.vv[payload.Origin] = payload.TS
@@ -205,23 +277,24 @@ func (p *gpart) handle(msg simnet.Message) {
 
 // update implements the write path: tag, store, replicate.
 func (p *gpart) update(key types.Key, value types.Value, dep vclock.V) vclock.V {
+	n := p.node
 	var depTS hlc.Timestamp
-	if p.store.cfg.Mode == Cure {
-		depTS = dep.Get(int(p.dc))
+	if n.cfg.Mode == Cure {
+		depTS = dep.Get(int(n.id))
 	} else {
 		depTS = dep.Max()
 	}
 	ts := p.clock.Tick(depTS)
 
-	vts := vclock.New(p.store.cfg.DCs)
+	vts := vclock.New(n.cfg.DCs)
 	copy(vts, dep)
-	vts.Set(int(p.dc), ts)
+	vts.Set(int(n.id), ts)
 
 	p.mu.Lock()
 	p.seq++
 	seq := p.seq
-	if ts > p.vv[p.dc] {
-		p.vv[p.dc] = ts
+	if ts > p.vv[n.id] {
+		p.vv[n.id] = ts
 	}
 	p.lastShip = time.Now()
 	p.mu.Unlock()
@@ -229,20 +302,20 @@ func (p *gpart) update(key types.Key, value types.Value, dep vclock.V) vclock.V 
 	u := &types.Update{
 		Key:       key,
 		Value:     value.Clone(),
-		Origin:    p.dc,
+		Origin:    n.id,
 		Partition: p.id,
 		Seq:       seq,
 		TS:        ts,
 		VTS:       vts.Clone(),
 		CreatedAt: time.Now().UnixNano(),
 	}
-	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.dc})
+	p.kv.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: n.id})
 
-	for k := 0; k < p.store.cfg.DCs; k++ {
-		if types.DCID(k) == p.dc {
+	for k := 0; k < n.cfg.DCs; k++ {
+		if types.DCID(k) == n.id {
 			continue
 		}
-		p.shipper.Add(simnet.PartitionAddr(types.DCID(k), p.id), u)
+		p.shipper.Add(fabric.PartitionAddr(types.DCID(k), p.id), u)
 	}
 	return vts
 }
@@ -257,21 +330,22 @@ func (p *gpart) read(key types.Key) (types.Value, vclock.V) {
 
 // heartbeat announces the partition's clock to its siblings when idle.
 func (p *gpart) heartbeat() {
-	hb, ok := p.clock.Heartbeat(p.store.cfg.HeartbeatInterval)
+	n := p.node
+	hb, ok := p.clock.Heartbeat(n.cfg.HeartbeatInterval)
 	if !ok {
 		return
 	}
 	p.mu.Lock()
-	if hb > p.vv[p.dc] {
-		p.vv[p.dc] = hb
+	if hb > p.vv[n.id] {
+		p.vv[n.id] = hb
 	}
 	p.mu.Unlock()
-	for k := 0; k < p.store.cfg.DCs; k++ {
-		if types.DCID(k) == p.dc {
+	for k := 0; k < n.cfg.DCs; k++ {
+		if types.DCID(k) == n.id {
 			continue
 		}
-		p.store.net.Send(simnet.PartitionAddr(p.dc, p.id), simnet.PartitionAddr(types.DCID(k), p.id),
-			heartbeatMsg{Origin: p.dc, Part: p.id, TS: hb})
+		n.fab.Send(fabric.PartitionAddr(n.id, p.id), fabric.PartitionAddr(types.DCID(k), p.id),
+			HeartbeatMsg{Origin: n.id, Part: p.id, TS: hb})
 	}
 }
 
@@ -291,14 +365,15 @@ func (p *gpart) install(gst hlc.Timestamp, gsv vclock.V) {
 		arrived time.Time
 	}
 	var release []visible
+	n := p.node
 
 	p.mu.Lock()
 	if gst > p.gst {
 		p.gst = gst
 	}
 	p.gsv.Merge(gsv)
-	for k := 0; k < p.store.cfg.DCs; k++ {
-		if types.DCID(k) == p.dc {
+	for k := 0; k < n.cfg.DCs; k++ {
+		if types.DCID(k) == n.id {
 			continue
 		}
 		q := p.queues[k]
@@ -321,8 +396,8 @@ func (p *gpart) install(gst hlc.Timestamp, gsv vclock.V) {
 		p.clock.Observe(r.u.TS)
 		p.kv.Apply(r.u.Key, types.Version{Value: r.u.Value, TS: r.u.TS, VTS: r.u.VTS, Origin: r.u.Origin})
 		p.Applied.Inc()
-		if p.store.cfg.OnVisible != nil {
-			p.store.cfg.OnVisible(p.dc, r.u, r.arrived)
+		if n.cfg.OnVisible != nil {
+			n.cfg.OnVisible(n.id, r.u, r.arrived)
 		}
 	}
 }
@@ -331,11 +406,12 @@ func (p *gpart) install(gst hlc.Timestamp, gsv vclock.V) {
 // update's scalar timestamp against the GST; Cure compares the update's
 // vector against the GSV entrywise over remote entries.
 func (p *gpart) visibleLocked(u *types.Update, k int) bool {
-	if p.store.cfg.Mode == GentleRain {
+	n := p.node
+	if n.cfg.Mode == GentleRain {
 		return u.TS <= p.gst
 	}
-	for d := 0; d < p.store.cfg.DCs; d++ {
-		if types.DCID(d) == p.dc {
+	for d := 0; d < n.cfg.DCs; d++ {
+		if types.DCID(d) == n.id {
 			continue
 		}
 		if u.VTS.Get(d) > p.gsv[d] {
@@ -350,8 +426,7 @@ func (p *gpart) visibleLocked(u *types.Update, k int) bool {
 // minimum, and push the result back (partitions then release whatever the
 // new cut covers). It also drives the sibling heartbeats.
 type stabilizer struct {
-	store *Store
-	dc    *gdc
+	node *Node
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -361,8 +436,8 @@ type stabilizer struct {
 	Rounds metrics.Counter
 }
 
-func newStabilizer(s *Store, d *gdc) *stabilizer {
-	st := &stabilizer{store: s, dc: d, stop: make(chan struct{})}
+func newStabilizer(n *Node) *stabilizer {
+	st := &stabilizer{node: n, stop: make(chan struct{})}
 	st.wg.Add(2)
 	go st.stableLoop()
 	go st.heartbeatLoop()
@@ -371,7 +446,7 @@ func newStabilizer(s *Store, d *gdc) *stabilizer {
 
 func (st *stabilizer) stableLoop() {
 	defer st.wg.Done()
-	ticker := time.NewTicker(st.store.cfg.StableInterval)
+	ticker := time.NewTicker(st.node.cfg.StableInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -380,13 +455,13 @@ func (st *stabilizer) stableLoop() {
 		case <-ticker.C:
 		}
 		st.Rounds.Inc()
-		vecs := make([]vclock.V, len(st.dc.parts))
-		for i, p := range st.dc.parts {
+		vecs := make([]vclock.V, len(st.node.parts))
+		for i, p := range st.node.parts {
 			vecs[i] = p.contribution()
 		}
 		gsv := vclock.MinOf(vecs...)
 		gst := gsv.Min()
-		for _, p := range st.dc.parts {
+		for _, p := range st.node.parts {
 			p.install(gst, gsv)
 		}
 	}
@@ -394,7 +469,7 @@ func (st *stabilizer) stableLoop() {
 
 func (st *stabilizer) heartbeatLoop() {
 	defer st.wg.Done()
-	ticker := time.NewTicker(st.store.cfg.HeartbeatInterval)
+	ticker := time.NewTicker(st.node.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -402,7 +477,7 @@ func (st *stabilizer) heartbeatLoop() {
 			return
 		case <-ticker.C:
 		}
-		for _, p := range st.dc.parts {
+		for _, p := range st.node.parts {
 			p.heartbeat()
 		}
 	}
@@ -415,25 +490,18 @@ func (st *stabilizer) close() {
 
 // Client is a causal session bound to one datacenter.
 type Client struct {
-	store *Store
-	dc    *gdc
-	sess  *session.Session
+	node *Node
+	sess *session.Session
 }
 
-// NewClient opens a session at datacenter dcID. GentleRain clients carry a
-// scalar history, Cure clients a vector — the metadata difference under
-// evaluation.
+// NewClient opens a session at datacenter dcID.
 func (s *Store) NewClient(dcID types.DCID) *Client {
-	mode := session.Vector
-	if s.cfg.Mode == GentleRain {
-		mode = session.Scalar
-	}
-	return &Client{store: s, dc: s.dcs[dcID], sess: session.New(mode, s.cfg.DCs)}
+	return s.nodes[dcID].NewClient()
 }
 
 // Read performs a causal read against the local datacenter.
 func (c *Client) Read(key types.Key) (types.Value, error) {
-	p := c.dc.parts[c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	val, vts := p.read(key)
 	c.sess.ObserveRead(vts)
 	return val, nil
@@ -441,7 +509,7 @@ func (c *Client) Read(key types.Key) (types.Value, error) {
 
 // Update performs a causal write against the local datacenter.
 func (c *Client) Update(key types.Key, value types.Value) error {
-	p := c.dc.parts[c.store.ring.Responsible(key)]
+	p := c.node.parts[c.node.ring.Responsible(key)]
 	vts := p.update(key, value, c.sess.Dep())
 	c.sess.ObserveUpdate(vts)
 	return nil
@@ -449,7 +517,7 @@ func (c *Client) Update(key types.Key, value types.Value) error {
 
 // GST returns partition p of datacenter m's current global stable time.
 func (s *Store) GST(m types.DCID, p types.PartitionID) hlc.Timestamp {
-	gp := s.dcs[m].parts[p]
+	gp := s.nodes[m].parts[p]
 	gp.mu.Lock()
 	defer gp.mu.Unlock()
 	return gp.gst
@@ -457,7 +525,7 @@ func (s *Store) GST(m types.DCID, p types.PartitionID) hlc.Timestamp {
 
 // GSV returns a copy of partition p of datacenter m's global stable vector.
 func (s *Store) GSV(m types.DCID, p types.PartitionID) vclock.V {
-	gp := s.dcs[m].parts[p]
+	gp := s.nodes[m].parts[p]
 	gp.mu.Lock()
 	defer gp.mu.Unlock()
 	return gp.gsv.Clone()
@@ -466,7 +534,7 @@ func (s *Store) GSV(m types.DCID, p types.PartitionID) vclock.V {
 // PendingRemote returns how many remote updates partition p of datacenter
 // m is still buffering.
 func (s *Store) PendingRemote(m types.DCID, p types.PartitionID) int {
-	gp := s.dcs[m].parts[p]
+	gp := s.nodes[m].parts[p]
 	gp.mu.Lock()
 	defer gp.mu.Unlock()
 	n := 0
@@ -476,21 +544,22 @@ func (s *Store) PendingRemote(m types.DCID, p types.PartitionID) int {
 	return n
 }
 
-// Store returns the kvstore of partition p at datacenter m for inspection.
+// Partition returns the kvstore of partition p at datacenter m for
+// inspection.
 func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
-	return s.dcs[m].parts[p].kv
+	return s.nodes[m].parts[p].kv
 }
+
+// Node returns datacenter m's node, for role-level inspection.
+func (s *Store) Node(m types.DCID) *Node { return s.nodes[m] }
 
 // Network exposes the fabric for fault injection.
 func (s *Store) Network() *simnet.Network { return s.net }
 
 // Close shuts the deployment down.
 func (s *Store) Close() {
-	for _, d := range s.dcs {
-		d.stab.close()
-		for _, p := range d.parts {
-			p.shipper.Close()
-		}
+	for _, n := range s.nodes {
+		n.Close()
 	}
 	s.net.Close()
 }

@@ -162,8 +162,6 @@ func TestSSeqConvergenceUnderConcurrentWrites(t *testing.T) {
 	waitFor(t, 3*time.Second, func() bool {
 		var vals [3]string
 		for dc := 0; dc < 3; dc++ {
-			ring := 0
-			_ = ring
 			for p := 0; p < 2; p++ {
 				if v, ok := s.Partition(types.DCID(dc), types.PartitionID(p)).Get("contested"); ok {
 					vals[dc] = string(v.Value)

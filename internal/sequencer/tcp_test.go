@@ -1,0 +1,251 @@
+package sequencer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/simnet"
+	"eunomia/internal/transport"
+	"eunomia/internal/types"
+)
+
+func listenTCP(t *testing.T) *transport.TCP {
+	t.Helper()
+	f, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// seqOrder records the per-origin visibility order of remote updates so
+// the test can assert the sequencer baseline's defining guarantee: every
+// datacenter applies another datacenter's updates in its total (sequence)
+// order.
+type seqOrder struct {
+	mu   sync.Mutex
+	seen map[types.DCID][]uint64
+}
+
+func (o *seqOrder) record(_ types.DCID, u *types.Update, _ time.Time) {
+	o.mu.Lock()
+	o.seen[u.Origin] = append(o.seen[u.Origin], u.Seq)
+	o.mu.Unlock()
+}
+
+func (o *seqOrder) assertTotalOrder(t *testing.T, origin types.DCID, want int) {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	seqs := o.seen[origin]
+	if len(seqs) != want {
+		t.Fatalf("dc saw %d updates from dc%d, want %d", len(seqs), origin, want)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("updates from dc%d applied out of total order: position %d has seq %d (full: %v)",
+				origin, i, s, seqs)
+		}
+	}
+}
+
+// TestRemoteSequencerTimeoutSkipsNumber covers the burned-number hazard
+// of split deployments: a Next round trip that times out after the
+// service already allocated the number must not wedge the dense-order
+// propagator — the late reply reports the number abandoned and shipping
+// skips it.
+func TestRemoteSequencerTimeoutSkipsNumber(t *testing.T) {
+	var ackDelay atomic.Int64
+	ackDelay.Store(int64(150 * time.Millisecond))
+	seqAddr, cliAddr := fabric.SequencerAddr(0, 0), ClientAddr(0)
+	net := simnet.New(func(from, to fabric.Addr) time.Duration {
+		if from == seqAddr && to == cliAddr {
+			return time.Duration(ackDelay.Load())
+		}
+		return 0
+	})
+	defer net.Close()
+
+	cfg := StoreConfig{DCs: 2, Partitions: 2}
+	cfg.fill()
+	svcNode := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RoleSequencer, Fabric: net})
+	partNode := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RolePartitions, Fabric: net,
+		AckTimeout: 30 * time.Millisecond})
+	destNode := NewNode(NodeConfig{StoreConfig: cfg, DC: 1, Roles: RoleAll, Fabric: net})
+	defer svcNode.Close()
+	defer partNode.Close()
+	defer destNode.Close()
+
+	// First write: the service allocates number 1, but the reply takes
+	// 150ms against a 30ms timeout — the write must fail loudly.
+	c := partNode.NewClient()
+	if err := c.Update("lost", []byte("v")); err == nil {
+		t.Fatal("update succeeded although the sequencer reply was slower than the timeout")
+	}
+
+	// Let the late reply land (reporting number 1 abandoned), then heal
+	// the link.
+	time.Sleep(250 * time.Millisecond)
+	ackDelay.Store(0)
+
+	// Subsequent writes take numbers 2, 3, ... and must still replicate:
+	// an unskipped gap at 1 would wedge the propagator forever.
+	if err := c.Update("after", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	reader := destNode.NewClient()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, _ := reader.Read("after")
+		if string(v) == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("update after the burned number never replicated: propagator wedged")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRemoteSequencerRestartFailsLoudly covers the other split-role
+// incarnation hazard: a restarted sequencer process restarts its
+// in-memory counter, so its numbers collide with ones already issued.
+// The client must fail permanently and loudly instead of wedging the
+// dense shipping order in silence.
+func TestRemoteSequencerRestartFailsLoudly(t *testing.T) {
+	net := simnet.New(nil)
+	defer net.Close()
+	cfg := StoreConfig{DCs: 2, Partitions: 2}
+	cfg.fill()
+
+	svc := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RoleSequencer, Fabric: net})
+	part := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RolePartitions, Fabric: net})
+	defer part.Close()
+
+	c := part.NewClient()
+	if err := c.Update("before", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the sequencer process: a new incarnation re-registers the
+	// address with a fresh counter and a fresh epoch.
+	svc.Close()
+	svc2 := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RoleSequencer, Fabric: net})
+	defer svc2.Close()
+
+	if err := c.Update("after", []byte("v")); err == nil {
+		t.Fatal("update succeeded against a restarted sequencer whose numbers collide with issued ones")
+	}
+	// The failure is sticky: the datacenter's total order cannot be
+	// repaired by retrying.
+	if err := c.Update("again", []byte("v")); err == nil {
+		t.Fatal("second update succeeded although the client is poisoned by the restart")
+	}
+}
+
+// TestSequencerDatacenterOverTCP boots a sequencer-baseline deployment as
+// three OS-level fabric endpoints, mirroring the geostore TCP test: dc0 is
+// split across two processes — the sequencer service alone in one, the
+// partition group (with propagator and receiver) in another, so every
+// update's number assignment is a real TCP round trip — and dc1 is a full
+// node on a third. Total-order visibility must hold end to end.
+func TestSequencerDatacenterOverTCP(t *testing.T) {
+	cfg := StoreConfig{DCs: 2, Partitions: 2}
+	cfg.fill()
+	cfg.Delay = nil // TCP brings its own latency
+
+	fabS := listenTCP(t) // dc0 sequencer service
+	fabA := listenTCP(t) // dc0 partitions + propagator + receiver
+	fabC := listenTCP(t) // dc1, all roles
+	defer fabS.Close()
+	defer fabA.Close()
+	defer fabC.Close()
+	s, a, c := fabS.Addr().String(), fabA.Addr().String(), fabC.Addr().String()
+
+	// Static routing; the sequencer's replies ride the learned reverse
+	// route from the hello, but we install it explicitly for determinism.
+	fabS.AddRoute(ClientAddr(0), a)
+	fabA.AddRoute(fabric.SequencerAddr(0, 0), s)
+	fabA.AddDCRoute(1, c)
+	fabC.AddRoute(fabric.ReceiverAddr(0), a)
+	fabC.AddDCRoute(0, a)
+
+	order := &seqOrder{seen: make(map[types.DCID][]uint64)}
+	remoteCfg := cfg
+	remoteCfg.OnVisible = order.record
+
+	nodeS := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RoleSequencer, Fabric: fabS})
+	nodeA := NewNode(NodeConfig{StoreConfig: cfg, DC: 0, Roles: RolePartitions, Fabric: fabA})
+	nodeC := NewNode(NodeConfig{StoreConfig: remoteCfg, DC: 1, Roles: RoleAll, Fabric: fabC})
+	defer nodeS.Close()
+	defer nodeA.Close()
+	defer nodeC.Close()
+
+	wait := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	// dc0 → dc1: a causal chain whose numbers are assigned by the
+	// sequencer process. Every pair's flag must arrive with its data.
+	writer := nodeA.NewClient()
+	reader := nodeC.NewClient()
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		data := types.Key(fmt.Sprintf("data%d", i))
+		flag := types.Key(fmt.Sprintf("flag%d", i))
+		if err := writer.Update(data, []byte(fmt.Sprintf("payload%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := writer.Update(flag, []byte("set")); err != nil {
+			t.Fatal(err)
+		}
+		wait(string(flag), func() bool {
+			f, _ := reader.Read(flag)
+			if string(f) != "set" {
+				return false
+			}
+			d, _ := reader.Read(data)
+			if string(d) != fmt.Sprintf("payload%d", i) {
+				t.Fatalf("round %d: flag visible at dc1 without data (causality violated over TCP)", i)
+			}
+			return true
+		})
+	}
+	order.assertTotalOrder(t, 0, 2*rounds)
+
+	// The sequencer process really did the numbering.
+	single, ok := nodeS.Sequencer().(*Single)
+	if !ok {
+		t.Fatalf("dc0 sequencer node hosts %T, want *Single", nodeS.Sequencer())
+	}
+	if got := single.Issued(); got != 2*rounds {
+		t.Fatalf("sequencer process issued %d numbers, want %d", got, 2*rounds)
+	}
+
+	// dc1 → dc0: the reverse direction lands in the partition process's
+	// receiver.
+	back := nodeC.NewClient()
+	if err := back.Update("echo", []byte("from-dc1")); err != nil {
+		t.Fatal(err)
+	}
+	probe := nodeA.NewClient()
+	wait("echo", func() bool {
+		v, _ := probe.Read("echo")
+		return string(v) == "from-dc1"
+	})
+	if nodeA.Applied() == 0 {
+		t.Fatal("dc0 partition process applied no remote updates")
+	}
+}
