@@ -192,6 +192,23 @@ func BenchmarkFabricWindowedRelease(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoveryRejoin compares a crashed partition-role node's
+// durable rejoin (WAL replay + release-stream resume at the durable
+// watermark) against the volatile alternative, a full re-replication of
+// the dataset from the origin datacenter. The recovery numbers land in
+// BENCH_ci.json via the CI bench job.
+func BenchmarkRecoveryRejoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RecoveryBench(harness.RecoveryBenchOptions{Updates: 1000, Partitions: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RejoinSecs*1e3, "rejoin-ms")
+		b.ReportMetric(res.ResyncSecs*1e3, "resync-ms")
+		b.ReportMetric(res.Speedup, "rejoin-speedup-x")
+	}
+}
+
 // BenchmarkAblationTreeChoice re-checks §6's claim that the red-black tree
 // beats an AVL tree for Eunomia's insert/extract workload.
 func BenchmarkAblationTreeChoice(b *testing.B) {

@@ -44,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -57,9 +59,11 @@ import (
 	"eunomia/internal/fabric"
 	"eunomia/internal/geostore"
 	"eunomia/internal/globalstab"
+	"eunomia/internal/metrics"
 	"eunomia/internal/sequencer"
 	"eunomia/internal/transport"
 	"eunomia/internal/types"
+	"eunomia/internal/wal"
 )
 
 // demoClient is the operation surface the demo workload drives; every
@@ -76,6 +80,13 @@ type hosted struct {
 	newClient func() demoClient
 	stats     func() string
 	close     func()
+	// wedged, optional, reports an unrecoverable release stream; the
+	// process exits nonzero with a diagnostic instead of serving (or
+	// reporting a clean demo verdict over) a dead stream.
+	wedged func() bool
+	// metrics, optional, contributes protocol-level samples to the
+	// -metrics-addr endpoint.
+	metrics func() []metrics.PromSample
 	// causal reports whether the protocol promises causally ordered
 	// visibility (everything except eventual).
 	causal bool
@@ -107,6 +118,9 @@ func main() {
 		tree       = flag.String("tree", "redblack", "pending-set structure: redblack|avl (mode eunomia)")
 		aseq       = flag.Bool("aseq", false, "mode sequencer: contact the sequencer asynchronously (A-Seq)")
 		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
+		dataDir    = flag.String("data-dir", "", "mode eunomia: persist node state (partition WALs, release-stream position, receiver SiteTime+queues) under this directory; a restart with the same dir rejoins instead of wedging")
+		walSync    = flag.String("wal-sync", "flush", `WAL fsync policy: "flush" (per batch/ack, bounded loss window) or "always" (per append, none)`)
+		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, node state) on this HTTP address at /metrics")
 	)
 	var routeSpecs []string
 	flag.Func("route", `endpoint route, repeatable: "dc1=host:port" or "dc1:receiver=host:port"`, func(s string) error {
@@ -151,10 +165,23 @@ func main() {
 		return
 	}
 
+	var policy wal.SyncPolicy
+	switch *walSync {
+	case "flush":
+		policy = wal.SyncOnFlush
+	case "always":
+		policy = wal.SyncEachAppend
+	default:
+		log.Fatalf("unknown -wal-sync %q (want flush or always)", *walSync)
+	}
+	if *dataDir != "" && *mode != "eunomia" {
+		log.Fatalf("-data-dir is supported only by -mode eunomia (got %q)", *mode)
+	}
+
 	var h hosted
 	switch *mode {
 	case "eunomia":
-		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind)
+		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy)
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -170,6 +197,28 @@ func main() {
 	defer h.close()
 	log.Printf("eunomia-server: mode %s, dc%d role %s on %s (%d dcs × %d partitions)",
 		*mode, *dcID, *role, fab.Addr(), *dcs, *partitions)
+
+	if *metricsAd != "" {
+		if err := serveMetrics(*metricsAd, fab, h); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if h.wedged != nil {
+		// A wedged release stream is a dead datacenter wearing a live
+		// process: exit nonzero instead of serving (or verdicting) over
+		// it. Runs beside the demo paths too, so a demo cluster whose
+		// stream wedges fails fast rather than timing out cleanly.
+		go func() {
+			ticker := time.NewTicker(250 * time.Millisecond)
+			defer ticker.Stop()
+			for range ticker.C {
+				if h.wedged() {
+					fmt.Fprintln(os.Stderr, "FATAL: release stream wedged: the partition-role process restarted without durable state (-data-dir); this datacenter needs a full restart/resync")
+					os.Exit(1)
+				}
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -192,11 +241,11 @@ func main() {
 		return
 	}
 	if strings.HasPrefix(*demo, "write:") {
-		n := demoCount(*demo)
+		n, pause := demoWriteSpec(*demo)
 		if h.newClient == nil {
 			log.Fatal("-demo write needs a process that hosts partitions")
 		}
-		demoWrite(h.newClient(), n)
+		demoWrite(h.newClient(), n, pause)
 		fmt.Printf("demo: wrote %d causal data/flag pairs\n", n)
 	}
 
@@ -214,14 +263,17 @@ func main() {
 	}
 }
 
-// hostEunomia boots the EunomiaKV node for the selected roles.
+// hostEunomia boots the EunomiaKV node for the selected roles, durable
+// when dataDir is set (the node recovers its state and rejoins the
+// release stream at its durable watermark).
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
-	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind) (hosted, error) {
+	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
+	dataDir string, policy wal.SyncPolicy) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
 	}
-	node := geostore.NewNode(geostore.NodeConfig{
+	node, err := geostore.OpenNode(geostore.NodeConfig{
 		Config: geostore.Config{
 			DCs:            dcs,
 			Partitions:     partitions,
@@ -235,15 +287,24 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		Roles:     roles,
 		Fabric:    fab,
 		Pipelined: true,
+		DataDir:   dataDir,
+		WALSync:   policy,
 	})
-	h := hosted{close: node.Close, causal: true}
+	if err != nil {
+		return hosted{}, fmt.Errorf("recovering node state from %s: %w", dataDir, err)
+	}
+	if dataDir != "" {
+		log.Printf("eunomia-server: durable state under %s (recovered %d local updates, release watermark %d)",
+			dataDir, node.TotalUpdates(), node.ApplierDurable())
+	}
+	h := hosted{close: node.Close, causal: true, wedged: node.ReleaseWedged}
 	if roles.Has(geostore.RolePartitions) {
 		h.newClient = func() demoClient { return node.NewClient() }
 	}
 	h.stats = func() string {
-		var recvApplied int64
-		if node.Receiver() != nil {
-			recvApplied = node.Receiver().Applied.Load()
+		remoteApplied := node.TotalRemoteApplied()
+		if node.Receiver() != nil && !roles.Has(geostore.RolePartitions) {
+			remoteApplied = node.Receiver().Applied.Load()
 		}
 		var stable string
 		if node.Cluster() != nil {
@@ -253,9 +314,74 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			}
 		}
 		return fmt.Sprintf("local updates=%d, remote applied=%d,%s release inflight=%d",
-			node.TotalUpdates(), recvApplied, stable, node.ReleaseInflight())
+			node.TotalUpdates(), remoteApplied, stable, node.ReleaseInflight())
+	}
+	h.metrics = func() []metrics.PromSample {
+		samples := []metrics.PromSample{
+			{Name: "eunomia_local_updates_total", Value: float64(node.TotalUpdates())},
+			{Name: "eunomia_remote_applied_total", Value: float64(node.TotalRemoteApplied())},
+			{Name: "eunomia_release_inflight", Value: float64(node.ReleaseInflight())},
+			{Name: "eunomia_release_resent_total", Value: float64(node.ReleaseResent())},
+			{Name: "eunomia_release_wedged", Value: boolGauge(node.ReleaseWedged())},
+			{Name: "eunomia_applier_pending", Value: float64(node.ApplierPending())},
+			{Name: "eunomia_applier_durable_seq", Value: float64(node.ApplierDurable())},
+		}
+		if node.Receiver() != nil {
+			samples = append(samples, metrics.PromSample{
+				Name: "eunomia_receiver_applied_total", Value: float64(node.Receiver().Applied.Load()),
+			})
+		}
+		return samples
 	}
 	return h, nil
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// serveMetrics exposes fabric, peer-window, and protocol counters in
+// Prometheus text format at /metrics. The listener binds synchronously so
+// a bad address fails startup, then serves for the process lifetime.
+func serveMetrics(addr string, fab *transport.TCP, h hosted) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		samples := []metrics.PromSample{
+			{Name: "eunomia_fabric_sent_total", Value: float64(fab.Sent.Load())},
+			{Name: "eunomia_fabric_delivered_total", Value: float64(fab.Delivered.Load())},
+			{Name: "eunomia_fabric_dropped_total", Value: float64(fab.Dropped.Load())},
+			{Name: "eunomia_fabric_dup_dropped_total", Value: float64(fab.DupDropped.Load())},
+		}
+		for _, ps := range fab.PeerStats() {
+			peer := [][2]string{{"peer", ps.Peer}}
+			samples = append(samples,
+				metrics.PromSample{Name: "eunomia_peer_window_inflight", Labels: peer, Value: float64(ps.InFlight)},
+				metrics.PromSample{Name: "eunomia_peer_sent_seq", Labels: peer, Value: float64(ps.Sent)},
+				metrics.PromSample{Name: "eunomia_peer_acked_cum", Labels: peer, Value: float64(ps.AckedCum)},
+				metrics.PromSample{Name: "eunomia_peer_retransmits_total", Labels: peer, Value: float64(ps.Retransmits)},
+				metrics.PromSample{Name: "eunomia_peer_connected", Labels: peer, Value: boolGauge(ps.Connected)},
+			)
+		}
+		if h.metrics != nil {
+			samples = append(samples, h.metrics()...)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = metrics.WriteProm(w, samples)
+	})
+	log.Printf("eunomia-server: metrics on http://%s/metrics", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+	return nil
 }
 
 // hostSequencer boots the S-Seq/A-Seq baseline node. -role sequencer runs
@@ -481,12 +607,37 @@ func demoCount(s string) int {
 	return n
 }
 
+// demoWriteSpec parses "write:N" or "write:N:pauseMs" (a per-pair pause,
+// used by the restart tests to keep the stream in flight long enough to
+// kill a process in the middle of it).
+func demoWriteSpec(s string) (int, time.Duration) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		log.Fatalf("bad -demo %q (want write:N or write:N:pauseMs)", s)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		log.Fatalf("bad -demo %q (want write:N or write:N:pauseMs)", s)
+	}
+	if len(parts) == 2 {
+		return n, 0
+	}
+	ms, err := strconv.Atoi(parts[2])
+	if err != nil || ms < 0 {
+		log.Fatalf("bad -demo %q (want write:N or write:N:pauseMs)", s)
+	}
+	return n, time.Duration(ms) * time.Millisecond
+}
+
 // demoWrite issues n causally chained data/flag pairs from one session:
 // each flag causally follows its data, and each pair follows the previous.
-func demoWrite(c demoClient, n int) {
+func demoWrite(c demoClient, n int, pause time.Duration) {
 	for i := 0; i < n; i++ {
 		must(c.Update(types.Key(fmt.Sprintf("data%d", i)), []byte(fmt.Sprintf("payload%d", i))))
 		must(c.Update(types.Key(fmt.Sprintf("flag%d", i)), []byte("set")))
+		if pause > 0 {
+			time.Sleep(pause)
+		}
 	}
 }
 

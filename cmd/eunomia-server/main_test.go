@@ -3,9 +3,14 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -215,5 +220,257 @@ func TestThreeProcessSequencerOverTCP(t *testing.T) {
 	}
 	if !strings.Contains(outs[len(outs)-1].String(), "causal chain OK (8 pairs)") {
 		t.Fatalf("watcher did not confirm causal order:\n%s", dump())
+	}
+}
+
+// proc wraps a started eunomia-server process with its combined output.
+type proc struct {
+	cmd *exec.Cmd
+	out *bytes.Buffer
+	mu  sync.Mutex
+}
+
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{cmd: exec.Command(bin, args...), out: &bytes.Buffer{}}
+	p.cmd.Stdout = &lockedWriter{p: p}
+	p.cmd.Stderr = &lockedWriter{p: p}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// lockedWriter serializes the exec pipe goroutines' writes with test-side
+// reads of the buffer while the process is still running.
+type lockedWriter struct{ p *proc }
+
+func (w *lockedWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.out.Write(b)
+}
+
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		_ = p.cmd.Wait()
+	}
+}
+
+var appliedRe = regexp.MustCompile(`remote applied=(\d+)`)
+
+// lastApplied parses the newest stats line's remote-applied counter.
+func (p *proc) lastApplied() int {
+	m := appliedRe.FindAllStringSubmatch(p.output(), -1)
+	if len(m) == 0 {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[len(m)-1][1])
+	return n
+}
+
+// runPartitionKillRestart is the restart-rejoin acceptance matrix: a
+// three-process dc pair whose dc0 is split by role (partitions+eunomia /
+// receiver), a throttled writer at dc1, and a SIGKILL of the
+// partition-role process mid-stream. With durable=true the process
+// restarts with the same -data-dir (plus a torn tail scribbled on one
+// partition WAL) and must rejoin the release stream at its durable
+// watermark — the watcher then proves nothing was lost or misordered.
+// With durable=false the restart has no data dir and the receiver
+// process must exit nonzero with a wedge diagnostic instead of
+// pretending the datacenter is healthy.
+func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
+	partsAddr, recvAddr, originAddr := freePort(t), freePort(t), freePort(t)
+	dir := t.TempDir()
+	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1"}
+
+	partsArgs := append([]string{
+		"-role", "partitions,eunomia", "-dc", "0", "-listen", partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-route", "dc1=" + originAddr,
+		"-stats-interval", "50ms",
+		"-data-dir", dir,
+	}, common...)
+	parts := startProc(t, bin, partsArgs...)
+	defer parts.kill()
+
+	recvArgs := append([]string{
+		"-role", "receiver", "-dc", "0", "-listen", recvAddr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc1=" + originAddr,
+		"-stats-interval", "1h",
+	}, common...)
+	if durable {
+		recvArgs = append(recvArgs, "-data-dir", dir)
+	}
+	recv := startProc(t, bin, recvArgs...)
+	defer recv.kill()
+
+	const pairs = 150
+	writer := startProc(t, bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", originAddr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-stats-interval", "1h",
+		"-demo", fmt.Sprintf("write:%d:2", pairs), // ~2ms/pair: a long-lived stream
+	}, common...)...)
+	defer writer.kill()
+
+	// Kill the partition process mid-stream: after some applies are in
+	// (and durably acked, so the window has pruned a prefix) but long
+	// before the stream ends.
+	deadline := time.Now().Add(60 * time.Second)
+	for parts.lastApplied() < 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partition process never applied 40 updates\nparts:\n%s\nrecv:\n%s\nwriter:\n%s",
+				parts.output(), recv.output(), writer.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	parts.kill() // SIGKILL: no flush, no goodbye
+
+	if durable {
+		// Torn tail: scribble a partial record onto one partition WAL, as
+		// a crash mid-write would. Recovery must truncate and proceed.
+		if err := appendRawFile(filepath.Join(dir, "dc0-partition0", "log"), []byte{200, 0, 0, 0, 0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restartArgs := append([]string{
+		"-role", "partitions,eunomia", "-dc", "0", "-listen", partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-route", "dc1=" + originAddr,
+		"-stats-interval", "1h",
+		"-demo", fmt.Sprintf("watch:%d", pairs),
+	}, common...)
+	if durable {
+		restartArgs = append(restartArgs, "-data-dir", dir)
+	}
+	restarted := startProc(t, bin, restartArgs...)
+	defer restarted.kill()
+
+	if durable {
+		// The restarted process must recover, rejoin the stream at its
+		// durable watermark, and verify the full causal chain.
+		done := make(chan error, 1)
+		go func() { done <- restarted.cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("restarted watcher failed: %v\nrestarted:\n%s\nrecv:\n%s\nwriter:\n%s",
+					err, restarted.output(), recv.output(), writer.output())
+			}
+		case <-time.After(150 * time.Second):
+			t.Fatalf("restarted watcher did not finish\nrestarted:\n%s\nrecv:\n%s\nwriter:\n%s",
+				restarted.output(), recv.output(), writer.output())
+		}
+		if !strings.Contains(restarted.output(), fmt.Sprintf("causal chain OK (%d pairs)", pairs)) {
+			t.Fatalf("restarted watcher did not confirm the causal chain:\n%s", restarted.output())
+		}
+		if !strings.Contains(restarted.output(), "durable state under") {
+			t.Fatalf("restarted process did not report recovery:\n%s", restarted.output())
+		}
+		if strings.Contains(recv.output(), "release stream wedged") {
+			t.Fatalf("durable rejoin wedged the stream:\n%s", recv.output())
+		}
+		return
+	}
+
+	// Volatile restart: the retransmitted stream hits a fresh applier
+	// with no durable state; the receiver process must diagnose the
+	// wedge and exit nonzero rather than report a healthy datacenter.
+	done := make(chan error, 1)
+	go func() { done <- recv.cmd.Wait() }()
+	select {
+	case err := <-done:
+		exit, ok := err.(*exec.ExitError)
+		if !ok || exit.ExitCode() != 1 {
+			t.Fatalf("receiver exited %v, want exit code 1\nrecv:\n%s", err, recv.output())
+		}
+	case <-time.After(150 * time.Second):
+		t.Fatalf("receiver never exited on the wedged stream\nrecv:\n%s\nrestarted:\n%s",
+			recv.output(), restarted.output())
+	}
+	if !strings.Contains(recv.output(), "release stream wedged") {
+		t.Fatalf("receiver exited without the wedge diagnostic:\n%s", recv.output())
+	}
+}
+
+func appendRawFile(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestPartitionProcessKillRejoinOverTCP kills a partition-role process
+// mid-stream and restarts it with the same -data-dir: the release stream
+// resumes from the durable watermark with no lost or duplicated applies
+// (the causal-order check passes end to end), surviving a torn WAL tail
+// from the crash.
+func TestPartitionProcessKillRejoinOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	runPartitionKillRestart(t, buildServer(t), true)
+}
+
+// TestPartitionProcessKillNoDataDirWedges is the same crash without a
+// data dir: the stream must wedge loudly — the receiver process exits
+// nonzero with a diagnostic instead of reporting a clean verdict.
+func TestPartitionProcessKillNoDataDirWedges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	runPartitionKillRestart(t, buildServer(t), false)
+}
+
+// TestMetricsEndpoint boots a single-datacenter process with
+// -metrics-addr and checks the Prometheus text endpoint exposes fabric
+// and node samples.
+func TestMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process test in -short mode")
+	}
+	bin := buildServer(t)
+	addr, maddr := freePort(t), freePort(t)
+	p := startProc(t, bin,
+		"-mode", "eunomia", "-role", "dc", "-dc", "0", "-dcs", "1",
+		"-partitions", "2", "-listen", addr, "-metrics-addr", maddr,
+		"-stats-interval", "1h")
+	defer p.kill()
+
+	var body string
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get("http://" + maddr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up: %v\n%s", err, p.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, want := range []string{"eunomia_fabric_sent_total", "eunomia_local_updates_total", "eunomia_release_wedged 0"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
 	}
 }

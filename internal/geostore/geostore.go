@@ -23,6 +23,7 @@ package geostore
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"eunomia/internal/simnet"
 	"eunomia/internal/types"
 	"eunomia/internal/vclock"
+	"eunomia/internal/wal"
 )
 
 // ShipMsg is the metadata batch a Eunomia leader ships to a remote
@@ -64,10 +66,31 @@ type ApplyAckMsg struct {
 	OK bool
 }
 
+// PayloadPullMsg asks the origin datacenter's responsible partition to
+// re-ship one update's payload. A partition-process crash loses every
+// buffered payload newer than its last WAL flush (the shipping sibling
+// pruned them on transport acknowledgement), and the recovered release
+// stream would otherwise park on the gap forever. Dest names the
+// requesting datacenter so the reply routes to its partition group.
+type PayloadPullMsg struct {
+	Dest types.DCID
+	U    *types.Update // metadata: identifies the exact version wanted
+}
+
+// PayloadSupersededMsg answers a pull whose version the origin no longer
+// stores (a newer version overwrote it): the requesting applier may skip
+// the update — the superseding version is ordered after it in the stream
+// and carries its own payload.
+type PayloadSupersededMsg struct {
+	ID types.UpdateID
+}
+
 func init() {
 	fabric.RegisterPayload(ShipMsg{})
 	fabric.RegisterPayload(ApplyMsg{})
 	fabric.RegisterPayload(ApplyAckMsg{})
+	fabric.RegisterPayload(PayloadPullMsg{})
+	fabric.RegisterPayload(PayloadSupersededMsg{})
 }
 
 // VisibleFunc observes a remote update becoming visible at a destination
@@ -186,6 +209,22 @@ type NodeConfig struct {
 	// release protocol instead of the windowed stream — the ablation the
 	// fabric benchmark compares against.
 	BlockingRelease bool
+
+	// DataDir, when set, makes every hosted role durable: partitions log
+	// accepted and applied updates to per-partition snapshot+log stores,
+	// the applier persists its release-stream position, and the receiver
+	// persists SiteTime and its pending queues. A node restarted with
+	// the same DataDir recovers its state and rejoins the release stream
+	// at its durable watermark instead of wedging it. Empty = the
+	// original in-memory-only behavior.
+	DataDir string
+	// WALSync selects the fsync policy for all of the node's stores.
+	// Default wal.SyncOnFlush: one fsync per batch/ack cadence, loss
+	// window bounded by it (see DESIGN.md).
+	WALSync wal.SyncPolicy
+	// SnapshotThreshold is the per-store log size that triggers
+	// compaction. Default wal.DefaultSnapshotThreshold (1 MiB).
+	SnapshotThreshold int64
 }
 
 // Node hosts a subset of one datacenter's components on a fabric. A Store
@@ -209,6 +248,15 @@ type Node struct {
 	relWin *releaseWindow
 	app    *applier
 
+	// Durability (DataDir set): one store per partition, one for the
+	// applier's stream position; the receiver owns its own. flushLoop
+	// flushes and compacts them on the batch cadence.
+	partStores    []*wal.Store
+	streamStore   *wal.Store
+	snapThreshold int64
+	flushStop     chan struct{}
+	flushWG       sync.WaitGroup
+
 	ackTimeout time.Duration
 
 	// Blocking-release ablation state (remoteApply).
@@ -218,8 +266,23 @@ type Node struct {
 }
 
 // NewNode builds and starts the selected roles, registering their
-// endpoints on the fabric.
+// endpoints on the fabric. It panics if recovery from NodeConfig.DataDir
+// fails; deployments that configure durability should prefer OpenNode and
+// handle the error.
 func NewNode(nc NodeConfig) *Node {
+	n, err := OpenNode(nc)
+	if err != nil {
+		panic("geostore: " + err.Error())
+	}
+	return n
+}
+
+// OpenNode builds and starts the selected roles, registering their
+// endpoints on the fabric. With NodeConfig.DataDir set it first recovers
+// every hosted role's durable state (partition stores, the applier's
+// stream position, the receiver's SiteTime and pending queues) and then
+// keeps it maintained on the batch cadence.
+func OpenNode(nc NodeConfig) (*Node, error) {
 	nc.Config.fill()
 	if nc.Roles == 0 {
 		nc.Roles = RoleAll
@@ -227,25 +290,115 @@ func NewNode(nc NodeConfig) *Node {
 	if nc.AckTimeout <= 0 {
 		nc.AckTimeout = 10 * time.Second
 	}
+	if nc.SnapshotThreshold <= 0 {
+		nc.SnapshotThreshold = wal.DefaultSnapshotThreshold
+	}
 	n := &Node{
-		cfg:        nc.Config,
-		id:         nc.DC,
-		roles:      nc.Roles,
-		fab:        nc.Fabric,
-		ring:       kvstore.NewRing(nc.Partitions),
-		ackTimeout: nc.AckTimeout,
-		applyWait:  make(map[uint64]chan bool),
+		cfg:           nc.Config,
+		id:            nc.DC,
+		roles:         nc.Roles,
+		fab:           nc.Fabric,
+		ring:          kvstore.NewRing(nc.Partitions),
+		snapThreshold: nc.SnapshotThreshold,
+		ackTimeout:    nc.AckTimeout,
+		applyWait:     make(map[uint64]chan bool),
 	}
 	if nc.Roles.Has(RoleEunomia) {
 		n.buildEunomia()
 	}
 	if nc.Roles.Has(RolePartitions) {
-		n.buildPartitions(nc)
+		if err := n.buildPartitions(nc); err != nil {
+			n.closeStores()
+			return nil, err
+		}
 	}
 	if nc.Roles.Has(RoleReceiver) && n.cfg.DCs > 1 {
-		n.buildReceiver(nc)
+		if err := n.buildReceiver(nc); err != nil {
+			n.closeStores()
+			return nil, err
+		}
 	}
-	return n
+	if nc.DataDir != "" {
+		n.flushStop = make(chan struct{})
+		n.flushWG.Add(1)
+		go n.flushLoop()
+	}
+	return n, nil
+}
+
+// flushLoop keeps the node's durable state maintained on the batch
+// cadence: partition WALs flush (bounding the SyncOnFlush loss window to
+// one batch), a colocated durable receiver's site watermarks advance to
+// what those flushes just made durable, and any store whose log outgrew
+// the threshold compacts.
+func (n *Node) flushLoop() {
+	defer n.flushWG.Done()
+	ticker := time.NewTicker(n.cfg.BatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.flushStop:
+			return
+		case <-ticker.C:
+		}
+		// Capture SiteTime BEFORE flushing the partition WALs: an apply
+		// counted here appended its WAL record before SiteTime advanced,
+		// so the flush below is guaranteed to cover it. Reading SiteTime
+		// after the flush could persist a durable watermark over an
+		// apply whose record landed between the flush and the read —
+		// and a crash would then lose that apply permanently, because
+		// the receiver never re-releases below its durable watermark.
+		var marks []hlc.Timestamp
+		if n.recv != nil && n.relWin == nil {
+			marks = make([]hlc.Timestamp, n.cfg.DCs)
+			for k := 0; k < n.cfg.DCs; k++ {
+				if types.DCID(k) != n.id {
+					marks[k] = n.recv.SiteTimeEntry(types.DCID(k))
+				}
+			}
+		}
+		for _, p := range n.parts {
+			if err := p.FlushWAL(); err != nil {
+				panic("geostore: partition WAL flush failed: " + err.Error())
+			}
+			if _, err := p.MaybeSnapshot(n.snapThreshold); err != nil {
+				panic("geostore: partition snapshot failed: " + err.Error())
+			}
+		}
+		if marks != nil {
+			// Colocated: the partition flush above made every apply at or
+			// below the captured SiteTime durable, so the receiver may
+			// persist it. (The blocking-release ablation lands here too:
+			// its OK verdicts mean applied-not-durable at the remote
+			// process, a documented loss window of that ablation.)
+			// Windowed split nodes persist through relWin.onDurable.
+			for k := 0; k < n.cfg.DCs; k++ {
+				if types.DCID(k) == n.id {
+					continue
+				}
+				n.recv.MarkDurable(types.DCID(k), marks[k])
+			}
+		}
+		if n.recv != nil {
+			if err := n.recv.FlushWAL(); err != nil {
+				panic("geostore: receiver WAL flush failed: " + err.Error())
+			}
+			if _, err := n.recv.MaybeSnapshot(n.snapThreshold); err != nil {
+				panic("geostore: receiver snapshot failed: " + err.Error())
+			}
+		}
+	}
+}
+
+// closeStores closes every store the node opened (the receiver closes its
+// own).
+func (n *Node) closeStores() {
+	for _, st := range n.partStores {
+		_ = st.Close()
+	}
+	if n.streamStore != nil {
+		_ = n.streamStore.Close()
+	}
 }
 
 // buildEunomia starts the replica set and serves each replica's batch and
@@ -289,7 +442,7 @@ func (n *Node) buildEunomia() {
 // ingress handler: sibling payload batches, replica acknowledgement
 // watermarks, and receiver release requests all arrive at the partition's
 // address.
-func (n *Node) buildPartitions(nc NodeConfig) {
+func (n *Node) buildPartitions(nc NodeConfig) error {
 	m := n.id
 	cfg := n.cfg
 	mode := fabric.SyncConn
@@ -310,6 +463,15 @@ func (n *Node) buildPartitions(nc NodeConfig) {
 				cb(dest, u, arrived)
 			}
 		}
+		var pstore *wal.Store
+		if nc.DataDir != "" {
+			var err error
+			pstore, err = wal.OpenStore(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-partition%d", m, i)), nc.WALSync)
+			if err != nil {
+				return err
+			}
+			n.partStores = append(n.partStores, pstore)
+		}
 		p := partition.New(partition.Config{
 			DC:           m,
 			ID:           pid,
@@ -317,7 +479,16 @@ func (n *Node) buildPartitions(nc NodeConfig) {
 			Clock:        src,
 			SeparateData: !cfg.NoSeparation,
 			OnVisible:    onVisible,
+			Store:        pstore,
 		})
+		if pstore != nil {
+			// Replay before the partition serves (or ships) anything:
+			// recovered versions must be in place before the applier
+			// resumes the release stream at its durable watermark.
+			if err := p.Recover(); err != nil {
+				return fmt.Errorf("recovering dc%d partition %d: %w", m, i, err)
+			}
+		}
 
 		local := fabric.PartitionAddr(m, pid)
 		pconns := make([]*fabric.ReplicaConn, cfg.Replicas)
@@ -365,15 +536,45 @@ func (n *Node) buildPartitions(nc NodeConfig) {
 			case ApplyMsg:
 				ok := part.ApplyRemote(v.U, time.Unix(0, v.ArrivedUnixNano))
 				n.fab.Send(local, msg.From, ApplyAckMsg{ID: v.ID, OK: ok})
+			case PayloadPullMsg:
+				// A crashed sibling lost this update's buffered payload;
+				// re-ship it if we still store that exact version, or
+				// report it superseded so the stream can skip it.
+				if ver, ok := part.Store().Get(v.U.Key); ok && ver.TS == v.U.TS && ver.Origin == v.U.Origin {
+					full := &types.Update{
+						Key: v.U.Key, Value: ver.Value, Origin: ver.Origin,
+						Partition: pid, TS: ver.TS, VTS: ver.VTS,
+					}
+					n.fab.Send(local, fabric.PartitionAddr(v.Dest, pid), []*types.Update{full})
+				} else {
+					n.fab.Send(local, fabric.ApplierAddr(v.Dest), PayloadSupersededMsg{ID: v.U.ID()})
+				}
 			}
 		})
 	}
 	if !nc.Roles.Has(RoleReceiver) && cfg.DCs > 1 {
 		// Our datacenter's receiver runs in another process: expose the
-		// ordered ingress its windowed release stream targets.
-		n.app = newApplier(n)
+		// ordered ingress its windowed release stream targets. With a
+		// data dir the applier recovers its stream position (the
+		// partitions above already replayed, so the position's applies
+		// are really present) and rejoins instead of forcing a wedge.
+		var stream *wal.Store
+		if nc.DataDir != "" {
+			var err error
+			stream, err = wal.OpenStore(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-stream", m)), nc.WALSync)
+			if err != nil {
+				return err
+			}
+			n.streamStore = stream
+		}
+		app, err := newApplier(n, stream)
+		if err != nil {
+			return fmt.Errorf("recovering dc%d release stream position: %w", m, err)
+		}
+		n.app = app
 		n.fab.Register(fabric.ApplierAddr(m), n.app.handle)
 	}
+	return nil
 }
 
 // buildReceiver starts the receiver, releasing remote metadata to the
@@ -381,7 +582,7 @@ func (n *Node) buildPartitions(nc NodeConfig) {
 // through the windowed release stream (release.go) when it runs in
 // another process — or through blocking fabric round trips when the
 // BlockingRelease ablation asks for the original protocol.
-func (n *Node) buildReceiver(nc NodeConfig) {
+func (n *Node) buildReceiver(nc NodeConfig) error {
 	m := n.id
 	apply := func(u *types.Update, metaArrived time.Time) bool {
 		return n.parts[n.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
@@ -394,12 +595,34 @@ func (n *Node) buildReceiver(nc NodeConfig) {
 			apply = n.relWin.release
 		}
 	}
-	n.recv = receiver.New(receiver.Config{
+	rcfg := receiver.Config{
 		DC:            m,
 		DCs:           n.cfg.DCs,
 		CheckInterval: n.cfg.CheckInterval,
 		Apply:         apply,
-	})
+	}
+	if nc.DataDir != "" {
+		recv, err := receiver.Recover(rcfg, filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-receiver", m)), nc.WALSync)
+		if err != nil {
+			if n.relWin != nil {
+				n.relWin.close()
+			}
+			return fmt.Errorf("recovering dc%d receiver: %w", m, err)
+		}
+		n.recv = recv
+		if n.relWin != nil {
+			// Split role, windowed: the persisted site watermark follows
+			// the partition side's durable acknowledgements, so recovery
+			// never claims an apply a partition crash could still lose.
+			// (Colocated and blocking-ablation nodes mark durability from
+			// the flush loop instead.)
+			n.relWin.onDurable = func(rel ReleaseMsg) {
+				recv.MarkDurable(rel.U.Origin, rel.U.VTS.Get(int(rel.U.Origin)))
+			}
+		}
+	} else {
+		n.recv = receiver.New(rcfg)
+	}
 	recv := n.recv
 	n.fab.Register(fabric.ReceiverAddr(m), func(msg fabric.Message) {
 		switch v := msg.Payload.(type) {
@@ -419,6 +642,7 @@ func (n *Node) buildReceiver(nc NodeConfig) {
 			}
 		}
 	})
+	return nil
 }
 
 // remoteApply releases one update to the (remote-process) responsible
@@ -501,11 +725,30 @@ func (n *Node) ApplierPending() int {
 	return n.app.pending()
 }
 
+// ApplierDurable reports the release-stream sequence the node's applier
+// has durably recorded (0 for volatile nodes or nodes without an
+// applier) — the watermark a restart resumes from.
+func (n *Node) ApplierDurable() uint64 {
+	if n.app == nil {
+		return 0
+	}
+	return n.app.durableSeq()
+}
+
 // TotalUpdates sums updates accepted by the hosted partitions.
 func (n *Node) TotalUpdates() int64 {
 	var t int64
 	for _, p := range n.parts {
 		t += p.Updates.Load()
+	}
+	return t
+}
+
+// TotalRemoteApplied sums remote updates applied by the hosted partitions.
+func (n *Node) TotalRemoteApplied() int64 {
+	var t int64
+	for _, p := range n.parts {
+		t += p.RemoteApplied.Load()
 	}
 	return t
 }
@@ -534,8 +777,16 @@ func (n *Node) CloseIngress() {
 	}
 }
 
-// CloseServices stops the Eunomia replica set and the receiver.
+// CloseServices stops the Eunomia replica set and the receiver, then the
+// durability machinery: the flush loop, the partition stores, and the
+// applier's stream store (the receiver closes its own store).
 func (n *Node) CloseServices() {
+	if n.flushStop != nil {
+		// Before the components whose stores it flushes go away.
+		close(n.flushStop)
+		n.flushWG.Wait()
+		n.flushStop = nil
+	}
 	if n.cluster != nil {
 		n.cluster.Stop()
 	}
@@ -555,6 +806,7 @@ func (n *Node) CloseServices() {
 	if n.app != nil {
 		n.app.close()
 	}
+	n.closeStores()
 }
 
 // Close shuts the node down in order. The fabric is the caller's to

@@ -1,0 +1,161 @@
+package geostore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+// durableSplitDC is splitDC with a data dir under every dc0 node, so the
+// partition group can be "killed" (closed without draining) and rejoin.
+func newDurableSplitDC(t *testing.T, dir string) *splitDC {
+	t.Helper()
+	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	s := &splitDC{
+		net:    net,
+		parts:  NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: net, DataDir: dir}),
+		recv:   NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleReceiver, Fabric: net, DataDir: dir}),
+		origin: NewNode(NodeConfig{Config: cfg, DC: 1, Roles: RoleAll, Fabric: net}),
+	}
+	t.Cleanup(s.close)
+	return s
+}
+
+// TestPartitionRestartRejoinsFromDurableWatermark is the tentpole's
+// in-process acceptance check: the partition-group process dies
+// mid-stream (durably applied prefix, un-durable suffix still windowed),
+// a successor recovers from the same data dir, and the release stream
+// resumes from the durable watermark — every update becomes visible
+// exactly once, in causal order, with no wedge.
+func TestPartitionRestartRejoinsFromDurableWatermark(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableSplitDC(t, dir)
+
+	const pre = 20
+	check := writePairs(t, s, "pre-", pre)
+	check()
+	waitUntil(t, 10*time.Second, "durable watermark to advance", func() bool {
+		return s.parts.ApplierDurable() > 0
+	})
+
+	// Kill the partition group: close without touching the receiver. The
+	// receiver's window keeps the un-durable suffix and the new traffic.
+	s.parts.CloseIngress()
+	s.parts.CloseServices()
+
+	const during = 10
+	writePairs(t, s, "during-", during) // released into a dead stream
+
+	// Restart from the same data dir on the same fabric addresses.
+	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	restarted, err := OpenNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: s.net, DataDir: dir})
+	if err != nil {
+		t.Fatalf("rejoin from %s: %v", dir, err)
+	}
+	s.parts = restarted
+
+	// The pre-crash state recovered from the WAL...
+	r := s.parts.NewClient()
+	for i := 0; i < pre; i++ {
+		key := types.Key(fmt.Sprintf("pre-data%d", i))
+		if v, _ := r.Read(key); string(v) != fmt.Sprintf("payload%d", i) {
+			t.Fatalf("pre-crash %s lost in recovery: %q", key, v)
+		}
+	}
+	// ...and the stream resumes: the mid-outage traffic arrives in causal
+	// order, with no wedge.
+	for i := 0; i < during; i++ {
+		flag := types.Key(fmt.Sprintf("during-flag%d", i))
+		data := types.Key(fmt.Sprintf("during-data%d", i))
+		waitUntil(t, 20*time.Second, string(flag), func() bool {
+			v, _ := r.Read(flag)
+			if string(v) != "set" {
+				return false
+			}
+			d, _ := r.Read(data)
+			if string(d) != fmt.Sprintf("payload%d", i) {
+				t.Fatalf("pair %d: flag visible without data after rejoin", i)
+			}
+			return true
+		})
+	}
+	if s.recv.ReleaseWedged() {
+		t.Fatal("stream wedged despite durable state")
+	}
+
+	// Exactly once: every re-released duplicate must have been absorbed
+	// by the recovered applied watermarks. The restarted node applied at
+	// most the un-durable suffix plus the mid-outage traffic.
+	post := writePairs(t, s, "post-", 5)
+	post()
+	if got := s.parts.TotalRemoteApplied(); got > 2*(pre+during+5) {
+		t.Fatalf("restarted node applied %d remote updates, want <= %d (duplicates leaked)", got, 2*(pre+during+5))
+	}
+	waitUntil(t, 10*time.Second, "window to drain", func() bool {
+		return s.recv.ReleaseInflight() == 0
+	})
+}
+
+// TestReceiverRestartRecoversDurableState restarts the receiver process
+// from its data dir mid-stream: pending queues and SiteTime recover, the
+// successor re-releases under a fresh epoch, and the partitions (same
+// incarnation, intact watermarks) deduplicate — no update lost, none
+// double-applied.
+func TestReceiverRestartRecoversDurableState(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableSplitDC(t, dir)
+
+	check := writePairs(t, s, "one-", 8)
+	check()
+
+	s.recv.CloseServices()
+	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	restarted, err := OpenNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleReceiver, Fabric: s.net, DataDir: dir})
+	if err != nil {
+		t.Fatalf("receiver rejoin: %v", err)
+	}
+	s.recv = restarted
+
+	check2 := writePairs(t, s, "two-", 8)
+	check2()
+	waitUntil(t, 10*time.Second, "new window to drain", func() bool {
+		return s.recv.ReleaseInflight() == 0
+	})
+	if got := s.parts.TotalRemoteApplied(); got > 2*16+16 {
+		t.Fatalf("partitions applied %d remote updates across receiver restart, want <= %d", got, 2*16+16)
+	}
+}
+
+// TestPartitionRestartWithoutDataDirStillWedges pins the PR 2 behavior
+// the ISSUE requires to survive: no data dir, no rejoin — the stream must
+// wedge loudly. (release_test.go covers this too; this variant keeps the
+// receiver durable so only the partition side is volatile.)
+func TestPartitionRestartWithoutDataDirStillWedges(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	s := &splitDC{
+		net:    net,
+		parts:  NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: net}),
+		recv:   NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleReceiver, Fabric: net, DataDir: dir}),
+		origin: NewNode(NodeConfig{Config: cfg, DC: 1, Roles: RoleAll, Fabric: net}),
+	}
+	t.Cleanup(s.close)
+
+	check := writePairs(t, s, "pre-", 5)
+	check()
+
+	s.parts.CloseIngress()
+	s.parts.CloseServices()
+	s.parts = NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: net})
+
+	writePairs(t, s, "post-", 5)
+	waitUntil(t, 10*time.Second, "stream to be declared unrecoverable", func() bool {
+		return s.recv.ReleaseWedged()
+	})
+}

@@ -23,23 +23,30 @@ package geostore
 //     arrived parks the stream head — nothing causally after it may become
 //     visible anyway — and retries until payload replication catches up.
 //   - Acknowledgements are cumulative (ReleaseAckMsg carries the highest
-//     sequence applied) and flow back asynchronously, pruning the window.
-//     If they stall — a dropped stream, a crashed-and-recovered link, a
+//     sequence applied and the highest durably recorded) and flow back
+//     asynchronously, pruning the window by the durable watermark. If
+//     they stall — a dropped stream, a crashed-and-recovered link, a
 //     route installed late — the window retransmits its whole
 //     unacknowledged suffix in order, and the applier's sequence filter
 //     makes the retransmission idempotent.
 //   - When the partition process is down, the window fills and release()
 //     blocks: the receiver's flush loop stalls with bounded memory in the
 //     stream (its own per-origin queues keep absorbing shipped metadata,
-//     exactly as before), and releases resume on reconnect.
+//     exactly as before), and releases resume on reconnect. A partition
+//     process restarted with a data dir replays its WALs, reports its
+//     durable stream position, and the window rewinds to it (see
+//     DESIGN.md "The durability model"); restarted without one, the
+//     stream wedges loudly exactly as in PR 2.
 
 import (
+	"errors"
 	"log"
 	"sync"
 	"time"
 
 	"eunomia/internal/fabric"
 	"eunomia/internal/types"
+	"eunomia/internal/wal"
 )
 
 // ReleaseMsg releases one update to the remote partition group, Seq-th in
@@ -56,9 +63,13 @@ type ReleaseMsg struct {
 }
 
 // ReleaseAckMsg is the applier's cumulative acknowledgement for one sender
-// epoch: every release with Seq <= Cum has been applied, and every release
-// with Seq <= Admitted has been received into the apply queue. The window
-// prunes by Cum (so backpressure tracks actual applies) but judges stream
+// epoch: every release with Seq <= Cum has been applied, every release
+// with Seq <= Durable has been applied AND recorded in the partition
+// side's write-ahead logs, and every release with Seq <= Admitted has been
+// received into the apply queue. The window prunes by Durable (so a
+// partition-process crash can always be healed by retransmitting the
+// retained un-durable suffix; a volatile applier reports Durable = Cum,
+// restoring the original prune-on-apply behavior) and judges stream
 // health by Admitted: a stream whose tail is admitted lost nothing and
 // must not be retransmitted just because the applier is slow (e.g. parked
 // on a payload that replication has not delivered yet). Acks from a
@@ -66,12 +77,18 @@ type ReleaseMsg struct {
 type ReleaseAckMsg struct {
 	Epoch    uint64
 	Cum      uint64
+	Durable  uint64
 	Admitted uint64
 	// NeedReset reports that the applier is a fresh incarnation being
-	// offered the middle of a stream whose prefix it never saw. If the
-	// sender has already pruned that prefix (it was acked by the dead
-	// incarnation), the stream is unrecoverable without persisted state
-	// and the sender wedges loudly instead of retransmitting forever.
+	// offered the middle of a stream it has not admitted into. Durable
+	// carries the incarnation's recovered watermark: if the sender still
+	// holds seq Durable+1 (it does whenever the applier persisted its
+	// stream position, because the window prunes by durable acks), it
+	// rewinds to the watermark and retransmits — a bounded resume. Only
+	// when the sender has pruned past the watermark (the dead
+	// incarnation ran without persisted state) is the stream
+	// unrecoverable, and the sender wedges loudly instead of
+	// retransmitting forever.
 	NeedReset bool
 }
 
@@ -105,9 +122,15 @@ type releaseWindow struct {
 	// sequence state when it changes (receiver process restart).
 	epoch uint64
 
+	// onDurable, optional, observes each release leaving the window
+	// (durably applied at the partition side); the receiver node feeds
+	// it into receiver.MarkDurable so a durable receiver's persisted
+	// SiteTime only covers applies that can no longer be lost.
+	onDurable func(ReleaseMsg)
+
 	mu       sync.Mutex
 	cond     *sync.Cond
-	inflight []ReleaseMsg // unacknowledged, ascending dense Seq
+	inflight []ReleaseMsg // not durably acknowledged, ascending dense Seq
 	nextSeq  uint64
 	// progress is when the window last advanced (ack) or was last
 	// retransmitted; a stall beyond releaseResendAfter triggers a resend.
@@ -171,39 +194,47 @@ func (w *releaseWindow) release(u *types.Update, metaArrived time.Time) bool {
 	return true
 }
 
-// handleAck prunes the window up to the cumulative apply acknowledgement.
+// handleAck prunes the window up to the durable acknowledgement watermark.
 // Progress (the retransmission stall clock) advances when applies
 // advance, and also when the whole in-flight suffix is admitted — the
-// stream is intact, the applier is just still working.
+// stream is intact, the applier is just still working. A NeedReset from a
+// restarted applier either rewinds the stream to the applier's durable
+// watermark (bounded retransmit) or, when that watermark is below what
+// the window has already pruned, wedges it for good.
 func (w *releaseWindow) handleAck(ack ReleaseAckMsg) {
 	if ack.Epoch != w.epoch {
 		return // stale ack for a previous window incarnation
 	}
 	w.mu.Lock()
-	if ack.NeedReset && !w.wedged && len(w.inflight) > 0 && w.inflight[0].Seq > 1 {
+	if ack.NeedReset && !w.wedged && len(w.inflight) > 0 &&
+		w.inflight[0].Seq > 1 && w.inflight[0].Seq > ack.Durable+1 {
 		// A fresh applier incarnation is missing a prefix this window has
-		// already pruned: the dead incarnation applied it and took that
-		// state to its grave. Without persisted partition state (a
-		// ROADMAP follow-up) the stream cannot be rebuilt — fail loudly
-		// and stop retransmitting instead of churning forever.
+		// already pruned, and its durable watermark (nothing, or a dead
+		// older epoch's) cannot bridge the gap: the lost prefix died with
+		// the old incarnation. Fail loudly and stop retransmitting
+		// instead of churning forever.
 		w.wedged = true
 		w.cond.Broadcast()
 		w.mu.Unlock()
-		log.Printf("geostore: release stream to %s lost: partition process restarted without persisted state; datacenter needs a full restart/resync", w.to)
+		log.Printf("geostore: release stream to %s lost: partition process restarted without usable durable state (resume watermark %d, oldest retained release %d); datacenter needs a full restart/resync", w.to, ack.Durable, w.inflight[0].Seq)
 		return
 	}
 	drop := 0
-	for drop < len(w.inflight) && w.inflight[drop].Seq <= ack.Cum {
+	for drop < len(w.inflight) && w.inflight[drop].Seq <= ack.Durable {
 		drop++
 	}
+	var durable []ReleaseMsg
 	if drop > 0 {
+		if w.onDurable != nil {
+			durable = append(durable, w.inflight[:drop]...)
+		}
 		w.inflight = append([]ReleaseMsg(nil), w.inflight[drop:]...)
 		w.cond.Broadcast()
 	}
-	// Progress: applies advanced, the whole in-flight suffix is admitted,
-	// or the admission watermark moved at all — the latter matters when
-	// the applier is parked but new releases keep extending the tail, so
-	// a heartbeat's snapshot never quite covers it.
+	// Progress: durability advanced, the whole in-flight suffix is
+	// admitted, or the admission watermark moved at all — the latter
+	// matters when the applier is parked but new releases keep extending
+	// the tail, so a heartbeat's snapshot never quite covers it.
 	if drop > 0 || len(w.inflight) == 0 ||
 		ack.Admitted >= w.inflight[len(w.inflight)-1].Seq || ack.Admitted > w.lastAdmitted {
 		w.progress = time.Now()
@@ -211,7 +242,19 @@ func (w *releaseWindow) handleAck(ack ReleaseAckMsg) {
 	if ack.Admitted > w.lastAdmitted {
 		w.lastAdmitted = ack.Admitted
 	}
+	if ack.NeedReset {
+		// Rewind accepted: the restarted applier resumes at its durable
+		// watermark. Zero the stall clock so the resend loop retransmits
+		// the suffix on its next tick instead of waiting out the stall.
+		w.progress = time.Time{}
+	}
+	cb := w.onDurable
 	w.mu.Unlock()
+	if cb != nil {
+		for _, m := range durable {
+			cb(m)
+		}
+	}
 }
 
 // resendLoop retransmits the unacknowledged suffix when acknowledgements
@@ -282,6 +325,12 @@ func (w *releaseWindow) close() {
 type applier struct {
 	node *Node
 	from fabric.Addr // our address (acks originate here)
+	// stream, optional, persists the durably applied (epoch, seq)
+	// watermark: one KindStream record per durable-ack point, preceded
+	// by a flush of every partition WAL so the watermark never claims
+	// applies the partitions could still lose. A recovered applier
+	// resumes mid-stream from it instead of forcing a wedge.
+	stream *wal.Store
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -290,9 +339,28 @@ type applier struct {
 	// to; a new epoch (restarted receiver process) resets it.
 	epoch uint64
 	// enq is the highest sequence admitted (tail of q); applied is the
-	// highest applied. applied == enq when the queue is empty.
-	enq, applied uint64
-	sinceAck     int
+	// highest applied; durable is the highest durably recorded. applied
+	// == enq when the queue is empty.
+	enq, applied, durable uint64
+	// fresh marks an incarnation that has not admitted anything yet: a
+	// gap offered to it is a stream position question (answered with
+	// NeedReset + the durable watermark), not a drop.
+	fresh    bool
+	sinceAck int
+	// skips holds updates the origin reported superseded after a payload
+	// pull: their payloads died with a crashed predecessor and cannot be
+	// re-shipped, so the stream skips them instead of parking forever.
+	skips map[types.UpdateID]bool
+	// pullBefore gates the pull/skip machinery to crash evidence: only
+	// updates whose metadata reached the receiver before this instant
+	// (this durable incarnation's start, plus slack for metadata in
+	// flight at the crash) may have lost their payload to a dead
+	// predecessor. Later updates ship payloads to the live incarnation,
+	// so a long park is just replication lag — pulling could otherwise
+	// skip (and transiently hide) a slow update the moment its origin
+	// overwrites it. Zero for volatile appliers: pre-durability
+	// semantics, park until the payload arrives.
+	pullBefore int64
 	// lastResetAck rate-limits NeedReset replies during a retransmit
 	// burst aimed at a dead predecessor's stream position.
 	lastResetAck time.Time
@@ -301,15 +369,88 @@ type applier struct {
 	stop chan struct{}
 }
 
-func newApplier(n *Node) *applier {
-	a := &applier{node: n, from: fabric.ApplierAddr(n.id), stop: make(chan struct{})}
+// newApplier starts the applier, resuming from the stream store's
+// recovered watermark when one is configured (the caller replays the
+// partition WALs first, so "durably applied" state is already in the
+// partitions when the stream position claims it).
+func newApplier(n *Node, stream *wal.Store) (*applier, error) {
+	a := &applier{node: n, from: fabric.ApplierAddr(n.id), stream: stream, fresh: true, stop: make(chan struct{})}
+	if stream != nil {
+		a.pullBefore = time.Now().Add(time.Second).UnixNano()
+		err := stream.Replay(func(rec []byte) error {
+			epoch, seq, err := wal.DecodeStream(rec)
+			if err != nil {
+				return err
+			}
+			if epoch > a.epoch || (epoch == a.epoch && seq > a.durable) {
+				a.epoch, a.durable = epoch, seq
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.enq, a.applied = a.durable, a.durable
+	}
 	a.cond = sync.NewCond(&a.mu)
 	go a.run()
-	return a
+	return a, nil
+}
+
+// syncDurable makes every apply at or below seq durable: partition WALs
+// first (the applies themselves), then the stream position that vouches
+// for them. Returns the watermark to advertise. A store closed by a
+// concurrent node shutdown is benign (the unjoined worker's last ack just
+// stops advertising new durability); any other failure is fatal.
+func (a *applier) syncDurable(epoch, seq uint64) uint64 {
+	fail := func(stage string, err error) uint64 {
+		if errors.Is(err, wal.ErrClosed) {
+			a.mu.Lock()
+			d := a.durable
+			a.mu.Unlock()
+			return d
+		}
+		panic("geostore: " + stage + " failed: " + err.Error())
+	}
+	if a.stream == nil {
+		return seq // volatile: advertise applies as prunable (PR 2 rules)
+	}
+	for _, p := range a.node.parts {
+		if err := p.FlushWAL(); err != nil {
+			return fail("partition WAL flush", err)
+		}
+	}
+	if err := a.stream.Append(wal.EncodeStream(epoch, seq)); err != nil {
+		return fail("stream WAL append", err)
+	}
+	if err := a.stream.Flush(); err != nil {
+		return fail("stream WAL flush", err)
+	}
+	if _, err := a.stream.MaybeSnapshot(4096, func(emit func([]byte) error) error {
+		return emit(wal.EncodeStream(epoch, seq))
+	}); err != nil {
+		return fail("stream WAL snapshot", err)
+	}
+	a.mu.Lock()
+	if a.epoch == epoch && seq > a.durable {
+		a.durable = seq
+	}
+	d := a.durable
+	a.mu.Unlock()
+	return d
 }
 
 // handle is the fabric handler for the applier endpoint.
 func (a *applier) handle(msg fabric.Message) {
+	if sup, ok := msg.Payload.(PayloadSupersededMsg); ok {
+		a.mu.Lock()
+		if a.skips == nil {
+			a.skips = make(map[types.UpdateID]bool)
+		}
+		a.skips[sup.ID] = true
+		a.mu.Unlock()
+		return
+	}
 	m, ok := msg.Payload.(ReleaseMsg)
 	if !ok {
 		return
@@ -332,7 +473,8 @@ func (a *applier) handle(msg fabric.Message) {
 		// are idempotent: partitions dedup by origin timestamp).
 		a.epoch = m.Epoch
 		a.q = nil
-		a.enq, a.applied, a.sinceAck = 0, 0, 0
+		a.enq, a.applied, a.durable, a.sinceAck = 0, 0, 0, 0
+		a.fresh = true
 	}
 	switch {
 	case m.Seq <= a.enq:
@@ -344,28 +486,33 @@ func (a *applier) handle(msg fabric.Message) {
 			a.mu.Unlock()
 			return
 		}
-		cum, adm, ep := a.applied, a.enq, a.epoch
+		cum, dur, adm, ep := a.applied, a.durable, a.enq, a.epoch
+		if a.stream == nil {
+			dur = cum
+		}
 		a.mu.Unlock()
-		a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+		a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
 		return
 	case m.Seq != a.enq+1:
 		// Gap: something before it was dropped. The sender retransmits
 		// the whole unacknowledged suffix in order, so normally just
-		// wait — but a gap at a completely fresh incarnation (nothing
-		// ever admitted) may be a stream whose prefix died with our
-		// predecessor; tell the sender, which wedges only if it can no
-		// longer supply that prefix.
-		if a.enq == 0 && a.applied == 0 && time.Since(a.lastResetAck) >= time.Second {
+		// wait — but a gap at a fresh incarnation (nothing admitted yet)
+		// is a stream position question: answer with NeedReset and the
+		// durable watermark recovered from the stream WAL, so the sender
+		// rewinds there and resumes — or wedges, if it has already
+		// pruned past it (the predecessor ran without durable state).
+		if a.fresh && time.Since(a.lastResetAck) >= time.Second {
 			a.lastResetAck = time.Now()
-			ep := a.epoch
+			cum, dur, adm, ep := a.applied, a.durable, a.enq, a.epoch
 			a.mu.Unlock()
-			a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, NeedReset: true})
+			a.node.fab.Send(a.from, msg.From, ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm, NeedReset: true})
 			return
 		}
 		a.mu.Unlock()
 		return
 	}
 	a.enq = m.Seq
+	a.fresh = false
 	a.q = append(a.q, m)
 	a.cond.Signal()
 	a.mu.Unlock()
@@ -390,30 +537,61 @@ func (a *applier) run() {
 		a.mu.Unlock()
 
 		part := n.parts[n.ring.Responsible(head.U.Key)]
-		var parked time.Duration
+		// crashSuspect: released before this durable incarnation started,
+		// so its payload may have died with the predecessor (see
+		// pullBefore). Only such updates may be pulled or skipped.
+		crashSuspect := head.ArrivedUnixNano < a.pullBefore
+		var parked, sincePull time.Duration
 		for !part.ApplyRemote(head.U, time.Unix(0, head.ArrivedUnixNano)) {
 			// Payload not here yet. In-order release means nothing behind
 			// this update may become visible first, so wait for the
 			// payload replication stream to catch up — heartbeating the
 			// admission watermark meanwhile, so the sender knows the
 			// stream is intact and does not retransmit it.
+			a.mu.Lock()
+			skipped := crashSuspect && a.skips[head.U.ID()]
+			if skipped {
+				delete(a.skips, head.U.ID())
+			}
+			a.mu.Unlock()
+			if skipped {
+				// The origin no longer stores this version: its payload
+				// died with a crashed predecessor and the superseding
+				// version follows in the stream. Advance past it.
+				part.SkipRemote(head.U)
+				break
+			}
 			if a.sleep(n.cfg.CheckInterval) {
 				return
 			}
 			a.mu.Lock()
 			stale := len(a.q) == 0 || a.q[0] != head
-			cum, adm, ep := a.applied, a.enq, a.epoch
+			cum, dur, adm, ep := a.applied, a.durable, a.enq, a.epoch
+			if a.stream == nil {
+				dur = cum
+			}
 			a.mu.Unlock()
 			if stale {
 				break // epoch reset replaced the queue under us
 			}
 			if parked += n.cfg.CheckInterval; parked >= releaseResendAfter/2 {
 				parked = 0
-				n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+				n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
+			}
+			if sincePull += n.cfg.CheckInterval; crashSuspect && sincePull >= releaseResendAfter {
+				// Parked well past any sane replication lag on an update
+				// released before this incarnation recovered: its payload
+				// may have died with the crashed predecessor (the shipper
+				// pruned it on transport acknowledgement). Ask the origin
+				// to re-ship the exact version.
+				sincePull = 0
+				n.fab.Send(a.from, fabric.PartitionAddr(head.U.Origin, n.ring.Responsible(head.U.Key)),
+					PayloadPullMsg{Dest: n.id, U: head.U})
 			}
 		}
 
 		a.mu.Lock()
+		delete(a.skips, head.U.ID()) // consumed or moot once head resolves
 		if len(a.q) == 0 || a.q[0] != head {
 			// The queue was reset (new sender epoch) while this entry was
 			// being applied; its bookkeeping died with the old epoch.
@@ -433,7 +611,11 @@ func (a *applier) run() {
 		cum, adm, ep := a.applied, a.enq, a.epoch
 		a.mu.Unlock()
 		if ack {
-			n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Admitted: adm})
+			// Durability rides the ack cadence: everything applied so far
+			// is flushed (partition WALs, then the stream position) before
+			// the ack advertises it as prunable.
+			dur := a.syncDurable(ep, cum)
+			n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
 		}
 	}
 }
@@ -459,6 +641,13 @@ func (a *applier) pending() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.q)
+}
+
+// durableSeq reports the durably recorded stream sequence.
+func (a *applier) durableSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.durable
 }
 
 // close stops the worker. Like releaseWindow.close it only signals; a

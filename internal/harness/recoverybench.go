@@ -1,0 +1,213 @@
+package harness
+
+// RecoveryBench quantifies what the durability subsystem buys a crashed
+// partition-role process: rejoining from its write-ahead logs (replay +
+// release-stream resume at the durable watermark) versus the only
+// alternative a volatile deployment has — a full resync, i.e. replicating
+// the whole dataset from the origin datacenter again.
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/geostore"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+// RecoveryBenchOptions parameterises the restart comparison.
+type RecoveryBenchOptions struct {
+	// Updates is the dataset size replicated before the crash
+	// (default 2000).
+	Updates int
+	// ValueBytes sizes each value (default 1024): the payload volume a
+	// resync re-ships over the WAN and a rejoin replays from local disk.
+	ValueBytes int
+	// Partitions per datacenter (default 4).
+	Partitions int
+	// LinkDelay is the simulated one-way delay on every fabric link
+	// (default 1ms) — what a resync pays per window of re-replication
+	// and a rejoin mostly avoids.
+	LinkDelay time.Duration
+}
+
+func (o *RecoveryBenchOptions) fill() {
+	if o.Updates <= 0 {
+		o.Updates = 2000
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 1024
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 4
+	}
+	if o.LinkDelay <= 0 {
+		o.LinkDelay = time.Millisecond
+	}
+}
+
+// RecoveryBenchResult reports how long a crashed partition-role node
+// takes to be fully caught up again under each strategy.
+type RecoveryBenchResult struct {
+	// RejoinSecs: restart with the same data dir — WAL replay plus
+	// stream resume until a post-crash probe update is visible.
+	RejoinSecs float64
+	// ResyncSecs: restart volatile — the origin re-replicates the whole
+	// dataset and the probe, paying the WAN for every update again.
+	ResyncSecs float64
+	// Speedup is ResyncSecs / RejoinSecs.
+	Speedup float64
+}
+
+// RecoveryBench replicates a dataset into a split-role datacenter, kills
+// the partition-role node, and measures time-to-caught-up for a durable
+// rejoin versus a full re-replication.
+func RecoveryBench(o RecoveryBenchOptions) (RecoveryBenchResult, error) {
+	rejoin, err := recoveryLeg(o, true)
+	if err != nil {
+		return RecoveryBenchResult{}, fmt.Errorf("rejoin leg: %w", err)
+	}
+	resync, err := recoveryLeg(o, false)
+	if err != nil {
+		return RecoveryBenchResult{}, fmt.Errorf("resync leg: %w", err)
+	}
+	return RecoveryBenchResult{
+		RejoinSecs: rejoin.Seconds(),
+		ResyncSecs: resync.Seconds(),
+		Speedup:    resync.Seconds() / rejoin.Seconds(),
+	}, nil
+}
+
+func recoveryLeg(o RecoveryBenchOptions, durable bool) (time.Duration, error) {
+	o.fill()
+	delay := o.LinkDelay
+	net := simnet.New(func(from, to fabric.Addr) time.Duration { return delay })
+	defer net.Close()
+
+	var visible atomic.Int64
+	waitVisible := func(target int64, timeout time.Duration) error {
+		deadline := time.Now().Add(timeout)
+		for visible.Load() < target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("only %d/%d updates visible", visible.Load(), target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	destCfg := geostore.Config{
+		DCs: 2, Partitions: o.Partitions,
+		OnVisible: func(dest types.DCID, u *types.Update, arrived time.Time) {
+			if dest == 0 {
+				visible.Add(1)
+			}
+		},
+	}
+
+	dir, err := os.MkdirTemp("", "eunomia-recovery-bench")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	dataDir := ""
+	if durable {
+		dataDir = dir
+	}
+
+	parts, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: destCfg, DC: 0, Roles: geostore.RolePartitions | geostore.RoleEunomia,
+		Fabric: net, DataDir: dataDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	recv, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: destCfg, DC: 0, Roles: geostore.RoleReceiver, Fabric: net, DataDir: dataDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	origin, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: geostore.Config{DCs: 2, Partitions: o.Partitions}, DC: 1,
+		Roles: geostore.RoleAll, Fabric: net,
+	})
+	if err != nil {
+		return 0, err
+	}
+	closeNode := func(n *geostore.Node) { n.CloseIngress(); n.CloseServices() }
+	defer closeNode(origin)
+	// The resync leg replaces recv; close whichever is current.
+	defer func() { closeNode(recv) }()
+
+	// Replicate the dataset, then crash the partition-role node.
+	c := origin.NewClient()
+	value := make([]byte, o.ValueBytes)
+	write := func(prefix string, n int) error {
+		for i := 0; i < n; i++ {
+			if err := c.Update(types.Key(fmt.Sprintf("%s%d", prefix, i)), value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("base", o.Updates); err != nil {
+		return 0, err
+	}
+	if err := waitVisible(int64(o.Updates), 120*time.Second); err != nil {
+		return 0, err
+	}
+	closeNode(parts) // the crash
+
+	start := time.Now()
+	restarted, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: destCfg, DC: 0, Roles: geostore.RolePartitions | geostore.RoleEunomia,
+		Fabric: net, DataDir: dataDir,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer closeNode(restarted)
+
+	if !durable {
+		// Full resync: the volatile restart lost everything and wedged
+		// the stream; tear the receiver down too (its window prefix is
+		// useless now) and re-replicate the dataset from the origin.
+		closeNode(recv)
+		recv, err = geostore.OpenNode(geostore.NodeConfig{
+			Config: destCfg, DC: 0, Roles: geostore.RoleReceiver, Fabric: net,
+		})
+		if err != nil {
+			return 0, err
+		}
+		visible.Store(0)
+		if err := write("base", o.Updates); err != nil {
+			return 0, err
+		}
+	}
+
+	// Caught up = the dataset is present (rejoin: recovered + resumed;
+	// resync: re-replicated) and a fresh probe flows end to end.
+	probeTarget := visible.Load() + 1
+	if !durable {
+		probeTarget = int64(o.Updates) + 1
+	}
+	if err := write("probe", 1); err != nil {
+		return 0, err
+	}
+	if err := waitVisible(probeTarget, 120*time.Second); err != nil {
+		return 0, err
+	}
+	if durable {
+		// The recovered store must actually hold the dataset, not just
+		// pass a probe through.
+		probe := restarted.NewClient()
+		v, _ := probe.Read(types.Key("base0"))
+		if len(v) != o.ValueBytes {
+			return 0, fmt.Errorf("rejoined node lost base0")
+		}
+	}
+	return time.Since(start), nil
+}

@@ -11,9 +11,11 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -355,4 +357,63 @@ func Quantile(samples []float64, q float64) float64 {
 	}
 	frac := idx - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// PromSample is one sample in Prometheus text exposition format: a metric
+// name, optional label pairs (rendered in the given order), and a value.
+// The transport's peer-window counters export through it (first slice of
+// the metrics-export roadmap item); anything countable can.
+type PromSample struct {
+	Name   string
+	Labels [][2]string
+	Value  float64
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders samples in Prometheus text exposition format
+// (version 0.0.4): one `name{label="value",...} value` line per sample.
+func WriteProm(w io.Writer, samples []PromSample) error {
+	for _, s := range samples {
+		if _, err := io.WriteString(w, s.Name); err != nil {
+			return err
+		}
+		if len(s.Labels) > 0 {
+			if _, err := io.WriteString(w, "{"); err != nil {
+				return err
+			}
+			for i, kv := range s.Labels {
+				sep := ","
+				if i == 0 {
+					sep = ""
+				}
+				if _, err := fmt.Fprintf(w, `%s%s="%s"`, sep, kv[0], promEscape(kv[1])); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "}"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " %v\n", s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -219,5 +220,21 @@ func BenchmarkHistogramRecord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Record(int64(i)%1_000_000 + 1)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var b strings.Builder
+	err := WriteProm(&b, []PromSample{
+		{Name: "fabric_sent_total", Value: 42},
+		{Name: "peer_inflight", Labels: [][2]string{{"peer", `10.0.0.1:7077`}, {"role", `a"b`}}, Value: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "fabric_sent_total 42\n" +
+		"peer_inflight{peer=\"10.0.0.1:7077\",role=\"a\\\"b\"} 3\n"
+	if b.String() != want {
+		t.Fatalf("WriteProm rendered:\n%q\nwant:\n%q", b.String(), want)
 	}
 }

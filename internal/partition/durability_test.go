@@ -10,18 +10,24 @@ import (
 	"eunomia/internal/wal"
 )
 
-// TestCrashRecoveryRebuildsState writes through a durable partition,
-// "crashes" it (drops the in-memory state), recovers a fresh partition
-// from the log, and checks versions, clock monotonicity and the sequence
-// counter all survive.
-func TestCrashRecoveryRebuildsState(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "p0.wal")
-	log, err := wal.Open(path, wal.SyncOnFlush)
+func openStore(t *testing.T, dir string) *wal.Store {
+	t.Helper()
+	st, err := wal.OpenStore(dir, wal.SyncOnFlush)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return st
+}
 
-	p := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false, WAL: log})
+// TestCrashRecoveryRebuildsState writes through a durable partition,
+// "crashes" it (drops the in-memory state), recovers a fresh partition
+// from the store, and checks versions, clock monotonicity and the
+// sequence counter all survive.
+func TestCrashRecoveryRebuildsState(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p0")
+	st := openStore(t, dir)
+
+	p := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false, Store: st})
 	session := dep(0, 0)
 	var lastTS uint64
 	for i := 0; i < 50; i++ {
@@ -38,13 +44,15 @@ func TestCrashRecoveryRebuildsState(t *testing.T) {
 		t.Fatal("remote apply failed")
 	}
 	p.Close()
-	if err := log.Close(); err != nil {
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Crash: rebuild a brand-new partition from the log alone.
-	p2 := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false})
-	if err := p2.Recover(path); err != nil {
+	// Crash: rebuild a brand-new partition from the store alone.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	p2 := New(Config{DC: 0, ID: 0, DCs: 2, SeparateData: false, Store: st2})
+	if err := p2.Recover(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,6 +64,17 @@ func TestCrashRecoveryRebuildsState(t *testing.T) {
 	}
 	if v, _ := p2.Read("remote"); string(v) != "from-dc1" {
 		t.Fatalf("remote update lost in recovery: %q", v)
+	}
+	// The applied watermark survives, so a retried release of the same
+	// remote update stays idempotent across the crash.
+	if got := p2.AppliedRemoteWatermark(1); got != 999_999_999 {
+		t.Fatalf("applied watermark recovered as %v, want 999999999", got)
+	}
+	if !p2.ApplyRemote(remote, time.Now()) {
+		t.Fatal("re-applied release not reported idempotent after recovery")
+	}
+	if got := p2.RemoteApplied.Load(); got != 0 {
+		t.Fatalf("recovered partition double-applied %d remote updates", got)
 	}
 
 	// Property 2 must hold across the crash: the first post-recovery
@@ -73,9 +92,11 @@ func TestCrashRecoveryRebuildsState(t *testing.T) {
 	}
 }
 
-func TestRecoverFromEmptyOrMissingLog(t *testing.T) {
-	p := New(Config{DC: 0, ID: 0, DCs: 1})
-	if err := p.Recover(filepath.Join(t.TempDir(), "never-existed.wal")); err != nil {
+func TestRecoverFromEmptyOrMissingStore(t *testing.T) {
+	st := openStore(t, filepath.Join(t.TempDir(), "never-touched"))
+	defer st.Close()
+	p := New(Config{DC: 0, ID: 0, DCs: 1, Store: st})
+	if err := p.Recover(); err != nil {
 		t.Fatal(err)
 	}
 	if p.Store().Len() != 0 {
@@ -84,28 +105,21 @@ func TestRecoverFromEmptyOrMissingLog(t *testing.T) {
 }
 
 func TestDurablePartitionSurvivesTornTail(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "p.wal")
-	log, err := wal.Open(path, wal.SyncOnFlush)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := New(Config{DC: 0, ID: 0, DCs: 1, WAL: log})
+	dir := filepath.Join(t.TempDir(), "p")
+	st := openStore(t, dir)
+	p := New(Config{DC: 0, ID: 0, DCs: 1, Store: st})
 	p.Update("a", []byte("1"), dep(0))
 	p.Update("b", []byte("2"), dep(0))
 	p.Close()
-	log.Close()
+	st.Close()
 
 	// Append garbage simulating a torn write, then recover.
-	f, err := wal.Open(path, wal.SyncOnFlush) // Open truncates torn tails,
-	if err != nil {                           // so corrupt it via raw append first
-		t.Fatal(err)
-	}
-	f.Close()
-	appendGarbage(t, path)
+	appendGarbage(t, filepath.Join(dir, "log"))
 
-	p2 := New(Config{DC: 0, ID: 0, DCs: 1})
-	if err := p2.Recover(path); err != nil {
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	p2 := New(Config{DC: 0, ID: 0, DCs: 1, Store: st2})
+	if err := p2.Recover(); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := p2.Read("a"); string(v) != "1" {
@@ -116,11 +130,159 @@ func TestDurablePartitionSurvivesTornTail(t *testing.T) {
 	}
 }
 
+// TestSnapshotCompactsAndRecovers drives enough updates to cross a tiny
+// snapshot threshold, verifies the log shrank, and recovers the full
+// state (live versions, sequence counter, applied watermark) from
+// snapshot + residual log.
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	st := openStore(t, dir)
+	p := New(Config{DC: 0, ID: 0, DCs: 2, Store: st})
+
+	session := dep(0, 0)
+	for i := 0; i < 200; i++ {
+		session = p.Update(types.Key(fmt.Sprintf("key%d", i%10)), []byte(fmt.Sprintf("v%d", i)), session)
+	}
+	remote := &types.Update{
+		Key: "remote", Value: []byte("r"), Origin: 1, TS: 7_777, VTS: dep(0, 7_777),
+	}
+	if !p.ApplyRemote(remote, time.Now()) {
+		t.Fatal("remote apply failed")
+	}
+
+	before := p.WALSize()
+	snapped, err := p.MaybeSnapshot(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapped {
+		t.Fatalf("log of %d bytes did not trigger a 1KiB-threshold snapshot", before)
+	}
+	if after := p.WALSize(); after != 0 {
+		t.Fatalf("log still %d bytes after snapshot", after)
+	}
+	// Overwrites after the snapshot land in the fresh log.
+	p.Update("key0", []byte("post-snap"), session)
+	p.Close()
+	st.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	p2 := New(Config{DC: 0, ID: 0, DCs: 2, Store: st2})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p2.Read("key0"); string(v) != "post-snap" {
+		t.Fatalf("key0 recovered as %q, want post-snap", v)
+	}
+	for i := 191; i < 200; i++ {
+		if i%10 == 0 {
+			continue // key0 overwritten above
+		}
+		v, _ := p2.Read(types.Key(fmt.Sprintf("key%d", i%10)))
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key%d recovered as %q, want v%d", i%10, v, i)
+		}
+	}
+	if got := p2.AppliedRemoteWatermark(1); got != 7_777 {
+		t.Fatalf("applied watermark %v survived snapshot, want 7777", got)
+	}
+	// Sequence counter resumed: 200 pre-snapshot + 1 post-snapshot.
+	p2.seqMu.Lock()
+	seq := p2.seq
+	p2.seqMu.Unlock()
+	if seq != 201 {
+		t.Fatalf("sequence counter recovered as %d, want 201", seq)
+	}
+}
+
 func appendGarbage(t *testing.T, path string) {
 	t.Helper()
 	// Raw partial header: length says 100 bytes, payload missing.
 	garbage := []byte{100, 0, 0, 0, 0xaa, 0xbb}
 	if err := appendRaw(path, garbage); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPayloadBufferSurvivesCrash checks §5 payloads buffered ahead of
+// their metadata release are recovered: the shipping sibling pruned them
+// on transport acknowledgement, so the WAL is their only copy.
+func TestPayloadBufferSurvivesCrash(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	st := openStore(t, dir)
+	p := New(Config{DC: 0, ID: 0, DCs: 2, Store: st})
+	payload := &types.Update{
+		Key: "k", Value: []byte("v"), Origin: 1, TS: 500, VTS: dep(0, 500),
+	}
+	p.ReceivePayload(payload)
+	p.Close()
+	st.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	p2 := New(Config{DC: 0, ID: 0, DCs: 2, Store: st2})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.PendingPayloads(); got != 1 {
+		t.Fatalf("recovered %d buffered payloads, want 1", got)
+	}
+	// The release that was in flight at crash time retries against the
+	// successor: the metadata-only apply must find the recovered payload.
+	if !p2.ApplyRemote(payload.Meta(), time.Now()) {
+		t.Fatal("metadata release did not find the recovered payload")
+	}
+	if v, _ := p2.Read("k"); string(v) != "v" {
+		t.Fatalf("applied value %q, want v", v)
+	}
+
+	// A consumed payload must NOT resurrect on the next recovery.
+	p2.Close()
+	st2.Close()
+	st3 := openStore(t, dir)
+	defer st3.Close()
+	p3 := New(Config{DC: 0, ID: 0, DCs: 2, Store: st3})
+	if err := p3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.PendingPayloads(); got != 0 {
+		t.Fatalf("consumed payload resurrected: %d buffered after second recovery", got)
+	}
+	if v, _ := p3.Read("k"); string(v) != "v" {
+		t.Fatalf("value lost on second recovery: %q", v)
+	}
+}
+
+// TestSkipRemoteAdvancesWatermarkDurably checks the lost-payload skip: the
+// watermark advances (so the stream can proceed), nothing is stored, and
+// both survive recovery.
+func TestSkipRemoteAdvancesWatermarkDurably(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p")
+	st := openStore(t, dir)
+	p := New(Config{DC: 0, ID: 0, DCs: 2, Store: st})
+	lost := &types.Update{Key: "gone", Origin: 1, TS: 700, VTS: dep(0, 700)}
+	p.SkipRemote(lost)
+	if got := p.AppliedRemoteWatermark(1); got != 700 {
+		t.Fatalf("watermark %v after skip, want 700", got)
+	}
+	// Idempotent across the retried release.
+	if !p.ApplyRemote(lost.Meta(), time.Now()) {
+		t.Fatal("retried release of a skipped update not treated as applied")
+	}
+	p.Close()
+	st.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	p2 := New(Config{DC: 0, ID: 0, DCs: 2, Store: st2})
+	if err := p2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.AppliedRemoteWatermark(1); got != 700 {
+		t.Fatalf("skip watermark recovered as %v, want 700", got)
+	}
+	if _, vts := p2.Read("gone"); vts != nil {
+		t.Fatal("skipped update materialized a version")
 	}
 }

@@ -51,11 +51,12 @@ type Config struct {
 	SeparateData bool
 	// OnVisible, optional, observes remote update visibility.
 	OnVisible VisibleFunc
-	// WAL, optional, makes the partition durable: every locally
+	// Store, optional, makes the partition durable: every locally
 	// accepted update and every applied remote update is logged before
-	// the operation is acknowledged. Recover rebuilds a partition from
-	// the log after a crash.
-	WAL *wal.Log
+	// the operation is acknowledged, and MaybeSnapshot compacts the log
+	// into a snapshot as it grows. Recover rebuilds a partition from the
+	// store after a crash.
+	Store *wal.Store
 }
 
 // Partition is one logical partition server. All methods are safe for
@@ -70,6 +71,14 @@ type Partition struct {
 
 	euClient *eunomia.Client
 	shipper  PayloadShipper
+
+	// durMu makes a WAL append and the state mutation it records atomic
+	// with respect to snapshots: writers hold it shared across the
+	// append+apply pair, MaybeSnapshot holds it exclusively while it
+	// captures state and truncates the log, so no record is truncated
+	// before its effects are visible to the capture. Lock order is
+	// durMu before the store's internal lock.
+	durMu sync.RWMutex
 
 	// payloadMu guards the payload/arrival buffers for remote updates
 	// whose metadata has not yet been released by the receiver, and the
@@ -172,17 +181,21 @@ func (p *Partition) Update(key types.Key, value types.Value, dep vclock.V) vcloc
 		CreatedAt: time.Now().UnixNano(),
 	}
 
-	if p.cfg.WAL != nil {
+	if p.cfg.Store != nil {
+		p.durMu.RLock()
 		// Log before acknowledging: the update must survive a crash
 		// once the client has seen its timestamp.
-		if err := p.cfg.WAL.Append(wal.EncodeUpdate(wal.KindLocal, u)); err != nil {
+		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindLocal, u)); err != nil {
+			p.durMu.RUnlock()
 			panic("partition: WAL append failed: " + err.Error())
 		}
+		p.store.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.cfg.DC})
+		p.durMu.RUnlock()
+	} else {
+		// Store through the LWW path so a concurrent remote version with
+		// a larger timestamp is never shadowed; see kvstore.Apply.
+		p.store.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.cfg.DC})
 	}
-
-	// Store through the LWW path so a concurrent remote version with a
-	// larger timestamp is never shadowed; see kvstore.Apply.
-	p.store.Apply(key, types.Version{Value: u.Value, TS: ts, VTS: u.VTS, Origin: p.cfg.DC})
 
 	if p.euClient != nil {
 		if p.cfg.SeparateData {
@@ -200,14 +213,59 @@ func (p *Partition) Update(key types.Key, value types.Value, dep vclock.V) vcloc
 // ReceivePayload ingests an update payload shipped directly by a sibling
 // partition (§5). Payloads may arrive in any order and ahead of their
 // metadata; they are buffered until the receiver releases the metadata.
+// Durable partitions log the payload first: the sibling prunes it once
+// the transport acknowledges delivery, so a crash would otherwise lose
+// every buffered payload and stall the release stream on recovery.
 func (p *Partition) ReceivePayload(u *types.Update) {
 	id := u.ID()
+	if p.cfg.Store == nil {
+		p.payloadMu.Lock()
+		if _, ok := p.payloads[id]; !ok {
+			p.payloads[id] = u
+			p.arrivals[id] = time.Now()
+		}
+		p.payloadMu.Unlock()
+		return
+	}
+	p.durMu.RLock()
 	p.payloadMu.Lock()
-	if _, ok := p.payloads[id]; !ok {
+	if _, ok := p.payloads[id]; !ok && u.TS > p.appliedRemote[u.Origin] {
+		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindPayload, u)); err != nil {
+			p.payloadMu.Unlock()
+			p.durMu.RUnlock()
+			panic("partition: WAL append failed: " + err.Error())
+		}
 		p.payloads[id] = u
 		p.arrivals[id] = time.Now()
 	}
 	p.payloadMu.Unlock()
+	p.durMu.RUnlock()
+}
+
+// SkipRemote resolves a release whose payload was lost to a crash and
+// whose origin reports the version superseded: the applied watermark
+// advances (so the stream can proceed in causal order) without storing
+// anything — the superseding version is ordered after this one and
+// carries its own payload.
+func (p *Partition) SkipRemote(u *types.Update) {
+	if p.cfg.Store != nil {
+		p.durMu.RLock()
+		defer p.durMu.RUnlock()
+	}
+	p.payloadMu.Lock()
+	if u.TS <= p.appliedRemote[u.Origin] {
+		p.payloadMu.Unlock()
+		return
+	}
+	p.appliedRemote[u.Origin] = u.TS
+	p.payloadMu.Unlock()
+	p.clock.Observe(u.TS)
+	if p.cfg.Store != nil {
+		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindSkip, u.Meta())); err != nil {
+			panic("partition: WAL append failed: " + err.Error())
+		}
+	}
+	p.RemoteApplied.Inc()
 }
 
 // ApplyRemote is invoked by the local receiver once the update's causal
@@ -221,6 +279,13 @@ func (p *Partition) ReceivePayload(u *types.Update) {
 func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 	full := u
 	arrived := metaArrived // when the payload rides along, data == metadata
+	if p.cfg.Store != nil {
+		// The whole consume→log→apply sequence sits inside the shared
+		// durability lock so a snapshot can never capture the advanced
+		// watermark while the version record is still in flight.
+		p.durMu.RLock()
+		defer p.durMu.RUnlock()
+	}
 	p.payloadMu.Lock()
 	if u.TS <= p.appliedRemote[u.Origin] {
 		// A previous release already applied this update but its
@@ -246,18 +311,14 @@ func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 	p.appliedRemote[u.Origin] = u.TS
 	p.payloadMu.Unlock()
 
-	if p.cfg.WAL != nil {
-		if err := p.cfg.WAL.Append(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {
+	p.clock.Observe(full.TS)
+	if p.cfg.Store != nil {
+		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {
 			panic("partition: WAL append failed: " + err.Error())
 		}
 	}
-
-	p.clock.Observe(full.TS)
 	p.store.Apply(full.Key, types.Version{
-		Value:  full.Value,
-		TS:     full.TS,
-		VTS:    full.VTS,
-		Origin: full.Origin,
+		Value: full.Value, TS: full.TS, VTS: full.VTS, Origin: full.Origin,
 	})
 	p.RemoteApplied.Inc()
 	if p.cfg.OnVisible != nil {
@@ -275,37 +336,176 @@ func (p *Partition) PendingPayloads() int {
 }
 
 // Close stops the attached Eunomia client, flushing buffered metadata,
-// and flushes the WAL if one is attached.
+// and flushes the WAL store if one is attached (closing the store itself
+// is its owner's job — geostore.Node shares nothing, but tests reuse
+// stores across "crashes").
 func (p *Partition) Close() {
 	if p.euClient != nil {
 		p.euClient.Close()
 	}
-	if p.cfg.WAL != nil {
-		_ = p.cfg.WAL.Flush()
+	if p.cfg.Store != nil {
+		_ = p.cfg.Store.Flush()
 	}
 }
 
-// Recover rebuilds a partition's state from its write-ahead log: versions
-// are re-applied under the same LWW rule, the hybrid clock observes every
-// logged timestamp (so post-recovery updates keep Property 2), and the
-// per-partition sequence counter resumes after the highest locally
-// accepted sequence number. Call it on a freshly constructed partition
-// before serving traffic.
-func (p *Partition) Recover(path string) error {
-	return wal.Replay(path, func(rec []byte) error {
+// FlushWAL forces logged records to stable storage; the deployment calls
+// it on its batch cadence so the SyncOnFlush loss window stays one batch
+// wide.
+func (p *Partition) FlushWAL() error {
+	if p.cfg.Store == nil {
+		return nil
+	}
+	return p.cfg.Store.Flush()
+}
+
+// WALSize reports the live log's size (0 without a store).
+func (p *Partition) WALSize() int64 {
+	if p.cfg.Store == nil {
+		return 0
+	}
+	return p.cfg.Store.LogSize()
+}
+
+// Recover rebuilds a partition's state from its configured store: the
+// snapshot's records, then the log's, in append order. Versions re-apply
+// under the same LWW rule (so double replay after a snapshot crash window
+// is harmless), the hybrid clock observes every logged timestamp (so
+// post-recovery updates keep Property 2), and the sequence counter and
+// per-origin applied watermarks resume from the marks record and the
+// replayed updates. Call it on a freshly constructed partition before
+// serving traffic.
+func (p *Partition) Recover() error {
+	if p.cfg.Store == nil {
+		return nil
+	}
+	return p.cfg.Store.Replay(func(rec []byte) error {
+		if len(rec) > 0 && rec[0] == wal.KindMarks {
+			m, err := wal.DecodeMarks(rec)
+			if err != nil {
+				return err
+			}
+			p.seqMu.Lock()
+			if m.Seq > p.seq {
+				p.seq = m.Seq
+			}
+			p.seqMu.Unlock()
+			p.clock.Observe(m.ClockTS)
+			p.payloadMu.Lock()
+			for origin, ts := range m.Applied {
+				if ts > p.appliedRemote[origin] {
+					p.appliedRemote[origin] = ts
+				}
+			}
+			p.payloadMu.Unlock()
+			return nil
+		}
 		kind, u, err := wal.DecodeUpdate(rec)
 		if err != nil {
 			return err
 		}
-		p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
 		p.clock.Observe(u.TS)
-		if kind == wal.KindLocal {
+		switch kind {
+		case wal.KindLocal:
+			p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
 			p.seqMu.Lock()
 			if u.Seq > p.seq {
 				p.seq = u.Seq
 			}
 			p.seqMu.Unlock()
+		case wal.KindPayload:
+			// Buffered, not yet released when logged; a later KindRemote
+			// record consumes it (below), so what is left after replay is
+			// exactly the still-pending buffer.
+			p.payloadMu.Lock()
+			if _, ok := p.payloads[u.ID()]; !ok && u.TS > p.appliedRemote[u.Origin] {
+				p.payloads[u.ID()] = u
+				p.arrivals[u.ID()] = time.Now()
+			}
+			p.payloadMu.Unlock()
+		case wal.KindSkip:
+			p.payloadMu.Lock()
+			if u.TS > p.appliedRemote[u.Origin] {
+				p.appliedRemote[u.Origin] = u.TS
+			}
+			p.payloadMu.Unlock()
+		default: // KindRemote
+			p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
+			p.payloadMu.Lock()
+			if u.TS > p.appliedRemote[u.Origin] {
+				p.appliedRemote[u.Origin] = u.TS
+			}
+			delete(p.payloads, u.ID())
+			delete(p.arrivals, u.ID())
+			p.payloadMu.Unlock()
 		}
 		return nil
 	})
+}
+
+// MaybeSnapshot compacts the store when its log has outgrown threshold
+// (wal.DefaultSnapshotThreshold when <= 0): the snapshot carries every
+// live version plus a marks record for the state overwritten versions
+// took with them (sequence counter, clock floor, applied watermarks).
+// Writers are paused for the duration of the state capture.
+func (p *Partition) MaybeSnapshot(threshold int64) (bool, error) {
+	if p.cfg.Store == nil {
+		return false, nil
+	}
+	if threshold <= 0 {
+		threshold = wal.DefaultSnapshotThreshold
+	}
+	if p.cfg.Store.LogSize() < threshold {
+		return false, nil
+	}
+	p.durMu.Lock()
+	defer p.durMu.Unlock()
+	err := p.cfg.Store.Snapshot(func(emit func([]byte) error) error {
+		var emitErr error
+		p.store.ForEach(func(k types.Key, v types.Version) {
+			if emitErr != nil {
+				return
+			}
+			u := &types.Update{
+				Key: k, Value: v.Value, Origin: v.Origin,
+				Partition: p.cfg.ID, TS: v.TS, VTS: v.VTS,
+			}
+			// All versions re-enter through the LWW apply path on
+			// replay; KindRemote keeps them off the sequence counter,
+			// which the marks record restores exactly.
+			emitErr = emit(wal.EncodeUpdate(wal.KindRemote, u))
+		})
+		if emitErr != nil {
+			return emitErr
+		}
+		p.seqMu.Lock()
+		seq := p.seq
+		p.seqMu.Unlock()
+		p.payloadMu.Lock()
+		applied := make(map[types.DCID]hlc.Timestamp, len(p.appliedRemote))
+		for origin, ts := range p.appliedRemote {
+			applied[origin] = ts
+		}
+		for _, u := range p.payloads {
+			if emitErr = emit(wal.EncodeUpdate(wal.KindPayload, u)); emitErr != nil {
+				break
+			}
+		}
+		p.payloadMu.Unlock()
+		if emitErr != nil {
+			return emitErr
+		}
+		return emit(wal.EncodeMarks(wal.Marks{Seq: seq, ClockTS: p.clock.Last(), Applied: applied}))
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// AppliedRemoteWatermark reports the highest origin timestamp applied (and,
+// after recovery, durably recorded) from origin k.
+func (p *Partition) AppliedRemoteWatermark(k types.DCID) hlc.Timestamp {
+	p.payloadMu.Lock()
+	defer p.payloadMu.Unlock()
+	return p.appliedRemote[k]
 }

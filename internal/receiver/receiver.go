@@ -16,6 +16,7 @@
 package receiver
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"eunomia/internal/metrics"
 	"eunomia/internal/types"
 	"eunomia/internal/vclock"
+	"eunomia/internal/wal"
 )
 
 // ApplyFunc routes a released update to the responsible local partition.
@@ -50,6 +52,19 @@ type Receiver struct {
 	lastEnq  vclock.V  // largest origin timestamp enqueued per origin
 	siteTime vclock.V  // SiteTime_m: latest applied per origin
 
+	// Durable state (nil st = volatile receiver, the original behavior).
+	// Everything the receiver must not lose across a crash goes through
+	// st: enqueued updates (KindPending, logged before release is
+	// possible) and durable-apply watermarks (KindSite, logged by
+	// MarkDurable once the deployment confirms an apply reached stable
+	// storage at the partition side). retain holds applied-but-not-yet-
+	// durable entries so a snapshot never compacts them away: on
+	// recovery they re-release, and partitions deduplicate by applied
+	// watermark.
+	st          *wal.Store
+	durableSite vclock.V
+	retain      [][]entry
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -58,6 +73,8 @@ type Receiver struct {
 	Enqueued   metrics.Counter
 	Applied    metrics.Counter
 	DupDropped metrics.Counter
+	// Recovered counts entries rebuilt from the WAL by Recover.
+	Recovered metrics.Counter
 }
 
 type entry struct {
@@ -65,8 +82,35 @@ type entry struct {
 	arrived time.Time
 }
 
-// New starts a receiver. Apply must be set.
+// New starts a volatile receiver. Apply must be set.
 func New(cfg Config) *Receiver {
+	r, err := build(cfg, nil)
+	if err != nil {
+		panic(err) // unreachable without a store
+	}
+	return r
+}
+
+// Recover starts a durable receiver backed by the snapshot+log store in
+// dir, first rebuilding SiteTime and the pending queues from it: a
+// restarted receiver process resumes releasing where its durable state
+// left off instead of needing a full resync from every origin. Entries
+// applied before the crash but not yet confirmed durable (MarkDurable)
+// are re-released; partitions deduplicate them by applied watermark.
+func Recover(cfg Config, dir string, policy wal.SyncPolicy) (*Receiver, error) {
+	st, err := wal.OpenStore(dir, policy)
+	if err != nil {
+		return nil, err
+	}
+	r, err := build(cfg, st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func build(cfg Config, st *wal.Store) (*Receiver, error) {
 	if cfg.Apply == nil {
 		panic("receiver: Config.Apply is required")
 	}
@@ -78,11 +122,83 @@ func New(cfg Config) *Receiver {
 		queues:   make([][]entry, cfg.DCs),
 		lastEnq:  vclock.New(cfg.DCs),
 		siteTime: vclock.New(cfg.DCs),
+		st:       st,
 		stop:     make(chan struct{}),
+	}
+	if st != nil {
+		r.durableSite = vclock.New(cfg.DCs)
+		r.retain = make([][]entry, cfg.DCs)
+		if err := r.replay(); err != nil {
+			return nil, err
+		}
 	}
 	r.wg.Add(1)
 	go r.loop()
-	return r
+	return r, nil
+}
+
+// replay rebuilds the receiver's state from its store. Pending records
+// replay in enqueue order per origin, so the lastEnq filter drops the
+// duplicates a snapshot crash window can produce; site records advance
+// the durable watermark, and queue prefixes at or below it (durably
+// applied before the crash) are pruned afterwards.
+func (r *Receiver) replay() error {
+	err := r.st.Replay(func(rec []byte) error {
+		if len(rec) == 0 {
+			return wal.ErrBadRecord
+		}
+		switch rec[0] {
+		case wal.KindSite:
+			k, ts, err := wal.DecodeSite(rec)
+			if err != nil {
+				return err
+			}
+			if int(k) < len(r.durableSite) && ts > r.durableSite[k] {
+				r.durableSite[k] = ts
+			}
+			return nil
+		case wal.KindPending:
+			_, u, err := wal.DecodeUpdate(rec)
+			if err != nil {
+				return err
+			}
+			k := u.Origin
+			if int(k) >= len(r.queues) {
+				return nil // deployment shrank; drop the stray origin
+			}
+			ts := u.VTS.Get(int(k))
+			if ts <= r.lastEnq[k] {
+				return nil // double replay after a snapshot crash window
+			}
+			r.lastEnq[k] = ts
+			r.queues[k] = append(r.queues[k], entry{u: u, arrived: time.Now()})
+			r.Recovered.Inc()
+			return nil
+		default:
+			return nil // future record kinds are not ours to reject
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for k := range r.queues {
+		q := r.queues[k]
+		drop := 0
+		for drop < len(q) && q[drop].u.VTS.Get(k) <= r.durableSite[k] {
+			drop++
+		}
+		if drop > 0 {
+			r.queues[k] = append([]entry(nil), q[drop:]...)
+		}
+		// SiteTime restarts at the durable watermark: anything above it
+		// re-releases, and the partitions' own durable watermarks make
+		// the re-application idempotent.
+		r.siteTime[k] = r.durableSite[k]
+		if r.lastEnq[k] < r.siteTime[k] {
+			r.lastEnq[k] = r.siteTime[k]
+		}
+	}
+	return nil
 }
 
 // Enqueue accepts a batch of updates shipped by origin datacenter k, in
@@ -91,6 +207,7 @@ func New(cfg Config) *Receiver {
 // are duplicates from a prior or concurrent leader and are dropped.
 func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
 	now := time.Now()
+	accepted := false
 	r.mu.Lock()
 	for _, u := range batch {
 		ts := u.VTS.Get(int(k))
@@ -98,11 +215,33 @@ func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
 			r.DupDropped.Inc()
 			continue
 		}
+		if r.st != nil {
+			// Log before the flush loop can release it: once an update
+			// is accepted here the origin never re-ships it, so losing
+			// it to a crash would leave a permanent causal gap. A closed
+			// store means the receiver is shutting down — the late
+			// delivery is dropped like any message to a dead process.
+			if err := r.st.Append(wal.EncodeUpdate(wal.KindPending, u)); err != nil {
+				if errors.Is(err, wal.ErrClosed) {
+					continue
+				}
+				panic("receiver: WAL append failed: " + err.Error())
+			}
+			accepted = true
+		}
 		r.lastEnq[k] = ts
 		r.queues[k] = append(r.queues[k], entry{u: u, arrived: now})
 		r.Enqueued.Inc()
 	}
+	st := r.st
 	r.mu.Unlock()
+	if accepted && st != nil {
+		// One fsync per shipped batch (under SyncOnFlush): the paper's
+		// 1ms batching cadence bounds the loss window to one batch.
+		if err := st.Flush(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			panic("receiver: WAL flush failed: " + err.Error())
+		}
+	}
 }
 
 // SiteTime returns a copy of the applied-updates vector.
@@ -151,6 +290,12 @@ func (r *Receiver) Flush() {
 
 				r.mu.Lock()
 				r.siteTime[k] = head.u.VTS.Get(k)
+				if r.st != nil {
+					// Applied but not yet durable at the partition side:
+					// keep the entry so snapshots preserve it; it drops
+					// when MarkDurable covers its timestamp.
+					r.retain[k] = append(r.retain[k], head)
+				}
 				r.queues[k] = r.queues[k][1:]
 				if len(r.queues[k]) == 0 {
 					r.queues[k] = nil
@@ -188,10 +333,133 @@ func (r *Receiver) SiteTimeEntry(k types.DCID) hlc.Timestamp {
 	return r.siteTime[k]
 }
 
-// Close stops the CHECK_PENDING loop.
+// MarkDurable records that every update from origin k at or below ts has
+// been durably applied (the deployment calls it once the partition side's
+// WAL covers the apply — after a window prune on the split-role path,
+// after the partition flush pass when colocated). The durable watermark
+// is what Recover restarts SiteTime from; retained entries it covers are
+// released for compaction. The record is buffered — FlushWAL (or the next
+// snapshot) makes it stable, and an unflushed mark merely means a little
+// extra re-release work after a crash.
+func (r *Receiver) MarkDurable(k types.DCID, ts hlc.Timestamp) {
+	if r.st == nil || int(k) >= len(r.durableSite) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ts <= r.durableSite[k] {
+		return
+	}
+	if err := r.st.Append(wal.EncodeSite(k, ts)); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return // shutdown race with a late durability ack
+		}
+		panic("receiver: WAL append failed: " + err.Error())
+	}
+	r.durableSite[k] = ts
+	keep := r.retain[k]
+	drop := 0
+	for drop < len(keep) && keep[drop].u.VTS.Get(int(k)) <= ts {
+		drop++
+	}
+	if drop > 0 {
+		r.retain[k] = append([]entry(nil), keep[drop:]...)
+	}
+}
+
+// DurableSiteEntry returns the durable watermark for origin k (0 for a
+// volatile receiver).
+func (r *Receiver) DurableSiteEntry(k types.DCID) hlc.Timestamp {
+	if r.st == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.durableSite[k]
+}
+
+// Retained reports applied-but-not-yet-durable entries buffered for
+// snapshot preservation (tests; 0 for a volatile receiver).
+func (r *Receiver) Retained() int {
+	if r.st == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, q := range r.retain {
+		n += len(q)
+	}
+	return n
+}
+
+// FlushWAL forces buffered records (pending updates, durable-site marks)
+// to stable storage. No-op for a volatile receiver.
+func (r *Receiver) FlushWAL() error {
+	if r.st == nil {
+		return nil
+	}
+	return r.st.Flush()
+}
+
+// WALSize reports the live log's size (0 for a volatile receiver).
+func (r *Receiver) WALSize() int64 {
+	if r.st == nil {
+		return 0
+	}
+	return r.st.LogSize()
+}
+
+// MaybeSnapshot compacts the store when the log outgrows threshold
+// (wal.DefaultSnapshotThreshold when <= 0): the snapshot is the durable
+// watermark per origin plus every entry not yet covered by it (retained
+// and still-queued), which is exactly what replay rebuilds.
+func (r *Receiver) MaybeSnapshot(threshold int64) (bool, error) {
+	if r.st == nil {
+		return false, nil
+	}
+	if threshold <= 0 {
+		threshold = wal.DefaultSnapshotThreshold
+	}
+	if r.st.LogSize() < threshold {
+		return false, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.st.Snapshot(func(emit func([]byte) error) error {
+		for k := range r.queues {
+			if r.durableSite[k] > 0 {
+				if err := emit(wal.EncodeSite(types.DCID(k), r.durableSite[k])); err != nil {
+					return err
+				}
+			}
+			for _, e := range r.retain[k] {
+				if err := emit(wal.EncodeUpdate(wal.KindPending, e.u)); err != nil {
+					return err
+				}
+			}
+			for _, e := range r.queues[k] {
+				if err := emit(wal.EncodeUpdate(wal.KindPending, e.u)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Close stops the CHECK_PENDING loop and, for a durable receiver, flushes
+// and closes the store.
 func (r *Receiver) Close() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
+	if r.st != nil {
+		_ = r.st.Close()
+	}
 }
 
 func (r *Receiver) loop() {

@@ -446,6 +446,57 @@ type peer struct {
 	conn    net.Conn // live socket, nil while disconnected
 	closed  bool
 	done    chan struct{} // closed exactly once by close()
+
+	// Window counters for metrics export: the highest sequence ever
+	// written to a socket (frames at or below it that are written again
+	// are retransmissions), the highest cumulative ack received, and the
+	// running retransmission count.
+	maxSent     uint64
+	ackedCum    uint64
+	retransmits int64
+}
+
+// PeerStat is one peer's window state for metrics export.
+type PeerStat struct {
+	// Peer is the dial address of the remote process.
+	Peer string
+	// InFlight is the number of sent-but-unacknowledged frames currently
+	// buffered (the retransmit window's occupancy).
+	InFlight int
+	// Sent is the highest sequence assigned to an outbound frame.
+	Sent uint64
+	// AckedCum is the highest cumulative acknowledgement received.
+	AckedCum uint64
+	// Retransmits counts frames written to a socket more than once
+	// (reconnect retransmission).
+	Retransmits int64
+	// Connected reports whether a live socket is attached.
+	Connected bool
+}
+
+// PeerStats snapshots every peer's window counters, sorted by nothing in
+// particular (callers label by Peer).
+func (t *TCP) PeerStats() []PeerStat {
+	t.mu.Lock()
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	stats := make([]PeerStat, 0, len(peers))
+	for _, p := range peers {
+		p.mu.Lock()
+		stats = append(stats, PeerStat{
+			Peer:        p.dialAddr,
+			InFlight:    len(p.q),
+			Sent:        p.nextSeq,
+			AckedCum:    p.ackedCum,
+			Retransmits: p.retransmits,
+			Connected:   p.conn != nil,
+		})
+		p.mu.Unlock()
+	}
+	return stats
 }
 
 func (p *peer) enqueue(f *frame) {
@@ -552,6 +603,13 @@ func (p *peer) serveConn(conn net.Conn) {
 		batch := make([]*frame, len(p.q)-p.sendPos)
 		copy(batch, p.q[p.sendPos:])
 		p.sendPos = len(p.q)
+		for _, f := range batch {
+			if f.Seq <= p.maxSent {
+				p.retransmits++
+			} else {
+				p.maxSent = f.Seq
+			}
+		}
 		p.mu.Unlock()
 
 		for _, f := range batch {
@@ -605,6 +663,9 @@ func (p *peer) readAcks(conn net.Conn, done chan struct{}) {
 			continue
 		}
 		p.mu.Lock()
+		if f.Ack > p.ackedCum {
+			p.ackedCum = f.Ack
+		}
 		drop := 0
 		for drop < len(p.q) && p.q[drop].Seq <= f.Ack {
 			drop++

@@ -432,3 +432,56 @@ func TestListenerAddr(t *testing.T) {
 		t.Fatal("empty listen address")
 	}
 }
+
+// TestPeerStatsCountersAdvance checks the peer-window counters exported
+// for metrics: sends advance Sent, acknowledgements advance AckedCum and
+// drain InFlight, and a server restart mid-stream produces a nonzero
+// Retransmits count.
+func TestPeerStatsCountersAdvance(t *testing.T) {
+	server := listen(t, Config{})
+	port := server.Addr().String()
+	dst := fabric.ReceiverAddr(1)
+	col := &collector{}
+	server.Register(dst, col.handle)
+
+	client := listen(t, Config{Routes: map[fabric.Addr]string{dst: port}})
+	defer client.Close()
+	src := fabric.PartitionAddr(0, 0)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		client.Send(src, dst, testMsg{N: i})
+	}
+	waitFor(t, 5*time.Second, func() bool { return col.len() == n })
+	waitFor(t, 5*time.Second, func() bool {
+		stats := client.PeerStats()
+		return len(stats) == 1 && stats[0].InFlight == 0 && stats[0].AckedCum == n
+	})
+	stats := client.PeerStats()
+	if stats[0].Peer != port {
+		t.Fatalf("peer label %q, want %q", stats[0].Peer, port)
+	}
+	if stats[0].Sent != n {
+		t.Fatalf("Sent=%d, want %d", stats[0].Sent, n)
+	}
+	if stats[0].Retransmits != 0 {
+		t.Fatalf("Retransmits=%d on a healthy stream, want 0", stats[0].Retransmits)
+	}
+
+	// Kill the server with frames in flight; the reconnect retransmits
+	// the unacknowledged suffix and the counter must say so.
+	server.Close()
+	for i := n; i < 2*n; i++ {
+		client.Send(src, dst, testMsg{N: i})
+	}
+	server2 := listen(t, Config{Listen: port})
+	defer server2.Close()
+	server2.Register(dst, col.handle)
+	waitFor(t, 10*time.Second, func() bool {
+		stats := client.PeerStats()
+		return len(stats) == 1 && stats[0].InFlight == 0
+	})
+	if got := client.PeerStats()[0].Retransmits; got == 0 {
+		t.Fatal("server restart mid-stream produced no counted retransmissions")
+	}
+}

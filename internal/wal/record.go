@@ -17,6 +17,28 @@ const (
 	KindLocal byte = 1
 	// KindRemote marks a remote update applied via the receiver.
 	KindRemote byte = 2
+	// KindMarks is a partition counters record (snapshot compaction):
+	// local sequence counter, clock floor, per-origin applied watermarks.
+	KindMarks byte = 3
+	// KindStream is a release-stream position record: the (sender epoch,
+	// sequence) watermark durably applied by a split-role partition
+	// group's applier.
+	KindStream byte = 4
+	// KindPending marks an update enqueued at a receiver but not yet
+	// durably applied (EncodeUpdate framing).
+	KindPending byte = 5
+	// KindSite is a receiver site-watermark record: origin datacenter and
+	// the highest origin timestamp durably applied locally.
+	KindSite byte = 6
+	// KindPayload marks a payload received via §5 data/metadata
+	// separation, buffered but not yet released (EncodeUpdate framing).
+	// Without it a crash loses every buffered payload — the sibling that
+	// shipped it pruned it once the transport acknowledged delivery.
+	KindPayload byte = 7
+	// KindSkip marks a remote update whose payload was lost to a crash
+	// and whose origin reported it superseded: the applied watermark
+	// advances, nothing is stored (EncodeUpdate framing, no value).
+	KindSkip byte = 8
 )
 
 // ErrBadRecord reports a structurally invalid update record.
@@ -64,7 +86,9 @@ func DecodeUpdate(rec []byte) (kind byte, u *types.Update, err error) {
 		return 0, nil, ErrBadRecord
 	}
 	kind = rec[0]
-	if kind != KindLocal && kind != KindRemote {
+	switch kind {
+	case KindLocal, KindRemote, KindPending, KindPayload, KindSkip:
+	default:
 		return 0, nil, fmt.Errorf("%w: kind %d", ErrBadRecord, kind)
 	}
 	p := 1
@@ -116,4 +140,94 @@ func DecodeUpdate(rec []byte) (kind byte, u *types.Update, err error) {
 		return 0, nil, ErrBadRecord
 	}
 	return kind, u, nil
+}
+
+// Marks is a partition's non-version durable state: the local sequence
+// counter, the highest timestamp the hybrid clock must dominate after
+// recovery, and the per-origin applied-remote watermarks. Snapshots carry
+// it because overwritten versions take their sequence numbers and
+// watermark evidence with them.
+type Marks struct {
+	Seq     uint64
+	ClockTS hlc.Timestamp
+	Applied map[types.DCID]hlc.Timestamp
+}
+
+// EncodeMarks serialises a KindMarks record.
+func EncodeMarks(m Marks) []byte {
+	buf := make([]byte, 0, 1+8+8+binary.MaxVarintLen32+len(m.Applied)*10)
+	buf = append(buf, KindMarks)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ClockTS))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Applied)))
+	for origin, ts := range m.Applied {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(origin))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
+	}
+	return buf
+}
+
+// DecodeMarks parses a record produced by EncodeMarks.
+func DecodeMarks(rec []byte) (Marks, error) {
+	if len(rec) < 1+8+8+1 || rec[0] != KindMarks {
+		return Marks{}, ErrBadRecord
+	}
+	m := Marks{Applied: make(map[types.DCID]hlc.Timestamp)}
+	p := 1
+	m.Seq = binary.LittleEndian.Uint64(rec[p:])
+	p += 8
+	m.ClockTS = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
+	p += 8
+	n, w := binary.Uvarint(rec[p:])
+	if w <= 0 || n > 1<<16 {
+		return Marks{}, ErrBadRecord
+	}
+	p += w
+	if len(rec) != p+int(n)*10 {
+		return Marks{}, ErrBadRecord
+	}
+	for i := uint64(0); i < n; i++ {
+		origin := types.DCID(binary.LittleEndian.Uint16(rec[p:]))
+		p += 2
+		m.Applied[origin] = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
+		p += 8
+	}
+	return m, nil
+}
+
+// EncodeStream serialises a KindStream record: the release stream's
+// durably applied (sender epoch, sequence) watermark.
+func EncodeStream(epoch, seq uint64) []byte {
+	buf := make([]byte, 0, 17)
+	buf = append(buf, KindStream)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return buf
+}
+
+// DecodeStream parses a record produced by EncodeStream.
+func DecodeStream(rec []byte) (epoch, seq uint64, err error) {
+	if len(rec) != 17 || rec[0] != KindStream {
+		return 0, 0, ErrBadRecord
+	}
+	return binary.LittleEndian.Uint64(rec[1:]), binary.LittleEndian.Uint64(rec[9:]), nil
+}
+
+// EncodeSite serialises a KindSite record: origin datacenter k and the
+// highest origin timestamp durably applied at the local datacenter.
+func EncodeSite(k types.DCID, ts hlc.Timestamp) []byte {
+	buf := make([]byte, 0, 11)
+	buf = append(buf, KindSite)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(k))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
+	return buf
+}
+
+// DecodeSite parses a record produced by EncodeSite.
+func DecodeSite(rec []byte) (types.DCID, hlc.Timestamp, error) {
+	if len(rec) != 11 || rec[0] != KindSite {
+		return 0, 0, ErrBadRecord
+	}
+	return types.DCID(binary.LittleEndian.Uint16(rec[1:])),
+		hlc.Timestamp(binary.LittleEndian.Uint64(rec[3:])), nil
 }

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a snapshot+log pair under one directory: the durable state of
+// one component. Appends go to an append-only record log (wal.Log);
+// Snapshot atomically replaces the snapshot file with a compacted record
+// stream and truncates the log at the snapshot boundary, bounding replay
+// work and disk usage.
+//
+// The snapshot file uses the same record framing as the log, so Replay is
+// one code path: snapshot records first, then log records, in append
+// order. A crash between the snapshot rename and the log truncation
+// replays log records already folded into the snapshot — every Store
+// consumer's replay must therefore be idempotent (all of ours are: the
+// kvstore applies under LWW, watermarks advance by max).
+//
+// Layout: <dir>/snapshot (whole, checksummed records; atomically renamed
+// into place) and <dir>/log (torn tail truncated on open).
+type Store struct {
+	dir    string
+	policy SyncPolicy
+
+	// mu serializes appends against snapshotting, so a snapshot never
+	// truncates records whose effects its state capture missed. Callers
+	// whose state mutation happens after Append (e.g. a partition storing
+	// the version it just logged) must bracket the pair with their own
+	// lock and take it inside the Snapshot state callback.
+	mu  sync.Mutex
+	log *Log
+}
+
+const (
+	snapName = "snapshot"
+	logName  = "log"
+)
+
+// DefaultSnapshotThreshold is the log size beyond which MaybeSnapshot
+// compacts.
+const DefaultSnapshotThreshold = 1 << 20
+
+// OpenStore opens (creating if needed) the store directory. The log's torn
+// tail, if any, is truncated; the snapshot is validated lazily by Replay.
+func OpenStore(dir string, policy SyncPolicy) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	log, err := Open(filepath.Join(dir, logName), policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, policy: policy, log: log}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append writes one record to the live log.
+func (s *Store) Append(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Append(rec)
+}
+
+// Flush forces appended records to stable storage.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Flush()
+}
+
+// LogSize reports the live log's size in bytes — the replay work a crash
+// right now would cost beyond the snapshot.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Size()
+}
+
+// Replay invokes fn for every durable record: the snapshot's, then the
+// log's, in append order. Call before the first Append (recovery).
+func (s *Store) Replay(fn func(rec []byte) error) error {
+	if err := Replay(filepath.Join(s.dir, snapName), fn); err != nil {
+		return err
+	}
+	return Replay(filepath.Join(s.dir, logName), fn)
+}
+
+// Snapshot atomically replaces the snapshot with the record stream state
+// emits and truncates the log. state runs with appends blocked; it must
+// emit records that rebuild everything appended so far (callers capture
+// their in-memory state inside it, under their own locks, so the capture
+// and the truncation boundary agree).
+func (s *Store) Snapshot(state func(emit func(rec []byte) error) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	snap, err := Open(tmp, SyncOnFlush)
+	if err != nil {
+		return err
+	}
+	// A leftover tmp from a crashed snapshot attempt must not prepend
+	// stale records to this one.
+	if err := snap.truncateTo(0); err != nil {
+		snap.Close()
+		return err
+	}
+	if err := state(snap.Append); err != nil {
+		snap.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := snap.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot covers every appended record; drop the log. A crash
+	// before this truncation replays the log on top of the snapshot,
+	// which idempotent consumers tolerate.
+	return s.log.truncateTo(0)
+}
+
+// MaybeSnapshot compacts when the live log has outgrown threshold
+// (DefaultSnapshotThreshold when <= 0). It reports whether it snapshotted.
+func (s *Store) MaybeSnapshot(threshold int64, state func(emit func(rec []byte) error) error) (bool, error) {
+	if threshold <= 0 {
+		threshold = DefaultSnapshotThreshold
+	}
+	if s.LogSize() < threshold {
+		return false, nil
+	}
+	if err := s.Snapshot(state); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Close flushes and closes the live log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Close()
+}
+
+// truncateTo rewinds the log to off bytes and positions for appending;
+// Store uses it to reset the log at snapshot boundaries.
+func (l *Log) truncateTo(off int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Discard buffered appends (they are covered by the snapshot too).
+	l.w.Reset(l.f)
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size = off
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Sync
+// errors are ignored: some filesystems reject directory fsync (EINVAL),
+// and the rename is atomic either way — durability of the directory entry
+// just waits for the next metadata flush.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
