@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"eunomia/internal/fabric"
 	"eunomia/internal/harness"
 	"eunomia/internal/types"
 	"eunomia/internal/workload"
@@ -164,7 +165,10 @@ func BenchmarkFig7_Stragglers(b *testing.B) {
 
 // BenchmarkFabricPipelinedTCP compares the pipelined, windowed-ack wire
 // protocol against the original one-request-one-response protocol over a
-// real TCP connection on loopback.
+// real TCP connection on loopback, on the default zero-reflection wire
+// codec. BenchmarkFabricPipelinedTCPGob is the same run on the gob
+// ablation; the CI bench job runs both, so BENCH_ci.json carries the
+// codec comparison end-to-end.
 func BenchmarkFabricPipelinedTCP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := harness.PipelineBench(harness.PipelineBenchOptions{})
@@ -174,6 +178,44 @@ func BenchmarkFabricPipelinedTCP(b *testing.B) {
 		b.ReportMetric(res.PipelinedPerSec, "pipelined-msgs/s")
 		b.ReportMetric(res.RequestResponsePerSec, "reqresp-msgs/s")
 		b.ReportMetric(res.Speedup, "pipeline-speedup-x")
+	}
+}
+
+// BenchmarkFabricPipelinedTCPGob is the -codec gob ablation of
+// BenchmarkFabricPipelinedTCP: identical protocol, reflection-based
+// frames.
+func BenchmarkFabricPipelinedTCPGob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.PipelineBench(harness.PipelineBenchOptions{Codec: fabric.CodecGob})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PipelinedPerSec, "pipelined-msgs/s")
+		b.ReportMetric(res.RequestResponsePerSec, "reqresp-msgs/s")
+		b.ReportMetric(res.Speedup, "pipeline-speedup-x")
+	}
+}
+
+// BenchmarkWireCodec measures the zero-reflection wire codec against the
+// gob ablation on the hot-path message shapes (metadata batch, windowed
+// release, receiver ship): encode+decode round trips per second, bytes
+// per message, allocations per round trip. The acceptance bar is ≥3×
+// throughput on BatchMsg and ReleaseMsg.
+func BenchmarkWireCodec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.CodecBench(harness.CodecBenchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.WirePerSec, p.Message+"-wire-encdec/s")
+			b.ReportMetric(p.GobPerSec, p.Message+"-gob-encdec/s")
+			b.ReportMetric(p.Speedup, p.Message+"-speedup-x")
+			b.ReportMetric(float64(p.WireBytes), p.Message+"-wire-B")
+			b.ReportMetric(float64(p.GobBytes), p.Message+"-gob-B")
+			b.ReportMetric(p.WireAllocs, p.Message+"-wire-allocs/op")
+			b.ReportMetric(p.GobAllocs, p.Message+"-gob-allocs/op")
+		}
 	}
 }
 

@@ -120,7 +120,8 @@ func main() {
 		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
 		dataDir    = flag.String("data-dir", "", "mode eunomia: persist node state (partition WALs, release-stream position, receiver SiteTime+queues) under this directory; a restart with the same dir rejoins instead of wedging")
 		walSync    = flag.String("wal-sync", "flush", `WAL fsync policy: "flush" (per batch/ack, bounded loss window) or "always" (per append, none)`)
-		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, node state) on this HTTP address at /metrics")
+		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, codec latency, node state) on this HTTP address at /metrics")
+		codecName  = flag.String("codec", "wire", `fabric frame codec: "wire" (zero-reflection, default) or "gob" (the reflection ablation)`)
 	)
 	var routeSpecs []string
 	flag.Func("route", `endpoint route, repeatable: "dc1=host:port" or "dc1:receiver=host:port"`, func(s string) error {
@@ -146,7 +147,16 @@ func main() {
 		*listen = *addr
 	}
 
-	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise})
+	codec, err := fabric.ParseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// HoldDelivery: peers may dial and stream the moment the port is
+	// bound, but nothing is consumed (or acknowledged) until this
+	// process's roles are registered — otherwise a slow boot under load
+	// silently acks-and-drops the first frames of send-once edges
+	// (stable-metadata ships, payload batches).
+	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise, Codec: codec, HoldDelivery: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -195,6 +205,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer h.close()
+	fab.Ready() // every hosted endpoint is registered; serve held frames
 	log.Printf("eunomia-server: mode %s, dc%d role %s on %s (%d dcs × %d partitions)",
 		*mode, *dcID, *role, fab.Addr(), *dcs, *partitions)
 
@@ -369,6 +380,23 @@ func serveMetrics(addr string, fab *transport.TCP, h hosted) error {
 				metrics.PromSample{Name: "eunomia_peer_connected", Labels: peer, Value: boolGauge(ps.Connected)},
 			)
 		}
+		// Serialization latency histograms: frame encode/decode cost and
+		// the socket flush, per codec. Both codecs can be live on one
+		// endpoint (inbound connections follow the remote dialer), and
+		// each sample lands under the codec that produced it, so a
+		// wire-vs-gob rollout compares honestly on one dashboard. The
+		// dialing codec always exports (even empty, so dashboards find
+		// the series); the other only once it has samples.
+		for _, codec := range []fabric.Codec{fabric.CodecWire, fabric.CodecGob} {
+			enc, dec, flush := fab.CodecStats(codec)
+			if codec != fab.Codec() && enc.Count() == 0 && dec.Count() == 0 && flush.Count() == 0 {
+				continue
+			}
+			label := [][2]string{{"codec", string(codec)}}
+			samples = append(samples, metrics.PromHistogram("eunomia_codec_encode_seconds", label, enc, nil)...)
+			samples = append(samples, metrics.PromHistogram("eunomia_codec_decode_seconds", label, dec, nil)...)
+			samples = append(samples, metrics.PromHistogram("eunomia_frame_flush_seconds", label, flush, nil)...)
+		}
 		if h.metrics != nil {
 			samples = append(samples, h.metrics()...)
 		}
@@ -501,6 +529,7 @@ func runOrderer(fab *transport.TCP, dc, partitions, replicas int, stableIvl, sta
 	for r, rep := range cluster.Replicas() {
 		fabric.ServeReplica(fab, fabric.EunomiaAddr(types.DCID(dc), types.ReplicaID(r)), rep)
 	}
+	fab.Ready()
 	log.Printf("eunomia-server: ordering %d partition streams on %s (θ=%v, %d replicas)",
 		partitions, fab.Addr(), stableIvl, replicas)
 

@@ -46,11 +46,12 @@ func buildServer(t *testing.T) string {
 // per datacenter, each hosting every role of the given mode — drives a
 // causally chained workload in the writer process, and has the watcher
 // process verify visibility (and, where promised, causal order) before
-// exiting. confirm is the mode's expected watcher verdict line.
-func runTwoProcessDemo(t *testing.T, bin, mode, confirm string, pairs int) {
+// exiting. confirm is the mode's expected watcher verdict line; extra
+// flags (e.g. the -codec ablation) apply to both processes.
+func runTwoProcessDemo(t *testing.T, bin, mode, confirm string, pairs int, extra ...string) {
 	t.Helper()
 	addr0, addr1 := freePort(t), freePort(t)
-	common := []string{"-mode", mode, "-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}
+	common := append([]string{"-mode", mode, "-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}, extra...)
 
 	writer := exec.Command(bin, append([]string{
 		"-role", "dc", "-dc", "0", "-listen", addr0,
@@ -133,6 +134,17 @@ func TestTwoProcessDatacenterOverTCP(t *testing.T) {
 			runTwoProcessDemo(t, bin, mode, confirm, 12)
 		})
 	}
+}
+
+// TestTwoProcessGobAblationOverTCP runs the eunomia demo on the gob
+// codec ablation (-codec gob): the reflection-based frame streams must
+// still carry the whole protocol, or the codec benchmarks compare
+// against a broken baseline.
+func TestTwoProcessGobAblationOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	runTwoProcessDemo(t, buildServer(t), "eunomia", "causal chain OK", 12, "-codec", "gob")
 }
 
 // TestThreeProcessSequencerOverTCP splits dc0 of the sequencer baseline
@@ -313,7 +325,18 @@ func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
 	recv := startProc(t, bin, recvArgs...)
 	defer recv.kill()
 
-	const pairs = 150
+	// The kill below must land while the stream is still in flight. The
+	// durable variant only needs a modest stream (the watcher waits for
+	// every pair anyway); the volatile variant needs a long one — the
+	// wedge can only be diagnosed while the receiver still has (or
+	// produces) unacknowledged releases, and the wire codec drains an
+	// apply backlog fast enough that a short stream can complete between
+	// the kill decision (parsed from a 50ms stats cadence) and the
+	// signal landing.
+	pairs := 150
+	if !durable {
+		pairs = 2000
+	}
 	writer := startProc(t, bin, append([]string{
 		"-role", "dc", "-dc", "1", "-listen", originAddr,
 		"-route", "dc0:partitions=" + partsAddr,
@@ -468,7 +491,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	for _, want := range []string{"eunomia_fabric_sent_total", "eunomia_local_updates_total", "eunomia_release_wedged 0"} {
+	for _, want := range []string{
+		"eunomia_fabric_sent_total", "eunomia_local_updates_total", "eunomia_release_wedged 0",
+		// Codec latency histograms: cumulative buckets, sum, count, codec label.
+		`eunomia_codec_encode_seconds_bucket{codec="wire",le="+Inf"}`,
+		`eunomia_codec_decode_seconds_count{codec="wire"}`,
+		`eunomia_frame_flush_seconds_sum{codec="wire"}`,
+	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)
 		}

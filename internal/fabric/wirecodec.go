@@ -1,0 +1,74 @@
+package fabric
+
+// Zero-reflection wire codecs (internal/wire) for the partition↔Eunomia
+// protocol messages. Field order is the versioning contract for each
+// type's tag: append new fields at the end behind the existing ones and
+// bump nothing; reordering or retyping a field means a new tag.
+
+import (
+	"eunomia/internal/types"
+	"eunomia/internal/wire"
+)
+
+// WireTag implements wire.Marshaler.
+func (m BatchMsg) WireTag() wire.Tag { return wire.TagBatch }
+
+// AppendWire implements wire.Marshaler.
+func (m BatchMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendUvarint(b, uint64(m.Partition))
+	return wire.AppendUpdates(b, m.Ops)
+}
+
+// WireTag implements wire.Marshaler.
+func (m HeartbeatMsg) WireTag() wire.Tag { return wire.TagHeartbeat }
+
+// AppendWire implements wire.Marshaler.
+func (m HeartbeatMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendUvarint(b, uint64(m.Partition))
+	return wire.AppendTimestamp(b, m.TS)
+}
+
+// WireTag implements wire.Marshaler.
+func (m AckMsg) WireTag() wire.Tag { return wire.TagAck }
+
+// AppendWire implements wire.Marshaler.
+func (m AckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendUvarint(b, uint64(m.Partition))
+	b = wire.AppendTimestamp(b, m.Watermark)
+	return wire.AppendString(b, m.Err)
+}
+
+func init() {
+	wire.Register(wire.TagBatch, func(d *wire.Dec) any {
+		return BatchMsg{
+			ID:        d.Uvarint(),
+			Partition: types.PartitionID(d.Uvarint()),
+			Ops:       wire.ReadUpdates(d),
+		}
+	})
+	wire.Register(wire.TagHeartbeat, func(d *wire.Dec) any {
+		return HeartbeatMsg{
+			ID:        d.Uvarint(),
+			Partition: types.PartitionID(d.Uvarint()),
+			TS:        d.Timestamp(),
+		}
+	})
+	wire.Register(wire.TagAck, func(d *wire.Dec) any {
+		return AckMsg{
+			ID:        d.Uvarint(),
+			Partition: types.PartitionID(d.Uvarint()),
+			Watermark: d.Timestamp(),
+			Err:       d.String(),
+		}
+	})
+}
+
+// The compiler checks the payload structs against the codec interface.
+var (
+	_ wire.Marshaler = BatchMsg{}
+	_ wire.Marshaler = HeartbeatMsg{}
+	_ wire.Marshaler = AckMsg{}
+)

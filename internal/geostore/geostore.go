@@ -584,6 +584,7 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 // BlockingRelease ablation asks for the original protocol.
 func (n *Node) buildReceiver(nc NodeConfig) error {
 	m := n.id
+	var healer *payloadHealer
 	apply := func(u *types.Update, metaArrived time.Time) bool {
 		return n.parts[n.ring.Responsible(u.Key)].ApplyRemote(u, metaArrived)
 	}
@@ -594,6 +595,16 @@ func (n *Node) buildReceiver(nc NodeConfig) error {
 			n.relWin = newReleaseWindow(n.fab, fabric.ReceiverAddr(m), fabric.ApplierAddr(m), nc.ReleaseWindow)
 			apply = n.relWin.release
 		}
+	} else if nc.DataDir != "" {
+		// Colocated durable node: releases go by direct call, but a crash
+		// can still have lost buffered payloads the origin pruned on
+		// transport acknowledgement. Heal crash-suspect parks with the
+		// same pull/skip protocol the split-role applier uses; the node's
+		// applier address (otherwise unused when the receiver is local)
+		// receives the origin's superseded verdicts.
+		healer = newPayloadHealer(n)
+		apply = healer.apply
+		n.fab.Register(fabric.ApplierAddr(m), healer.handle)
 	}
 	rcfg := receiver.Config{
 		DC:            m,
@@ -610,6 +621,11 @@ func (n *Node) buildReceiver(nc NodeConfig) error {
 			return fmt.Errorf("recovering dc%d receiver: %w", m, err)
 		}
 		n.recv = recv
+		if healer != nil {
+			// Replay is done: entries recovered above carry replay-time
+			// arrival stamps, all safely below the gate set now.
+			healer.arm()
+		}
 		if n.relWin != nil {
 			// Split role, windowed: the persisted site watermark follows
 			// the partition side's durable acknowledgements, so recovery

@@ -1,0 +1,141 @@
+package geostore
+
+// Payload healing for colocated durable nodes (the ROADMAP follow-up to
+// PR 3's pull/skip machinery, which only the split-role applier had).
+//
+// A colocated node (receiver and partitions in one process) releases
+// updates by direct call, so a payload pruned at the origin — the shipper
+// drops its buffered copy once the transport acknowledges delivery — and
+// lost to a crash here (received after the last WAL flush) would park the
+// receiver's release pass forever: the payload is nowhere, and nothing
+// re-ships it. The split-role applier heals this with PayloadPullMsg /
+// PayloadSupersededMsg; payloadHealer gives the colocated direct-apply
+// path the same protocol.
+//
+// The same crash-evidence gate applies (see applier.pullBefore): only
+// updates whose metadata arrived before this durable incarnation finished
+// recovering may have lost their payload to the dead predecessor. Anything
+// released later is ordinary replication lag and parks untouched — pulling
+// it could transiently hide a slow update the moment its origin overwrites
+// it.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/types"
+)
+
+// payloadHealer wraps a colocated durable node's direct release path with
+// origin pulls for crash-suspect updates parked on a missing payload.
+type payloadHealer struct {
+	n *Node
+	// pullBefore gates pulls to crash evidence: only updates whose
+	// metadata arrived before this instant (recovery end plus slack for
+	// metadata in flight at the crash) may have lost their payload to the
+	// dead predecessor. Atomic because arm() stamps it from the opening
+	// goroutine while the recovered receiver's flush loop may already be
+	// calling apply; until armed it is zero, which suspects nothing.
+	pullBefore atomic.Int64
+
+	mu sync.Mutex
+	// skips holds updates the origin reported superseded: their payloads
+	// died with the crashed predecessor and cannot be re-shipped; the
+	// superseding version follows in the release order with its own
+	// payload.
+	skips map[types.UpdateID]bool
+	// lastPull rate-limits the pull per parked update to the release
+	// retransmission cadence.
+	lastPull map[types.UpdateID]time.Time
+}
+
+func newPayloadHealer(n *Node) *payloadHealer {
+	return &payloadHealer{
+		n:        n,
+		skips:    make(map[types.UpdateID]bool),
+		lastPull: make(map[types.UpdateID]time.Time),
+	}
+}
+
+// arm sets the crash-evidence gate once recovery has finished. It must
+// run after receiver replay, not at construction: replay re-stamps every
+// recovered entry with the replay-time instant, so a gate stamped before
+// a slow (>1s) replay would classify recovered crash suspects as live
+// replication lag and never pull them.
+func (h *payloadHealer) arm() {
+	h.pullBefore.Store(time.Now().Add(time.Second).UnixNano())
+}
+
+// apply implements receiver.ApplyFunc over the colocated partition group,
+// healing crash-suspect parks by pulling the payload from the origin (or
+// skipping the update when the origin reports it superseded).
+func (h *payloadHealer) apply(u *types.Update, metaArrived time.Time) bool {
+	n := h.n
+	pid := n.ring.Responsible(u.Key)
+	part := n.parts[pid]
+	if part.ApplyRemote(u, metaArrived) {
+		h.forget(u.ID())
+		return true
+	}
+	if metaArrived.UnixNano() >= h.pullBefore.Load() {
+		return false // live replication lag; the payload is still coming
+	}
+	id := u.ID()
+	h.mu.Lock()
+	if h.skips[id] {
+		delete(h.skips, id)
+		delete(h.lastPull, id)
+		h.mu.Unlock()
+		// The origin no longer stores this version: advance the applied
+		// watermark past it without storing. The superseding version is
+		// ordered after it and carries its own payload.
+		part.SkipRemote(u)
+		return true
+	}
+	now := time.Now()
+	last, seen := h.lastPull[id]
+	if !seen {
+		// First park: start the clock, pull only after a full
+		// retransmission interval — replication may still deliver.
+		h.lastPull[id] = now
+		h.mu.Unlock()
+		return false
+	}
+	if now.Sub(last) < releaseResendAfter {
+		h.mu.Unlock()
+		return false
+	}
+	h.lastPull[id] = now
+	h.mu.Unlock()
+	n.fab.Send(fabric.ApplierAddr(n.id), fabric.PartitionAddr(u.Origin, pid),
+		PayloadPullMsg{Dest: n.id, U: u})
+	return false
+}
+
+// forget drops an update's healing state once it resolves.
+func (h *payloadHealer) forget(id types.UpdateID) {
+	h.mu.Lock()
+	delete(h.skips, id)
+	delete(h.lastPull, id)
+	h.mu.Unlock()
+}
+
+// handle is the fabric handler for the colocated node's applier address:
+// the origin's superseded verdicts land here (re-shipped payloads go to
+// the partition address like any payload batch). A verdict for an update
+// no longer tracked is stale — the payload arrived and applied while the
+// verdict was in flight — and recording it would leak a skips entry
+// nothing ever consumes.
+func (h *payloadHealer) handle(msg fabric.Message) {
+	sup, ok := msg.Payload.(PayloadSupersededMsg)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	if _, tracked := h.lastPull[sup.ID]; tracked {
+		h.skips[sup.ID] = true
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,153 @@
+package geostore
+
+// Zero-reflection wire codecs (internal/wire) for the geo-replication
+// messages: shipping, the blocking-release ablation, payload healing, and
+// the windowed release stream. Field order is each tag's versioning
+// contract — append new fields, never reorder (DESIGN.md "The wire
+// format").
+
+import (
+	"eunomia/internal/types"
+	"eunomia/internal/wire"
+)
+
+// appendUpdatePtr encodes an optional update pointer: a presence byte,
+// then the record. The messages carrying one (*Update) never send nil in
+// practice, but a codec that panics on an impossible value is a worse
+// deal than one byte.
+func appendUpdatePtr(b []byte, u *types.Update) []byte {
+	b = wire.AppendBool(b, u != nil)
+	if u != nil {
+		b = wire.AppendUpdate(b, u)
+	}
+	return b
+}
+
+func readUpdatePtr(d *wire.Dec) *types.Update {
+	if !d.Bool() {
+		return nil
+	}
+	return wire.ReadUpdate(d)
+}
+
+// WireTag implements wire.Marshaler.
+func (m ShipMsg) WireTag() wire.Tag { return wire.TagShip }
+
+// AppendWire implements wire.Marshaler.
+func (m ShipMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Origin))
+	return wire.AppendUpdates(b, m.Ops)
+}
+
+// WireTag implements wire.Marshaler.
+func (m ApplyMsg) WireTag() wire.Tag { return wire.TagApply }
+
+// AppendWire implements wire.Marshaler.
+func (m ApplyMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = appendUpdatePtr(b, m.U)
+	return wire.AppendUint64(b, uint64(m.ArrivedUnixNano))
+}
+
+// WireTag implements wire.Marshaler.
+func (m ApplyAckMsg) WireTag() wire.Tag { return wire.TagApplyAck }
+
+// AppendWire implements wire.Marshaler.
+func (m ApplyAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	return wire.AppendBool(b, m.OK)
+}
+
+// WireTag implements wire.Marshaler.
+func (m PayloadPullMsg) WireTag() wire.Tag { return wire.TagPayloadPull }
+
+// AppendWire implements wire.Marshaler.
+func (m PayloadPullMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Dest))
+	return appendUpdatePtr(b, m.U)
+}
+
+// WireTag implements wire.Marshaler.
+func (m PayloadSupersededMsg) WireTag() wire.Tag { return wire.TagPayloadSuperseded }
+
+// AppendWire implements wire.Marshaler.
+func (m PayloadSupersededMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.ID.Origin))
+	b = wire.AppendTimestamp(b, m.ID.TS)
+	return wire.AppendString(b, string(m.ID.Key))
+}
+
+// WireTag implements wire.Marshaler.
+func (m ReleaseMsg) WireTag() wire.Tag { return wire.TagRelease }
+
+// AppendWire implements wire.Marshaler. Epoch is a UnixNano instant, so
+// it rides fixed-width per the codec convention (a uvarint would cost 9
+// bytes).
+func (m ReleaseMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUint64(b, m.Epoch)
+	b = wire.AppendUvarint(b, m.Seq)
+	b = appendUpdatePtr(b, m.U)
+	return wire.AppendUint64(b, uint64(m.ArrivedUnixNano))
+}
+
+// WireTag implements wire.Marshaler.
+func (m ReleaseAckMsg) WireTag() wire.Tag { return wire.TagReleaseAck }
+
+// AppendWire implements wire.Marshaler. Epoch rides fixed-width like
+// every UnixNano instant.
+func (m ReleaseAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUint64(b, m.Epoch)
+	b = wire.AppendUvarint(b, m.Cum)
+	b = wire.AppendUvarint(b, m.Durable)
+	b = wire.AppendUvarint(b, m.Admitted)
+	return wire.AppendBool(b, m.NeedReset)
+}
+
+func init() {
+	wire.Register(wire.TagShip, func(d *wire.Dec) any {
+		return ShipMsg{Origin: types.DCID(d.Uvarint()), Ops: wire.ReadUpdates(d)}
+	})
+	wire.Register(wire.TagApply, func(d *wire.Dec) any {
+		return ApplyMsg{ID: d.Uvarint(), U: readUpdatePtr(d), ArrivedUnixNano: int64(d.Uint64())}
+	})
+	wire.Register(wire.TagApplyAck, func(d *wire.Dec) any {
+		return ApplyAckMsg{ID: d.Uvarint(), OK: d.Bool()}
+	})
+	wire.Register(wire.TagPayloadPull, func(d *wire.Dec) any {
+		return PayloadPullMsg{Dest: types.DCID(d.Uvarint()), U: readUpdatePtr(d)}
+	})
+	wire.Register(wire.TagPayloadSuperseded, func(d *wire.Dec) any {
+		return PayloadSupersededMsg{ID: types.UpdateID{
+			Origin: types.DCID(d.Uvarint()),
+			TS:     d.Timestamp(),
+			Key:    types.Key(d.String()),
+		}}
+	})
+	wire.Register(wire.TagRelease, func(d *wire.Dec) any {
+		return ReleaseMsg{
+			Epoch:           d.Uint64(),
+			Seq:             d.Uvarint(),
+			U:               readUpdatePtr(d),
+			ArrivedUnixNano: int64(d.Uint64()),
+		}
+	})
+	wire.Register(wire.TagReleaseAck, func(d *wire.Dec) any {
+		return ReleaseAckMsg{
+			Epoch:     d.Uint64(),
+			Cum:       d.Uvarint(),
+			Durable:   d.Uvarint(),
+			Admitted:  d.Uvarint(),
+			NeedReset: d.Bool(),
+		}
+	})
+}
+
+var (
+	_ wire.Marshaler = ShipMsg{}
+	_ wire.Marshaler = ApplyMsg{}
+	_ wire.Marshaler = ApplyAckMsg{}
+	_ wire.Marshaler = PayloadPullMsg{}
+	_ wire.Marshaler = PayloadSupersededMsg{}
+	_ wire.Marshaler = ReleaseMsg{}
+	_ wire.Marshaler = ReleaseAckMsg{}
+)

@@ -1,0 +1,32 @@
+package globalstab
+
+// Zero-reflection wire codec (internal/wire) for the sibling
+// stabilization heartbeat. Field order is the tag's versioning contract —
+// append new fields, never reorder (DESIGN.md "The wire format").
+
+import (
+	"eunomia/internal/types"
+	"eunomia/internal/wire"
+)
+
+// WireTag implements wire.Marshaler.
+func (m HeartbeatMsg) WireTag() wire.Tag { return wire.TagStabHeartbeat }
+
+// AppendWire implements wire.Marshaler.
+func (m HeartbeatMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Origin))
+	b = wire.AppendUvarint(b, uint64(m.Part))
+	return wire.AppendTimestamp(b, m.TS)
+}
+
+func init() {
+	wire.Register(wire.TagStabHeartbeat, func(d *wire.Dec) any {
+		return HeartbeatMsg{
+			Origin: types.DCID(d.Uvarint()),
+			Part:   types.PartitionID(d.Uvarint()),
+			TS:     d.Timestamp(),
+		}
+	})
+}
+
+var _ wire.Marshaler = HeartbeatMsg{}

@@ -18,6 +18,7 @@ import (
 	"eunomia/internal/simnet"
 	"eunomia/internal/transport"
 	"eunomia/internal/types"
+	"eunomia/internal/wire"
 )
 
 // benchPing is the unit message both transport legs ship.
@@ -31,9 +32,32 @@ type benchPong struct {
 	Seq uint64
 }
 
+// WireTag implements wire.Marshaler.
+func (m benchPing) WireTag() wire.Tag { return wire.TagBenchPing }
+
+// AppendWire implements wire.Marshaler.
+func (m benchPing) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Seq)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// WireTag implements wire.Marshaler.
+func (m benchPong) WireTag() wire.Tag { return wire.TagBenchPong }
+
+// AppendWire implements wire.Marshaler.
+func (m benchPong) AppendWire(b []byte) []byte {
+	return wire.AppendUvarint(b, m.Seq)
+}
+
 func init() {
 	fabric.RegisterPayload(benchPing{})
 	fabric.RegisterPayload(benchPong{})
+	wire.Register(wire.TagBenchPing, func(d *wire.Dec) any {
+		return benchPing{Seq: d.Uvarint(), Data: d.Bytes()}
+	})
+	wire.Register(wire.TagBenchPong, func(d *wire.Dec) any {
+		return benchPong{Seq: d.Uvarint()}
+	})
 }
 
 // PipelineBenchOptions parameterises the TCP protocol comparison.
@@ -44,6 +68,9 @@ type PipelineBenchOptions struct {
 	Messages int
 	// PayloadBytes sizes each message's body (default 128).
 	PayloadBytes int
+	// Codec selects the frame codec both endpoints run
+	// (default fabric.CodecWire; fabric.CodecGob is the ablation).
+	Codec fabric.Codec
 }
 
 func (o *PipelineBenchOptions) fill() {
@@ -70,12 +97,12 @@ type PipelineBenchResult struct {
 // endpoints on loopback.
 func PipelineBench(o PipelineBenchOptions) (PipelineBenchResult, error) {
 	o.fill()
-	sender, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0"})
+	sender, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0", Codec: o.Codec})
 	if err != nil {
 		return PipelineBenchResult{}, err
 	}
 	defer sender.Close()
-	sink, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0"})
+	sink, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0", Codec: o.Codec})
 	if err != nil {
 		return PipelineBenchResult{}, err
 	}

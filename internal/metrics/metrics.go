@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -240,6 +241,21 @@ func (h *Histogram) String() string {
 		time.Duration(h.Max()))
 }
 
+// CumulativeCount returns how many samples are at or below v. The answer
+// is bucket-granular: samples in the bucket containing v all count, so
+// the result can overestimate by at most one bucket width (~3%).
+func (h *Histogram) CumulativeCount(v int64) int64 {
+	n := h.zero.Load()
+	if v < 0 {
+		return n
+	}
+	top := bucketIndex(v)
+	for i := 0; i <= top; i++ {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
 // TimeSeries counts events into fixed-width wall-clock buckets, producing
 // the throughput-over-time plots of Figures 4 and 7.
 type TimeSeries struct {
@@ -385,6 +401,37 @@ func promEscape(s string) string {
 		}
 	}
 	return b.String()
+}
+
+// DefaultLatencyBounds are the upper bounds (nanoseconds) PromHistogram
+// exports by default: a decade ladder from 1µs to 1s, which brackets
+// everything from a frame encode to a WAN stall.
+var DefaultLatencyBounds = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+}
+
+// PromHistogram renders a latency histogram (nanosecond samples) as
+// Prometheus histogram series: cumulative `name_bucket{le="<seconds>"}`
+// samples over bounds (DefaultLatencyBounds when nil), a `+Inf` bucket,
+// and `name_sum` (seconds) / `name_count`. Bucket counts are granular to
+// the histogram's internal buckets (~3% relative error).
+func PromHistogram(name string, labels [][2]string, h *Histogram, bounds []int64) []PromSample {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	out := make([]PromSample, 0, len(bounds)+3)
+	for _, b := range bounds {
+		le := append(append([][2]string{}, labels...),
+			[2]string{"le", strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)})
+		out = append(out, PromSample{Name: name + "_bucket", Labels: le, Value: float64(h.CumulativeCount(b))})
+	}
+	inf := append(append([][2]string{}, labels...), [2]string{"le", "+Inf"})
+	out = append(out,
+		PromSample{Name: name + "_bucket", Labels: inf, Value: float64(h.Count())},
+		PromSample{Name: name + "_sum", Labels: labels, Value: float64(h.sum.Load()) / 1e9},
+		PromSample{Name: name + "_count", Labels: labels, Value: float64(h.Count())},
+	)
+	return out
 }
 
 // WriteProm renders samples in Prometheus text exposition format

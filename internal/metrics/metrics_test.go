@@ -238,3 +238,61 @@ func TestWriteProm(t *testing.T) {
 		t.Fatalf("WriteProm rendered:\n%q\nwant:\n%q", b.String(), want)
 	}
 }
+
+func TestCumulativeCount(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-1) // zero bucket
+	h.Record(500)
+	h.Record(5_000)
+	h.Record(5_000_000)
+	if got := h.CumulativeCount(-5); got != 1 {
+		t.Fatalf("CumulativeCount(-5) = %d, want 1 (the zero bucket)", got)
+	}
+	if got := h.CumulativeCount(1_000); got != 2 {
+		t.Fatalf("CumulativeCount(1µs) = %d, want 2", got)
+	}
+	if got := h.CumulativeCount(1_000_000_000); got != 4 {
+		t.Fatalf("CumulativeCount(1s) = %d, want 4", got)
+	}
+}
+
+func TestPromHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Record(500)       // < 1µs
+	h.Record(50_000)    // < 100µs
+	h.Record(2_000_000) // < 10ms
+	samples := PromHistogram("codec_encode_seconds", [][2]string{{"codec", "wire"}}, h, nil)
+
+	byLe := map[string]float64{}
+	var sum, count float64
+	for _, s := range samples {
+		switch s.Name {
+		case "codec_encode_seconds_bucket":
+			byLe[s.Labels[len(s.Labels)-1][1]] = s.Value
+			if s.Labels[0][0] != "codec" || s.Labels[0][1] != "wire" {
+				t.Fatalf("labels lost: %v", s.Labels)
+			}
+		case "codec_encode_seconds_sum":
+			sum = s.Value
+		case "codec_encode_seconds_count":
+			count = s.Value
+		}
+	}
+	if count != 3 || byLe["+Inf"] != 3 {
+		t.Fatalf("count=%v +Inf=%v, want 3", count, byLe["+Inf"])
+	}
+	if byLe["1e-06"] < 1 || byLe["0.0001"] < 2 || byLe["0.01"] < 3 {
+		t.Fatalf("cumulative buckets wrong: %v", byLe)
+	}
+	// Buckets must be monotonically nondecreasing up the ladder.
+	prev := -1.0
+	for _, le := range []string{"1e-06", "1e-05", "0.0001", "0.001", "0.01", "0.1", "1"} {
+		if byLe[le] < prev {
+			t.Fatalf("bucket %s decreased: %v", le, byLe)
+		}
+		prev = byLe[le]
+	}
+	if want := (500.0 + 50_000 + 2_000_000) / 1e9; sum < want*0.99 || sum > want*1.01 {
+		t.Fatalf("sum=%v, want ~%v", sum, want)
+	}
+}

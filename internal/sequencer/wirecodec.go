@@ -1,0 +1,43 @@
+package sequencer
+
+// Zero-reflection wire codecs (internal/wire) for the number-service
+// round trip. Field order is each tag's versioning contract — append new
+// fields, never reorder (DESIGN.md "The wire format").
+
+import (
+	"eunomia/internal/wire"
+)
+
+// WireTag implements wire.Marshaler.
+func (m NextMsg) WireTag() wire.Tag { return wire.TagNext }
+
+// AppendWire implements wire.Marshaler.
+func (m NextMsg) AppendWire(b []byte) []byte {
+	return wire.AppendUvarint(b, m.ID)
+}
+
+// WireTag implements wire.Marshaler.
+func (m NextAckMsg) WireTag() wire.Tag { return wire.TagNextAck }
+
+// AppendWire implements wire.Marshaler. Epoch is a UnixNano instant, so
+// it rides fixed-width per the codec convention.
+func (m NextAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendUvarint(b, m.N)
+	b = wire.AppendUint64(b, m.Epoch)
+	return wire.AppendString(b, m.Err)
+}
+
+func init() {
+	wire.Register(wire.TagNext, func(d *wire.Dec) any {
+		return NextMsg{ID: d.Uvarint()}
+	})
+	wire.Register(wire.TagNextAck, func(d *wire.Dec) any {
+		return NextAckMsg{ID: d.Uvarint(), N: d.Uvarint(), Epoch: d.Uint64(), Err: d.String()}
+	})
+}
+
+var (
+	_ wire.Marshaler = NextMsg{}
+	_ wire.Marshaler = NextAckMsg{}
+)

@@ -5,15 +5,24 @@
 //
 // The wire protocol is pipelined and length-framed. Each ordered pair of
 // processes shares one connection owned by a single writer goroutine:
-// messages are gob-encoded, prefixed with a 4-byte length, assigned a
-// per-peer sequence number, and streamed without waiting for responses.
-// The receiver returns cumulative acknowledgements (windowed: at least one
-// ack per quarter window, and whenever the pipe drains); the sender keeps
-// unacknowledged frames buffered and retransmits them after a reconnect.
-// Sends block only when the unacknowledged window is full — backpressure,
-// not round trips. This replaces the original one-request-one-response
-// protocol, in which every flush paid a full RTT before the next batch
-// could be sent.
+// messages are encoded with the zero-reflection wire codec
+// (internal/wire) — type-tagged binary frames behind a 4-byte length
+// prefix — assigned a per-peer sequence number, and streamed without
+// waiting for responses; a whole flush batch reaches the socket in a
+// single write from one pooled buffer. The receiver returns cumulative
+// acknowledgements (windowed: at least one ack per quarter window, and
+// whenever the pipe drains); the sender keeps unacknowledged frames
+// buffered and retransmits them after a reconnect. Sends block only when
+// the unacknowledged window is full — backpressure, not round trips.
+// This replaces the original one-request-one-response protocol, in which
+// every flush paid a full RTT before the next batch could be sent.
+//
+// Config.Codec selects the frame codec (the fabric.Codec seam): the
+// default wire codec above, or the original persistent-gob streams
+// (fabric.CodecGob, cmd/eunomia-server -codec gob) kept as the benchmark
+// ablation. The dialer announces its choice in the first byte of every
+// connection, so the accept side speaks whatever the dialer chose and
+// mixed deployments interoperate.
 //
 // Delivery semantics match what the protocols tolerate (and what simnet
 // provides): FIFO per ordered process pair, at-least-once across process
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"eunomia/internal/fabric"
+	"eunomia/internal/metrics"
 	"eunomia/internal/simnet"
 	"eunomia/internal/types"
 )
@@ -71,6 +81,22 @@ type Config struct {
 	// that run each datacenter as a single process.
 	DCRoutes map[types.DCID]string
 
+	// Codec selects the frame encoding for connections this endpoint
+	// dials: fabric.CodecWire (default) or the fabric.CodecGob ablation.
+	// Inbound connections follow the remote dialer's choice.
+	Codec fabric.Codec
+
+	// HoldDelivery makes inbound connections wait for Ready before any
+	// frame is consumed (or acknowledged). A booting process accepts
+	// connections the moment Listen returns, but registers its endpoints
+	// only once its roles are built; without the hold, frames arriving
+	// in that window are dropped as unroutable yet still acknowledged —
+	// and for send-once edges (stable-metadata shipping, payload
+	// batches) the sender's window prunes them for good. With the hold,
+	// unacknowledged frames simply wait in peers' retransmit windows and
+	// deliver after Ready. Dialing and sending are never held.
+	HoldDelivery bool
+
 	// Window bounds unacknowledged frames per peer; Send blocks (pure
 	// backpressure) when it is full. Default 4096.
 	Window int
@@ -84,6 +110,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Codec == "" {
+		c.Codec = fabric.CodecWire
+	}
 	if c.Routes == nil {
 		c.Routes = make(map[fabric.Addr]string)
 	}
@@ -151,7 +180,19 @@ type TCP struct {
 	conns        map[net.Conn]struct{}
 	closed       bool
 
+	// ready gates inbound frame consumption (Config.HoldDelivery); done
+	// releases held connections on Close.
+	ready     chan struct{}
+	readyOnce sync.Once
+	done      chan struct{}
+
 	wg sync.WaitGroup
+
+	// Codec latency histograms, one set per codec: an endpoint can speak
+	// both at once (inbound connections follow the remote dialer's magic
+	// byte), and samples must land under the codec that produced them or
+	// a mixed-rollout dashboard compares garbage.
+	statsWire, statsGob *codecStats
 
 	// Stats count fabric activity for tests and reports.
 	Sent       atomic.Int64
@@ -165,6 +206,9 @@ var _ fabric.Fabric = (*TCP)(nil)
 // Listen binds the endpoint and starts accepting peers.
 func Listen(cfg Config) (*TCP, error) {
 	cfg.fill()
+	if cfg.Codec != fabric.CodecWire && cfg.Codec != fabric.CodecGob {
+		return nil, fmt.Errorf("transport: unknown codec %q (want %q or %q)", cfg.Codec, fabric.CodecWire, fabric.CodecGob)
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
@@ -189,11 +233,23 @@ func Listen(cfg Config) (*TCP, error) {
 		inSeq:        make(map[string]uint64),
 		incarnations: make(map[string]string),
 		conns:        make(map[net.Conn]struct{}),
+		statsWire:    newCodecStats(),
+		statsGob:     newCodecStats(),
+		ready:        make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	if !cfg.HoldDelivery {
+		t.Ready() // through the Once, so a caller's Ready stays a no-op
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
 }
+
+// Ready releases inbound delivery held by Config.HoldDelivery; call it
+// once every endpoint this process hosts is registered. Idempotent, and
+// a no-op without the hold.
+func (t *TCP) Ready() { t.readyOnce.Do(func() { close(t.ready) }) }
 
 // Addr returns the bound listen address (useful with ":0" listeners).
 func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
@@ -250,6 +306,7 @@ func (t *TCP) Close() {
 		return
 	}
 	t.closed = true
+	close(t.done)
 	peers := make([]*peer, 0, len(t.peers))
 	for _, p := range t.peers {
 		peers = append(peers, p)
@@ -364,13 +421,38 @@ func (t *TCP) serveInbound(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	fr := newFrameReader(conn, t.cfg.MaxFrame)
+	// Hold the whole stream until the process's endpoints exist: nothing
+	// is read, so nothing gets acknowledged, and the dialer's window
+	// retains every frame for delivery after Ready.
+	select {
+	case <-t.ready:
+	case <-t.done:
+		return
+	}
+
+	// The first byte announces the dialer's codec; everything after it —
+	// the inbound frames and our acks — speaks that codec.
+	var magic [1]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		return
+	}
+	var codec fabric.Codec
+	switch magic[0] {
+	case codecMagicWire:
+		codec = fabric.CodecWire
+	case codecMagicGob:
+		codec = fabric.CodecGob
+	default:
+		return // not a fabric peer
+	}
+	fr := t.decoderFor(codec, conn)
 	var hello frame
 	if err := fr.next(&hello); err != nil || hello.Kind != frameHello || hello.Process == "" {
 		return
 	}
 	proc := hello.Process
-	fw := newFrameWriter(conn, t.cfg.MaxFrame)
+	fw := t.encoderFor(codec, conn, false)
+	defer fw.release()
 
 	t.mu.Lock()
 	if hello.Advertise != "" {
@@ -499,6 +581,54 @@ func (t *TCP) PeerStats() []PeerStat {
 	return stats
 }
 
+// statsFor returns the histogram set samples of the given codec land in.
+func (t *TCP) statsFor(codec fabric.Codec) *codecStats {
+	if codec == fabric.CodecGob {
+		return t.statsGob
+	}
+	return t.statsWire
+}
+
+// encoderFor builds a frame encoder speaking the given codec. withMagic
+// prepends the codec announcement byte (dialed connections only; the
+// accept side answers without one — the dialer already knows).
+func (t *TCP) encoderFor(codec fabric.Codec, conn net.Conn, withMagic bool) frameEncoder {
+	if codec == fabric.CodecGob {
+		fw := newFrameWriter(conn, t.cfg.MaxFrame)
+		fw.stats = t.statsGob
+		if withMagic {
+			_ = fw.w.WriteByte(codecMagicGob)
+		}
+		return fw
+	}
+	return newWireFrameWriter(conn, t.cfg.MaxFrame, t.statsWire, withMagic)
+}
+
+// decoderFor builds a frame decoder speaking the given codec.
+func (t *TCP) decoderFor(codec fabric.Codec, conn net.Conn) frameDecoder {
+	if codec == fabric.CodecGob {
+		fr := newFrameReader(conn, t.cfg.MaxFrame)
+		fr.stats = t.statsGob
+		return fr
+	}
+	return newWireFrameReader(conn, t.cfg.MaxFrame, t.statsWire)
+}
+
+// Codec reports the frame codec this endpoint dials with.
+func (t *TCP) Codec() fabric.Codec { return t.cfg.Codec }
+
+// CodecStats returns the endpoint's serialization latency histograms for
+// one codec: frame encode, frame decode, and socket flush (all
+// connections speaking that codec merged, nanosecond samples). Both sets
+// exist on every endpoint — inbound connections follow the remote
+// dialer's codec, so a wire endpoint can still record gob samples during
+// a mixed rollout. cmd/eunomia-server exports the non-empty sets on
+// -metrics-addr.
+func (t *TCP) CodecStats(codec fabric.Codec) (enc, dec, flush *metrics.Histogram) {
+	s := t.statsFor(codec)
+	return s.enc, s.dec, s.flush
+}
+
 func (p *peer) enqueue(f *frame) {
 	p.mu.Lock()
 	for !p.closed && len(p.q) >= p.t.cfg.Window {
@@ -578,7 +708,8 @@ func (p *peer) serveConn(conn net.Conn) {
 		<-ackDone
 	}()
 
-	fw := newFrameWriter(conn, p.t.cfg.MaxFrame)
+	fw := p.t.encoderFor(p.t.cfg.Codec, conn, true)
+	defer fw.release()
 	if fw.write(&frame{Kind: frameHello, Process: p.t.cfg.Process, Advertise: p.t.cfg.Advertise}) != nil || fw.flush() != nil {
 		close(ackDone)
 		return
@@ -653,7 +784,7 @@ func (p *peer) dropFrame(f *frame) {
 // any read error it detaches the socket so the writer reconnects.
 func (p *peer) readAcks(conn net.Conn, done chan struct{}) {
 	defer close(done)
-	fr := newFrameReader(conn, p.t.cfg.MaxFrame)
+	fr := p.t.decoderFor(p.t.cfg.Codec, conn)
 	for {
 		var f frame
 		if err := fr.next(&f); err != nil {
@@ -694,12 +825,14 @@ func (p *peer) readAcks(conn net.Conn, done chan struct{}) {
 // frameWriter encodes frames with a persistent gob stream behind 4-byte
 // length prefixes (gob transmits each type descriptor once per
 // connection; the length prefix gives the reader wire-level framing and a
-// size guard).
+// size guard). It is the fabric.CodecGob ablation's encoder; the default
+// path is wireFrameWriter.
 type frameWriter struct {
-	w   *bufio.Writer
-	buf bytes.Buffer
-	enc *gob.Encoder
-	max int
+	w     *bufio.Writer
+	buf   bytes.Buffer
+	enc   *gob.Encoder
+	max   int
+	stats *codecStats
 }
 
 func newFrameWriter(conn net.Conn, maxFrame int) *frameWriter {
@@ -716,6 +849,7 @@ func (e *encodeError) Error() string { return "transport: frame encode: " + e.er
 func (e *encodeError) Unwrap() error { return e.err }
 
 func (fw *frameWriter) write(f *frame) error {
+	start := time.Now()
 	fw.buf.Reset()
 	if err := fw.enc.Encode(f); err != nil {
 		// The encoder may have buffered (and now lost) type descriptors;
@@ -733,6 +867,9 @@ func (fw *frameWriter) write(f *frame) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(fw.buf.Len()))
+	if fw.stats != nil {
+		fw.stats.enc.RecordDuration(time.Since(start))
+	}
 	if _, err := fw.w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -740,15 +877,32 @@ func (fw *frameWriter) write(f *frame) error {
 	return err
 }
 
-func (fw *frameWriter) flush() error { return fw.w.Flush() }
+func (fw *frameWriter) flush() error {
+	start := time.Now()
+	err := fw.w.Flush()
+	if fw.stats != nil {
+		fw.stats.flush.RecordDuration(time.Since(start))
+	}
+	return err
+}
+
+// release implements frameEncoder; the gob writer owns no pooled
+// resources.
+func (fw *frameWriter) release() {}
 
 // frameReader validates length prefixes and feeds the framed byte stream
-// to a persistent gob decoder.
+// to a persistent gob decoder (the fabric.CodecGob ablation; the default
+// path is wireFrameReader).
 type frameReader struct {
 	r         *bufio.Reader
 	dec       *gob.Decoder
 	remaining int
 	max       int
+	stats     *codecStats
+	// blocked records whether a Read since the last next() had to pull
+	// from the socket: such a decode measures network wait, not codec
+	// cost, and must not pollute the latency histogram.
+	blocked bool
 }
 
 func newFrameReader(conn net.Conn, maxFrame int) *frameReader {
@@ -760,6 +914,9 @@ func newFrameReader(conn net.Conn, maxFrame int) *frameReader {
 // Read implements io.Reader over the framed stream for the gob decoder.
 func (fr *frameReader) Read(b []byte) (int, error) {
 	for fr.remaining == 0 {
+		if fr.r.Buffered() < 4 {
+			fr.blocked = true
+		}
 		var hdr [4]byte
 		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 			return 0, err
@@ -773,6 +930,9 @@ func (fr *frameReader) Read(b []byte) (int, error) {
 	if len(b) > fr.remaining {
 		b = b[:fr.remaining]
 	}
+	if fr.r.Buffered() == 0 {
+		fr.blocked = true // this read pulls from the socket
+	}
 	n, err := fr.r.Read(b)
 	fr.remaining -= n
 	return n, err
@@ -780,7 +940,17 @@ func (fr *frameReader) Read(b []byte) (int, error) {
 
 func (fr *frameReader) next(f *frame) error {
 	*f = frame{}
-	return fr.dec.Decode(f)
+	// Only a decode whose every byte was already buffered yields an
+	// honest sample: if any Read under the Decode pulled from the socket
+	// (fr.blocked), the elapsed time measures network wait, and
+	// recording it would bias the wire-vs-gob dashboard against gob.
+	fr.blocked = false
+	start := time.Now()
+	err := fr.dec.Decode(f)
+	if fr.stats != nil && !fr.blocked && err == nil {
+		fr.stats.dec.RecordDuration(time.Since(start))
+	}
+	return err
 }
 
 // buffered reports bytes already read off the socket but not yet decoded.

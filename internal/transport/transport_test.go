@@ -11,11 +11,21 @@ import (
 	"eunomia/internal/fabric"
 	"eunomia/internal/hlc"
 	"eunomia/internal/types"
+	"eunomia/internal/wire"
 )
 
 type testMsg struct{ N int }
 
-func init() { fabric.RegisterPayload(testMsg{}) }
+// WireTag implements wire.Marshaler.
+func (m testMsg) WireTag() wire.Tag { return wire.TagTest }
+
+// AppendWire implements wire.Marshaler.
+func (m testMsg) AppendWire(b []byte) []byte { return wire.AppendUvarint(b, uint64(m.N)) }
+
+func init() {
+	fabric.RegisterPayload(testMsg{})
+	wire.Register(wire.TagTest, func(d *wire.Dec) any { return testMsg{N: int(d.Uvarint())} })
+}
 
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()

@@ -1,0 +1,268 @@
+package transport
+
+// The zero-reflection frame path: type-tagged wire frames (internal/wire)
+// behind the same 4-byte length prefixes the gob path uses. The writer
+// appends every frame of a flush batch into one pooled buffer and hands
+// the whole batch to the socket in a single write; the reader parses
+// frames in place out of its read buffer when they fit, so a steady-state
+// frame round trip allocates only the decoded payload values. The
+// first byte of every dialed connection announces the codec (wire or the
+// gob ablation), so the accept side speaks whatever the dialer chose.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+	"eunomia/internal/wire"
+)
+
+// Codec magic: the first byte a dialer writes on a fresh connection.
+const (
+	codecMagicWire = 'W'
+	codecMagicGob  = 'G'
+)
+
+// frameEncoder writes frames to one connection; implementations are the
+// wire writer below and the persistent-gob frameWriter (the ablation).
+// release returns pooled resources on connection teardown; the encoder
+// must not be used afterwards.
+type frameEncoder interface {
+	write(f *frame) error
+	flush() error
+	release()
+}
+
+// frameDecoder reads frames off one connection.
+type frameDecoder interface {
+	next(f *frame) error
+	buffered() int
+}
+
+// codecStats aggregates the transport's serialization latency histograms
+// (one set per TCP endpoint, all connections merged): frame encode cost,
+// frame decode cost, and the socket flush. They feed the Prometheus
+// endpoint (cmd/eunomia-server -metrics-addr).
+type codecStats struct {
+	enc   *metrics.Histogram
+	dec   *metrics.Histogram
+	flush *metrics.Histogram
+}
+
+func newCodecStats() *codecStats {
+	return &codecStats{
+		enc:   metrics.NewHistogram(),
+		dec:   metrics.NewHistogram(),
+		flush: metrics.NewHistogram(),
+	}
+}
+
+// wireFlushChunk bounds the writer's accumulation buffer: a flush batch
+// larger than this goes to the socket in more than one write rather than
+// growing the buffer without bound.
+const wireFlushChunk = 256 << 10
+
+// wireFrameWriter encodes frames into one pooled append buffer and
+// flushes it with a single socket write.
+type wireFrameWriter struct {
+	conn  net.Conn
+	buf   []byte
+	max   int
+	stats *codecStats
+}
+
+func newWireFrameWriter(conn net.Conn, maxFrame int, stats *codecStats, withMagic bool) *wireFrameWriter {
+	fw := &wireFrameWriter{conn: conn, buf: wire.GetBuf(), max: maxFrame, stats: stats}
+	if withMagic {
+		fw.buf = append(fw.buf, codecMagicWire)
+	}
+	return fw
+}
+
+func (fw *wireFrameWriter) write(f *frame) error {
+	start := time.Now()
+	// Reserve the length prefix, append the frame, backfill the length:
+	// no scratch buffer, no copy.
+	base := len(fw.buf)
+	fw.buf = append(fw.buf, 0, 0, 0, 0)
+	body, err := appendFrame(fw.buf, f)
+	if err != nil {
+		// Unserializable payload: permanent, the caller discards the
+		// frame. The buffer rolls back so the stream stays intact.
+		fw.buf = fw.buf[:base]
+		return &encodeError{err}
+	}
+	fw.buf = body
+	n := len(fw.buf) - base - 4
+	if n > fw.max {
+		fw.buf = fw.buf[:base]
+		return &encodeError{fmt.Errorf("frame length %d exceeds max %d", n, fw.max)}
+	}
+	binary.BigEndian.PutUint32(fw.buf[base:], uint32(n))
+	if fw.stats != nil {
+		fw.stats.enc.RecordDuration(time.Since(start))
+	}
+	if len(fw.buf) >= wireFlushChunk {
+		return fw.flush()
+	}
+	return nil
+}
+
+func (fw *wireFrameWriter) flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	start := time.Now()
+	_, err := fw.conn.Write(fw.buf)
+	if fw.stats != nil {
+		fw.stats.flush.RecordDuration(time.Since(start))
+	}
+	if cap(fw.buf) > wireFlushChunk*2 {
+		// One oversized frame must not pin its worst case; swap the
+		// buffer back to a pooled one.
+		wire.PutBuf(fw.buf)
+		fw.buf = wire.GetBuf()
+	} else {
+		fw.buf = fw.buf[:0]
+	}
+	return err
+}
+
+// release implements frameEncoder: the accumulation buffer goes back to
+// the pool when the connection dies, so reconnect churn reuses buffers
+// instead of draining the pool into the garbage collector.
+func (fw *wireFrameWriter) release() {
+	wire.PutBuf(fw.buf)
+	fw.buf = nil
+}
+
+// wireFrameReader parses length-prefixed wire frames, in place from the
+// read buffer when a frame fits, via a pooled spill buffer when not.
+type wireFrameReader struct {
+	r     *bufio.Reader
+	max   int
+	spill []byte
+	stats *codecStats
+}
+
+func newWireFrameReader(conn net.Conn, maxFrame int, stats *codecStats) *wireFrameReader {
+	return &wireFrameReader{r: bufio.NewReaderSize(conn, 64<<10), max: maxFrame, stats: stats}
+}
+
+func (fr *wireFrameReader) next(f *frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n <= 0 || n > fr.max {
+		return fmt.Errorf("transport: frame length %d out of range (max %d)", n, fr.max)
+	}
+	var body []byte
+	inPlace := n <= fr.r.Size()
+	if inPlace {
+		// The frame fits the read buffer: parse it where it lies. The
+		// decoders copy whatever the payload retains, so discarding after
+		// the parse is safe.
+		b, err := fr.r.Peek(n)
+		if err != nil {
+			return err
+		}
+		body = b
+	} else {
+		// Spill buffer for frames beyond the read buffer: owned by this
+		// reader and reused across frames, so the shared pool (sized for
+		// typical frames) stays out of it.
+		if cap(fr.spill) < n {
+			fr.spill = make([]byte, n)
+		}
+		fr.spill = fr.spill[:n]
+		if _, err := io.ReadFull(fr.r, fr.spill); err != nil {
+			return err
+		}
+		body = fr.spill
+	}
+	start := time.Now()
+	err := decodeFrame(body, f)
+	if fr.stats != nil {
+		fr.stats.dec.RecordDuration(time.Since(start))
+	}
+	if inPlace {
+		if _, derr := fr.r.Discard(n); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+func (fr *wireFrameReader) buffered() int { return fr.r.Buffered() }
+
+// appendFrame encodes one frame envelope (and, for data frames, its
+// type-tagged payload) after the length prefix the writer manages.
+func appendFrame(b []byte, f *frame) ([]byte, error) {
+	b = append(b, byte(f.Kind))
+	switch f.Kind {
+	case frameHello:
+		b = wire.AppendString(b, f.Process)
+		b = wire.AppendString(b, f.Advertise)
+		return b, nil
+	case frameAck:
+		return wire.AppendUvarint(b, f.Ack), nil
+	case frameData:
+		b = wire.AppendUvarint(b, f.Seq)
+		b = appendAddr(b, f.From)
+		b = appendAddr(b, f.To)
+		b = wire.AppendUint64(b, uint64(f.SentAt.UnixNano()))
+		return wire.AppendPayload(b, f.Payload)
+	}
+	return b, fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+}
+
+// decodeFrame parses one frame body. Corrupt envelopes and payloads
+// error (never panic); the connection owner tears the socket down and
+// the window protocol retransmits, exactly as after a socket error.
+func decodeFrame(body []byte, f *frame) error {
+	*f = frame{}
+	d := wire.NewDec(body)
+	f.Kind = int8(d.Byte())
+	switch f.Kind {
+	case frameHello:
+		f.Process = d.String()
+		f.Advertise = d.String()
+	case frameAck:
+		f.Ack = d.Uvarint()
+	case frameData:
+		f.Seq = d.Uvarint()
+		f.From = readAddr(&d)
+		f.To = readAddr(&d)
+		f.SentAt = time.Unix(0, int64(d.Uint64()))
+		if d.Err() == nil {
+			p, err := wire.ReadPayload(&d)
+			if err != nil {
+				return fmt.Errorf("transport: %w", err)
+			}
+			f.Payload = p
+		}
+	default:
+		return fmt.Errorf("transport: unknown frame kind %d", f.Kind)
+	}
+	if err := d.Expect(); err != nil {
+		return fmt.Errorf("transport: frame: %w", err)
+	}
+	return nil
+}
+
+func appendAddr(b []byte, a fabric.Addr) []byte {
+	b = wire.AppendUvarint(b, uint64(a.DC))
+	return wire.AppendString(b, a.Name)
+}
+
+func readAddr(d *wire.Dec) fabric.Addr {
+	return fabric.Addr{DC: types.DCID(d.Uvarint()), Name: d.String()}
+}

@@ -1,13 +1,12 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"eunomia/internal/hlc"
 	"eunomia/internal/types"
-	"eunomia/internal/vclock"
+	"eunomia/internal/wire"
 )
 
 // Record kinds distinguish local acceptances from remote applications so
@@ -44,45 +43,20 @@ const (
 // ErrBadRecord reports a structurally invalid update record.
 var ErrBadRecord = errors.New("wal: bad update record")
 
-// EncodeUpdate serialises an update into a compact binary record:
-//
-//	kind | origin | partition | seq | ts | hts | createdAt |
-//	vtsLen | vts... | keyLen | key | valueLen | value
-//
-// all integers little-endian fixed width except the two length prefixes
-// (uvarint).
+// EncodeUpdate serialises an update into a compact binary record: the
+// kind byte followed by the shared wire-codec update layout
+// (internal/wire) — the same varint/compact-timestamp encoding the TCP
+// frames use, so the bytes that hit the fsync path shrink with the
+// bytes that hit the sockets.
 func EncodeUpdate(kind byte, u *types.Update) []byte {
-	n := 1 + 2 + 4 + 8 + 8 + 8 + 8 +
-		binary.MaxVarintLen32 + len(u.VTS)*8 +
-		binary.MaxVarintLen32 + len(u.Key) +
-		binary.MaxVarintLen32 + len(u.Value)
-	buf := make([]byte, 0, n)
+	buf := make([]byte, 0, 64+len(u.Key)+len(u.Value)+8*len(u.VTS))
 	buf = append(buf, kind)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(u.Origin))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(u.Partition))
-	buf = binary.LittleEndian.AppendUint64(buf, u.Seq)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.TS))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.HTS))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(u.CreatedAt))
-	buf = binary.AppendUvarint(buf, uint64(len(u.VTS)))
-	for _, ts := range u.VTS {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(u.Key)))
-	buf = append(buf, u.Key...)
-	buf = binary.AppendUvarint(buf, uint64(len(u.Value)))
-	buf = append(buf, u.Value...)
-	return buf
+	return wire.AppendUpdate(buf, u)
 }
 
 // DecodeUpdate parses a record produced by EncodeUpdate.
 func DecodeUpdate(rec []byte) (kind byte, u *types.Update, err error) {
-	defer func() {
-		if recover() != nil {
-			kind, u, err = 0, nil, ErrBadRecord
-		}
-	}()
-	if len(rec) < 1+2+4+8+8+8+8 {
+	if len(rec) < 1 {
 		return 0, nil, ErrBadRecord
 	}
 	kind = rec[0]
@@ -91,52 +65,9 @@ func DecodeUpdate(rec []byte) (kind byte, u *types.Update, err error) {
 	default:
 		return 0, nil, fmt.Errorf("%w: kind %d", ErrBadRecord, kind)
 	}
-	p := 1
-	u = &types.Update{}
-	u.Origin = types.DCID(binary.LittleEndian.Uint16(rec[p:]))
-	p += 2
-	u.Partition = types.PartitionID(binary.LittleEndian.Uint32(rec[p:]))
-	p += 4
-	u.Seq = binary.LittleEndian.Uint64(rec[p:])
-	p += 8
-	u.TS = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
-	p += 8
-	u.HTS = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
-	p += 8
-	u.CreatedAt = int64(binary.LittleEndian.Uint64(rec[p:]))
-	p += 8
-
-	vlen, n := binary.Uvarint(rec[p:])
-	if n <= 0 || vlen > 1<<16 {
-		return 0, nil, ErrBadRecord
-	}
-	p += n
-	if vlen > 0 {
-		u.VTS = make(vclock.V, vlen)
-		for i := range u.VTS {
-			u.VTS[i] = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
-			p += 8
-		}
-	}
-
-	klen, n := binary.Uvarint(rec[p:])
-	if n <= 0 {
-		return 0, nil, ErrBadRecord
-	}
-	p += n
-	u.Key = types.Key(rec[p : p+int(klen)])
-	p += int(klen)
-
-	vallen, n := binary.Uvarint(rec[p:])
-	if n <= 0 {
-		return 0, nil, ErrBadRecord
-	}
-	p += n
-	if vallen > 0 {
-		u.Value = types.Value(append([]byte(nil), rec[p:p+int(vallen)]...))
-		p += int(vallen)
-	}
-	if p != len(rec) {
+	d := wire.NewDec(rec[1:])
+	u = wire.ReadUpdate(&d)
+	if u == nil || d.Expect() != nil {
 		return 0, nil, ErrBadRecord
 	}
 	return kind, u, nil
@@ -155,79 +86,85 @@ type Marks struct {
 
 // EncodeMarks serialises a KindMarks record.
 func EncodeMarks(m Marks) []byte {
-	buf := make([]byte, 0, 1+8+8+binary.MaxVarintLen32+len(m.Applied)*10)
+	buf := make([]byte, 0, 32+len(m.Applied)*12)
 	buf = append(buf, KindMarks)
-	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ClockTS))
-	buf = binary.AppendUvarint(buf, uint64(len(m.Applied)))
+	buf = wire.AppendUvarint(buf, m.Seq)
+	buf = wire.AppendTimestamp(buf, m.ClockTS)
+	buf = wire.AppendUvarint(buf, uint64(len(m.Applied)))
 	for origin, ts := range m.Applied {
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(origin))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
+		buf = wire.AppendUvarint(buf, uint64(origin))
+		buf = wire.AppendTimestamp(buf, ts)
 	}
 	return buf
 }
 
 // DecodeMarks parses a record produced by EncodeMarks.
 func DecodeMarks(rec []byte) (Marks, error) {
-	if len(rec) < 1+8+8+1 || rec[0] != KindMarks {
+	if len(rec) < 1 || rec[0] != KindMarks {
 		return Marks{}, ErrBadRecord
 	}
+	d := wire.NewDec(rec[1:])
 	m := Marks{Applied: make(map[types.DCID]hlc.Timestamp)}
-	p := 1
-	m.Seq = binary.LittleEndian.Uint64(rec[p:])
-	p += 8
-	m.ClockTS = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
-	p += 8
-	n, w := binary.Uvarint(rec[p:])
-	if w <= 0 || n > 1<<16 {
-		return Marks{}, ErrBadRecord
-	}
-	p += w
-	if len(rec) != p+int(n)*10 {
+	m.Seq = d.Uvarint()
+	m.ClockTS = d.Timestamp()
+	n := d.Uvarint()
+	if n > 1<<16 {
 		return Marks{}, ErrBadRecord
 	}
 	for i := uint64(0); i < n; i++ {
-		origin := types.DCID(binary.LittleEndian.Uint16(rec[p:]))
-		p += 2
-		m.Applied[origin] = hlc.Timestamp(binary.LittleEndian.Uint64(rec[p:]))
-		p += 8
+		origin := types.DCID(d.Uvarint())
+		m.Applied[origin] = d.Timestamp()
+	}
+	if d.Expect() != nil {
+		return Marks{}, ErrBadRecord
 	}
 	return m, nil
 }
 
 // EncodeStream serialises a KindStream record: the release stream's
-// durably applied (sender epoch, sequence) watermark.
+// durably applied (sender epoch, sequence) watermark. Epochs are
+// UnixNano instants, so they stay fixed-width (a uvarint would cost
+// more).
 func EncodeStream(epoch, seq uint64) []byte {
 	buf := make([]byte, 0, 17)
 	buf = append(buf, KindStream)
-	buf = binary.LittleEndian.AppendUint64(buf, epoch)
-	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	return buf
+	buf = wire.AppendUint64(buf, epoch)
+	return wire.AppendUvarint(buf, seq)
 }
 
 // DecodeStream parses a record produced by EncodeStream.
 func DecodeStream(rec []byte) (epoch, seq uint64, err error) {
-	if len(rec) != 17 || rec[0] != KindStream {
+	if len(rec) < 1 || rec[0] != KindStream {
 		return 0, 0, ErrBadRecord
 	}
-	return binary.LittleEndian.Uint64(rec[1:]), binary.LittleEndian.Uint64(rec[9:]), nil
+	d := wire.NewDec(rec[1:])
+	epoch = d.Uint64()
+	seq = d.Uvarint()
+	if d.Expect() != nil {
+		return 0, 0, ErrBadRecord
+	}
+	return epoch, seq, nil
 }
 
 // EncodeSite serialises a KindSite record: origin datacenter k and the
 // highest origin timestamp durably applied at the local datacenter.
 func EncodeSite(k types.DCID, ts hlc.Timestamp) []byte {
-	buf := make([]byte, 0, 11)
+	buf := make([]byte, 0, 12)
 	buf = append(buf, KindSite)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(k))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
-	return buf
+	buf = wire.AppendUvarint(buf, uint64(k))
+	return wire.AppendTimestamp(buf, ts)
 }
 
 // DecodeSite parses a record produced by EncodeSite.
 func DecodeSite(rec []byte) (types.DCID, hlc.Timestamp, error) {
-	if len(rec) != 11 || rec[0] != KindSite {
+	if len(rec) < 1 || rec[0] != KindSite {
 		return 0, 0, ErrBadRecord
 	}
-	return types.DCID(binary.LittleEndian.Uint16(rec[1:])),
-		hlc.Timestamp(binary.LittleEndian.Uint64(rec[3:])), nil
+	d := wire.NewDec(rec[1:])
+	k := types.DCID(d.Uvarint())
+	ts := d.Timestamp()
+	if d.Expect() != nil {
+		return 0, 0, ErrBadRecord
+	}
+	return k, ts, nil
 }

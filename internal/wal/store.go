@@ -37,9 +37,23 @@ type Store struct {
 }
 
 const (
-	snapName = "snapshot"
-	logName  = "log"
+	snapName    = "snapshot"
+	logName     = "log"
+	versionName = "FORMAT"
 )
+
+// FormatVersion is the on-disk record format generation. Version 2 is
+// the wire-codec layout (varints, compact timestamps — internal/wire);
+// version 1 was the fixed-width layout it replaced. Record encodings
+// carry no self-describing structure, so a store written by one
+// generation must not be replayed by another: the guard turns what would
+// be ErrBadRecord noise (or, worse, a silently mis-decoded watermark)
+// into one loud, actionable open error.
+const FormatVersion = 2
+
+// ErrFormatVersion reports a store written by a different record-format
+// generation.
+var ErrFormatVersion = fmt.Errorf("wal: incompatible store format (this binary writes version %d); recover the data dir with the binary that wrote it, or discard it and resync", FormatVersion)
 
 // DefaultSnapshotThreshold is the log size beyond which MaybeSnapshot
 // compacts.
@@ -47,15 +61,79 @@ const DefaultSnapshotThreshold = 1 << 20
 
 // OpenStore opens (creating if needed) the store directory. The log's torn
 // tail, if any, is truncated; the snapshot is validated lazily by Replay.
+// A directory stamped by a different format generation refuses to open
+// with ErrFormatVersion.
 func OpenStore(dir string, policy SyncPolicy) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := checkFormat(dir); err != nil {
+		return nil, err
 	}
 	log, err := Open(filepath.Join(dir, logName), policy)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{dir: dir, policy: policy, log: log}, nil
+}
+
+// checkFormat stamps a fresh store directory with the current format
+// version and rejects directories stamped with any other. Pre-versioning
+// directories (records exist, no stamp) are version 1 by definition and
+// rejected the same way. The stamp follows the snapshot's atomic-rename
+// discipline (write tmp, fsync, rename, fsync dir), and an empty stamp
+// counts as absent, so a crash mid-stamp can never brick a directory
+// this binary wrote — the retry just stamps again.
+func checkFormat(dir string) error {
+	path := filepath.Join(dir, versionName)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(raw) > 0:
+		if string(raw) != fmt.Sprintf("%d\n", FormatVersion) {
+			return fmt.Errorf("%w: %s holds %q", ErrFormatVersion, path, raw)
+		}
+		return nil
+	case err == nil || os.IsNotExist(err):
+		if _, serr := os.Stat(filepath.Join(dir, logName)); serr == nil {
+			// Records without a stamp: a pre-versioning (v1) store.
+			return fmt.Errorf("%w: %s has records but no version stamp (format 1)", ErrFormatVersion, dir)
+		}
+		if _, serr := os.Stat(filepath.Join(dir, snapName)); serr == nil {
+			return fmt.Errorf("%w: %s has a snapshot but no version stamp (format 1)", ErrFormatVersion, dir)
+		}
+		return writeFormat(dir, path)
+	default:
+		return fmt.Errorf("wal: %w", err)
+	}
+}
+
+// writeFormat durably installs the version stamp: tmp + fsync + rename +
+// dir fsync, so the stamp is either wholly present or wholly absent.
+func writeFormat(dir, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", FormatVersion); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: installing format stamp: %w", err)
+	}
+	return syncDir(dir)
 }
 
 // Dir returns the store's directory.

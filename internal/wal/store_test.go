@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -231,5 +232,49 @@ func TestStreamAndSiteRoundTrip(t *testing.T) {
 	}
 	if _, _, err := DecodeSite([]byte{KindSite, 0}); err == nil {
 		t.Fatal("truncated site record decoded")
+	}
+}
+
+func TestStoreFormatVersionGuard(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, SyncOnFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(EncodeSite(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Same generation reopens fine.
+	s2, err := OpenStore(dir, SyncOnFlush)
+	if err != nil {
+		t.Fatalf("reopen of a current-format store: %v", err)
+	}
+	s2.Close()
+
+	// A different generation's stamp refuses loudly.
+	if err := os.WriteFile(filepath.Join(dir, versionName), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, SyncOnFlush); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("foreign-format store opened: %v", err)
+	}
+
+	// Pre-versioning layout: records present, no stamp at all.
+	old := t.TempDir()
+	s3, err := OpenStore(old, SyncOnFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Append(EncodeSite(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	if err := os.Remove(filepath.Join(old, versionName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(old, SyncOnFlush); !errors.Is(err, ErrFormatVersion) {
+		t.Fatalf("unstamped store with records opened: %v", err)
 	}
 }

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"eunomia/internal/types"
+)
+
+// Tag identifies a payload type on the wire. Tags are allocated centrally
+// here — the registry is the versioning contract (DESIGN.md "The wire
+// format"): a tag is forever bound to one message's field order, new
+// messages take new tags, and removed messages retire their tag rather
+// than free it.
+type Tag uint16
+
+const (
+	// TagUpdates is []*types.Update, the payload-replication batch every
+	// deployment ships; encoded by this package itself.
+	TagUpdates Tag = 1
+
+	// internal/fabric: the partition↔Eunomia protocol.
+	TagBatch     Tag = 2
+	TagHeartbeat Tag = 3
+	TagAck       Tag = 4
+
+	// internal/geostore: shipping, blocking release, payload healing, and
+	// the windowed release stream.
+	TagShip              Tag = 5
+	TagApply             Tag = 6
+	TagApplyAck          Tag = 7
+	TagPayloadPull       Tag = 8
+	TagPayloadSuperseded Tag = 9
+	TagRelease           Tag = 10
+	TagReleaseAck        Tag = 11
+
+	// internal/sequencer: the number-service round trip.
+	TagNext    Tag = 12
+	TagNextAck Tag = 13
+
+	// internal/globalstab: sibling stabilization heartbeats.
+	TagStabHeartbeat Tag = 14
+
+	// internal/harness: fabric benchmark messages.
+	TagBenchPing Tag = 15
+	TagBenchPong Tag = 16
+
+	// TagTest is reserved for package test payloads.
+	TagTest Tag = 1000
+)
+
+// Marshaler is implemented by every protocol payload that travels a
+// networked fabric: a stable type tag plus an append-based encoder.
+// Implementations live next to the type declarations (the packages that
+// already call fabric.RegisterPayload) and register a matching decoder
+// with Register from the same init function.
+type Marshaler interface {
+	// WireTag returns the payload's registered tag.
+	WireTag() Tag
+	// AppendWire appends the payload's encoding to b and returns the
+	// extended slice. It must not retain b.
+	AppendWire(b []byte) []byte
+}
+
+var (
+	regMu    sync.RWMutex
+	decoders = map[Tag]func(*Dec) any{
+		TagUpdates: func(d *Dec) any { return ReadUpdates(d) },
+	}
+)
+
+// Register installs the decoder for a payload tag. Like gob.Register it
+// is meant for init functions; reusing a live tag panics, because two
+// types decoding one tag is a protocol bug, not a configuration.
+func Register(tag Tag, decode func(*Dec) any) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := decoders[tag]; dup {
+		panic(fmt.Sprintf("wire: duplicate payload tag %d", tag))
+	}
+	decoders[tag] = decode
+}
+
+// AppendPayload appends a type-tagged payload encoding to b: uvarint tag,
+// then the payload body. Payload types must implement Marshaler (or be
+// []*types.Update, which this package encodes itself); anything else is a
+// permanent encode error, the wire codec's analogue of a type missing
+// from the gob registry.
+func AppendPayload(b []byte, payload any) ([]byte, error) {
+	switch p := payload.(type) {
+	case Marshaler:
+		b = AppendUvarint(b, uint64(p.WireTag()))
+		return p.AppendWire(b), nil
+	case []*types.Update:
+		b = AppendUvarint(b, uint64(TagUpdates))
+		return AppendUpdates(b, p), nil
+	}
+	return b, fmt.Errorf("wire: payload type %T not registered (implement wire.Marshaler)", payload)
+}
+
+// ReadPayload decodes one type-tagged payload at the cursor. Unknown tags
+// and malformed bodies report ErrCorrupt-wrapped errors; the caller owns
+// framing, so it decides whether that tears down a connection.
+func ReadPayload(d *Dec) (any, error) {
+	tag := Tag(d.Uvarint())
+	if d.Err() != nil {
+		return nil, fmt.Errorf("%w: payload tag", ErrCorrupt)
+	}
+	regMu.RLock()
+	decode := decoders[tag]
+	regMu.RUnlock()
+	if decode == nil {
+		return nil, fmt.Errorf("%w: unknown payload tag %d", ErrCorrupt, tag)
+	}
+	v := decode(d)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("payload tag %d: %w", tag, err)
+	}
+	return v, nil
+}

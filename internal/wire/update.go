@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"eunomia/internal/types"
+)
+
+// maxUpdates bounds a decoded batch: each update costs at least
+// updateMinBytes on the wire, so the guard in DecodeUpdates is the real
+// bound; this is a belt against pathological counts.
+const maxUpdates = 1 << 24
+
+// updateMinBytes is the smallest possible encoded update (every field
+// zero/empty), used to reject dishonest batch counts before allocating.
+const updateMinBytes = 14
+
+// AppendUpdate appends one update record. The layout is the package's
+// standard field order; internal/wal prefixes it with a record-kind byte
+// and the fabric payload codecs embed it in their messages.
+func AppendUpdate(b []byte, u *types.Update) []byte {
+	b = AppendString(b, string(u.Key))
+	b = AppendBytes(b, u.Value)
+	b = AppendUvarint(b, uint64(u.Origin))
+	b = AppendUvarint(b, uint64(u.Partition))
+	b = AppendUvarint(b, u.Seq)
+	b = AppendTimestamp(b, u.TS)
+	b = AppendTimestamp(b, u.HTS)
+	b = AppendVClock(b, u.VTS)
+	b = AppendUint64(b, uint64(u.CreatedAt))
+	return b
+}
+
+// ReadUpdate decodes one update at the cursor into fresh storage.
+func ReadUpdate(d *Dec) *types.Update {
+	u := &types.Update{}
+	if !readUpdateInto(d, u) {
+		return nil
+	}
+	return u
+}
+
+func readUpdateInto(d *Dec, u *types.Update) bool {
+	u.Key = types.Key(d.String())
+	u.Value = types.Value(d.Bytes())
+	u.Origin = types.DCID(d.Uvarint())
+	u.Partition = types.PartitionID(d.Uvarint())
+	u.Seq = d.Uvarint()
+	u.TS = d.Timestamp()
+	u.HTS = d.Timestamp()
+	u.VTS = d.VClock()
+	u.CreatedAt = int64(d.Uint64())
+	return d.Err() == nil
+}
+
+// AppendUpdates appends a batch: uvarint count, then each update.
+func AppendUpdates(b []byte, ops []*types.Update) []byte {
+	b = AppendUvarint(b, uint64(len(ops)))
+	for _, u := range ops {
+		b = AppendUpdate(b, u)
+	}
+	return b
+}
+
+// ReadUpdates decodes a batch at the cursor.
+func ReadUpdates(d *Dec) []*types.Update {
+	n := d.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	if n > maxUpdates || n > uint64(d.Remaining()/updateMinBytes)+1 {
+		d.fail()
+		return nil
+	}
+	// One block allocation for the whole batch: consumers keep whole
+	// batches (receiver queues, pending sets) far more often than single
+	// strays, so coupling the records' lifetimes costs little and saves
+	// n-1 allocations per decode.
+	block := make([]types.Update, n)
+	ops := make([]*types.Update, n)
+	for i := range block {
+		if !readUpdateInto(d, &block[i]) {
+			return nil
+		}
+		ops[i] = &block[i]
+	}
+	return ops
+}

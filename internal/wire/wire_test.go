@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+	"eunomia/internal/vclock"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<63)
+	b = AppendUint64(b, math.MaxUint64)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendString(b, "hello")
+	b = AppendString(b, "")
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendBytes(b, nil)
+
+	d := NewDec(b)
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<63 {
+		t.Fatalf("uvarint: got %d", got)
+	}
+	if got := d.Uint64(); got != math.MaxUint64 {
+		t.Fatalf("uint64: got %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("string: got %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: got %v", got)
+	}
+	if got := d.Bytes(); got != nil {
+		t.Fatalf("nil bytes decoded as %v", got)
+	}
+	if err := d.Expect(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampRoundTrip(t *testing.T) {
+	cases := []hlc.Timestamp{
+		0,
+		1,       // pure logical
+		1 << 16, // pure physical
+		hlc.Timestamp(123456789)<<16 | 42,
+		hlc.Timestamp(1)<<48 | 7, // near the physical range top
+		hlc.Timestamp(1<<48-1) << 16,
+		hlc.Timestamp(1<<48-1)<<16 | (1<<16 - 1), // all bits set
+	}
+	for _, ts := range cases {
+		b := AppendTimestamp(nil, ts)
+		d := NewDec(b)
+		got := d.Timestamp()
+		if err := d.Expect(); err != nil {
+			t.Fatalf("ts %x: %v", uint64(ts), err)
+		}
+		if got != ts {
+			t.Fatalf("ts %x round-tripped as %x", uint64(ts), uint64(got))
+		}
+	}
+	// The common case (zero logical counter, current-era physical) must
+	// be compact: strictly fewer than the 8 bytes a fixed encoding pays.
+	now := hlc.Timestamp(80e12) << 16 // ~2.5 years of µs past the epoch
+	if n := len(AppendTimestamp(nil, now)); n >= 8 {
+		t.Fatalf("compact timestamp took %d bytes", n)
+	}
+}
+
+func TestVClockRoundTrip(t *testing.T) {
+	for _, v := range []vclock.V{nil, {}, {1 << 20, 0, 3<<30 | 5}} {
+		b := AppendVClock(nil, v)
+		d := NewDec(b)
+		got := d.VClock()
+		if err := d.Expect(); err != nil {
+			t.Fatal(err)
+		}
+		if len(v) == 0 {
+			if got != nil {
+				t.Fatalf("empty vclock decoded as %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Fatalf("vclock %v round-tripped as %v", v, got)
+		}
+	}
+}
+
+func testUpdate() *types.Update {
+	return &types.Update{
+		Key:       "user:42",
+		Value:     []byte("payload-bytes"),
+		Origin:    2,
+		Partition: 7,
+		Seq:       991,
+		TS:        hlc.Timestamp(77e12)<<16 | 3,
+		HTS:       hlc.Timestamp(77e12) << 16,
+		VTS:       vclock.V{1 << 30, 0, hlc.Timestamp(77e12)<<16 | 3},
+		CreatedAt: 1753900000000000000,
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := testUpdate()
+	b := AppendUpdate(nil, u)
+	d := NewDec(b)
+	got := ReadUpdate(&d)
+	if err := d.Expect(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, u) {
+		t.Fatalf("update round-trip:\n got %+v\nwant %+v", got, u)
+	}
+
+	// Metadata-only update (nil value, the §5 separated record).
+	m := u.Meta()
+	b = AppendUpdate(nil, m)
+	d = NewDec(b)
+	got = ReadUpdate(&d)
+	if err := d.Expect(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != nil {
+		t.Fatalf("meta value decoded as %v", got.Value)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("meta round-trip: got %+v want %+v", got, m)
+	}
+}
+
+func TestUpdatesBatchRoundTrip(t *testing.T) {
+	var ops []*types.Update
+	for i := 0; i < 17; i++ {
+		u := testUpdate()
+		u.Seq = uint64(i)
+		ops = append(ops, u)
+	}
+	b := AppendUpdates(nil, ops)
+	d := NewDec(b)
+	got := ReadUpdates(&d)
+	if err := d.Expect(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatal("batch did not round-trip")
+	}
+
+	b = AppendUpdates(nil, nil)
+	d = NewDec(b)
+	if got := ReadUpdates(&d); got != nil || d.Expect() != nil {
+		t.Fatalf("empty batch decoded as %v (%v)", got, d.Err())
+	}
+}
+
+func TestPayloadRegistry(t *testing.T) {
+	ops := []*types.Update{testUpdate()}
+	b, err := AppendPayload(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDec(b)
+	v, err := ReadPayload(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Expect(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := v.([]*types.Update); !ok || !reflect.DeepEqual(got, ops) {
+		t.Fatalf("payload decoded as %T %v", v, v)
+	}
+
+	if _, err := AppendPayload(nil, struct{ X int }{1}); err == nil {
+		t.Fatal("unregistered payload type encoded without error")
+	}
+	d = NewDec(AppendUvarint(nil, 60000)) // unallocated tag
+	if _, err := ReadPayload(&d); err == nil {
+		t.Fatal("unknown tag decoded without error")
+	}
+}
+
+// TestTruncationsError drives every truncation of a valid update through
+// the decoder: each must report ErrCorrupt, never panic or succeed.
+func TestTruncationsError(t *testing.T) {
+	full := AppendUpdate(nil, testUpdate())
+	for n := 0; n < len(full); n++ {
+		d := NewDec(full[:n])
+		if u := ReadUpdate(&d); u != nil && d.Expect() == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", n, len(full))
+		}
+	}
+}
+
+// TestHostileLengths checks that dishonest length prefixes fail before
+// allocating anything of their claimed size.
+func TestHostileLengths(t *testing.T) {
+	// Batch claiming 2^40 updates with a 3-byte body.
+	b := AppendUvarint(nil, 1<<40)
+	b = append(b, 0, 0, 0)
+	d := NewDec(b)
+	if got := ReadUpdates(&d); got != nil || d.Err() == nil {
+		t.Fatal("hostile batch count decoded")
+	}
+	// String claiming more bytes than remain.
+	d = NewDec(AppendUvarint(nil, 100))
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("hostile string length decoded as %q", s)
+	}
+	// VClock claiming 2^20 entries on an empty remainder.
+	d = NewDec(AppendUvarint(nil, 1<<20))
+	if v := d.VClock(); v != nil || d.Err() == nil {
+		t.Fatal("hostile vclock length decoded")
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("pooled buffer not empty: %d", len(b))
+	}
+	b = append(b, make([]byte, 100)...)
+	PutBuf(b)
+	// Oversized buffers must be dropped, not pooled.
+	PutBuf(make([]byte, 0, keepBuf+1))
+}
