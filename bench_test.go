@@ -10,6 +10,7 @@ package eunomia
 // scalar vs vector metadata (§4), data/metadata separation (§5).
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -292,6 +293,39 @@ func BenchmarkAblationPropagationTree(b *testing.B) {
 		res := harness.AblationPropagationTree(benchService(), 30, 10)
 		b.ReportMetric(res.DirectBatches, "direct-msgs/s")
 		b.ReportMetric(res.TreeBatches, "tree-msgs/s")
+	}
+}
+
+// BenchmarkAggregatorTree measures the propagation tree as deployed on
+// the fabric (fabric.Aggregator merging MultiBatchMsg frames): orderer
+// ingress messages per ordered operation across tree depths — flat,
+// one-level, two-level — with each tree's fan-in ratio
+// (BatchesIn/BatchesOut) and flush latency. The acceptance bar is an
+// ingress reduction of at least the topology's fan-in factor versus flat.
+func BenchmarkAggregatorTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AggregatorBench(harness.AggregatorBenchOptions{
+			ServiceOptions: harness.ServiceOptions{
+				Duration:         400 * time.Millisecond,
+				Warmup:           150 * time.Millisecond,
+				PerPartitionRate: 8000,
+			},
+			Partitions: 32,
+			FanIn:      4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			prefix := fmt.Sprintf("depth%d", p.Depth)
+			b.ReportMetric(p.IngressPerOp, prefix+"-ingress-msgs/op")
+			b.ReportMetric(p.Throughput, prefix+"-ordered-ops/s")
+			if p.Depth > 0 {
+				b.ReportMetric(p.ReductionVsFlat, prefix+"-ingress-reduction-x")
+				b.ReportMetric(p.FanInRatio, prefix+"-fanin-ratio")
+				b.ReportMetric(float64(p.FlushP99.Microseconds()), prefix+"-flush-p99-us")
+			}
+		}
 	}
 }
 

@@ -17,6 +17,17 @@
 //	eunomia-server -role partitions,eunomia -dc 0 ... -route dc0:receiver=...
 //	eunomia-server -role receiver          -dc 0 ... -route dc0:partitions=...
 //
+//	# a wide datacenter (>64 partitions) runs the §5 propagation tree:
+//	# partitions stream at a fan-in pair of aggregator processes, which
+//	# merge whole partition sets into one frame per flush toward Eunomia
+//	eunomia-server -role partitions,receiver -dc 0 -partitions 128 -agg-fanin 2 \
+//	    -route dc0:aggregator0=hostA:7200 -route dc0:aggregator1=hostB:7200 ...
+//	eunomia-server -role aggregator -dc 0 -agg-fanin 2 -agg-index 0 \
+//	    -route dc0:eunomia=hostC:7300 ...
+//	eunomia-server -role aggregator -dc 0 -agg-fanin 2 -agg-index 1 \
+//	    -route dc0:eunomia=hostC:7300 ...
+//	eunomia-server -role eunomia -dc 0 -agg-fanin 2 ...
+//
 // The -mode flag selects which protocol the process runs, so the paper's
 // whole comparison matrix deploys multi-process over the same fabric:
 //
@@ -108,6 +119,10 @@ func main() {
 		dcs        = flag.Int("dcs", 3, "number of datacenters in the deployment")
 		partitions = flag.Int("partitions", 8, "partitions per datacenter")
 		replicas   = flag.Int("replicas", 1, "Eunomia replicas per datacenter")
+		aggFanin   = flag.Int("agg-fanin", 0, "mode eunomia: size of the datacenter's propagation-tree fan-in set; partitions stream metadata at a pair of aggregator endpoints instead of the replica set (0 = flat all-to-one; every process of the DC must agree)")
+		aggIndex   = flag.String("agg-index", "", `-role aggregator: comma list of fan-in endpoint indices this process hosts (default: all of -agg-fanin; indices at or above it name extra tree levels)`)
+		aggParent  = flag.String("agg-parent", "", `-role aggregator: comma list of parent endpoint names in this datacenter, e.g. "aggregator2,aggregator3" for a deeper tree (default: the Eunomia replica set)`)
+		aggFlush   = flag.Duration("agg-flush", 0, "-role aggregator: merge-and-forward period (default -batch-interval)")
 		listen     = flag.String("listen", ":7077", "fabric listen address")
 		addr       = flag.String("addr", "", "legacy alias for -listen")
 		advertise  = flag.String("advertise", "", "address peers dial to reach this process (default: listen address)")
@@ -138,10 +153,41 @@ func main() {
 	default:
 		log.Fatalf("unknown -tree %q", *tree)
 	}
+
+	// Reject contradictory or silently-ignored flag combinations up
+	// front, before any socket binds: a misconfigured process should die
+	// with one line, not boot half a topology.
+	if flagSet("tree") && *mode != "eunomia" {
+		log.Fatalf("-tree is supported only by -mode eunomia (got %q)", *mode)
+	}
+	if *aseq && *mode != "sequencer" {
+		log.Fatalf("-aseq is supported only by -mode sequencer (got %q)", *mode)
+	}
+	aggRole := *mode == "eunomia" && roleHas(*role, "aggregator")
+	if (flagSet("agg-index") || flagSet("agg-parent") || flagSet("agg-flush")) && !aggRole {
+		log.Fatalf("-agg-index/-agg-parent/-agg-flush apply only to -mode eunomia -role aggregator (got -mode %s -role %s)", *mode, *role)
+	}
+	if *aggFanin > 0 && *mode != "eunomia" {
+		log.Fatalf("-agg-fanin is supported only by -mode eunomia (got %q)", *mode)
+	}
+	if *aggFanin > 0 && *role == "orderer" {
+		log.Fatal("-agg-fanin contradicts -role orderer: the bare ordering service takes partition streams directly")
+	}
+	if aggRole && *aggFanin <= 0 {
+		log.Fatal("-role aggregator needs -agg-fanin >= 1 (the datacenter's fan-in set size)")
+	}
+	agg := aggTopology{fanin: *aggFanin, flush: *aggFlush}
+	var err error
+	if agg.idxs, err = parseAggIndexes(*aggIndex, *aggFanin); err != nil {
+		log.Fatal(err)
+	}
+	if agg.parents, agg.redundant, err = parseAggParents(*aggParent, types.DCID(*dcID)); err != nil {
+		log.Fatal(err)
+	}
+	agg.level = aggLevelFor(agg.idxs, *aggFanin, agg.redundant)
+
 	if *addr != "" {
-		listenSet := false
-		flag.Visit(func(f *flag.Flag) { listenSet = listenSet || f.Name == "listen" })
-		if listenSet {
+		if flagSet("listen") {
 			log.Fatal("-addr is a legacy alias for -listen; pass only one of them")
 		}
 		*listen = *addr
@@ -161,7 +207,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fab.Close()
-	if err := applyRoutes(fab, routeSpecs, *mode, *partitions, *replicas); err != nil {
+	if err := applyRoutes(fab, routeSpecs, *mode, *partitions, *replicas, *aggFanin); err != nil {
 		log.Fatal(err)
 	}
 
@@ -191,7 +237,7 @@ func main() {
 	var h hosted
 	switch *mode {
 	case "eunomia":
-		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy)
+		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, agg)
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -274,12 +320,24 @@ func main() {
 	}
 }
 
+// aggTopology bundles the propagation-tree flags for the eunomia mode:
+// the fan-in set size every process agrees on, plus the hosted indices,
+// parent endpoints, and flush cadence of an aggregator-role process.
+type aggTopology struct {
+	fanin     int
+	idxs      []int
+	parents   []fabric.Addr
+	redundant bool
+	level     int
+	flush     time.Duration
+}
+
 // hostEunomia boots the EunomiaKV node for the selected roles, durable
 // when dataDir is set (the node recovers its state and rejoins the
 // release stream at its durable watermark).
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
 	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
-	dataDir string, policy wal.SyncPolicy) (hosted, error) {
+	dataDir string, policy wal.SyncPolicy, agg aggTopology) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
@@ -289,17 +347,23 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			DCs:            dcs,
 			Partitions:     partitions,
 			Replicas:       replicas,
+			Aggregators:    agg.fanin,
 			BatchInterval:  batchIvl,
 			StableInterval: stableIvl,
 			CheckInterval:  checkIvl,
 			Tree:           kind,
 		},
-		DC:        types.DCID(dcID),
-		Roles:     roles,
-		Fabric:    fab,
-		Pipelined: true,
-		DataDir:   dataDir,
-		WALSync:   policy,
+		DC:                  types.DCID(dcID),
+		Roles:               roles,
+		Fabric:              fab,
+		Pipelined:           true,
+		DataDir:             dataDir,
+		WALSync:             policy,
+		AggIndexes:          agg.idxs,
+		AggParents:          agg.parents,
+		AggRedundantParents: agg.redundant,
+		AggFlushInterval:    agg.flush,
+		AggLevel:            agg.level,
 	})
 	if err != nil {
 		return hosted{}, fmt.Errorf("recovering node state from %s: %w", dataDir, err)
@@ -324,8 +388,19 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 				stable = fmt.Sprintf(" stable=%s ordered=%d pending=%d", st.StableTime, st.OpsShipped, st.Pending)
 			}
 		}
-		return fmt.Sprintf("local updates=%d, remote applied=%d,%s release inflight=%d",
-			node.TotalUpdates(), remoteApplied, stable, node.ReleaseInflight())
+		var aggs string
+		if list := node.Aggregators(); len(list) > 0 {
+			var in, out int64
+			buffered := 0
+			for _, a := range list {
+				in += a.BatchesIn.Load()
+				out += a.BatchesOut.Load()
+				buffered += a.Buffered()
+			}
+			aggs = fmt.Sprintf(" agg in=%d out=%d buffered=%d", in, out, buffered)
+		}
+		return fmt.Sprintf("local updates=%d, remote applied=%d,%s%s release inflight=%d",
+			node.TotalUpdates(), remoteApplied, stable, aggs, node.ReleaseInflight())
 	}
 	h.metrics = func() []metrics.PromSample {
 		samples := []metrics.PromSample{
@@ -341,6 +416,22 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			samples = append(samples, metrics.PromSample{
 				Name: "eunomia_receiver_applied_total", Value: float64(node.Receiver().Applied.Load()),
 			})
+		}
+		// Propagation-tree fan-in: per-endpoint frame counters (the
+		// BatchesIn/BatchesOut ratio is the fan-in factor the tree
+		// achieves) and the merge-and-forward latency histogram, labeled
+		// by tree level so multi-level deployments chart per hop.
+		for _, a := range node.Aggregators() {
+			lbl := [][2]string{
+				{"endpoint", a.LocalAddr().Name},
+				{"level", strconv.Itoa(a.Level())},
+			}
+			samples = append(samples,
+				metrics.PromSample{Name: "eunomia_aggregator_batches_in_total", Labels: lbl, Value: float64(a.BatchesIn.Load())},
+				metrics.PromSample{Name: "eunomia_aggregator_batches_out_total", Labels: lbl, Value: float64(a.BatchesOut.Load())},
+				metrics.PromSample{Name: "eunomia_aggregator_buffered", Labels: lbl, Value: float64(a.Buffered())},
+			)
+			samples = append(samples, metrics.PromHistogram("eunomia_aggregator_flush_seconds", lbl, a.FlushLatency, nil)...)
 		}
 		return samples
 	}
@@ -555,6 +646,101 @@ func runOrderer(fab *transport.TCP, dc, partitions, replicas int, stableIvl, sta
 	}
 }
 
+// flagSet reports whether the named flag was set on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
+}
+
+// roleHas reports whether the comma-separated role list names want.
+func roleHas(role, want string) bool {
+	for _, part := range strings.Split(role, ",") {
+		if strings.TrimSpace(part) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAggIndexes parses the -agg-index comma list ("" = all). Indices
+// at or above fanin are legal — they name extra tree levels that only
+// explicitly-configured children (-agg-parent) stream at — but get a
+// loud startup notice, because with no such child they serve nothing.
+func parseAggIndexes(s string, fanin int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var idxs []int
+	seen := make(map[int]bool)
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -agg-index %q (want a comma list of non-negative integers)", s)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("bad -agg-index %q: index %d listed twice (two endpoints cannot share an address)", s, n)
+		}
+		seen[n] = true
+		if n >= fanin {
+			log.Printf("eunomia-server: note: aggregator%d is outside the partition-facing fan-in set (0..%d); it only serves children that name it via -agg-parent", n, fanin-1)
+		}
+		idxs = append(idxs, n)
+	}
+	return idxs, nil
+}
+
+// parseAggParents parses the -agg-parent comma list into endpoint
+// addresses of this datacenter. Aggregator parents (a deeper tree) are
+// redundant routes into one service, so the hosted nodes fold watermarks
+// with max-over-paths; eunomia parents name the replica set explicitly.
+// Mixing the two is a contradiction.
+func parseAggParents(s string, dc types.DCID) (parents []fabric.Addr, redundant bool, err error) {
+	if s == "" {
+		return nil, false, nil
+	}
+	aggParents, euParents := 0, 0
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		var rest string
+		var ok bool
+		if rest, ok = strings.CutPrefix(name, "aggregator"); ok {
+			aggParents++
+		} else if rest, ok = strings.CutPrefix(name, "eunomia"); ok {
+			euParents++
+		} else {
+			return nil, false, fmt.Errorf("bad -agg-parent %q (want aggregatorN or eunomiaN names)", name)
+		}
+		if n, convErr := strconv.Atoi(rest); convErr != nil || n < 0 {
+			return nil, false, fmt.Errorf("bad -agg-parent %q (want aggregatorN or eunomiaN names)", name)
+		}
+		parents = append(parents, fabric.Addr{DC: dc, Name: name})
+	}
+	if aggParents > 0 && euParents > 0 {
+		return nil, false, fmt.Errorf("bad -agg-parent %q: aggregator and eunomia parents have different acknowledgement semantics; name one kind", s)
+	}
+	return parents, aggParents > 0, nil
+}
+
+// aggLevelFor derives the hosted endpoints' tree-level label (1 = fed
+// directly by partitions). A node forwarding to parent aggregators is
+// below them — a leaf, level 1. A node with replica(-set) parents is the
+// tree's top: level 1 in a one-level tree, level 2 when it hosts only
+// indices outside the partition-facing fan-in set (partitions stream at
+// 0..fanin-1 only, so such a node is exclusively fed by child
+// aggregators). Deeper trees set geostore.NodeConfig.AggLevel directly.
+func aggLevelFor(idxs []int, fanin int, redundantParents bool) int {
+	if redundantParents || len(idxs) == 0 {
+		return 1
+	}
+	for _, i := range idxs {
+		if i < fanin {
+			return 1
+		}
+	}
+	return 2
+}
+
 func parseRoles(s string) (geostore.Roles, error) {
 	var roles geostore.Roles
 	for _, part := range strings.Split(s, ",") {
@@ -567,8 +753,10 @@ func parseRoles(s string) (geostore.Roles, error) {
 			roles |= geostore.RoleEunomia
 		case "receiver":
 			roles |= geostore.RoleReceiver
+		case "aggregator":
+			roles |= geostore.RoleAggregator
 		default:
-			return 0, fmt.Errorf("unknown role %q (want dc, partitions, eunomia, receiver, orderer)", part)
+			return 0, fmt.Errorf("unknown role %q (want dc, partitions, eunomia, receiver, aggregator, orderer)", part)
 		}
 	}
 	return roles, nil
@@ -578,7 +766,10 @@ func parseRoles(s string) (geostore.Roles, error) {
 // routes. The "partitions" role is mode-aware: in -mode sequencer the
 // partition-group process also hosts the datacenter's receiver and the
 // remote-sequencer reply endpoint, so those addresses route with it.
-func applyRoutes(fab *transport.TCP, specs []string, mode string, partitions, replicas int) error {
+// "dcK:aggregators=hp" routes the whole fan-in set to one process;
+// "dcK:aggregatorJ=hp" routes one endpoint (the usual multi-process
+// tree, one or a few endpoints per aggregator process).
+func applyRoutes(fab *transport.TCP, specs []string, mode string, partitions, replicas, aggregators int) error {
 	for _, spec := range specs {
 		target, hostport, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -620,7 +811,20 @@ func applyRoutes(fab *transport.TCP, specs []string, mode string, partitions, re
 			fab.AddRoute(fabric.ReceiverAddr(dc), hostport)
 		case "sequencer":
 			fab.AddRoute(fabric.SequencerAddr(dc, 0), hostport)
+		case "aggregators":
+			if aggregators <= 0 {
+				return fmt.Errorf("-route %q needs -agg-fanin >= 1", spec)
+			}
+			for i := 0; i < aggregators; i++ {
+				fab.AddRoute(fabric.AggregatorAddr(dc, i), hostport)
+			}
 		default:
+			if rest, ok := strings.CutPrefix(rolePart, "aggregator"); ok {
+				if i, err := strconv.Atoi(rest); err == nil && i >= 0 {
+					fab.AddRoute(fabric.AggregatorAddr(dc, i), hostport)
+					continue
+				}
+			}
 			return fmt.Errorf("bad -route role %q in %q", rolePart, spec)
 		}
 	}

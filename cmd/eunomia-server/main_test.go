@@ -461,6 +461,223 @@ func TestPartitionProcessKillNoDataDirWedges(t *testing.T) {
 	runPartitionKillRestart(t, buildServer(t), false)
 }
 
+// aggTreeProcs launches a two-datacenter deployment whose dc0 runs the
+// §5 propagation tree multi-process: a partitions+receiver process (the
+// writer), two single-endpoint aggregator processes, and a eunomia
+// process; dc1 is an all-role watcher. dc0's metadata path is therefore
+// partitions → 2 aggregators → Eunomia over real TCP, and the watcher
+// proves the causal chain end to end.
+type aggTreeProcs struct {
+	parts, aggA, aggB, eu, watcher *proc
+}
+
+func startAggTree(t *testing.T, bin string, partitions, pairs, pauseMs int) aggTreeProcs {
+	t.Helper()
+	partsAddr, aggAAddr, aggBAddr, euAddr, dc1Addr := freePort(t), freePort(t), freePort(t), freePort(t), freePort(t)
+	common := []string{
+		"-mode", "eunomia", "-dcs", "2", "-partitions", strconv.Itoa(partitions),
+		"-replicas", "1", "-agg-fanin", "2", "-batch-interval", "5ms",
+	}
+	var pr aggTreeProcs
+	pr.parts = startProc(t, bin, append([]string{
+		"-role", "partitions,receiver", "-dc", "0", "-listen", partsAddr,
+		"-route", "dc0:aggregator0=" + aggAAddr,
+		"-route", "dc0:aggregator1=" + aggBAddr,
+		"-route", "dc1=" + dc1Addr,
+		"-stats-interval", "1h",
+		"-demo", fmt.Sprintf("write:%d:%d", pairs, pauseMs),
+	}, common...)...)
+	pr.aggA = startProc(t, bin, append([]string{
+		"-role", "aggregator", "-agg-index", "0", "-dc", "0", "-listen", aggAAddr,
+		"-route", "dc0:eunomia=" + euAddr,
+		"-stats-interval", "50ms",
+	}, common...)...)
+	pr.aggB = startProc(t, bin, append([]string{
+		"-role", "aggregator", "-agg-index", "1", "-dc", "0", "-listen", aggBAddr,
+		"-route", "dc0:eunomia=" + euAddr,
+		"-stats-interval", "50ms",
+	}, common...)...)
+	pr.eu = startProc(t, bin, append([]string{
+		"-role", "eunomia", "-dc", "0", "-listen", euAddr,
+		"-route", "dc1=" + dc1Addr,
+		"-stats-interval", "1h",
+	}, common...)...)
+	pr.watcher = startProc(t, bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", dc1Addr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc0:receiver=" + partsAddr,
+		"-stats-interval", "1h",
+		"-demo", fmt.Sprintf("watch:%d", pairs),
+	}, common...)...)
+	return pr
+}
+
+func (pr aggTreeProcs) all() []*proc {
+	return []*proc{pr.parts, pr.aggA, pr.aggB, pr.eu, pr.watcher}
+}
+
+func (pr aggTreeProcs) dump() string {
+	var sb strings.Builder
+	for i, p := range pr.all() {
+		fmt.Fprintf(&sb, "--- process %d ---\n%s\n", i, p.output())
+	}
+	return sb.String()
+}
+
+func (pr aggTreeProcs) killAll() {
+	for _, p := range pr.all() {
+		p.kill()
+	}
+}
+
+// awaitWatcher waits for the watcher process to confirm the causal chain.
+func awaitWatcher(t *testing.T, pr aggTreeProcs, pairs int) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- pr.watcher.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watcher failed: %v\n%s", err, pr.dump())
+		}
+	case <-time.After(150 * time.Second):
+		_ = pr.watcher.cmd.Process.Kill()
+		<-done
+		t.Fatalf("watcher did not finish\n%s", pr.dump())
+	}
+	if !strings.Contains(pr.watcher.output(), fmt.Sprintf("causal chain OK (%d pairs)", pairs)) {
+		t.Fatalf("watcher did not confirm causal order:\n%s", pr.dump())
+	}
+}
+
+var aggOutRe = regexp.MustCompile(`agg in=(\d+) out=(\d+)`)
+
+// aggForwarded parses an aggregator process's newest stats line.
+func aggForwarded(p *proc) int {
+	m := aggOutRe.FindAllStringSubmatch(p.output(), -1)
+	if len(m) == 0 {
+		return 0
+	}
+	n, _ := strconv.Atoi(m[len(m)-1][2])
+	return n
+}
+
+// TestAggregatorTreeDatacenterOverTCP is the wide-datacenter acceptance
+// check: a 128-partition dc0 runs multi-process as partitions → two
+// aggregator processes → Eunomia over real TCP, replicates a causally
+// chained workload to dc1, and both aggregators actually carry merged
+// frames (no hidden flat path).
+func TestAggregatorTreeDatacenterOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	pr := startAggTree(t, buildServer(t), 128, 12, 0)
+	defer pr.killAll()
+	awaitWatcher(t, pr, 12)
+	// Both aggregators must have merged and forwarded frames (no hidden
+	// flat path). Their stats lines print on a 50ms cadence, so give the
+	// counters a moment to surface.
+	deadline := time.Now().Add(10 * time.Second)
+	for aggForwarded(pr.aggA) == 0 || aggForwarded(pr.aggB) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("an aggregator forwarded nothing — the tree was bypassed\n%s", pr.dump())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAggregatorKillFailoverOverTCP kills one aggregator process
+// mid-stream: every partition dual-homes at the fan-in pair, so the
+// surviving path must carry the rest of the stream with no gap or
+// duplicate at Eunomia — the watcher's causal-order verdict is exactly
+// that prefix property, end to end.
+func TestAggregatorKillFailoverOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	pairs := 150
+	pr := startAggTree(t, buildServer(t), 16, pairs, 5)
+	defer pr.killAll()
+
+	// Kill aggregator A once it has demonstrably merged and forwarded
+	// part of the stream, while most of the stream is still unwritten
+	// (the writer paces at ~5ms/pair).
+	deadline := time.Now().Add(60 * time.Second)
+	for aggForwarded(pr.aggA) < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("aggregator A never forwarded 20 frames\n%s", pr.dump())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pr.aggA.kill() // SIGKILL: no flush, no goodbye
+	awaitWatcher(t, pr, pairs)
+}
+
+// TestRejectsContradictoryFlags pins the CLI's fail-fast validation: a
+// misconfigured process must die with a one-line diagnostic instead of
+// silently ignoring topology flags or booting half a deployment.
+func TestRejectsContradictoryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process test in -short mode")
+	}
+	bin := buildServer(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"aggregator-role-needs-fanin",
+			[]string{"-mode", "eunomia", "-role", "aggregator"},
+			"needs -agg-fanin"},
+		{"fanin-needs-eunomia",
+			[]string{"-mode", "sequencer", "-role", "dc", "-agg-fanin", "2"},
+			"-agg-fanin is supported only by -mode eunomia"},
+		{"fanin-contradicts-orderer",
+			[]string{"-mode", "eunomia", "-role", "orderer", "-agg-fanin", "2"},
+			"-agg-fanin contradicts -role orderer"},
+		{"agg-flags-need-aggregator-role",
+			[]string{"-mode", "eunomia", "-role", "dc", "-agg-parent", "aggregator2"},
+			"apply only to -mode eunomia -role aggregator"},
+		{"bad-agg-index",
+			[]string{"-mode", "eunomia", "-role", "aggregator", "-agg-fanin", "2", "-agg-index", "zero"},
+			"bad -agg-index"},
+		{"duplicate-agg-index",
+			[]string{"-mode", "eunomia", "-role", "aggregator", "-agg-fanin", "2", "-agg-index", "0,0"},
+			"listed twice"},
+		{"bad-agg-parent",
+			[]string{"-mode", "eunomia", "-role", "aggregator", "-agg-fanin", "2", "-agg-parent", "orderer3"},
+			"bad -agg-parent"},
+		{"mixed-agg-parents",
+			[]string{"-mode", "eunomia", "-role", "aggregator", "-agg-fanin", "2", "-agg-parent", "aggregator2,eunomia0"},
+			"different acknowledgement semantics"},
+		{"aseq-needs-sequencer",
+			[]string{"-mode", "eunomia", "-role", "dc", "-aseq"},
+			"-aseq is supported only by -mode sequencer"},
+		{"tree-needs-eunomia",
+			[]string{"-mode", "globalstab", "-role", "dc", "-tree", "avl"},
+			"-tree is supported only by -mode eunomia"},
+		{"unknown-role",
+			[]string{"-mode", "eunomia", "-role", "bogus"},
+			"unknown role"},
+		{"unknown-mode",
+			[]string{"-mode", "bogus", "-role", "dc"},
+			"unknown -mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, tc.args...)...)
+			out, err := cmd.CombinedOutput()
+			exit, ok := err.(*exec.ExitError)
+			if !ok || exit.ExitCode() == 0 {
+				t.Fatalf("process exited %v, want nonzero\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("diagnostic missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}
+
 // TestMetricsEndpoint boots a single-datacenter process with
 // -metrics-addr and checks the Prometheus text endpoint exposes fabric
 // and node samples.
@@ -472,7 +689,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	addr, maddr := freePort(t), freePort(t)
 	p := startProc(t, bin,
 		"-mode", "eunomia", "-role", "dc", "-dc", "0", "-dcs", "1",
-		"-partitions", "2", "-listen", addr, "-metrics-addr", maddr,
+		"-partitions", "2", "-agg-fanin", "1", "-listen", addr, "-metrics-addr", maddr,
 		"-stats-interval", "1h")
 	defer p.kill()
 
@@ -497,6 +714,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`eunomia_codec_encode_seconds_bucket{codec="wire",le="+Inf"}`,
 		`eunomia_codec_decode_seconds_count{codec="wire"}`,
 		`eunomia_frame_flush_seconds_sum{codec="wire"}`,
+		// Propagation-tree fan-in counters and flush histogram, labeled
+		// by endpoint and tree level (-agg-fanin 1 hosts aggregator0).
+		`eunomia_aggregator_batches_in_total{endpoint="aggregator0",level="1"}`,
+		`eunomia_aggregator_batches_out_total{endpoint="aggregator0",level="1"}`,
+		`eunomia_aggregator_flush_seconds_bucket{endpoint="aggregator0",level="1",le="+Inf"}`,
+		`eunomia_aggregator_flush_seconds_count{endpoint="aggregator0",level="1"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)

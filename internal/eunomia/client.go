@@ -50,6 +50,16 @@ type ClientConfig struct {
 	// partition side of the non-fault-tolerant Algorithm 3 service.
 	// Figure 3 measures the fault-tolerance overhead against this mode.
 	FireAndForget bool
+	// RedundantPaths marks the conns as redundant routes into one
+	// upstream service — §5 propagation-tree aggregators, which forward
+	// only upstream-durable watermarks — rather than independent
+	// replicas. An acknowledgement from any path then means the service
+	// itself holds the operation (an aggregator fronting a replica set
+	// acknowledges the minimum over all replicas), so the client prunes
+	// and heartbeats on the maximum watermark over paths instead of the
+	// minimum over live replicas; a crashed aggregator never stalls the
+	// stream as long as one path survives.
+	RedundantPaths bool
 }
 
 func (c *ClientConfig) fill() {
@@ -230,14 +240,26 @@ func (c *Client) flush() {
 		}
 		c.dead[i] = c.dead[i] || dead[i]
 	}
-	// Prune the prefix acknowledged by every live replica.
+	// Prune the prefix acknowledged by every live replica — or, when the
+	// conns are redundant paths to one service, the prefix acknowledged
+	// through any path (each path's watermark already encodes service
+	// durability; see ClientConfig.RedundantPaths).
 	minAck := hlc.Timestamp(1<<63 - 1)
-	for i := range c.acked {
-		if c.dead[i] {
-			continue
+	if c.cfg.RedundantPaths {
+		minAck = 0
+		for i := range c.acked {
+			if c.acked[i] > minAck {
+				minAck = c.acked[i]
+			}
 		}
-		if c.acked[i] < minAck {
-			minAck = c.acked[i]
+	} else {
+		for i := range c.acked {
+			if c.dead[i] {
+				continue
+			}
+			if c.acked[i] < minAck {
+				minAck = c.acked[i]
+			}
 		}
 	}
 	if !anyAlive {

@@ -38,6 +38,12 @@ import (
 // ErrStopped is returned by calls into a crashed or shut-down replica.
 var ErrStopped = errors.New("eunomia: replica stopped")
 
+// ErrUnknownPartition reports a stream identifier outside the configured
+// partition count — a deployment misconfiguration (e.g. processes booted
+// with different -partitions values), surfaced loudly instead of panicking
+// on a fabric-delivered message.
+var ErrUnknownPartition = errors.New("eunomia: unknown partition stream")
+
 // TreeKind selects the pending-set implementation (§6 ablation).
 type TreeKind int
 
@@ -216,6 +222,9 @@ func (r *Replica) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timest
 	if r.stopped.Load() {
 		return 0, ErrStopped
 	}
+	if !r.validPartition(p) {
+		return 0, ErrUnknownPartition
+	}
 	clock.SpinFor(r.cfg.MessageCost)
 	r.batches.Inc()
 	r.mu.Lock()
@@ -235,21 +244,30 @@ func (r *Replica) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Timest
 }
 
 // NewMultiBatch ingests several partitions' batches in one message — the
-// §5 propagation-tree optimization: an aggregator merges its children's
-// streams so the replica pays one message receive for many streams. The
-// per-stream semantics are identical to NewBatch; the returned map holds
-// the post-ingest watermark per partition.
-func (r *Replica) NewMultiBatch(batches map[types.PartitionID][]*types.Update) (map[types.PartitionID]hlc.Timestamp, error) {
+// §5 propagation-tree ingest path: a fan-in aggregator
+// (internal/fabric.Aggregator) merges its children's streams so the
+// replica pays one message receive for many streams. The per-stream
+// semantics are identical to NewBatch; the returned marks hold the
+// post-ingest watermark per partition, in batch order.
+func (r *Replica) NewMultiBatch(batches []types.PartitionBatch) ([]types.PartitionMark, error) {
 	if r.stopped.Load() {
 		return nil, ErrStopped
 	}
 	clock.SpinFor(r.cfg.MessageCost)
 	r.batches.Inc()
-	acks := make(map[types.PartitionID]hlc.Timestamp, len(batches))
+	acks := make([]types.PartitionMark, 0, len(batches))
 	r.mu.Lock()
-	for p, ops := range batches {
-		w := r.partitionTime[p]
-		for _, u := range ops {
+	for _, sb := range batches {
+		if !r.validPartition(sb.Partition) {
+			// A merged frame mixes many processes' streams; one
+			// misconfigured sender (disagreeing -partitions) must not
+			// poison the others. Skip its stream — no acknowledgement
+			// means it alone stalls, the same blast radius a direct
+			// conn's ErrUnknownPartition had.
+			continue
+		}
+		w := r.partitionTime[sb.Partition]
+		for _, u := range sb.Ops {
 			if u.TS <= w {
 				r.duplicates.Inc()
 				continue
@@ -258,11 +276,17 @@ func (r *Replica) NewMultiBatch(batches map[types.PartitionID][]*types.Update) (
 			r.ops.Insert(ordered.Key{TS: u.TS, Partition: int32(u.Partition), Seq: u.Seq}, u)
 			r.opsReceived.Inc()
 		}
-		r.partitionTime[p] = w
-		acks[p] = w
+		r.partitionTime[sb.Partition] = w
+		acks = append(acks, types.PartitionMark{Partition: sb.Partition, TS: w})
 	}
 	r.mu.Unlock()
 	return acks, nil
+}
+
+// validPartition bounds-checks a fabric-delivered stream identifier; the
+// partition count is fixed at construction, so no lock is needed.
+func (r *Replica) validPartition(p types.PartitionID) bool {
+	return p >= 0 && int(p) < len(r.partitionTime)
 }
 
 // Heartbeat advances partition p's watermark without carrying an operation
@@ -270,6 +294,9 @@ func (r *Replica) NewMultiBatch(batches map[types.PartitionID][]*types.Update) (
 func (r *Replica) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
 	if r.stopped.Load() {
 		return ErrStopped
+	}
+	if !r.validPartition(p) {
+		return ErrUnknownPartition
 	}
 	r.mu.Lock()
 	if ts > r.partitionTime[p] {

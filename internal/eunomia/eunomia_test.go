@@ -102,6 +102,36 @@ func TestNoStabilityUntilEveryPartitionReports(t *testing.T) {
 	waitFor(t, time.Second, func() bool { return sink.len() == 2 })
 }
 
+// TestMultiBatchSkipsUnknownPartitions pins the merged frame's blast
+// radius: a frame mixes many processes' streams, so one misconfigured
+// sender (a partition id outside the replica's configured count) must be
+// skipped — no acknowledgement, no error — while every other stream in
+// the frame is ingested and acknowledged normally.
+func TestMultiBatchSkipsUnknownPartitions(t *testing.T) {
+	sink := &shipSink{}
+	c := NewCluster(1, Config{Partitions: 2, StableInterval: time.Millisecond}, sink.ship)
+	defer c.Stop()
+	r := c.Replica(0)
+
+	acks, err := r.NewMultiBatch([]types.PartitionBatch{
+		{Partition: 0, Ops: []*types.Update{up(0, 1, 10)}},
+		{Partition: 99, Ops: []*types.Update{up(99, 1, 5)}}, // misconfigured sender
+		{Partition: 1, Ops: []*types.Update{up(1, 1, 20)}},
+	})
+	if err != nil {
+		t.Fatalf("one bad stream poisoned the frame: %v", err)
+	}
+	if len(acks) != 2 || acks[0] != (types.PartitionMark{Partition: 0, TS: 10}) || acks[1] != (types.PartitionMark{Partition: 1, TS: 20}) {
+		t.Fatalf("acks = %+v, want partitions 0 and 1 only", acks)
+	}
+	if st := r.Stats(); st.OpsReceived != 2 {
+		t.Fatalf("received %d ops, want 2 (the unknown stream skipped)", st.OpsReceived)
+	}
+	if err := r.Heartbeat(99, 30); err == nil {
+		t.Fatal("direct heartbeat for an unknown partition must error")
+	}
+}
+
 func TestBatchDeduplication(t *testing.T) {
 	sink := &shipSink{}
 	c := NewCluster(1, Config{Partitions: 1, StableInterval: time.Millisecond}, sink.ship)

@@ -43,10 +43,32 @@ type AckMsg struct {
 	Err       string
 }
 
+// MultiBatchMsg is the propagation-tree hop (§5): many partitions' batches
+// — and any heartbeats the tree is relaying — merged into one type-tagged
+// frame, so a replica (or a parent aggregator) pays one message receive
+// for a whole fan-in set's streams. Batches are ascending per partition;
+// Marks carry relayed heartbeats.
+type MultiBatchMsg struct {
+	ID      uint64
+	Batches []types.PartitionBatch
+	Marks   []types.PartitionMark
+}
+
+// MultiAckMsg acknowledges a MultiBatchMsg: one watermark per partition
+// the frame mentioned, with the same semantics as AckMsg.Watermark. A
+// non-empty Err reports a stopped replica.
+type MultiAckMsg struct {
+	ID   uint64
+	Acks []types.PartitionMark
+	Err  string
+}
+
 func init() {
 	RegisterPayload(BatchMsg{})
 	RegisterPayload(HeartbeatMsg{})
 	RegisterPayload(AckMsg{})
+	RegisterPayload(MultiBatchMsg{})
+	RegisterPayload(MultiAckMsg{})
 }
 
 // ConnMode selects how a ReplicaConn waits for acknowledgements.
@@ -97,12 +119,33 @@ type ReplicaConn struct {
 	sent     map[types.PartitionID]hlc.Timestamp
 	progress map[types.PartitionID]time.Time
 	failed   string // sticky remote failure (pipelined mode)
+	// lastAlive is the last instant any acknowledgement arrived from the
+	// remote; lastProbe rate-limits sends toward a silent one. A killed
+	// peer process never errors — it just stops acknowledging — and a
+	// networked fabric buffers frames toward it in a bounded window, so a
+	// conn that kept streaming at a silent peer would eventually fill
+	// that window and block the whole client in Send. Instead, once the
+	// remote has been silent past peerSuspendAfter, the conn drops its
+	// sends except for one probe (the full unacknowledged window) per
+	// peerProbeEvery; any acknowledgement revives normal flow.
+	lastAlive time.Time
+	lastProbe time.Time
 }
 
 // pipelinedResendAfter is how long the acknowledgement watermark may
 // stall before a pipelined conn retransmits the unacknowledged window.
 // Well above any sane RTT, well below human patience.
 const pipelinedResendAfter = 250 * time.Millisecond
+
+// peerSuspendAfter is how long a remote may stay completely silent before
+// a pipelined conn suspends normal sends toward it; peerProbeEvery is the
+// probe rate while suspended. The probe budget must stay far below the
+// transport's per-peer window divided by the longest plausible outage, or
+// a dead peer would still wedge the sender.
+const (
+	peerSuspendAfter = 4 * pipelinedResendAfter
+	peerProbeEvery   = time.Second
+)
 
 var _ eunomia.Conn = (*ReplicaConn)(nil)
 
@@ -114,15 +157,16 @@ func NewReplicaConn(f Fabric, local, remote Addr, mode ConnMode, timeout time.Du
 		timeout = 10 * time.Second
 	}
 	return &ReplicaConn{
-		f:        f,
-		local:    local,
-		remote:   remote,
-		mode:     mode,
-		timeout:  timeout,
-		waiters:  make(map[uint64]chan AckMsg),
-		marks:    make(map[types.PartitionID]hlc.Timestamp),
-		sent:     make(map[types.PartitionID]hlc.Timestamp),
-		progress: make(map[types.PartitionID]time.Time),
+		f:         f,
+		local:     local,
+		remote:    remote,
+		mode:      mode,
+		timeout:   timeout,
+		waiters:   make(map[uint64]chan AckMsg),
+		marks:     make(map[types.PartitionID]hlc.Timestamp),
+		sent:      make(map[types.PartitionID]hlc.Timestamp),
+		progress:  make(map[types.PartitionID]time.Time),
+		lastAlive: time.Now(),
 	}
 }
 
@@ -139,6 +183,7 @@ func (c *ReplicaConn) HandleMessage(m Message) bool {
 		return false
 	}
 	c.mu.Lock()
+	c.lastAlive = time.Now()
 	if ch, ok := c.waiters[ack.ID]; ok {
 		delete(c.waiters, ack.ID)
 		ch <- ack
@@ -208,17 +253,32 @@ func (c *ReplicaConn) NewBatch(p types.PartitionID, ops []*types.Update) (hlc.Ti
 	}
 	c.mu.Lock()
 	failed, w, streamed := c.failed, c.marks[p], c.sent[p]
-	if failed == "" && streamed > w {
+	now := time.Now()
+	if failed == "" && now.Sub(c.lastAlive) > peerSuspendAfter {
+		// The remote has gone completely silent (killed process, dead
+		// route): stop feeding its bounded transport window. One probe
+		// per peerProbeEvery — the full unacknowledged window — keeps
+		// testing for revival; everything else is dropped and resent
+		// once the peer acknowledges again.
+		if now.Sub(c.lastProbe) < peerProbeEvery {
+			c.mu.Unlock()
+			return w, nil
+		}
+		c.lastProbe = now
+		c.sent[p] = w
+		streamed = w
+		c.progress[p] = now
+	} else if failed == "" && streamed > w {
 		// Operations are in flight beyond the acknowledged watermark.
 		// If acknowledgements have stalled, assume the stream was lost
 		// (Send is fire-and-forget: a missing route drops silently) and
 		// retransmit the unacknowledged window.
 		if last, ok := c.progress[p]; !ok {
-			c.progress[p] = time.Now()
-		} else if time.Since(last) > pipelinedResendAfter {
+			c.progress[p] = now
+		} else if now.Sub(last) > pipelinedResendAfter {
 			c.sent[p] = w
 			streamed = w
-			c.progress[p] = time.Now()
+			c.progress[p] = now
 		}
 	}
 	c.mu.Unlock()
@@ -250,18 +310,36 @@ func (c *ReplicaConn) Heartbeat(p types.PartitionID, ts hlc.Timestamp) error {
 	}
 	c.mu.Lock()
 	failed := c.failed
+	drop := false
+	if failed == "" {
+		if now := time.Now(); now.Sub(c.lastAlive) > peerSuspendAfter {
+			// Same suspension as NewBatch: heartbeats fire every Δ, and a
+			// silent peer's transport window must not absorb them all. A
+			// heartbeat makes a fine probe, so one goes through per
+			// peerProbeEvery; heartbeats are regenerated each Δ, so the
+			// dropped ones cost nothing.
+			if now.Sub(c.lastProbe) < peerProbeEvery {
+				drop = true
+			} else {
+				c.lastProbe = now
+			}
+		}
+	}
 	c.mu.Unlock()
 	if failed != "" {
 		return errors.New(failed)
+	}
+	if drop {
+		return nil
 	}
 	c.send(HeartbeatMsg{ID: id, Partition: p, TS: ts})
 	return nil
 }
 
-// ServeReplica registers a handler at addr that feeds batches and
-// heartbeats into the replica and returns acknowledgement watermarks to
-// the sender. Unknown payloads are ignored, so the address can be shared
-// with other protocols if needed.
+// ServeReplica registers a handler at addr that feeds batches, merged
+// propagation-tree frames, and heartbeats into the replica and returns
+// acknowledgement watermarks to the sender. Unknown payloads are ignored,
+// so the address can be shared with other protocols if needed.
 func ServeReplica(f Fabric, at Addr, r *eunomia.Replica) {
 	f.Register(at, func(m Message) {
 		switch v := m.Payload.(type) {
@@ -271,6 +349,31 @@ func ServeReplica(f Fabric, at Addr, r *eunomia.Replica) {
 		case HeartbeatMsg:
 			err := r.Heartbeat(v.Partition, v.TS)
 			f.Send(at, m.From, AckMsg{ID: v.ID, Partition: v.Partition, Watermark: v.TS, Err: errString(err)})
+		case MultiBatchMsg:
+			// The propagation-tree root: one message receive ingests a
+			// whole fan-in set's streams, plus any heartbeats the tree
+			// relayed (only emitted by partitions whose operations are
+			// already fully acknowledged, so a relayed heartbeat can never
+			// mask a buffered operation — see the aggregator's contract).
+			acks, err := r.NewMultiBatch(v.Batches)
+			if err == nil {
+				for _, hb := range v.Marks {
+					switch hbErr := r.Heartbeat(hb.Partition, hb.TS); {
+					case hbErr == nil:
+						acks = append(acks, hb)
+					case errors.Is(hbErr, eunomia.ErrUnknownPartition):
+						// One misconfigured sender's heartbeat must not
+						// poison the merged frame; skip it, like
+						// NewMultiBatch skips its stream.
+					default:
+						err = hbErr
+					}
+					if err != nil {
+						break
+					}
+				}
+			}
+			f.Send(at, m.From, MultiAckMsg{ID: v.ID, Acks: acks, Err: errString(err)})
 		}
 	})
 }

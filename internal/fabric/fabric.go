@@ -53,6 +53,14 @@ func EunomiaAddr(dc types.DCID, r types.ReplicaID) Addr {
 // ReceiverAddr names the geo-replication receiver of datacenter dc.
 func ReceiverAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "receiver"} }
 
+// AggregatorAddr names fan-in aggregator i of datacenter dc's §5
+// propagation tree: the endpoint partitions stream their metadata at
+// (instead of the replica set) in wide datacenters, and the endpoint a
+// deeper tree's child aggregators merge into.
+func AggregatorAddr(dc types.DCID, i int) Addr {
+	return Addr{DC: dc, Name: fmt.Sprintf("aggregator%d", i)}
+}
+
 // ApplierAddr names the remote-release applier of datacenter dc: the
 // single ordered ingress the partition-hosting process exposes for the
 // receiver's windowed release stream. A single address (rather than the

@@ -41,6 +41,26 @@ func (m AckMsg) AppendWire(b []byte) []byte {
 	return wire.AppendString(b, m.Err)
 }
 
+// WireTag implements wire.Marshaler.
+func (m MultiBatchMsg) WireTag() wire.Tag { return wire.TagMultiBatch }
+
+// AppendWire implements wire.Marshaler.
+func (m MultiBatchMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendPartitionBatches(b, m.Batches)
+	return wire.AppendPartitionMarks(b, m.Marks)
+}
+
+// WireTag implements wire.Marshaler.
+func (m MultiAckMsg) WireTag() wire.Tag { return wire.TagMultiAck }
+
+// AppendWire implements wire.Marshaler.
+func (m MultiAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendPartitionMarks(b, m.Acks)
+	return wire.AppendString(b, m.Err)
+}
+
 func init() {
 	wire.Register(wire.TagBatch, func(d *wire.Dec) any {
 		return BatchMsg{
@@ -64,6 +84,20 @@ func init() {
 			Err:       d.String(),
 		}
 	})
+	wire.Register(wire.TagMultiBatch, func(d *wire.Dec) any {
+		return MultiBatchMsg{
+			ID:      d.Uvarint(),
+			Batches: wire.ReadPartitionBatches(d),
+			Marks:   wire.ReadPartitionMarks(d),
+		}
+	})
+	wire.Register(wire.TagMultiAck, func(d *wire.Dec) any {
+		return MultiAckMsg{
+			ID:   d.Uvarint(),
+			Acks: wire.ReadPartitionMarks(d),
+			Err:  d.String(),
+		}
+	})
 }
 
 // The compiler checks the payload structs against the codec interface.
@@ -71,4 +105,6 @@ var (
 	_ wire.Marshaler = BatchMsg{}
 	_ wire.Marshaler = HeartbeatMsg{}
 	_ wire.Marshaler = AckMsg{}
+	_ wire.Marshaler = MultiBatchMsg{}
+	_ wire.Marshaler = MultiAckMsg{}
 )

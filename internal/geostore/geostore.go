@@ -106,6 +106,16 @@ type Config struct {
 	// Replicas is the Eunomia replication factor per datacenter
 	// (1 = the non-fault-tolerant Algorithm 3 service).
 	Replicas int
+	// Aggregators is the size of the datacenter's §5 propagation-tree
+	// fan-in set: when positive, partitions stream their metadata at two
+	// of the fabric.AggregatorAddr endpoints (their own and the next,
+	// modulo the set — redundant paths, so one aggregator crash never
+	// stalls a stream) instead of directly at the replica set, and the
+	// aggregators merge whole fan-in sets into one MultiBatchMsg per
+	// flush toward Eunomia. 0 = the flat all-to-one topology. Every
+	// process of the datacenter must agree on this value, like
+	// Partitions and Replicas.
+	Aggregators int
 
 	// Delay is the simnet latency function; nil uses the paper's RTTs
 	// (80/80/160ms) at full scale via simnet.PaperRTTs(1). TCP nodes
@@ -148,6 +158,9 @@ func (c *Config) fill() {
 	if c.Replicas <= 0 {
 		c.Replicas = 1
 	}
+	if c.Aggregators < 0 {
+		c.Aggregators = 0
+	}
 	if c.BatchInterval <= 0 {
 		c.BatchInterval = time.Millisecond
 	}
@@ -173,10 +186,15 @@ const (
 	RoleEunomia
 	// RoleReceiver hosts the datacenter's remote-update receiver.
 	RoleReceiver
+	// RoleAggregator hosts §5 propagation-tree fan-in aggregators
+	// (selected by NodeConfig.AggIndexes); only meaningful when
+	// Config.Aggregators is positive.
+	RoleAggregator
 )
 
-// RoleAll hosts a complete datacenter in one process.
-const RoleAll = RolePartitions | RoleEunomia | RoleReceiver
+// RoleAll hosts a complete datacenter in one process (including its
+// propagation tree, when Config.Aggregators asks for one).
+const RoleAll = RolePartitions | RoleEunomia | RoleReceiver | RoleAggregator
 
 // Has reports whether r includes any of the given roles.
 func (r Roles) Has(x Roles) bool { return r&x != 0 }
@@ -210,6 +228,28 @@ type NodeConfig struct {
 	// fabric benchmark compares against.
 	BlockingRelease bool
 
+	// AggIndexes selects which of the datacenter's Config.Aggregators
+	// fan-in endpoints this node hosts (RoleAggregator); nil hosts all
+	// of them, the single-process deployment. Indexes at or above
+	// Config.Aggregators are legal: they name extra tree levels that
+	// partitions do not stream at directly (see AggParents).
+	AggIndexes []int
+	// AggParents overrides the hosted aggregators' upstream endpoints —
+	// a parent-aggregator pair for trees deeper than one level. Nil
+	// targets the datacenter's Eunomia replica set.
+	AggParents []fabric.Addr
+	// AggRedundantParents marks AggParents as redundant routes into one
+	// upstream service (a dual-homed parent-aggregator pair) instead of
+	// a replica set; implied when AggParents is nil only for replica
+	// semantics (false).
+	AggRedundantParents bool
+	// AggFlushInterval is the hosted aggregators' merge-and-forward
+	// period. Default BatchInterval.
+	AggFlushInterval time.Duration
+	// AggLevel labels the hosted aggregators' metrics with their tree
+	// level (1 = fed directly by partitions). Default 1.
+	AggLevel int
+
 	// DataDir, when set, makes every hosted role durable: partitions log
 	// accepted and applied updates to per-partition snapshot+log stores,
 	// the applier persists its release-stream position, and the receiver
@@ -242,6 +282,7 @@ type Node struct {
 	shipQueues []*shipQueue
 	cluster    *eunomia.Cluster
 	recv       *receiver.Receiver
+	aggs       []*fabric.Aggregator
 
 	// Windowed cross-process release: relWin on receiver-only nodes,
 	// app on partition-hosting nodes whose receiver lives elsewhere.
@@ -305,6 +346,11 @@ func OpenNode(nc NodeConfig) (*Node, error) {
 	}
 	if nc.Roles.Has(RoleEunomia) {
 		n.buildEunomia()
+	}
+	if nc.Roles.Has(RoleAggregator) && nc.Aggregators > 0 {
+		// Before the partitions: their batching clients start streaming
+		// at the aggregator endpoints the moment they exist.
+		n.buildAggregators(nc)
 	}
 	if nc.Roles.Has(RolePartitions) {
 		if err := n.buildPartitions(nc); err != nil {
@@ -437,6 +483,53 @@ func (n *Node) buildEunomia() {
 	}
 }
 
+// buildAggregators starts the node's share of the datacenter's §5
+// propagation tree: fan-in endpoints that merge partition streams into
+// MultiBatchMsg frames toward the replica set (or toward the parents
+// NodeConfig.AggParents names, for deeper trees).
+func (n *Node) buildAggregators(nc NodeConfig) {
+	m := n.id
+	idxs := nc.AggIndexes
+	if idxs == nil {
+		for i := 0; i < nc.Aggregators; i++ {
+			idxs = append(idxs, i)
+		}
+	}
+	parents := nc.AggParents
+	if parents == nil {
+		for r := 0; r < nc.Replicas; r++ {
+			parents = append(parents, fabric.EunomiaAddr(m, types.ReplicaID(r)))
+		}
+	}
+	ivl := nc.AggFlushInterval
+	if ivl <= 0 {
+		ivl = nc.BatchInterval
+	}
+	for _, i := range idxs {
+		n.aggs = append(n.aggs, fabric.NewAggregator(fabric.AggregatorConfig{
+			Fabric:           n.fab,
+			Local:            fabric.AggregatorAddr(m, i),
+			Parents:          parents,
+			RedundantParents: nc.AggRedundantParents,
+			FlushInterval:    ivl,
+			Level:            nc.AggLevel,
+		}))
+	}
+}
+
+// aggregatorPair returns the two fan-in endpoints partition i streams at:
+// its own (i modulo the set) and the next, so every partition keeps a
+// surviving path through any single aggregator crash. A fan-in set of one
+// yields a single path.
+func aggregatorPair(m types.DCID, i, aggregators int) []fabric.Addr {
+	a0 := i % aggregators
+	pair := []fabric.Addr{fabric.AggregatorAddr(m, a0)}
+	if aggregators > 1 {
+		pair = append(pair, fabric.AggregatorAddr(m, (a0+1)%aggregators))
+	}
+	return pair
+}
+
 // buildPartitions starts the partition servers, their batching clients
 // (replica conns over the fabric) and payload shippers, and the partition
 // ingress handler: sibling payload batches, replica acknowledgement
@@ -491,10 +584,23 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 		}
 
 		local := fabric.PartitionAddr(m, pid)
-		pconns := make([]*fabric.ReplicaConn, cfg.Replicas)
-		euConns := make([]eunomia.Conn, cfg.Replicas)
-		for r := 0; r < cfg.Replicas; r++ {
-			rc := fabric.NewReplicaConn(n.fab, local, fabric.EunomiaAddr(m, types.ReplicaID(r)), mode, n.ackTimeout)
+		// The metadata stream's targets: the replica set directly, or —
+		// in a wide datacenter running the §5 propagation tree — the
+		// partition's pair of fan-in aggregators, whose transparent
+		// watermarks make any single path's acknowledgement equivalent
+		// to the service's (RedundantPaths).
+		var remotes []fabric.Addr
+		if cfg.Aggregators > 0 {
+			remotes = aggregatorPair(m, i, cfg.Aggregators)
+		} else {
+			for r := 0; r < cfg.Replicas; r++ {
+				remotes = append(remotes, fabric.EunomiaAddr(m, types.ReplicaID(r)))
+			}
+		}
+		pconns := make([]*fabric.ReplicaConn, len(remotes))
+		euConns := make([]eunomia.Conn, len(remotes))
+		for r, remote := range remotes {
+			rc := fabric.NewReplicaConn(n.fab, local, remote, mode, n.ackTimeout)
 			pconns[r] = rc
 			euConns[r] = rc
 		}
@@ -502,6 +608,7 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 			Partition:      pid,
 			BatchInterval:  cfg.BatchInterval,
 			HeartbeatDelta: cfg.BatchInterval,
+			RedundantPaths: cfg.Aggregators > 0,
 		}, euConns, p.Clock())
 
 		// One batcher per destination datacenter: each has its own
@@ -703,6 +810,10 @@ func (n *Node) Receiver() *receiver.Receiver { return n.recv }
 // Partition returns hosted partition p (RolePartitions only).
 func (n *Node) Partition(p types.PartitionID) *partition.Partition { return n.parts[p] }
 
+// Aggregators returns the hosted propagation-tree fan-in nodes (empty
+// without RoleAggregator or when Config.Aggregators is zero).
+func (n *Node) Aggregators() []*fabric.Aggregator { return n.aggs }
+
 // Ring returns the key-to-partition mapping.
 func (n *Node) Ring() kvstore.Ring { return n.ring }
 
@@ -802,6 +913,11 @@ func (n *Node) CloseServices() {
 		close(n.flushStop)
 		n.flushWG.Wait()
 		n.flushStop = nil
+	}
+	for _, a := range n.aggs {
+		// Before the replica set stops: the final flush forwards what the
+		// (already-closed) partitions last streamed.
+		a.Close()
 	}
 	if n.cluster != nil {
 		n.cluster.Stop()

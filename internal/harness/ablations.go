@@ -1,12 +1,10 @@
 package harness
 
 import (
-	"sync"
 	"time"
 
 	"eunomia/internal/eunomia"
 	"eunomia/internal/geostore"
-	"eunomia/internal/hlc"
 	"eunomia/internal/types"
 	"eunomia/internal/workload"
 )
@@ -77,7 +75,10 @@ type TreeFanInResult struct {
 }
 
 // AblationPropagationTree runs the saturation load with partitions feeding
-// the replica directly, then through fanIn-way aggregators.
+// the replica directly, then through a one-level tree of fan-in
+// aggregators — the real fabric deployment (fabric.Aggregator over
+// MultiBatchMsg frames), not an in-process shortcut. AggregatorBench is
+// the deeper-tree generalization.
 func AblationPropagationTree(o ServiceOptions, partitions, fanIn int) TreeFanInResult {
 	o.fill()
 	if partitions <= 0 {
@@ -87,68 +88,20 @@ func AblationPropagationTree(o ServiceOptions, partitions, fanIn int) TreeFanInR
 		fanIn = 15
 	}
 	var res TreeFanInResult
-	res.DirectThroughput, res.DirectBatches = eunomiaSaturationTree(o, partitions, 0)
-	res.TreeThroughput, res.TreeBatches = eunomiaSaturationTree(o, partitions, fanIn)
+	flat, err := aggregatorTreeLeg(o, partitions, fanIn, 0)
+	if err != nil {
+		// Only reachable through an invalid shape, which the defaults
+		// above rule out; a zero-valued result would just fail callers
+		// with a confusing "no fan-in gain: 0 vs 0" instead.
+		panic("harness: " + err.Error())
+	}
+	tree, err := aggregatorTreeLeg(o, partitions, fanIn, 1)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	res.DirectThroughput, res.DirectBatches = flat.Throughput, flat.IngressPerSec
+	res.TreeThroughput, res.TreeBatches = tree.Throughput, tree.IngressPerSec
 	return res
-}
-
-// eunomiaSaturationTree mirrors eunomiaSaturation with an optional
-// aggregator layer (fanIn <= 0 means direct connection), returning
-// throughput and replica message rate.
-func eunomiaSaturationTree(o ServiceOptions, p, fanIn int) (thr, batchRate float64) {
-	counter := newDedupCounter(nil)
-	cluster := eunomia.NewCluster(1, eunomia.Config{
-		Partitions:     p,
-		StableInterval: time.Millisecond,
-		MessageCost:    o.EunomiaMsgCost,
-	}, func(_ types.ReplicaID, ops []*types.Update) { counter.consume(ops) })
-	defer cluster.Stop()
-
-	conns := eunomia.ClusterConns(cluster)
-	var aggs []*eunomia.Aggregator
-	connFor := func(i int) []eunomia.Conn { return conns }
-	if fanIn > 0 {
-		n := (p + fanIn - 1) / fanIn
-		aggs = make([]*eunomia.Aggregator, n)
-		for i := range aggs {
-			aggs[i] = eunomia.NewAggregator(conns, o.BatchInterval)
-		}
-		connFor = func(i int) []eunomia.Conn { return []eunomia.Conn{aggs[i/fanIn]} }
-	}
-
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	clients := make([]*eunomia.Client, p)
-	for i := 0; i < p; i++ {
-		clock := hlc.NewClock(nil)
-		clients[i] = eunomia.NewClient(eunomia.ClientConfig{
-			Partition:     types.PartitionID(i),
-			BatchInterval: o.BatchInterval,
-			MaxPending:    o.MaxPending,
-		}, connFor(i), clock)
-		wg.Add(1)
-		go func(i int, clock *hlc.Clock) {
-			defer wg.Done()
-			producePartition(stop, clients[i], clock, types.PartitionID(i), o.PerPartitionRate)
-		}(i, clock)
-	}
-
-	time.Sleep(o.Warmup)
-	beforeOps := counter.total()
-	beforeBatches := cluster.Replica(0).Stats().Batches
-	time.Sleep(o.Duration)
-	afterOps := counter.total()
-	afterBatches := cluster.Replica(0).Stats().Batches
-	close(stop)
-	for _, c := range clients {
-		c.Close()
-	}
-	wg.Wait()
-	for _, a := range aggs {
-		a.Close()
-	}
-	secs := o.Duration.Seconds()
-	return float64(afterOps-beforeOps) / secs, float64(afterBatches-beforeBatches) / secs
 }
 
 // MetaAblationResult compares vector against scalar client metadata in the

@@ -226,3 +226,43 @@ func TestAblationPropagationTreeTiny(t *testing.T) {
 			res.DirectBatches, res.TreeBatches)
 	}
 }
+
+// TestAggregatorBenchReducesIngressByFanIn is the acceptance check behind
+// BenchmarkAggregatorTree: a one-level tree of ceil(P/FanIn) aggregators
+// must cut the orderer's ingress messages per ordered operation by at
+// least the topology's fan-in factor (partitions over fan-in set size),
+// with a little slack for scheduler jitter at tiny durations.
+func TestAggregatorBenchReducesIngressByFanIn(t *testing.T) {
+	o := AggregatorBenchOptions{
+		ServiceOptions: ServiceOptions{
+			Duration:         300 * time.Millisecond,
+			Warmup:           150 * time.Millisecond,
+			PerPartitionRate: 8000, // >= one op per flush tick: every flush carries data
+		},
+		Partitions: 12,
+		FanIn:      3, // 12 partitions over 4 aggregators: factor 3
+		Depths:     []int{0, 1},
+	}
+	res, err := AggregatorBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points: %+v", res.Points)
+	}
+	flat, tree := res.Points[0], res.Points[1]
+	if flat.IngressPerOp <= 0 || tree.IngressPerOp <= 0 {
+		t.Fatalf("no ingress measured: flat %+v tree %+v", flat, tree)
+	}
+	factor := float64(o.Partitions) / float64((o.Partitions+o.FanIn-1)/o.FanIn)
+	if tree.ReductionVsFlat < factor*0.8 {
+		t.Fatalf("tree reduced orderer ingress by %.2fx, want >= ~%.1fx (flat %.4f msgs/op, tree %.4f msgs/op)",
+			tree.ReductionVsFlat, factor, flat.IngressPerOp, tree.IngressPerOp)
+	}
+	if tree.FanInRatio <= 1 {
+		t.Fatalf("fan-in ratio %.2f, want > 1", tree.FanInRatio)
+	}
+	if tree.FlushP99 <= 0 {
+		t.Fatal("flush latency histogram empty")
+	}
+}

@@ -114,6 +114,23 @@ func (u *Update) String() string {
 		u.Key, u.Origin, u.Partition, u.Seq, u.TS, u.VTS)
 }
 
+// PartitionBatch groups one partition's operations inside a multi-stream
+// message: the unit a §5 propagation-tree aggregator merges many of into a
+// single fabric frame. Ops are in ascending timestamp order, exactly as a
+// single-partition batch would be.
+type PartitionBatch struct {
+	Partition PartitionID
+	Ops       []*Update
+}
+
+// PartitionMark pairs a partition with a timestamp: an acknowledgement
+// watermark in a multi-batch reply, or a relayed heartbeat in a
+// multi-batch frame.
+type PartitionMark struct {
+	Partition PartitionID
+	TS        hlc.Timestamp
+}
+
 // UpdateID uniquely identifies an update across the whole deployment.
 // See Update.ID for the uniqueness argument.
 type UpdateID struct {

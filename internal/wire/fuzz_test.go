@@ -39,6 +39,12 @@ func FuzzReadPayload(f *testing.F) {
 	f.Add(fuzzSeed(fabric.BatchMsg{ID: 1, Partition: 2, Ops: []*types.Update{u}}))
 	f.Add(fuzzSeed(fabric.HeartbeatMsg{ID: 1, Partition: 2, TS: u.TS}))
 	f.Add(fuzzSeed(fabric.AckMsg{ID: 1, Partition: 2, Watermark: u.TS, Err: "x"}))
+	f.Add(fuzzSeed(fabric.MultiBatchMsg{
+		ID:      1,
+		Batches: []types.PartitionBatch{{Partition: 2, Ops: []*types.Update{u}}, {Partition: 3, Ops: []*types.Update{u.Meta()}}},
+		Marks:   []types.PartitionMark{{Partition: 4, TS: u.TS}},
+	}))
+	f.Add(fuzzSeed(fabric.MultiAckMsg{ID: 1, Acks: []types.PartitionMark{{Partition: 2, TS: u.TS}}, Err: "x"}))
 	f.Add(fuzzSeed(geostore.ShipMsg{Origin: 1, Ops: []*types.Update{u}}))
 	f.Add(fuzzSeed(geostore.ReleaseMsg{Epoch: 9, Seq: 4, U: u, ArrivedUnixNano: 5}))
 	f.Add(fuzzSeed(geostore.ReleaseAckMsg{Epoch: 9, Cum: 4, Durable: 3, Admitted: 5, NeedReset: true}))

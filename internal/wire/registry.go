@@ -45,6 +45,11 @@ const (
 	TagBenchPing Tag = 15
 	TagBenchPong Tag = 16
 
+	// internal/fabric: the propagation-tree hop — many per-partition
+	// batches merged into one frame, and its multi-watermark reply.
+	TagMultiBatch Tag = 17
+	TagMultiAck   Tag = 18
+
 	// TagTest is reserved for package test payloads.
 	TagTest Tag = 1000
 )

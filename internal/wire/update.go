@@ -73,7 +73,9 @@ func ReadUpdates(d *Dec) []*types.Update {
 	// One block allocation for the whole batch: consumers keep whole
 	// batches (receiver queues, pending sets) far more often than single
 	// strays, so coupling the records' lifetimes costs little and saves
-	// n-1 allocations per decode.
+	// n-1 allocations per decode. The value arena does the same for the
+	// payload bytes: one backing allocation for every value in the batch.
+	d.valueArena(d.Remaining())
 	block := make([]types.Update, n)
 	ops := make([]*types.Update, n)
 	for i := range block {
@@ -83,4 +85,114 @@ func ReadUpdates(d *Dec) []*types.Update {
 		ops[i] = &block[i]
 	}
 	return ops
+}
+
+// AppendPartitionBatches appends a multi-stream batch — the body of a
+// propagation-tree MultiBatchMsg: a uvarint total operation count (so the
+// decoder can block-allocate before parsing), a uvarint stream count, then
+// per stream a uvarint partition id, a uvarint operation count, and the
+// operations.
+func AppendPartitionBatches(b []byte, batches []types.PartitionBatch) []byte {
+	total := 0
+	for _, sb := range batches {
+		total += len(sb.Ops)
+	}
+	b = AppendUvarint(b, uint64(total))
+	b = AppendUvarint(b, uint64(len(batches)))
+	for _, sb := range batches {
+		b = AppendUvarint(b, uint64(sb.Partition))
+		b = AppendUvarint(b, uint64(len(sb.Ops)))
+		for _, u := range sb.Ops {
+			b = AppendUpdate(b, u)
+		}
+	}
+	return b
+}
+
+// ReadPartitionBatches decodes a multi-stream batch with a fixed number of
+// allocations regardless of stream or operation count: one update block
+// and one pointer slab shared by every stream, one stream slice, and one
+// value arena for all the payload bytes. A declared total that disagrees
+// with the per-stream counts is corruption.
+func ReadPartitionBatches(d *Dec) []types.PartitionBatch {
+	total := d.Uvarint()
+	ns := d.Uvarint()
+	if d.Err() != nil {
+		return nil
+	}
+	if total > maxUpdates || total > uint64(d.Remaining()/updateMinBytes)+1 {
+		d.fail()
+		return nil
+	}
+	// Each stream costs at least two bytes (partition id + count).
+	if ns > uint64(d.Remaining()/2)+1 {
+		d.fail()
+		return nil
+	}
+	if ns == 0 {
+		if total != 0 {
+			d.fail()
+		}
+		return nil
+	}
+	d.valueArena(d.Remaining())
+	block := make([]types.Update, total)
+	ptrs := make([]*types.Update, total)
+	out := make([]types.PartitionBatch, ns)
+	k := uint64(0)
+	for i := range out {
+		out[i].Partition = types.PartitionID(d.Uvarint())
+		n := d.Uvarint()
+		if d.Err() != nil || k+n > total || k+n < k {
+			d.fail()
+			return nil
+		}
+		ops := ptrs[k : k+n : k+n]
+		for j := range ops {
+			if !readUpdateInto(d, &block[k]) {
+				return nil
+			}
+			ops[j] = &block[k]
+			k++
+		}
+		out[i].Ops = ops
+	}
+	if k != total {
+		d.fail()
+		return nil
+	}
+	return out
+}
+
+// AppendPartitionMarks appends a watermark/heartbeat list: a uvarint
+// count, then per mark a uvarint partition id and a compact timestamp.
+func AppendPartitionMarks(b []byte, marks []types.PartitionMark) []byte {
+	b = AppendUvarint(b, uint64(len(marks)))
+	for _, mk := range marks {
+		b = AppendUvarint(b, uint64(mk.Partition))
+		b = AppendTimestamp(b, mk.TS)
+	}
+	return b
+}
+
+// ReadPartitionMarks decodes a watermark/heartbeat list.
+func ReadPartitionMarks(d *Dec) []types.PartitionMark {
+	n := d.Uvarint()
+	if n == 0 {
+		return nil
+	}
+	// Each mark costs at least two bytes (partition id + timestamp).
+	if n > uint64(d.Remaining()/2)+1 {
+		d.fail()
+		return nil
+	}
+	marks := make([]types.PartitionMark, n)
+	for i := range marks {
+		marks[i].Partition = types.PartitionID(d.Uvarint())
+		marks[i].TS = d.Timestamp()
+	}
+	if d.bad {
+		return nil
+	}
+	return marks
 }

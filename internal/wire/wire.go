@@ -107,6 +107,16 @@ func AppendVClock(b []byte, v vclock.V) []byte {
 type Dec struct {
 	b   []byte
 	bad bool
+	// arena, when armed by a batch decoder, is the single backing
+	// allocation every subsequent Bytes() read carves its copy out of —
+	// one allocation for all the values of a decoded batch instead of
+	// one per value. Allocation is deferred until the first value is
+	// carved (arenaPending holds the armed size), so metadata-only
+	// batches — nil values, the hottest fabric frames — pay nothing.
+	// Consumed from the front; reads that outgrow the remainder fall
+	// back to a fresh allocation.
+	arena        []byte
+	arenaPending int
 }
 
 // NewDec returns a cursor over b.
@@ -202,13 +212,36 @@ func (d *Dec) take() []byte {
 // String reads a length-prefixed string.
 func (d *Dec) String() string { return string(d.take()) }
 
+// valueArena arms the cursor with one backing allocation of n bytes for
+// subsequent Bytes() reads. Batch decoders size it by the remaining input
+// — every value a batch can carry fits in the bytes that encode it — so a
+// whole batch's values cost one allocation, and the slight over-allocation
+// is bounded by the non-value bytes of the frame. Nothing is allocated
+// until the first value is actually carved.
+func (d *Dec) valueArena(n int) {
+	d.arena = nil
+	d.arenaPending = n
+}
+
 // Bytes reads a length-prefixed byte slice into fresh storage (the
 // cursor's backing buffer is pooled and reused; decoded values must not
-// alias it). A zero length decodes as nil.
+// alias it). A zero length decodes as nil. When a batch decoder has armed
+// the value arena, the copy is carved out of it instead of individually
+// allocated.
 func (d *Dec) Bytes() []byte {
 	v := d.take()
 	if len(v) == 0 {
 		return nil
+	}
+	if d.arena == nil && d.arenaPending >= len(v) {
+		d.arena = make([]byte, d.arenaPending)
+		d.arenaPending = 0
+	}
+	if len(v) <= len(d.arena) {
+		dst := d.arena[:len(v):len(v)]
+		d.arena = d.arena[len(v):]
+		copy(dst, v)
+		return dst
 	}
 	return append([]byte(nil), v...)
 }
