@@ -252,6 +252,25 @@ func BenchmarkRecoveryRejoin(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableSaturation is the group-commit headline: end-to-end
+// client update throughput at fixed durability. "always" and "group" give
+// the identical durable-on-return guarantee; the ratio between them is
+// what fsync coalescing buys. Archived in BENCH_ci.json by the CI bench
+// job.
+func BenchmarkDurableSaturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.SaturationBench(harness.SaturationBenchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VolatileOps, "volatile-ops/s")
+		b.ReportMetric(res.FlushOps, "flush-ops/s")
+		b.ReportMetric(res.AlwaysOps, "always-ops/s")
+		b.ReportMetric(res.GroupOps, "group-ops/s")
+		b.ReportMetric(res.GroupVsAlways, "group-vs-always-x")
+	}
+}
+
 // BenchmarkAblationTreeChoice re-checks §6's claim that the red-black tree
 // beats an AVL tree for Eunomia's insert/extract workload.
 func BenchmarkAblationTreeChoice(b *testing.B) {

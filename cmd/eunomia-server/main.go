@@ -134,7 +134,9 @@ func main() {
 		aseq       = flag.Bool("aseq", false, "mode sequencer: contact the sequencer asynchronously (A-Seq)")
 		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
 		dataDir    = flag.String("data-dir", "", "mode eunomia: persist node state (partition WALs, release-stream position, receiver SiteTime+queues) under this directory; a restart with the same dir rejoins instead of wedging")
-		walSync    = flag.String("wal-sync", "flush", `WAL fsync policy: "flush" (per batch/ack, bounded loss window) or "always" (per append, none)`)
+		walSync    = flag.String("wal-sync", "flush", `WAL fsync policy: "flush" (per batch/ack, bounded loss window), "always" (per append, none), or "group" (group commit: durable on return like always, fsyncs shared across concurrent appends)`)
+		walGDelay  = flag.Duration("wal-group-delay", 0, "-wal-sync group: how long a committer accumulates after waking before it syncs (0 = sync as soon as the previous sync returns)")
+		walGMax    = flag.Int("wal-group-max", 0, "-wal-sync group: records that cut -wal-group-delay short (default 4096)")
 		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, codec latency, node state) on this HTTP address at /metrics")
 		codecName  = flag.String("codec", "wire", `fabric frame codec: "wire" (zero-reflection, default) or "gob" (the reflection ablation)`)
 	)
@@ -227,8 +229,13 @@ func main() {
 		policy = wal.SyncOnFlush
 	case "always":
 		policy = wal.SyncEachAppend
+	case "group":
+		policy = wal.SyncGroupCommit
 	default:
-		log.Fatalf("unknown -wal-sync %q (want flush or always)", *walSync)
+		log.Fatalf("unknown -wal-sync %q (want flush, always or group)", *walSync)
+	}
+	if (flagSet("wal-group-delay") || flagSet("wal-group-max")) && *walSync != "group" {
+		log.Fatalf("-wal-group-delay/-wal-group-max apply only to -wal-sync group (got %q)", *walSync)
 	}
 	if *dataDir != "" && *mode != "eunomia" {
 		log.Fatalf("-data-dir is supported only by -mode eunomia (got %q)", *mode)
@@ -237,7 +244,7 @@ func main() {
 	var h hosted
 	switch *mode {
 	case "eunomia":
-		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, agg)
+		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, *walGDelay, *walGMax, agg)
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -337,7 +344,8 @@ type aggTopology struct {
 // release stream at its durable watermark).
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
 	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
-	dataDir string, policy wal.SyncPolicy, agg aggTopology) (hosted, error) {
+	dataDir string, policy wal.SyncPolicy, groupDelay time.Duration, groupMax int,
+	agg aggTopology) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
@@ -359,6 +367,8 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		Pipelined:           true,
 		DataDir:             dataDir,
 		WALSync:             policy,
+		WALGroupDelay:       groupDelay,
+		WALGroupMaxBatch:    groupMax,
 		AggIndexes:          agg.idxs,
 		AggParents:          agg.parents,
 		AggRedundantParents: agg.redundant,
@@ -432,6 +442,18 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 				metrics.PromSample{Name: "eunomia_aggregator_buffered", Labels: lbl, Value: float64(a.Buffered())},
 			)
 			samples = append(samples, metrics.PromHistogram("eunomia_aggregator_flush_seconds", lbl, a.FlushLatency, nil)...)
+		}
+		// WAL durability: fsync latency and group-commit coalescing per
+		// component (partition/applier/receiver stores). records_total /
+		// commits_total is the realized batch size — 1.0 means every fsync
+		// covered a single record, i.e. no coalescing.
+		for _, wm := range node.WALMetrics() {
+			lbl := [][2]string{{"component", wm.Component}}
+			samples = append(samples,
+				metrics.PromSample{Name: "eunomia_wal_group_commits_total", Labels: lbl, Value: float64(wm.M.Commits.Load())},
+				metrics.PromSample{Name: "eunomia_wal_group_records_total", Labels: lbl, Value: float64(wm.M.Records.Load())},
+			)
+			samples = append(samples, metrics.PromHistogram("eunomia_wal_fsync_seconds", lbl, wm.M.Fsync, nil)...)
 		}
 		return samples
 	}

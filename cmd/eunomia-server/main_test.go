@@ -297,8 +297,10 @@ func (p *proc) lastApplied() int {
 // watermark — the watcher then proves nothing was lost or misordered.
 // With durable=false the restart has no data dir and the receiver
 // process must exit nonzero with a wedge diagnostic instead of
-// pretending the datacenter is healthy.
-func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
+// pretending the datacenter is healthy. walArgs (e.g. -wal-sync group)
+// are threaded to every durable process so the matrix covers each sync
+// policy's crash window.
+func runPartitionKillRestart(t *testing.T, bin string, durable bool, walArgs ...string) {
 	partsAddr, recvAddr, originAddr := freePort(t), freePort(t), freePort(t)
 	dir := t.TempDir()
 	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1"}
@@ -310,6 +312,7 @@ func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
 		"-stats-interval", "50ms",
 		"-data-dir", dir,
 	}, common...)
+	partsArgs = append(partsArgs, walArgs...)
 	parts := startProc(t, bin, partsArgs...)
 	defer parts.kill()
 
@@ -321,6 +324,7 @@ func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
 	}, common...)
 	if durable {
 		recvArgs = append(recvArgs, "-data-dir", dir)
+		recvArgs = append(recvArgs, walArgs...)
 	}
 	recv := startProc(t, bin, recvArgs...)
 	defer recv.kill()
@@ -376,6 +380,7 @@ func runPartitionKillRestart(t *testing.T, bin string, durable bool) {
 	}, common...)
 	if durable {
 		restartArgs = append(restartArgs, "-data-dir", dir)
+		restartArgs = append(restartArgs, walArgs...)
 	}
 	restarted := startProc(t, bin, restartArgs...)
 	defer restarted.kill()
@@ -449,6 +454,18 @@ func TestPartitionProcessKillRejoinOverTCP(t *testing.T) {
 		t.Skip("skipping multi-process restart test in -short mode")
 	}
 	runPartitionKillRestart(t, buildServer(t), true)
+}
+
+// TestPartitionProcessKillRejoinGroupCommitOverTCP runs the same crash
+// matrix under -wal-sync group: the group committer's acks are gated on
+// fsync completion, so a SIGKILL mid-stream must lose at most the
+// in-flight (unacked) group and the rejoin still verifies the full
+// causal chain.
+func TestPartitionProcessKillRejoinGroupCommitOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	runPartitionKillRestart(t, buildServer(t), true, "-wal-sync", "group")
 }
 
 // TestPartitionProcessKillNoDataDirWedges is the same crash without a
@@ -693,21 +710,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"-stats-interval", "1h")
 	defer p.kill()
 
-	var body string
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		resp, err := http.Get("http://" + maddr + "/metrics")
-		if err == nil {
-			b, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			body = string(b)
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("metrics endpoint never came up: %v\n%s", err, p.output())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	body := scrapeMetrics(t, p, maddr)
 	for _, want := range []string{
 		"eunomia_fabric_sent_total", "eunomia_local_updates_total", "eunomia_release_wedged 0",
 		// Codec latency histograms: cumulative buckets, sum, count, codec label.
@@ -723,6 +726,81 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// scrapeMetrics polls the process's Prometheus endpoint until it serves.
+func scrapeMetrics(t *testing.T, p *proc, maddr string) string {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get("http://" + maddr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics endpoint never came up: %v\n%s", err, p.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMetricsEndpointWALGroupCommit boots a durable split-role dc0
+// under -wal-sync group and checks each process exports the WAL
+// durability series for the components it hosts: the fsync latency
+// histogram and the group-commit commit/record counters, labeled by
+// the store's component (partition + applier on the partition-role
+// process, receiver on the receiver process).
+func TestMetricsEndpointWALGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process test in -short mode")
+	}
+	bin := buildServer(t)
+	partsAddr, recvAddr, originAddr := freePort(t), freePort(t), freePort(t)
+	partsMetrics, recvMetrics := freePort(t), freePort(t)
+	dir := t.TempDir()
+	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2",
+		"-replicas", "1", "-stats-interval", "1h",
+		"-data-dir", dir, "-wal-sync", "group"}
+
+	parts := startProc(t, bin, append([]string{
+		"-role", "partitions,eunomia", "-dc", "0", "-listen", partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-route", "dc1=" + originAddr,
+		"-metrics-addr", partsMetrics,
+	}, common...)...)
+	defer parts.kill()
+	recv := startProc(t, bin, append([]string{
+		"-role", "receiver", "-dc", "0", "-listen", recvAddr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc1=" + originAddr,
+		"-metrics-addr", recvMetrics,
+	}, common...)...)
+	defer recv.kill()
+
+	body := scrapeMetrics(t, parts, partsMetrics)
+	for _, want := range []string{
+		`eunomia_wal_group_commits_total{component="partition"}`,
+		`eunomia_wal_group_records_total{component="partition"}`,
+		`eunomia_wal_fsync_seconds_bucket{component="partition",le="+Inf"}`,
+		`eunomia_wal_fsync_seconds_count{component="applier"}`,
+		`eunomia_wal_group_commits_total{component="applier"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("partition-process metrics missing %q:\n%s", want, body)
+		}
+	}
+	body = scrapeMetrics(t, recv, recvMetrics)
+	for _, want := range []string{
+		`eunomia_wal_group_commits_total{component="receiver"}`,
+		`eunomia_wal_group_records_total{component="receiver"}`,
+		`eunomia_wal_fsync_seconds_count{component="receiver"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("receiver-process metrics missing %q:\n%s", want, body)
 		}
 	}
 }

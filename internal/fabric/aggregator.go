@@ -291,14 +291,22 @@ func (a *Aggregator) flush() {
 			a.probed[i] = start
 			probe = true
 		}
-		var batches []types.PartitionBatch
+		// Ready streams (fresh suffix only) and lagging streams (window
+		// retransmissions) travel in separate frames, ready first: a
+		// laggard's retransmitted window — potentially the whole
+		// unacknowledged suffix of one slow stream — must not delay the
+		// fresh operations of every healthy stream behind it on the same
+		// FIFO connection.
+		var ready, lagging []types.PartitionBatch
 		for p, s := range a.streams {
 			if len(s.pending) == 0 {
 				continue
 			}
+			resend := false
 			if probe {
 				s.parentSent[i] = s.parentAck[i]
 				s.progress[i] = start
+				resend = true
 			} else if s.parentSent[i] > s.parentAck[i] {
 				// In flight beyond the parent's watermark: if it has
 				// stalled, assume the stream was lost and retransmit the
@@ -308,20 +316,29 @@ func (a *Aggregator) flush() {
 				} else if start.Sub(s.progress[i]) > pipelinedResendAfter {
 					s.parentSent[i] = s.parentAck[i]
 					s.progress[i] = start
+					resend = true
 				}
 			}
 			from := sort.Search(len(s.pending), func(j int) bool { return s.pending[j].TS > s.parentSent[i] })
 			if from == len(s.pending) {
 				continue
 			}
-			batches = append(batches, types.PartitionBatch{Partition: p, Ops: s.pending[from:]})
+			b := types.PartitionBatch{Partition: p, Ops: s.pending[from:]}
+			if resend {
+				lagging = append(lagging, b)
+			} else {
+				ready = append(ready, b)
+			}
 			s.parentSent[i] = s.pending[len(s.pending)-1].TS
 		}
-		if len(batches) == 0 && len(hbs) == 0 {
-			continue
+		if len(ready) > 0 || len(hbs) > 0 {
+			a.nextID++
+			frames = append(frames, outFrame{to: parent, msg: MultiBatchMsg{ID: a.nextID, Batches: ready, Marks: hbs}})
 		}
-		a.nextID++
-		frames = append(frames, outFrame{to: parent, msg: MultiBatchMsg{ID: a.nextID, Batches: batches, Marks: hbs}})
+		if len(lagging) > 0 {
+			a.nextID++
+			frames = append(frames, outFrame{to: parent, msg: MultiBatchMsg{ID: a.nextID, Batches: lagging}})
+		}
 	}
 	a.mu.Unlock()
 	for _, fr := range frames {

@@ -262,6 +262,13 @@ type NodeConfig struct {
 	// Default wal.SyncOnFlush: one fsync per batch/ack cadence, loss
 	// window bounded by it (see DESIGN.md).
 	WALSync wal.SyncPolicy
+	// WALGroupDelay and WALGroupMaxBatch tune wal.SyncGroupCommit (see
+	// wal.Options): how long a committer accumulates after waking, and
+	// the batch size that cuts the accumulation short. Ignored under
+	// other policies. Zero delay (the default) syncs as soon as the
+	// previous sync returns.
+	WALGroupDelay    time.Duration
+	WALGroupMaxBatch int
 	// SnapshotThreshold is the per-store log size that triggers
 	// compaction. Default wal.DefaultSnapshotThreshold (1 MiB).
 	SnapshotThreshold int64
@@ -294,6 +301,7 @@ type Node struct {
 	// flushes and compacts them on the batch cadence.
 	partStores    []*wal.Store
 	streamStore   *wal.Store
+	walMetrics    []WALComponentMetrics
 	snapThreshold int64
 	flushStop     chan struct{}
 	flushWG       sync.WaitGroup
@@ -436,6 +444,33 @@ func (n *Node) flushLoop() {
 	}
 }
 
+// WALComponentMetrics pairs a component label with the shared sync
+// metrics of that component's WAL stores (fsync latency, group-commit
+// batch sizes); cmd/eunomia-server exports them per label on
+// -metrics-addr.
+type WALComponentMetrics struct {
+	Component string
+	M         *wal.SyncMetrics
+}
+
+// WALMetrics returns the node's per-component WAL sync metrics (empty
+// without a DataDir). The slice is built at open time and never mutated;
+// callers may read it concurrently with operation.
+func (n *Node) WALMetrics() []WALComponentMetrics { return n.walMetrics }
+
+// walOptions assembles the store options for one component's stores,
+// registering a shared SyncMetrics for it on the node.
+func (n *Node) walOptions(nc NodeConfig, component string) wal.Options {
+	m := wal.NewSyncMetrics()
+	n.walMetrics = append(n.walMetrics, WALComponentMetrics{Component: component, M: m})
+	return wal.Options{
+		Policy:        nc.WALSync,
+		GroupDelay:    nc.WALGroupDelay,
+		GroupMaxBatch: nc.WALGroupMaxBatch,
+		Metrics:       m,
+	}
+}
+
 // closeStores closes every store the node opened (the receiver closes its
 // own).
 func (n *Node) closeStores() {
@@ -542,6 +577,10 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 	if nc.Pipelined {
 		mode = fabric.PipelinedConn
 	}
+	var partOpts wal.Options
+	if nc.DataDir != "" {
+		partOpts = n.walOptions(nc, "partition")
+	}
 	for i := 0; i < cfg.Partitions; i++ {
 		pid := types.PartitionID(i)
 		var src hlc.PhysSource
@@ -559,7 +598,7 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 		var pstore *wal.Store
 		if nc.DataDir != "" {
 			var err error
-			pstore, err = wal.OpenStore(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-partition%d", m, i)), nc.WALSync)
+			pstore, err = wal.OpenStoreOptions(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-partition%d", m, i)), partOpts)
 			if err != nil {
 				return err
 			}
@@ -668,7 +707,7 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 		var stream *wal.Store
 		if nc.DataDir != "" {
 			var err error
-			stream, err = wal.OpenStore(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-stream", m)), nc.WALSync)
+			stream, err = wal.OpenStoreOptions(filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-stream", m)), n.walOptions(nc, "applier"))
 			if err != nil {
 				return err
 			}
@@ -720,7 +759,7 @@ func (n *Node) buildReceiver(nc NodeConfig) error {
 		Apply:         apply,
 	}
 	if nc.DataDir != "" {
-		recv, err := receiver.Recover(rcfg, filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-receiver", m)), nc.WALSync)
+		recv, err := receiver.RecoverOptions(rcfg, filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-receiver", m)), n.walOptions(nc, "receiver"))
 		if err != nil {
 			if n.relWin != nil {
 				n.relWin.close()

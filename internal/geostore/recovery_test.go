@@ -2,24 +2,33 @@ package geostore
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"eunomia/internal/fabric"
 	"eunomia/internal/simnet"
 	"eunomia/internal/types"
+	"eunomia/internal/wal"
 )
 
 // durableSplitDC is splitDC with a data dir under every dc0 node, so the
 // partition group can be "killed" (closed without draining) and rejoin.
 func newDurableSplitDC(t *testing.T, dir string) *splitDC {
 	t.Helper()
+	return newDurableSplitDCPolicy(t, dir, wal.SyncEachAppend)
+}
+
+// newDurableSplitDCPolicy pins the WAL sync policy on every durable dc0
+// node, so the restart matrix covers group commit alongside the default.
+func newDurableSplitDCPolicy(t *testing.T, dir string, policy wal.SyncPolicy) *splitDC {
+	t.Helper()
 	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
 	net := simnet.New(nil)
 	s := &splitDC{
 		net:    net,
-		parts:  NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: net, DataDir: dir}),
-		recv:   NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleReceiver, Fabric: net, DataDir: dir}),
+		parts:  NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: net, DataDir: dir, WALSync: policy}),
+		recv:   NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleReceiver, Fabric: net, DataDir: dir, WALSync: policy}),
 		origin: NewNode(NodeConfig{Config: cfg, DC: 1, Roles: RoleAll, Fabric: net}),
 	}
 	t.Cleanup(s.close)
@@ -33,8 +42,21 @@ func newDurableSplitDC(t *testing.T, dir string) *splitDC {
 // resumes from the durable watermark — every update becomes visible
 // exactly once, in causal order, with no wedge.
 func TestPartitionRestartRejoinsFromDurableWatermark(t *testing.T) {
+	runPartitionRestartRejoin(t, wal.SyncEachAppend)
+}
+
+// TestPartitionRestartRejoinsGroupCommitDurable runs the same crash
+// under wal.SyncGroupCommit: durable acks are retired asynchronously by
+// the group committer, so the kill lands with Durable trailing Cum — the
+// rejoin must still resume at the (possibly older) durable watermark
+// with exactly-once visibility.
+func TestPartitionRestartRejoinsGroupCommitDurable(t *testing.T) {
+	runPartitionRestartRejoin(t, wal.SyncGroupCommit)
+}
+
+func runPartitionRestartRejoin(t *testing.T, policy wal.SyncPolicy) {
 	dir := t.TempDir()
-	s := newDurableSplitDC(t, dir)
+	s := newDurableSplitDCPolicy(t, dir, policy)
 
 	const pre = 20
 	check := writePairs(t, s, "pre-", pre)
@@ -53,7 +75,7 @@ func TestPartitionRestartRejoinsFromDurableWatermark(t *testing.T) {
 
 	// Restart from the same data dir on the same fabric addresses.
 	cfg := Config{DCs: 2, Partitions: 2, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
-	restarted, err := OpenNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: s.net, DataDir: dir})
+	restarted, err := OpenNode(NodeConfig{Config: cfg, DC: 0, Roles: RolePartitions | RoleEunomia, Fabric: s.net, DataDir: dir, WALSync: policy})
 	if err != nil {
 		t.Fatalf("rejoin from %s: %v", dir, err)
 	}
@@ -128,6 +150,55 @@ func TestReceiverRestartRecoversDurableState(t *testing.T) {
 	})
 	if got := s.parts.TotalRemoteApplied(); got > 2*16+16 {
 		t.Fatalf("partitions applied %d remote updates across receiver restart, want <= %d", got, 2*16+16)
+	}
+}
+
+// TestApplierDurableNeverExceedsTornWALReplay pins the contract behind
+// the asynchronous group-commit ack path: every release-stream sequence
+// the applier advertises as Durable is backed by stream-position records
+// already on disk. It repeatedly samples ApplierDurable mid-stream, then
+// replays the live stream store's files read-only — exactly what a crash
+// at that instant would recover, since wal.Replay stops at the first
+// torn record — and asserts the recovered watermark covers the sample.
+// If the durability barrier ever acked ahead of the fsync, a crash in
+// that window would rewind past a sequence the receiver already pruned.
+func TestApplierDurableNeverExceedsTornWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := newDurableSplitDCPolicy(t, dir, wal.SyncGroupCommit)
+
+	writePairs(t, s, "seed-", 20)()
+	waitUntil(t, 10*time.Second, "durable watermark to advance", func() bool {
+		return s.parts.ApplierDurable() > 0
+	})
+
+	streamDir := filepath.Join(dir, "dc0-stream")
+	for round := 0; round < 5; round++ {
+		claimed := s.parts.ApplierDurable()
+		var epoch, recovered uint64
+		replay := func(rec []byte) error {
+			if len(rec) == 0 || rec[0] != wal.KindStream {
+				return nil
+			}
+			ep, seq, err := wal.DecodeStream(rec)
+			if err != nil {
+				return err
+			}
+			if ep > epoch || (ep == epoch && seq > recovered) {
+				epoch, recovered = ep, seq
+			}
+			return nil
+		}
+		if err := wal.Replay(filepath.Join(streamDir, "snapshot"), replay); err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.Replay(filepath.Join(streamDir, "log"), replay); err != nil {
+			t.Fatal(err)
+		}
+		if recovered < claimed {
+			t.Fatalf("round %d: applier advertises Durable=%d but a crash now would replay only seq %d",
+				round, claimed, recovered)
+		}
+		writePairs(t, s, fmt.Sprintf("r%d-", round), 10)()
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"eunomia/internal/fabric"
+	"eunomia/internal/partition"
 	"eunomia/internal/types"
 	"eunomia/internal/wal"
 )
@@ -366,6 +367,17 @@ type applier struct {
 	lastResetAck time.Time
 	closed       bool
 
+	// durAsync, set when the stream store runs SyncGroupCommit, replaces
+	// the synchronous WAL walk at ack points with durability barriers the
+	// group committers retire in the background: Cum keeps streaming at
+	// apply speed, Durable advances as groups commit.
+	durAsync *durTracker
+
+	// batchUs/batchAt are the worker's reusable scratch for gathering a
+	// same-partition run of releases into one batched apply.
+	batchUs []*types.Update
+	batchAt []time.Time
+
 	stop chan struct{}
 }
 
@@ -393,6 +405,9 @@ func newApplier(n *Node, stream *wal.Store) (*applier, error) {
 		a.enq, a.applied = a.durable, a.durable
 	}
 	a.cond = sync.NewCond(&a.mu)
+	if stream != nil && stream.Policy() == wal.SyncGroupCommit {
+		a.durAsync = newDurTracker(a, n.partStores, stream)
+	}
 	go a.run()
 	return a, nil
 }
@@ -475,6 +490,12 @@ func (a *applier) handle(msg fabric.Message) {
 		a.q = nil
 		a.enq, a.applied, a.durable, a.sinceAck = 0, 0, 0, 0
 		a.fresh = true
+		if a.durAsync != nil {
+			// A pending barrier belongs to the dead incarnation's sequence
+			// space; recording its stream position now would corrupt the
+			// successor's.
+			a.durAsync.reset()
+		}
 	}
 	switch {
 	case m.Seq <= a.enq:
@@ -534,59 +555,35 @@ func (a *applier) run() {
 			return
 		}
 		head := a.q[0]
-		a.mu.Unlock()
-
-		part := n.parts[n.ring.Responsible(head.U.Key)]
-		// crashSuspect: released before this durable incarnation started,
-		// so its payload may have died with the predecessor (see
-		// pullBefore). Only such updates may be pulled or skipped.
-		crashSuspect := head.ArrivedUnixNano < a.pullBefore
-		var parked, sincePull time.Duration
-		for !part.ApplyRemote(head.U, time.Unix(0, head.ArrivedUnixNano)) {
-			// Payload not here yet. In-order release means nothing behind
-			// this update may become visible first, so wait for the
-			// payload replication stream to catch up — heartbeating the
-			// admission watermark meanwhile, so the sender knows the
-			// stream is intact and does not retransmit it.
-			a.mu.Lock()
-			skipped := crashSuspect && a.skips[head.U.ID()]
-			if skipped {
-				delete(a.skips, head.U.ID())
-			}
-			a.mu.Unlock()
-			if skipped {
-				// The origin no longer stores this version: its payload
-				// died with a crashed predecessor and the superseding
-				// version follows in the stream. Advance past it.
-				part.SkipRemote(head.U)
+		// Gather the contiguous run behind head addressed to the same
+		// partition: a causally ordered run applies as one batch — one
+		// payload-resolution pass, one shard-lock round, buffered WAL
+		// appends — instead of one full apply cycle per release.
+		pid := n.ring.Responsible(head.U.Key)
+		a.batchUs = append(a.batchUs[:0], head.U)
+		a.batchAt = append(a.batchAt[:0], time.Unix(0, head.ArrivedUnixNano))
+		for i := 1; i < len(a.q) && i < releaseAckEvery; i++ {
+			m := a.q[i]
+			if n.ring.Responsible(m.U.Key) != pid {
 				break
 			}
-			if a.sleep(n.cfg.CheckInterval) {
-				return
-			}
-			a.mu.Lock()
-			stale := len(a.q) == 0 || a.q[0] != head
-			cum, dur, adm, ep := a.applied, a.durable, a.enq, a.epoch
-			if a.stream == nil {
-				dur = cum
-			}
-			a.mu.Unlock()
-			if stale {
-				break // epoch reset replaced the queue under us
-			}
-			if parked += n.cfg.CheckInterval; parked >= releaseResendAfter/2 {
-				parked = 0
-				n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
-			}
-			if sincePull += n.cfg.CheckInterval; crashSuspect && sincePull >= releaseResendAfter {
-				// Parked well past any sane replication lag on an update
-				// released before this incarnation recovered: its payload
-				// may have died with the crashed predecessor (the shipper
-				// pruned it on transport acknowledgement). Ask the origin
-				// to re-ship the exact version.
-				sincePull = 0
-				n.fab.Send(a.from, fabric.PartitionAddr(head.U.Origin, n.ring.Responsible(head.U.Key)),
-					PayloadPullMsg{Dest: n.id, U: head.U})
+			a.batchUs = append(a.batchUs, m.U)
+			a.batchAt = append(a.batchAt, time.Unix(0, m.ArrivedUnixNano))
+		}
+		a.mu.Unlock()
+
+		part := n.parts[pid]
+		applied := 0
+		if len(a.batchUs) > 1 {
+			applied = part.ApplyRemoteBatch(a.batchUs, a.batchAt)
+		}
+		if applied == 0 {
+			// Head could not apply cleanly (or the run was a single
+			// release): fall back to the single-head park machinery, which
+			// owns the payload pull/skip protocol.
+			applied = a.applyHead(head, part)
+			if applied < 0 {
+				return // closed while parked
 			}
 		}
 
@@ -598,26 +595,101 @@ func (a *applier) run() {
 			a.mu.Unlock()
 			continue
 		}
-		a.q = a.q[1:]
+		if applied > len(a.q) {
+			applied = len(a.q) // defensive; runs never outgrow the queue
+		}
+		last := a.q[applied-1]
+		a.q = a.q[applied:]
 		if len(a.q) == 0 {
 			a.q = nil
 		}
-		a.applied = head.Seq
-		a.sinceAck++
+		a.applied = last.Seq
+		a.sinceAck += applied
 		ack := len(a.q) == 0 || a.sinceAck >= releaseAckEvery
 		if ack {
 			a.sinceAck = 0
 		}
 		cum, adm, ep := a.applied, a.enq, a.epoch
 		a.mu.Unlock()
-		if ack {
+		if !ack {
+			continue
+		}
+		var dur uint64
+		if a.durAsync != nil {
+			// Group commit: acknowledge Cum immediately and leave a
+			// durability barrier behind; Durable advances in a fresh ack
+			// when the commit pipeline covers it.
+			dur = a.durAsync.note(ep, cum)
+		} else {
 			// Durability rides the ack cadence: everything applied so far
 			// is flushed (partition WALs, then the stream position) before
 			// the ack advertises it as prunable.
-			dur := a.syncDurable(ep, cum)
+			dur = a.syncDurable(ep, cum)
+		}
+		n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
+	}
+}
+
+// applyHead applies one release through the parking path: waiting out a
+// missing payload, heartbeating admission meanwhile, and running the
+// payload pull/skip protocol for crash-suspect updates. Returns 1 when the
+// head resolved (applied, skipped, or the queue was reset under it) and -1
+// when the applier closed while parked.
+func (a *applier) applyHead(head ReleaseMsg, part *partition.Partition) int {
+	n := a.node
+	// crashSuspect: released before this durable incarnation started,
+	// so its payload may have died with the predecessor (see
+	// pullBefore). Only such updates may be pulled or skipped.
+	crashSuspect := head.ArrivedUnixNano < a.pullBefore
+	var parked, sincePull time.Duration
+	for !part.ApplyRemote(head.U, time.Unix(0, head.ArrivedUnixNano)) {
+		// Payload not here yet. In-order release means nothing behind
+		// this update may become visible first, so wait for the
+		// payload replication stream to catch up — heartbeating the
+		// admission watermark meanwhile, so the sender knows the
+		// stream is intact and does not retransmit it.
+		a.mu.Lock()
+		skipped := crashSuspect && a.skips[head.U.ID()]
+		if skipped {
+			delete(a.skips, head.U.ID())
+		}
+		a.mu.Unlock()
+		if skipped {
+			// The origin no longer stores this version: its payload
+			// died with a crashed predecessor and the superseding
+			// version follows in the stream. Advance past it.
+			part.SkipRemote(head.U)
+			break
+		}
+		if a.sleep(n.cfg.CheckInterval) {
+			return -1
+		}
+		a.mu.Lock()
+		stale := len(a.q) == 0 || a.q[0] != head
+		cum, dur, adm, ep := a.applied, a.durable, a.enq, a.epoch
+		if a.stream == nil {
+			dur = cum
+		}
+		a.mu.Unlock()
+		if stale {
+			break // epoch reset replaced the queue under us
+		}
+		if parked += n.cfg.CheckInterval; parked >= releaseResendAfter/2 {
+			parked = 0
 			n.fab.Send(a.from, fabric.ReceiverAddr(n.id), ReleaseAckMsg{Epoch: ep, Cum: cum, Durable: dur, Admitted: adm})
 		}
+		if sincePull += n.cfg.CheckInterval; crashSuspect && sincePull >= releaseResendAfter {
+			// Parked well past any sane replication lag on an update
+			// released before this incarnation recovered: its payload
+			// may have died with the crashed predecessor (the shipper
+			// pruned it on transport acknowledgement). Ask the origin
+			// to re-ship the exact version.
+			sincePull = 0
+			n.fab.Send(a.from, fabric.PartitionAddr(head.U.Origin, n.ring.Responsible(head.U.Key)),
+				PayloadPullMsg{Dest: n.id, U: head.U})
+		}
 	}
+	return 1
 }
 
 // sleep pauses for d (at least 1ms) and reports whether the applier was
@@ -661,4 +733,149 @@ func (a *applier) close() {
 		a.cond.Broadcast()
 	}
 	a.mu.Unlock()
+}
+
+// durTracker is the group-commit durability pipeline behind the applier's
+// acknowledgements. Under the synchronous policies every ack point walks
+// the WALs — partition flushes, then the stream position append — before
+// the ack leaves, so Durable costs a round of fsyncs on the apply path.
+// Under SyncGroupCommit the applier instead drops a durability barrier
+// (the partition-store LSNs its applies reached) and keeps applying; this
+// worker waits for the group committers to cover the barrier, durably
+// records the stream position that vouches for it (the two-phase order
+// that keeps a recovered stream position from ever claiming applies a
+// partition crash lost), and advertises the advance with a fresh ack.
+// Durable thus lags Cum by at most a couple of group commits while the
+// apply path never blocks on the disk.
+type durTracker struct {
+	a      *applier
+	parts  []*wal.Store
+	stream *wal.Store
+	poke   chan struct{}
+
+	mu sync.Mutex
+	// barrier is the newest pending barrier. Durability is cumulative
+	// along the stream, so a new barrier supersedes an unretired older
+	// one — retiring only the newest is both correct and cheaper.
+	barrier *durBarrier
+}
+
+// durBarrier snapshots where every partition store's appended watermark
+// stood once every apply at or below stream position (epoch, seq) had
+// issued its WAL record.
+type durBarrier struct {
+	epoch, seq uint64
+	lsns       []uint64
+}
+
+func newDurTracker(a *applier, parts []*wal.Store, stream *wal.Store) *durTracker {
+	d := &durTracker{a: a, parts: parts, stream: stream, poke: make(chan struct{}, 1)}
+	wake := func(uint64) {
+		// Runs with the log's lock held (see Log.OnCommit): poke and go.
+		select {
+		case d.poke <- struct{}{}:
+		default:
+		}
+	}
+	for _, st := range parts {
+		st.OnCommit(wake)
+	}
+	go d.run()
+	return d
+}
+
+// note records a barrier at stream position (epoch, seq) — every apply at
+// or below seq has issued its partition WAL append — and returns the
+// current durable watermark for the ack that goes out meanwhile.
+func (d *durTracker) note(epoch, seq uint64) uint64 {
+	b := &durBarrier{epoch: epoch, seq: seq, lsns: make([]uint64, len(d.parts))}
+	for i, st := range d.parts {
+		b.lsns[i] = st.AppendedLSN()
+	}
+	d.mu.Lock()
+	d.barrier = b
+	d.mu.Unlock()
+	select {
+	case d.poke <- struct{}{}:
+	default:
+	}
+	d.a.mu.Lock()
+	dur := d.a.durable
+	d.a.mu.Unlock()
+	return dur
+}
+
+// reset drops a pending barrier whose sender incarnation died.
+func (d *durTracker) reset() {
+	d.mu.Lock()
+	d.barrier = nil
+	d.mu.Unlock()
+}
+
+// run retires barriers: poked by every partition group commit (and every
+// note), it checks coverage and, once the applies are all on disk, records
+// the stream position and advances the advertised watermark. Like the
+// applier worker it exits on close without being joined; a Send may sit in
+// fabric backpressure until the owner closes the fabric.
+func (d *durTracker) run() {
+	for {
+		select {
+		case <-d.a.stop:
+			return
+		case <-d.poke:
+		}
+		d.mu.Lock()
+		b := d.barrier
+		d.mu.Unlock()
+		if b == nil || !d.covered(b) {
+			continue // the commit that completes coverage pokes again
+		}
+		d.mu.Lock()
+		if d.barrier == b {
+			d.barrier = nil
+		}
+		d.mu.Unlock()
+		// Phase two: the applies are durable; record the stream position
+		// that vouches for them. Store.Append under SyncGroupCommit is
+		// append + wait-for-commit, so this blocks only the tracker.
+		if err := d.stream.Append(wal.EncodeStream(b.epoch, b.seq)); err != nil {
+			if errors.Is(err, wal.ErrClosed) {
+				return
+			}
+			panic("geostore: stream WAL append failed: " + err.Error())
+		}
+		d.a.completeDurable(b.epoch, b.seq)
+		if _, err := d.stream.MaybeSnapshot(4096, func(emit func([]byte) error) error {
+			return emit(wal.EncodeStream(b.epoch, b.seq))
+		}); err != nil && !errors.Is(err, wal.ErrClosed) {
+			panic("geostore: stream WAL snapshot failed: " + err.Error())
+		}
+	}
+}
+
+// covered reports whether every partition store's durable watermark has
+// reached the barrier.
+func (d *durTracker) covered(b *durBarrier) bool {
+	for i, st := range d.parts {
+		if st.DurableLSN() < b.lsns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// completeDurable advances the durable watermark after the async pipeline
+// recorded the stream position, and advertises it immediately: the sender
+// prunes its window by Durable, so this ack is what converts background
+// group commits into released window slots.
+func (a *applier) completeDurable(epoch, seq uint64) {
+	a.mu.Lock()
+	if a.closed || a.epoch != epoch || seq <= a.durable {
+		a.mu.Unlock()
+		return
+	}
+	a.durable = seq
+	cum, dur, adm := a.applied, a.durable, a.enq
+	a.mu.Unlock()
+	a.node.fab.Send(a.from, fabric.ReceiverAddr(a.node.id), ReleaseAckMsg{Epoch: epoch, Cum: cum, Durable: dur, Admitted: adm})
 }

@@ -42,8 +42,12 @@ func New() *Store {
 	return s
 }
 
+func shardIndex(k types.Key) uint64 {
+	return maphash.String(hashSeed, string(k)) % numShards
+}
+
 func (s *Store) shardFor(k types.Key) *shard {
-	return &s.shards[maphash.String(hashSeed, string(k))%numShards]
+	return &s.shards[shardIndex(k)]
 }
 
 // Get returns the stored version of k, if any.
@@ -79,6 +83,63 @@ func (s *Store) Apply(k types.Key, v types.Version) bool {
 	}
 	sh.m[k] = v
 	return true
+}
+
+// BatchEntry is one (key, version) pair of an ApplyBatch call.
+type BatchEntry struct {
+	Key types.Key
+	Ver types.Version
+}
+
+// ApplyBatch merges a batch of versions under the same LWW rule as Apply,
+// paying one lock acquisition per involved shard instead of one per
+// update, and allocating nothing of its own (the 16-shard layout makes
+// the involved set a bitmask). It returns how many versions won.
+//
+// Visibility is batch-atomic: every involved shard is locked before the
+// first write and none is released until the last write lands, so a
+// reader sees either nothing of the batch or its complete effect —
+// entries may therefore be applied in any order internally without a
+// reader ever observing a causally later update before an earlier one.
+// Callers rely on this when they collapse a causally ordered run of
+// releases into one batch.
+//
+// Ownership of each entry's Value and VTS backing memory transfers to the
+// store — for arena-backed versions decoded from the wire this is the
+// whole point: no per-update cloning on the apply path. Callers must not
+// mutate an entry after ApplyBatch returns, and readers (Get, ForEach,
+// snapshot capture) treat stored values as immutable, copying only when
+// they need to retain or modify (the snapshot path's record encoding is
+// such a copy).
+func (s *Store) ApplyBatch(entries []BatchEntry) int {
+	if len(entries) == 0 {
+		return 0
+	}
+	var mask uint32
+	for i := range entries {
+		mask |= 1 << shardIndex(entries[i].Key)
+	}
+	for i := 0; i < numShards; i++ {
+		if mask&(1<<i) != 0 {
+			s.shards[i].mu.Lock()
+		}
+	}
+	applied := 0
+	for i := range entries {
+		e := &entries[i]
+		sh := &s.shards[shardIndex(e.Key)]
+		if old, ok := sh.m[e.Key]; ok && !e.Ver.Newer(old) {
+			continue
+		}
+		sh.m[e.Key] = e.Ver
+		applied++
+	}
+	for i := numShards - 1; i >= 0; i-- {
+		if mask&(1<<i) != 0 {
+			s.shards[i].mu.Unlock()
+		}
+	}
+	return applied
 }
 
 // Len returns the number of stored keys.

@@ -196,3 +196,103 @@ func TestValueClone(t *testing.T) {
 		t.Fatal("nil Clone should be nil")
 	}
 }
+
+// TestApplyBatchMatchesApply: a batch converges to exactly the state the
+// same versions produce through per-update Apply, and reports the same
+// number of LWW winners.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	one, batched := New(), New()
+	var entries []BatchEntry
+	wins := 0
+	for i := 0; i < 200; i++ {
+		k := types.Key(fmt.Sprintf("key%d", i%40))
+		v := types.Version{
+			Value:  []byte{byte(i)},
+			TS:     hlc.Timestamp(100 + (i*7)%50),
+			Origin: types.DCID(i % 3),
+		}
+		if one.Apply(k, v) {
+			wins++
+		}
+		entries = append(entries, BatchEntry{Key: k, Ver: v})
+	}
+	if got := batched.ApplyBatch(entries); got != wins {
+		t.Fatalf("ApplyBatch reported %d winners, per-update Apply %d", got, wins)
+	}
+	if one.Len() != batched.Len() {
+		t.Fatalf("Len diverged: %d vs %d", one.Len(), batched.Len())
+	}
+	one.ForEach(func(k types.Key, v types.Version) {
+		got, ok := batched.Get(k)
+		if !ok || got.TS != v.TS || got.Origin != v.Origin || string(got.Value) != string(v.Value) {
+			t.Fatalf("key %q diverged: %+v vs %+v", k, v, got)
+		}
+	})
+	if New().ApplyBatch(nil) != 0 {
+		t.Fatal("empty batch applied something")
+	}
+}
+
+// TestApplyBatchConcurrentWithReaders: batches racing against readers and
+// per-update writers stay data-race free (the -race build is the assertion)
+// and never lose the newest version.
+func TestApplyBatchConcurrentWithReaders(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				batch := make([]BatchEntry, 8)
+				for j := range batch {
+					batch[j] = BatchEntry{
+						Key: types.Key(fmt.Sprintf("key%d", (i+j)%32)),
+						Ver: types.Version{Value: []byte("v"), TS: hlc.Timestamp(i*16 + j + 1), Origin: types.DCID(w)},
+					}
+				}
+				s.ApplyBatch(batch)
+				s.Get(types.Key(fmt.Sprintf("key%d", i%32)))
+				if i%17 == 0 {
+					s.ForEach(func(types.Key, types.Version) {})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+}
+
+// TestApplyBatchSteadyStateAllocs pins the zero-copy contract: applying a
+// batch of arena-backed versions over existing keys performs no per-update
+// allocation — ownership of the value memory transfers, nothing is cloned,
+// and the shard set is a bitmask rather than a heap-allocated plan.
+func TestApplyBatchSteadyStateAllocs(t *testing.T) {
+	s := New()
+	const n = 64
+	entries := make([]BatchEntry, n)
+	arena := make([]byte, n) // stand-in for a wire-decoded value arena
+	for i := range entries {
+		entries[i] = BatchEntry{
+			Key: types.Key(fmt.Sprintf("key%d", i)),
+			Ver: types.Version{Value: arena[i : i+1], TS: 1},
+		}
+	}
+	s.ApplyBatch(entries) // populate: map growth happens once, here
+	var ts hlc.Timestamp = 1
+	allocs := testing.AllocsPerRun(100, func() {
+		ts++
+		for i := range entries {
+			entries[i].Ver.TS = ts // every version wins, every slot rewrites
+		}
+		s.ApplyBatch(entries)
+	})
+	if perUpdate := allocs / n; perUpdate > 1 {
+		t.Fatalf("ApplyBatch allocates %.2f/update in steady state, want <= 1", perUpdate)
+	}
+	if allocs != 0 {
+		t.Logf("ApplyBatch steady state: %.2f allocs/run (%.3f/update)", allocs, allocs/n)
+	}
+}

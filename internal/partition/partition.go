@@ -230,7 +230,12 @@ func (p *Partition) ReceivePayload(u *types.Update) {
 	p.durMu.RLock()
 	p.payloadMu.Lock()
 	if _, ok := p.payloads[id]; !ok && u.TS > p.appliedRemote[u.Origin] {
-		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindPayload, u)); err != nil {
+		// No-wait append: payload ingestion runs on the fabric delivery
+		// goroutine, which must not stall one fsync per payload under
+		// SyncGroupCommit. The loss window stays what it was — the sibling
+		// prunes on transport ack either way — and the group committer (or
+		// the next flush cadence) persists the record promptly.
+		if _, err := p.cfg.Store.AppendNoWait(wal.EncodeUpdate(wal.KindPayload, u)); err != nil {
 			p.payloadMu.Unlock()
 			p.durMu.RUnlock()
 			panic("partition: WAL append failed: " + err.Error())
@@ -261,7 +266,7 @@ func (p *Partition) SkipRemote(u *types.Update) {
 	p.payloadMu.Unlock()
 	p.clock.Observe(u.TS)
 	if p.cfg.Store != nil {
-		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindSkip, u.Meta())); err != nil {
+		if _, err := p.cfg.Store.AppendNoWait(wal.EncodeUpdate(wal.KindSkip, u.Meta())); err != nil {
 			panic("partition: WAL append failed: " + err.Error())
 		}
 	}
@@ -313,7 +318,12 @@ func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 
 	p.clock.Observe(full.TS)
 	if p.cfg.Store != nil {
-		if err := p.cfg.Store.Append(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {
+		// No-wait append: the applier worker is a single goroutine, and a
+		// blocking group-commit append would throttle it to one fsync per
+		// record — SyncEachAppend economics. The release path's durability
+		// acks wait on the store's commit watermark instead (geostore's
+		// applier gates ReleaseAckMsg.Durable on DurableLSN coverage).
+		if _, err := p.cfg.Store.AppendNoWait(wal.EncodeUpdate(wal.KindRemote, full)); err != nil {
 			panic("partition: WAL append failed: " + err.Error())
 		}
 	}
@@ -325,6 +335,82 @@ func (p *Partition) ApplyRemote(u *types.Update, metaArrived time.Time) bool {
 		p.cfg.OnVisible(full, arrived)
 	}
 	return true
+}
+
+// ApplyRemoteBatch applies a causally ordered, contiguous run of remote
+// updates addressed to this partition in one pass: one payload-buffer
+// lock round resolves the run, one WAL record per update is buffered
+// (no-wait, see ApplyRemote), and the resolved versions land through
+// kvstore.ApplyBatch — one lock acquisition per touched shard, batch-
+// atomic visibility, and zero per-update cloning (the arena-backed value
+// memory transfers to the store). It applies the longest prefix it can:
+// the first update whose payload has not arrived (and is not already
+// applied) stops the run, exactly like a false return from ApplyRemote,
+// and the caller parks on it. Returns how many updates of the prefix were
+// consumed (already-applied duplicates count — they are done).
+func (p *Partition) ApplyRemoteBatch(us []*types.Update, metaArrived []time.Time) int {
+	if len(us) == 0 {
+		return 0
+	}
+	if p.cfg.Store != nil {
+		p.durMu.RLock()
+		defer p.durMu.RUnlock()
+	}
+	// Resolve the run under one payload-lock hold: consume payloads,
+	// advance watermarks, and split the prefix into stored versions
+	// (full) and idempotent duplicates.
+	full := make([]*types.Update, 0, len(us))
+	arrived := make([]time.Time, 0, len(us))
+	done := 0
+	p.payloadMu.Lock()
+	for i, u := range us {
+		if u.TS <= p.appliedRemote[u.Origin] {
+			done = i + 1 // duplicate of an applied update: consumed
+			continue
+		}
+		f, at := u, metaArrived[i]
+		if u.Value == nil {
+			id := u.ID()
+			payload, ok := p.payloads[id]
+			if !ok {
+				p.PayloadWait.Inc()
+				break // park here; nothing behind it may jump the queue
+			}
+			at = p.arrivals[id]
+			delete(p.payloads, id)
+			delete(p.arrivals, id)
+			f = payload
+		}
+		p.appliedRemote[u.Origin] = u.TS
+		full = append(full, f)
+		arrived = append(arrived, at)
+		done = i + 1
+	}
+	p.payloadMu.Unlock()
+	if len(full) == 0 {
+		return done
+	}
+
+	entries := make([]kvstore.BatchEntry, len(full))
+	for i, f := range full {
+		p.clock.Observe(f.TS)
+		if p.cfg.Store != nil {
+			if _, err := p.cfg.Store.AppendNoWait(wal.EncodeUpdate(wal.KindRemote, f)); err != nil {
+				panic("partition: WAL append failed: " + err.Error())
+			}
+		}
+		entries[i] = kvstore.BatchEntry{Key: f.Key, Ver: types.Version{
+			Value: f.Value, TS: f.TS, VTS: f.VTS, Origin: f.Origin,
+		}}
+	}
+	p.store.ApplyBatch(entries)
+	p.RemoteApplied.Add(int64(len(full)))
+	if p.cfg.OnVisible != nil {
+		for i, f := range full {
+			p.cfg.OnVisible(f, arrived[i])
+		}
+	}
+	return done
 }
 
 // PendingPayloads returns the number of buffered payloads awaiting
@@ -378,7 +464,19 @@ func (p *Partition) Recover() error {
 	if p.cfg.Store == nil {
 		return nil
 	}
-	return p.cfg.Store.Replay(func(rec []byte) error {
+	// Replayed versions accumulate into chunks applied through the
+	// store's batch path: replay is single-threaded and LWW is order-
+	// independent, so batching is safe and cuts the per-record shard
+	// locking that otherwise dominates large restarts.
+	const recoverChunk = 256
+	batch := make([]kvstore.BatchEntry, 0, recoverChunk)
+	flush := func() {
+		if len(batch) > 0 {
+			p.store.ApplyBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	err := p.cfg.Store.Replay(func(rec []byte) error {
 		if len(rec) > 0 && rec[0] == wal.KindMarks {
 			m, err := wal.DecodeMarks(rec)
 			if err != nil {
@@ -406,7 +504,10 @@ func (p *Partition) Recover() error {
 		p.clock.Observe(u.TS)
 		switch kind {
 		case wal.KindLocal:
-			p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
+			batch = append(batch, kvstore.BatchEntry{Key: u.Key, Ver: types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin}})
+			if len(batch) == recoverChunk {
+				flush()
+			}
 			p.seqMu.Lock()
 			if u.Seq > p.seq {
 				p.seq = u.Seq
@@ -429,7 +530,10 @@ func (p *Partition) Recover() error {
 			}
 			p.payloadMu.Unlock()
 		default: // KindRemote
-			p.store.Apply(u.Key, types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin})
+			batch = append(batch, kvstore.BatchEntry{Key: u.Key, Ver: types.Version{Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin}})
+			if len(batch) == recoverChunk {
+				flush()
+			}
 			p.payloadMu.Lock()
 			if u.TS > p.appliedRemote[u.Origin] {
 				p.appliedRemote[u.Origin] = u.TS
@@ -440,6 +544,8 @@ func (p *Partition) Recover() error {
 		}
 		return nil
 	})
+	flush()
+	return err
 }
 
 // MaybeSnapshot compacts the store when its log has outgrown threshold

@@ -98,7 +98,13 @@ func New(cfg Config) *Receiver {
 // applied before the crash but not yet confirmed durable (MarkDurable)
 // are re-released; partitions deduplicate them by applied watermark.
 func Recover(cfg Config, dir string, policy wal.SyncPolicy) (*Receiver, error) {
-	st, err := wal.OpenStore(dir, policy)
+	return RecoverOptions(cfg, dir, wal.Options{Policy: policy})
+}
+
+// RecoverOptions is Recover with the full store option set (group-commit
+// knobs, sync metrics); see wal.Options.
+func RecoverOptions(cfg Config, dir string, o wal.Options) (*Receiver, error) {
+	st, err := wal.OpenStoreOptions(dir, o)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +214,7 @@ func (r *Receiver) replay() error {
 func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
 	now := time.Now()
 	accepted := false
+	var lastLSN uint64
 	r.mu.Lock()
 	for _, u := range batch {
 		ts := u.VTS.Get(int(k))
@@ -221,12 +228,16 @@ func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
 			// it to a crash would leave a permanent causal gap. A closed
 			// store means the receiver is shutting down — the late
 			// delivery is dropped like any message to a dead process.
-			if err := r.st.Append(wal.EncodeUpdate(wal.KindPending, u)); err != nil {
+			// No-wait appends keep the batch together; the durability
+			// wait below covers the whole batch at once.
+			lsn, err := r.st.AppendNoWait(wal.EncodeUpdate(wal.KindPending, u))
+			if err != nil {
 				if errors.Is(err, wal.ErrClosed) {
 					continue
 				}
 				panic("receiver: WAL append failed: " + err.Error())
 			}
+			lastLSN = lsn
 			accepted = true
 		}
 		r.lastEnq[k] = ts
@@ -237,8 +248,16 @@ func (r *Receiver) Enqueue(k types.DCID, batch []*types.Update) {
 	r.mu.Unlock()
 	if accepted && st != nil {
 		// One fsync per shipped batch (under SyncOnFlush): the paper's
-		// 1ms batching cadence bounds the loss window to one batch.
-		if err := st.Flush(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		// 1ms batching cadence bounds the loss window to one batch. Under
+		// SyncGroupCommit the wait rides the committer instead — shipped
+		// batches from many origins coalesce into shared fsyncs.
+		var err error
+		if st.Policy() == wal.SyncGroupCommit {
+			err = st.WaitDurable(lastLSN)
+		} else {
+			err = st.Flush()
+		}
+		if err != nil && !errors.Is(err, wal.ErrClosed) {
 			panic("receiver: WAL flush failed: " + err.Error())
 		}
 	}
@@ -350,7 +369,7 @@ func (r *Receiver) MarkDurable(k types.DCID, ts hlc.Timestamp) {
 	if ts <= r.durableSite[k] {
 		return
 	}
-	if err := r.st.Append(wal.EncodeSite(k, ts)); err != nil {
+	if _, err := r.st.AppendNoWait(wal.EncodeSite(k, ts)); err != nil {
 		if errors.Is(err, wal.ErrClosed) {
 			return // shutdown race with a late durability ack
 		}

@@ -1,11 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 )
 
 // Store is a snapshot+log pair under one directory: the durable state of
@@ -64,17 +67,23 @@ const DefaultSnapshotThreshold = 1 << 20
 // A directory stamped by a different format generation refuses to open
 // with ErrFormatVersion.
 func OpenStore(dir string, policy SyncPolicy) (*Store, error) {
+	return OpenStoreOptions(dir, Options{Policy: policy})
+}
+
+// OpenStoreOptions is OpenStore with the full option set (group-commit
+// knobs, sync metrics); see Options.
+func OpenStoreOptions(dir string, o Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	if err := checkFormat(dir); err != nil {
 		return nil, err
 	}
-	log, err := Open(filepath.Join(dir, logName), policy)
+	log, err := OpenOptions(filepath.Join(dir, logName), o)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, policy: policy, log: log}, nil
+	return &Store{dir: dir, policy: o.Policy, log: log}, nil
 }
 
 // checkFormat stamps a fresh store directory with the current format
@@ -139,12 +148,51 @@ func writeFormat(dir, path string) error {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Append writes one record to the live log.
+// Policy returns the store's sync policy.
+func (s *Store) Policy() SyncPolicy { return s.policy }
+
+// Append writes one record to the live log with the policy's durability
+// guarantee on return (see Log.Append). Under SyncGroupCommit the
+// durability wait happens after the store lock is released, so concurrent
+// appenders coalesce into one group commit instead of serializing one
+// fsync each behind the lock.
 func (s *Store) Append(rec []byte) error {
+	if s.policy == SyncGroupCommit {
+		s.mu.Lock()
+		lsn, err := s.log.AppendNoWait(rec)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return s.log.WaitDurable(lsn)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.log.Append(rec)
 }
+
+// AppendNoWait writes one record and returns its LSN without waiting for
+// deferred durability; see Log.AppendNoWait. Single-goroutine pipelines
+// use it so a group-commit store never throttles them to one fsync per
+// record, and gate their acknowledgements on WaitDurable/DurableLSN.
+func (s *Store) AppendNoWait(rec []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.AppendNoWait(rec)
+}
+
+// WaitDurable blocks until the record at lsn is on disk.
+func (s *Store) WaitDurable(lsn uint64) error { return s.log.WaitDurable(lsn) }
+
+// AppendedLSN returns the newest appended record's LSN.
+func (s *Store) AppendedLSN() uint64 { return s.log.AppendedLSN() }
+
+// DurableLSN returns the newest on-disk record's LSN.
+func (s *Store) DurableLSN() uint64 { return s.log.DurableLSN() }
+
+// OnCommit registers fn to observe durability advances; see Log.OnCommit
+// for the (strict) constraints on fn.
+func (s *Store) OnCommit(fn func(durable uint64)) { s.log.OnCommit(fn) }
 
 // Flush forces appended records to stable storage.
 func (s *Store) Flush() error {
@@ -235,11 +283,14 @@ func (s *Store) Close() error {
 }
 
 // truncateTo rewinds the log to off bytes and positions for appending;
-// Store uses it to reset the log at snapshot boundaries.
+// Store uses it to reset the log at snapshot boundaries. Every record
+// appended so far is then durable — the snapshot that triggered the
+// truncation holds it — so the durable watermark advances to the appended
+// LSN and parked group-commit waiters complete.
 func (l *Log) truncateTo(off int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
+	if l.shutdown || l.closed {
 		return ErrClosed
 	}
 	// Discard buffered appends (they are covered by the snapshot too).
@@ -254,19 +305,31 @@ func (l *Log) truncateTo(off int64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.size = off
+	l.advanceDurableLocked(l.appended)
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable. Sync
-// errors are ignored: some filesystems reject directory fsync (EINVAL),
-// and the rename is atomic either way — durability of the directory entry
-// just waits for the next metadata flush.
+// syncDirWarned remembers directories whose fsync already failed once, so
+// a filesystem that genuinely cannot sync logs one line, not one per
+// snapshot.
+var syncDirWarned sync.Map
+
+// syncDir fsyncs a directory so a rename within it is durable. Filesystems
+// that reject directory fsync outright (EINVAL/ENOTSUP — the rename is
+// atomic either way, its durability rides the next metadata flush) are
+// silently tolerated; any other failure is a disk actually refusing writes
+// and is logged once per directory so it cannot hide behind the tolerance.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	defer d.Close()
-	_ = d.Sync()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		if _, dup := syncDirWarned.LoadOrStore(dir, struct{}{}); !dup {
+			log.Printf("wal: directory fsync of %s failed (renames stay atomic; their durability waits for the next metadata flush): %v", dir, err)
+		}
+	}
 	return nil
 }
