@@ -271,6 +271,31 @@ func BenchmarkDurableSaturation(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenLoopLoad is the front-door latency smoke: the open-loop
+// generator drives dc0's frontend over the fabric at a fixed offered rate
+// and reports coordinated-omission-safe operation-latency percentiles
+// (measured from each op's scheduled arrival, so stalls land in the tail
+// instead of thinning the load). Archived in BENCH_ci.json by the CI
+// bench job; a nonzero backlog marks the percentiles as a lower bound.
+func BenchmarkOpenLoopLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.LoadBench(harness.LoadBenchOptions{
+			Rate:     2000,
+			Duration: 500 * time.Millisecond,
+			Warmup:   200 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "ops/s")
+		b.ReportMetric(float64(res.P50.Microseconds())/1e3, "p50-ms")
+		b.ReportMetric(float64(res.P99.Microseconds())/1e3, "p99-ms")
+		b.ReportMetric(float64(res.P999.Microseconds())/1e3, "p999-ms")
+		b.ReportMetric(float64(res.ServiceP99.Microseconds())/1e3, "service-p99-ms")
+		b.ReportMetric(float64(res.Backlog), "backlog-ops")
+	}
+}
+
 // BenchmarkAblationTreeChoice re-checks §6's claim that the red-black tree
 // beats an AVL tree for Eunomia's insert/extract workload.
 func BenchmarkAblationTreeChoice(b *testing.B) {

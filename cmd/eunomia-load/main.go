@@ -1,0 +1,224 @@
+// Command eunomia-load drives a running eunomia-server front door
+// (-frontend-addr) with the open-loop generator and reports
+// coordinated-omission-safe latency percentiles.
+//
+//	# 2000 ops/s for 30s against a local front door, 90% reads
+//	eunomia-load -target http://localhost:8080 -rate 2000 -duration 30s
+//
+// Operations are released on a fixed (or -arrival poisson) schedule that
+// never waits for the store, and every latency sample is measured from
+// the operation's scheduled arrival instant — so a store stall is charged
+// to the tail instead of silently thinning the offered load (coordinated
+// omission). Each worker is one causal session: it carries its
+// X-Causal-Session token from response to request, exactly as a real
+// client would. A nonzero backlog in the report means the offered rate
+// exceeded capacity and the percentiles are a lower bound.
+//
+// The report is one JSON object on stdout (or -out), shaped for CI
+// archiving (BENCH_ci.json).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+func main() {
+	var (
+		target     = flag.String("target", "http://localhost:8080", "front-door base URL (an eunomia-server -frontend-addr endpoint)")
+		rate       = flag.Float64("rate", 1000, "offered load in ops/sec")
+		duration   = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup     = flag.Duration("warmup", time.Second, "unmeasured lead-in")
+		readPct    = flag.Int("readpct", 90, "percentage of operations that are reads")
+		keys       = flag.Uint64("keys", workload.DefaultKeys, "key-space size")
+		dist       = flag.String("dist", "uniform", `key distribution: "uniform" or "zipf"`)
+		valueBytes = flag.Int("value-bytes", workload.DefaultValueSize, "value size for writes")
+		workers    = flag.Int("workers", 256, "concurrent sessions draining the schedule (bounds concurrency, not offered load)")
+		arrival    = flag.String("arrival", "fixed", `inter-arrival process: "fixed" or "poisson"`)
+		seed       = flag.Int64("seed", 42, "rng seed for the key/mix/arrival draws")
+		out        = flag.String("out", "", "write the JSON report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := workload.OpenConfig{
+		Rate:      *rate,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		Mix:       workload.Mix{ReadPct: *readPct},
+		ValueSize: *valueBytes,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	switch *dist {
+	case "uniform":
+		cfg.Keys = workload.Uniform{N: *keys}
+	case "zipf":
+		cfg.Keys = workload.NewPowerLaw(*keys)
+	default:
+		log.Fatalf("unknown -dist %q (want uniform or zipf)", *dist)
+	}
+	switch *arrival {
+	case "fixed":
+		cfg.Arrival = workload.ArrivalFixed
+	case "poisson":
+		cfg.Arrival = workload.ArrivalPoisson
+	default:
+		log.Fatalf("unknown -arrival %q (want fixed or poisson)", *arrival)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	rep := runLoad(ctx, *target, cfg)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Backlog > 0 {
+		fmt.Fprintf(os.Stderr, "warning: backlog %d — offered rate exceeded capacity; percentiles are a lower bound\n", rep.Backlog)
+	}
+	if rep.Completed == 0 {
+		os.Exit(1)
+	}
+}
+
+// report is the JSON shape archived by CI.
+type report struct {
+	Target   string  `json:"target"`
+	Rate     float64 `json:"rate_ops"`
+	Arrival  string  `json:"arrival"`
+	Mix      string  `json:"mix"`
+	Duration string  `json:"duration"`
+
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+	Backlog   int64 `json:"backlog"`
+
+	ThroughputOps float64 `json:"throughput_ops"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	ServiceP50Ms  float64 `json:"service_p50_ms"`
+	ServiceP99Ms  float64 `json:"service_p99_ms"`
+}
+
+// runLoad aims the open-loop generator at the front door and folds the
+// result into the report shape.
+func runLoad(ctx context.Context, target string, cfg workload.OpenConfig) report {
+	base := strings.TrimSuffix(target, "/")
+	// One transport shared by every session: connection pooling is the
+	// client fleet's, concurrency is the workers'.
+	tr := &http.Transport{MaxIdleConns: cfg.Workers, MaxIdleConnsPerHost: cfg.Workers}
+	defer tr.CloseIdleConnections()
+	res := workload.RunOpen(ctx, cfg, func(int) workload.Client {
+		return &httpSession{base: base, hc: &http.Client{Transport: tr}}
+	})
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return report{
+		Target:        target,
+		Rate:          cfg.Rate,
+		Arrival:       cfg.Arrival.String(),
+		Mix:           cfg.Mix.String(),
+		Duration:      cfg.Duration.String(),
+		Offered:       res.Offered,
+		Completed:     res.Completed,
+		Errors:        res.Errors,
+		Backlog:       res.Backlog,
+		ThroughputOps: res.Throughput(),
+		P50Ms:         ms(res.P50()),
+		P99Ms:         ms(res.P99()),
+		P999Ms:        ms(res.P999()),
+		ServiceP50Ms:  ms(time.Duration(res.ServiceLat.Percentile(50))),
+		ServiceP99Ms:  ms(time.Duration(res.ServiceLat.Percentile(99))),
+	}
+}
+
+// httpSession is one causal session against the front door: it carries
+// its X-Causal-Session token from each response to the next request.
+type httpSession struct {
+	base  string
+	hc    *http.Client
+	token string
+}
+
+const sessionHeader = "X-Causal-Session"
+
+func (s *httpSession) do(req *http.Request) (*http.Response, error) {
+	if s.token != "" {
+		req.Header.Set(sessionHeader, s.token)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if t := resp.Header.Get(sessionHeader); t != "" {
+		s.token = t
+	}
+	return resp, nil
+}
+
+func (s *httpSession) Read(key types.Key) (types.Value, error) {
+	req, err := http.NewRequest(http.MethodGet, s.base+"/kv/"+string(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, nil
+	case http.StatusNotFound:
+		// A miss is a successful read of an unwritten key.
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("GET %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+func (s *httpSession) Update(key types.Key, value types.Value) error {
+	req, err := http.NewRequest(http.MethodPut, s.base+"/kv/"+string(key), strings.NewReader(string(value)))
+	if err != nil {
+		return err
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("PUT %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}

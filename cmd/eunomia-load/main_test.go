@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eunomia/internal/workload"
+)
+
+// fakeFrontdoor mimics the eunomia-server front door: a KV map plus a
+// monotonically growing session token echoed back on every response.
+func fakeFrontdoor(t *testing.T) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	kv := make(map[string][]byte)
+	var seq int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/kv/")
+		mu.Lock()
+		defer mu.Unlock()
+		seq++
+		w.Header().Set(sessionHeader, "cs1:s:"+strconv.FormatInt(int64(seq), 16))
+		switch r.Method {
+		case http.MethodGet:
+			v, ok := kv[key]
+			if !ok {
+				http.Error(w, "no visible version", http.StatusNotFound)
+				return
+			}
+			_, _ = w.Write(v)
+		case http.MethodPut:
+			body := make([]byte, r.ContentLength)
+			_, _ = r.Body.Read(body)
+			kv[key] = body
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunLoadSmoke(t *testing.T) {
+	srv := fakeFrontdoor(t)
+	rep := runLoad(context.Background(), srv.URL, workload.OpenConfig{
+		Rate:     500,
+		Duration: 300 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Mix:      workload.Mix{ReadPct: 50},
+		Keys:     workload.Uniform{N: 100},
+		Workers:  16,
+	})
+	if rep.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors against a healthy fake", rep.Errors)
+	}
+	if rep.Backlog != 0 {
+		t.Fatalf("backlog %d against an instantaneous fake", rep.Backlog)
+	}
+	if rep.P999Ms < rep.P50Ms {
+		t.Fatalf("p999 %vms below p50 %vms", rep.P999Ms, rep.P50Ms)
+	}
+}
+
+// TestSessionCarriesToken is the client half of the causal contract: the
+// session must echo the latest token back on its next request.
+func TestSessionCarriesToken(t *testing.T) {
+	var got []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get(sessionHeader))
+		w.Header().Set(sessionHeader, "tok"+strconv.Itoa(len(got)))
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	s := &httpSession{base: srv.URL, hc: srv.Client()}
+	for i := 0; i < 3; i++ {
+		if err := s.Update("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"", "tok1", "tok2"}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("request %d carried token %q, want %q", i, got[i], w)
+		}
+	}
+}

@@ -17,6 +17,14 @@
 //	eunomia-server -role partitions,eunomia -dc 0 ... -route dc0:receiver=...
 //	eunomia-server -role receiver          -dc 0 ... -route dc0:partitions=...
 //
+//	# add a client front door: causal get/put over HTTP, with portable
+//	# session tokens (X-Causal-Session) clients can carry between DCs
+//	eunomia-server -role dc -dc 0 -dcs 2 -listen :7100 -frontend-addr :8080 \
+//	    -route dc1=hostB:7100
+//	# or as its own process beside a split datacenter
+//	eunomia-server -role frontend -dc 0 -dcs 2 -frontend-addr :8080 \
+//	    -route dc0:partitions=hostA:7100 -route dc0:receiver=hostR:7100
+//
 //	# a wide datacenter (>64 partitions) runs the §5 propagation tree:
 //	# partitions stream at a fan-in pair of aggregator processes, which
 //	# merge whole partition sets into one frame per flush toward Eunomia
@@ -98,6 +106,9 @@ type hosted struct {
 	// metrics, optional, contributes protocol-level samples to the
 	// -metrics-addr endpoint.
 	metrics func() []metrics.PromSample
+	// frontend, optional, is the causal front door the -frontend-addr
+	// HTTP server drives (mode eunomia with a frontend-bearing role).
+	frontend *geostore.Frontend
 	// causal reports whether the protocol promises causally ordered
 	// visibility (everything except eventual).
 	causal bool
@@ -139,6 +150,10 @@ func main() {
 		walGMax    = flag.Int("wal-group-max", 0, "-wal-sync group: records that cut -wal-group-delay short (default 4096)")
 		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, codec latency, node state) on this HTTP address at /metrics")
 		codecName  = flag.String("codec", "wire", `fabric frame codec: "wire" (zero-reflection, default) or "gob" (the reflection ablation)`)
+		frontAddr  = flag.String("frontend-addr", "", "mode eunomia: serve the causal HTTP front door (GET/PUT /kv/{key} with X-Causal-Session tokens) on this address; needs a role that includes frontend (dc does)")
+		frontIndex = flag.Int("frontend-index", 0, "which of the datacenter's front-door fabric endpoints this process hosts; frontends are stateless and scale horizontally by index")
+		frontWait  = flag.Duration("frontend-wait", 30*time.Second, "bound on a read's visibility wait (session migration, §4) before it fails with 503")
+		sessMode   = flag.String("session", "vector", `mode eunomia: causal session metadata issued to clients: "vector" (one entry per DC, the default) or "scalar" (the paper's single-scalar ablation; every process of the deployment must agree)`)
 	)
 	var routeSpecs []string
 	flag.Func("route", `endpoint route, repeatable: "dc1=host:port" or "dc1:receiver=host:port"`, func(s string) error {
@@ -177,6 +192,26 @@ func main() {
 	}
 	if aggRole && *aggFanin <= 0 {
 		log.Fatal("-role aggregator needs -agg-fanin >= 1 (the datacenter's fan-in set size)")
+	}
+	if *frontAddr != "" && *mode != "eunomia" {
+		log.Fatalf("-frontend-addr is supported only by -mode eunomia (got %q)", *mode)
+	}
+	if *frontAddr != "" && !(roleHas(*role, "dc") || roleHas(*role, "frontend")) {
+		log.Fatalf("-frontend-addr needs a role that includes frontend (dc does; got -role %s)", *role)
+	}
+	if (flagSet("frontend-index") || flagSet("frontend-wait")) && *frontAddr == "" {
+		log.Fatal("-frontend-index/-frontend-wait apply only with -frontend-addr")
+	}
+	if flagSet("session") && *mode != "eunomia" {
+		log.Fatalf("-session is supported only by -mode eunomia (got %q)", *mode)
+	}
+	scalarSession := false
+	switch *sessMode {
+	case "vector":
+	case "scalar":
+		scalarSession = true
+	default:
+		log.Fatalf("unknown -session %q (want vector or scalar)", *sessMode)
 	}
 	agg := aggTopology{fanin: *aggFanin, flush: *aggFlush}
 	var err error
@@ -244,7 +279,8 @@ func main() {
 	var h hosted
 	switch *mode {
 	case "eunomia":
-		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, *walGDelay, *walGMax, agg)
+		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, *walGDelay, *walGMax, agg,
+			frontdoorConfig{index: *frontIndex, wait: *frontWait, scalar: scalarSession})
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -264,6 +300,14 @@ func main() {
 
 	if *metricsAd != "" {
 		if err := serveMetrics(*metricsAd, fab, h); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *frontAddr != "" {
+		if h.frontend == nil {
+			log.Fatal("-frontend-addr needs a hosted frontend role (mode eunomia, role dc or frontend)")
+		}
+		if err := serveFrontdoor(*frontAddr, h.frontend); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -345,7 +389,7 @@ type aggTopology struct {
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
 	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
 	dataDir string, policy wal.SyncPolicy, groupDelay time.Duration, groupMax int,
-	agg aggTopology) (hosted, error) {
+	agg aggTopology, fd frontdoorConfig) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
@@ -360,6 +404,7 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			StableInterval: stableIvl,
 			CheckInterval:  checkIvl,
 			Tree:           kind,
+			ScalarMeta:     fd.scalar,
 		},
 		DC:                  types.DCID(dcID),
 		Roles:               roles,
@@ -374,6 +419,8 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		AggRedundantParents: agg.redundant,
 		AggFlushInterval:    agg.flush,
 		AggLevel:            agg.level,
+		FrontendIndex:       fd.index,
+		FrontendWaitTimeout: fd.wait,
 	})
 	if err != nil {
 		return hosted{}, fmt.Errorf("recovering node state from %s: %w", dataDir, err)
@@ -382,7 +429,7 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		log.Printf("eunomia-server: durable state under %s (recovered %d local updates, release watermark %d)",
 			dataDir, node.TotalUpdates(), node.ApplierDurable())
 	}
-	h := hosted{close: node.Close, causal: true, wedged: node.ReleaseWedged}
+	h := hosted{close: node.Close, causal: true, wedged: node.ReleaseWedged, frontend: node.Frontend()}
 	if roles.Has(geostore.RolePartitions) {
 		h.newClient = func() demoClient { return node.NewClient() }
 	}
@@ -454,6 +501,24 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 				metrics.PromSample{Name: "eunomia_wal_group_records_total", Labels: lbl, Value: float64(wm.M.Records.Load())},
 			)
 			samples = append(samples, metrics.PromHistogram("eunomia_wal_fsync_seconds", lbl, wm.M.Fsync, nil)...)
+		}
+		// Front door: client-facing op counters and latency, plus the
+		// migration visibility waits — waits_total counting nonzero on a
+		// frontend is the §4 guarantee doing work, timeouts are clients
+		// told to retry (503).
+		if fe := node.Frontend(); fe != nil {
+			get := [][2]string{{"op", "get"}}
+			put := [][2]string{{"op", "put"}}
+			samples = append(samples,
+				metrics.PromSample{Name: "eunomia_frontend_ops_total", Labels: get, Value: float64(fe.Gets.Load())},
+				metrics.PromSample{Name: "eunomia_frontend_ops_total", Labels: put, Value: float64(fe.Puts.Load())},
+				metrics.PromSample{Name: "eunomia_frontend_op_errors_total", Value: float64(fe.OpErrors.Load())},
+				metrics.PromSample{Name: "eunomia_frontend_waits_total", Value: float64(fe.Waits.Load())},
+				metrics.PromSample{Name: "eunomia_frontend_wait_timeouts_total", Value: float64(fe.WaitTimeouts.Load())},
+			)
+			samples = append(samples, metrics.PromHistogram("eunomia_frontend_op_seconds", get, fe.GetLat, nil)...)
+			samples = append(samples, metrics.PromHistogram("eunomia_frontend_op_seconds", put, fe.PutLat, nil)...)
+			samples = append(samples, metrics.PromHistogram("eunomia_frontend_wait_seconds", nil, fe.WaitLat, nil)...)
 		}
 		return samples
 	}
@@ -777,8 +842,10 @@ func parseRoles(s string) (geostore.Roles, error) {
 			roles |= geostore.RoleReceiver
 		case "aggregator":
 			roles |= geostore.RoleAggregator
+		case "frontend":
+			roles |= geostore.RoleFrontend
 		default:
-			return 0, fmt.Errorf("unknown role %q (want dc, partitions, eunomia, receiver, aggregator, orderer)", part)
+			return 0, fmt.Errorf("unknown role %q (want dc, partitions, eunomia, receiver, aggregator, frontend, orderer)", part)
 		}
 	}
 	return roles, nil
@@ -840,10 +907,21 @@ func applyRoutes(fab *transport.TCP, specs []string, mode string, partitions, re
 			for i := 0; i < aggregators; i++ {
 				fab.AddRoute(fabric.AggregatorAddr(dc, i), hostport)
 			}
+		case "frontend":
+			// Rarely needed: nothing on the fabric initiates traffic at a
+			// frontend (partition/receiver acks follow learned reply
+			// routes), but the route keeps split topologies symmetric.
+			fab.AddRoute(fabric.FrontendAddr(dc, 0), hostport)
 		default:
 			if rest, ok := strings.CutPrefix(rolePart, "aggregator"); ok {
 				if i, err := strconv.Atoi(rest); err == nil && i >= 0 {
 					fab.AddRoute(fabric.AggregatorAddr(dc, i), hostport)
+					continue
+				}
+			}
+			if rest, ok := strings.CutPrefix(rolePart, "frontend"); ok {
+				if i, err := strconv.Atoi(rest); err == nil && i >= 0 {
+					fab.AddRoute(fabric.FrontendAddr(dc, i), hostport)
 					continue
 				}
 			}

@@ -676,6 +676,21 @@ func TestRejectsContradictoryFlags(t *testing.T) {
 		{"unknown-role",
 			[]string{"-mode", "eunomia", "-role", "bogus"},
 			"unknown role"},
+		{"frontend-addr-needs-eunomia",
+			[]string{"-mode", "sequencer", "-role", "dc", "-frontend-addr", "127.0.0.1:0"},
+			"-frontend-addr is supported only by -mode eunomia"},
+		{"frontend-addr-needs-frontend-role",
+			[]string{"-mode", "eunomia", "-role", "receiver", "-frontend-addr", "127.0.0.1:0"},
+			"needs a role that includes frontend"},
+		{"frontend-flags-need-addr",
+			[]string{"-mode", "eunomia", "-role", "dc", "-frontend-index", "1"},
+			"apply only with -frontend-addr"},
+		{"session-needs-eunomia",
+			[]string{"-mode", "eventual", "-role", "dc", "-session", "scalar"},
+			"-session is supported only by -mode eunomia"},
+		{"unknown-session",
+			[]string{"-mode", "eunomia", "-role", "dc", "-session", "bogus"},
+			"unknown -session"},
 		{"unknown-mode",
 			[]string{"-mode", "bogus", "-role", "dc"},
 			"unknown -mode"},
@@ -723,6 +738,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`eunomia_aggregator_batches_out_total{endpoint="aggregator0",level="1"}`,
 		`eunomia_aggregator_flush_seconds_bucket{endpoint="aggregator0",level="1",le="+Inf"}`,
 		`eunomia_aggregator_flush_seconds_count{endpoint="aggregator0",level="1"}`,
+		// Front door: the dc role hosts a frontend, so its client-facing
+		// series export even before any client connects.
+		`eunomia_frontend_ops_total{op="get"}`,
+		`eunomia_frontend_ops_total{op="put"}`,
+		"eunomia_frontend_waits_total",
+		"eunomia_frontend_wait_timeouts_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)

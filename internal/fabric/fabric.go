@@ -69,6 +69,15 @@ func AggregatorAddr(dc types.DCID, i int) Addr {
 // fabric implementation.
 func ApplierAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "applier"} }
 
+// FrontendAddr names client front door i of datacenter dc: the endpoint a
+// frontend's partition and receiver round trips are acknowledged at.
+// Frontends are stateless peers (every causal fact rides in the client's
+// session token), so a datacenter scales its front door horizontally by
+// running more indexes.
+func FrontendAddr(dc types.DCID, i int) Addr {
+	return Addr{DC: dc, Name: fmt.Sprintf("frontend%d", i)}
+}
+
 // StabilizerAddr names the GentleRain/Cure stabilizer of datacenter dc.
 func StabilizerAddr(dc types.DCID) Addr { return Addr{DC: dc, Name: "stabilizer"} }
 

@@ -190,11 +190,15 @@ const (
 	// (selected by NodeConfig.AggIndexes); only meaningful when
 	// Config.Aggregators is positive.
 	RoleAggregator
+	// RoleFrontend hosts a client front door (frontend.go): causal
+	// get/put served to external clients, identified by session tokens.
+	RoleFrontend
 )
 
 // RoleAll hosts a complete datacenter in one process (including its
-// propagation tree, when Config.Aggregators asks for one).
-const RoleAll = RolePartitions | RoleEunomia | RoleReceiver | RoleAggregator
+// propagation tree, when Config.Aggregators asks for one, and a front
+// door at index NodeConfig.FrontendIndex).
+const RoleAll = RolePartitions | RoleEunomia | RoleReceiver | RoleAggregator | RoleFrontend
 
 // Has reports whether r includes any of the given roles.
 func (r Roles) Has(x Roles) bool { return r&x != 0 }
@@ -250,6 +254,15 @@ type NodeConfig struct {
 	// level (1 = fed directly by partitions). Default 1.
 	AggLevel int
 
+	// FrontendIndex selects which of the datacenter's front-door
+	// endpoints this node's frontend registers as (RoleFrontend).
+	// Frontends are stateless, so a datacenter scales its front door by
+	// running more processes with distinct indexes. Default 0.
+	FrontendIndex int
+	// FrontendWaitTimeout bounds the hosted frontend's migration
+	// visibility wait (frontend.go). Default 30s.
+	FrontendWaitTimeout time.Duration
+
 	// DataDir, when set, makes every hosted role durable: partitions log
 	// accepted and applied updates to per-partition snapshot+log stores,
 	// the applier persists its release-stream position, and the receiver
@@ -295,6 +308,8 @@ type Node struct {
 	// app on partition-hosting nodes whose receiver lives elsewhere.
 	relWin *releaseWindow
 	app    *applier
+
+	frontend *Frontend
 
 	// Durability (DataDir set): one store per partition, one for the
 	// applier's stream position; the receiver owns its own. flushLoop
@@ -371,6 +386,18 @@ func OpenNode(nc NodeConfig) (*Node, error) {
 			n.closeStores()
 			return nil, err
 		}
+	}
+	if nc.Roles.Has(RoleFrontend) {
+		n.frontend = NewFrontend(FrontendConfig{
+			Fabric:      n.fab,
+			DC:          nc.DC,
+			DCs:         n.cfg.DCs,
+			Partitions:  n.cfg.Partitions,
+			Index:       nc.FrontendIndex,
+			Scalar:      n.cfg.ScalarMeta,
+			WaitTimeout: nc.FrontendWaitTimeout,
+			OpTimeout:   nc.AckTimeout,
+		})
 	}
 	if nc.DataDir != "" {
 		n.flushStop = make(chan struct{})
@@ -682,6 +709,22 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 			case ApplyMsg:
 				ok := part.ApplyRemote(v.U, time.Unix(0, v.ArrivedUnixNano))
 				n.fab.Send(local, msg.From, ApplyAckMsg{ID: v.ID, OK: ok})
+			case ClientReadMsg:
+				// Off the delivery goroutine: replies must not contend
+				// with payload ingestion on this endpoint.
+				from := msg.From
+				go func() {
+					val, vts := part.Read(v.Key)
+					n.fab.Send(local, from, ClientReadAckMsg{ID: v.ID, Found: vts != nil, Value: val, VTS: vts})
+				}()
+			case ClientWriteMsg:
+				// Off the delivery goroutine: a durable-on-return WAL
+				// policy may block Update in an fsync.
+				from := msg.From
+				go func() {
+					vts := part.Update(v.Key, v.Value, v.Dep)
+					n.fab.Send(local, from, ClientWriteAckMsg{ID: v.ID, VTS: vts})
+				}()
 			case PayloadPullMsg:
 				// A crashed sibling lost this update's buffered payload;
 				// re-ship it if we still store that exact version, or
@@ -790,6 +833,38 @@ func (n *Node) buildReceiver(nc NodeConfig) error {
 		switch v := msg.Payload.(type) {
 		case ShipMsg:
 			recv.Enqueue(v.Origin, v.Ops)
+		case WaitMsg:
+			// A frontend's migration visibility wait: answer once
+			// SiteTime dominates the dependency's remote entries —
+			// everything the migrating client ever observed is then
+			// applied datacenter-wide. Polls on the receiver's check
+			// cadence, off the delivery goroutine.
+			from := msg.From
+			budget := time.Duration(v.WaitNanos)
+			if budget <= 0 {
+				budget = n.ackTimeout
+			}
+			go func() {
+				deadline := time.Now().Add(budget)
+				for {
+					st := recv.SiteTime()
+					ok := true
+					for k := 0; k < n.cfg.DCs; k++ {
+						if types.DCID(k) == m {
+							continue
+						}
+						if st.Get(k) < v.Dep.Get(k) {
+							ok = false
+							break
+						}
+					}
+					if ok || time.Now().After(deadline) {
+						n.fab.Send(fabric.ReceiverAddr(m), from, WaitAckMsg{ID: v.ID, OK: ok, Site: st})
+						return
+					}
+					time.Sleep(n.cfg.CheckInterval)
+				}
+			}()
 		case ReleaseAckMsg:
 			if n.relWin != nil {
 				n.relWin.handleAck(v)
@@ -852,6 +927,10 @@ func (n *Node) Partition(p types.PartitionID) *partition.Partition { return n.pa
 // Aggregators returns the hosted propagation-tree fan-in nodes (empty
 // without RoleAggregator or when Config.Aggregators is zero).
 func (n *Node) Aggregators() []*fabric.Aggregator { return n.aggs }
+
+// Frontend returns the hosted client front door (nil without
+// RoleFrontend).
+func (n *Node) Frontend() *Frontend { return n.frontend }
 
 // Ring returns the key-to-partition mapping.
 func (n *Node) Ring() kvstore.Ring { return n.ring }
@@ -947,6 +1026,11 @@ func (n *Node) CloseIngress() {
 // durability machinery: the flush loop, the partition stores, and the
 // applier's stream store (the receiver closes its own store).
 func (n *Node) CloseServices() {
+	if n.frontend != nil {
+		// First: fail client round trips before their partition and
+		// receiver endpoints disappear.
+		n.frontend.Close()
+	}
 	if n.flushStop != nil {
 		// Before the components whose stores it flushes go away.
 		close(n.flushStop)
@@ -1140,6 +1224,9 @@ func (s *Store) Partition(m types.DCID, p types.PartitionID) *partition.Partitio
 
 // Receiver returns the receiver of datacenter m (nil for single-DC runs).
 func (s *Store) Receiver(m types.DCID) *receiver.Receiver { return s.nodes[m].recv }
+
+// Frontend returns the client front door of datacenter m.
+func (s *Store) Frontend(m types.DCID) *Frontend { return s.nodes[m].frontend }
 
 // Eunomia returns the Eunomia replica set of datacenter m.
 func (s *Store) Eunomia(m types.DCID) *eunomia.Cluster { return s.nodes[m].cluster }

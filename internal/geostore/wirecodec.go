@@ -103,6 +103,67 @@ func (m ReleaseAckMsg) AppendWire(b []byte) []byte {
 	return wire.AppendBool(b, m.NeedReset)
 }
 
+// WireTag implements wire.Marshaler.
+func (m ClientReadMsg) WireTag() wire.Tag { return wire.TagClientRead }
+
+// AppendWire implements wire.Marshaler.
+func (m ClientReadMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	return wire.AppendString(b, string(m.Key))
+}
+
+// WireTag implements wire.Marshaler.
+func (m ClientReadAckMsg) WireTag() wire.Tag { return wire.TagClientReadAck }
+
+// AppendWire implements wire.Marshaler.
+func (m ClientReadAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendBool(b, m.Found)
+	b = wire.AppendBytes(b, m.Value)
+	return wire.AppendVClock(b, m.VTS)
+}
+
+// WireTag implements wire.Marshaler.
+func (m ClientWriteMsg) WireTag() wire.Tag { return wire.TagClientWrite }
+
+// AppendWire implements wire.Marshaler.
+func (m ClientWriteMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendString(b, string(m.Key))
+	b = wire.AppendBytes(b, m.Value)
+	return wire.AppendVClock(b, m.Dep)
+}
+
+// WireTag implements wire.Marshaler.
+func (m ClientWriteAckMsg) WireTag() wire.Tag { return wire.TagClientWriteAck }
+
+// AppendWire implements wire.Marshaler.
+func (m ClientWriteAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	return wire.AppendVClock(b, m.VTS)
+}
+
+// WireTag implements wire.Marshaler.
+func (m WaitMsg) WireTag() wire.Tag { return wire.TagWait }
+
+// AppendWire implements wire.Marshaler. WaitNanos is a duration, not an
+// instant, but it rides fixed-width like every other 64-bit time field.
+func (m WaitMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendVClock(b, m.Dep)
+	return wire.AppendUint64(b, uint64(m.WaitNanos))
+}
+
+// WireTag implements wire.Marshaler.
+func (m WaitAckMsg) WireTag() wire.Tag { return wire.TagWaitAck }
+
+// AppendWire implements wire.Marshaler.
+func (m WaitAckMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.ID)
+	b = wire.AppendBool(b, m.OK)
+	return wire.AppendVClock(b, m.Site)
+}
+
 func init() {
 	wire.Register(wire.TagShip, func(d *wire.Dec) any {
 		return ShipMsg{Origin: types.DCID(d.Uvarint()), Ops: wire.ReadUpdates(d)}
@@ -140,6 +201,34 @@ func init() {
 			NeedReset: d.Bool(),
 		}
 	})
+	wire.Register(wire.TagClientRead, func(d *wire.Dec) any {
+		return ClientReadMsg{ID: d.Uvarint(), Key: types.Key(d.String())}
+	})
+	wire.Register(wire.TagClientReadAck, func(d *wire.Dec) any {
+		return ClientReadAckMsg{
+			ID:    d.Uvarint(),
+			Found: d.Bool(),
+			Value: types.Value(d.Bytes()),
+			VTS:   d.VClock(),
+		}
+	})
+	wire.Register(wire.TagClientWrite, func(d *wire.Dec) any {
+		return ClientWriteMsg{
+			ID:    d.Uvarint(),
+			Key:   types.Key(d.String()),
+			Value: types.Value(d.Bytes()),
+			Dep:   d.VClock(),
+		}
+	})
+	wire.Register(wire.TagClientWriteAck, func(d *wire.Dec) any {
+		return ClientWriteAckMsg{ID: d.Uvarint(), VTS: d.VClock()}
+	})
+	wire.Register(wire.TagWait, func(d *wire.Dec) any {
+		return WaitMsg{ID: d.Uvarint(), Dep: d.VClock(), WaitNanos: int64(d.Uint64())}
+	})
+	wire.Register(wire.TagWaitAck, func(d *wire.Dec) any {
+		return WaitAckMsg{ID: d.Uvarint(), OK: d.Bool(), Site: d.VClock()}
+	})
 }
 
 var (
@@ -150,4 +239,10 @@ var (
 	_ wire.Marshaler = PayloadSupersededMsg{}
 	_ wire.Marshaler = ReleaseMsg{}
 	_ wire.Marshaler = ReleaseAckMsg{}
+	_ wire.Marshaler = ClientReadMsg{}
+	_ wire.Marshaler = ClientReadAckMsg{}
+	_ wire.Marshaler = ClientWriteMsg{}
+	_ wire.Marshaler = ClientWriteAckMsg{}
+	_ wire.Marshaler = WaitMsg{}
+	_ wire.Marshaler = WaitAckMsg{}
 )

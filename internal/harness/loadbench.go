@@ -1,0 +1,175 @@
+package harness
+
+// LoadBench drives a deployment the way external clients do: through a
+// geostore.Frontend over the fabric, under the open-loop generator
+// (workload.RunOpen). Unlike the closed-loop figure harnesses, its latency
+// percentiles are coordinated-omission-safe — measured from each
+// operation's scheduled arrival instant — so a stall shows up in the tail
+// instead of silently thinning the offered load. CI archives its
+// p50/p99/p999 via BenchmarkOpenLoopLoad.
+
+import (
+	"context"
+	"time"
+
+	"eunomia/internal/geostore"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/workload"
+)
+
+// LoadBenchOptions parameterises one open-loop front-door run.
+type LoadBenchOptions struct {
+	// DCs and Partitions shape the deployment (default 2 and 4).
+	DCs        int
+	Partitions int
+	// Rate is the offered load in ops/sec (default 2000).
+	Rate float64
+	// Duration and Warmup bound the measured window (default 600ms/200ms).
+	Duration time.Duration
+	Warmup   time.Duration
+	// ReadPct selects the operation mix (default 90).
+	ReadPct int
+	// PowerLaw selects the zipf key distribution instead of uniform.
+	PowerLaw bool
+	// Keys is the key-space size (default 10_000).
+	Keys uint64
+	// ValueBytes sizes each value (default 100, the paper's §7 size).
+	ValueBytes int
+	// Workers is the service pool draining the schedule (default 64).
+	Workers int
+	// Poisson selects exponential inter-arrivals instead of the fixed
+	// schedule.
+	Poisson bool
+	// RTTScale scales the paper's WAN RTTs (default 0.01: the front-door
+	// path under test is intra-datacenter).
+	RTTScale float64
+}
+
+func (o *LoadBenchOptions) fill() {
+	if o.DCs <= 0 {
+		o.DCs = 2
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 4
+	}
+	if o.Rate <= 0 {
+		o.Rate = 2000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 600 * time.Millisecond
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 200 * time.Millisecond
+	}
+	if o.ReadPct <= 0 {
+		o.ReadPct = 90
+	}
+	if o.Keys == 0 {
+		o.Keys = 10_000
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = 64
+	}
+	if o.RTTScale <= 0 {
+		o.RTTScale = 0.01
+	}
+}
+
+// LoadBenchResult reports the open-loop run's headline quantities.
+type LoadBenchResult struct {
+	Offered   int64
+	Completed int64
+	Errors    int64
+	// Backlog is scheduled-but-unfinished work at drain expiry; nonzero
+	// means the offered rate exceeded capacity and the percentiles are a
+	// lower bound.
+	Backlog    int64
+	Throughput float64
+
+	// Coordinated-omission-safe percentiles: scheduled arrival to
+	// completion.
+	P50, P99, P999 time.Duration
+	// Service-time percentiles (dispatch to completion), for the gap
+	// between the two views.
+	ServiceP50, ServiceP99 time.Duration
+
+	// Waits counts frontend visibility waits taken (reads gated on
+	// remote history).
+	Waits int64
+}
+
+// frontendClient adapts a geostore.Frontend to workload.Client, carrying
+// the session token across operations exactly as an HTTP client carries
+// the X-Causal-Session header.
+type frontendClient struct {
+	fe    *geostore.Frontend
+	token string
+}
+
+func (c *frontendClient) Read(key types.Key) (types.Value, error) {
+	res, err := c.fe.Get(c.token, key)
+	if err != nil {
+		return nil, err
+	}
+	c.token = res.Token
+	return res.Value, nil
+}
+
+func (c *frontendClient) Update(key types.Key, value types.Value) error {
+	res, err := c.fe.Put(c.token, key, value)
+	if err != nil {
+		return err
+	}
+	c.token = res.Token
+	return nil
+}
+
+// LoadBench boots a deployment, aims the open-loop generator at dc0's
+// front door, and reports coordinated-omission-safe latency percentiles.
+func LoadBench(o LoadBenchOptions) (LoadBenchResult, error) {
+	o.fill()
+	store := geostore.NewStore(geostore.Config{
+		DCs:        o.DCs,
+		Partitions: o.Partitions,
+		Delay:      simnet.LatencyMatrix(simnet.PaperRTTs(o.RTTScale), 0),
+	})
+	defer store.Close()
+	fe := store.Frontend(0)
+
+	var keys workload.KeyDist = workload.Uniform{N: o.Keys}
+	if o.PowerLaw {
+		keys = workload.NewPowerLaw(o.Keys)
+	}
+	arrival := workload.ArrivalFixed
+	if o.Poisson {
+		arrival = workload.ArrivalPoisson
+	}
+	res := workload.RunOpen(context.Background(), workload.OpenConfig{
+		Rate:      o.Rate,
+		Duration:  o.Duration,
+		Warmup:    o.Warmup,
+		Mix:       workload.Mix{ReadPct: o.ReadPct},
+		Keys:      keys,
+		ValueSize: o.ValueBytes,
+		Workers:   o.Workers,
+		Arrival:   arrival,
+	}, func(int) workload.Client { return &frontendClient{fe: fe} })
+
+	return LoadBenchResult{
+		Offered:    res.Offered,
+		Completed:  res.Completed,
+		Errors:     res.Errors,
+		Backlog:    res.Backlog,
+		Throughput: res.Throughput(),
+		P50:        res.P50(),
+		P99:        res.P99(),
+		P999:       res.P999(),
+		ServiceP50: time.Duration(res.ServiceLat.Percentile(50)),
+		ServiceP99: time.Duration(res.ServiceLat.Percentile(99)),
+		Waits:      fe.Waits.Load(),
+	}, nil
+}

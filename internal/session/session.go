@@ -12,6 +12,9 @@
 package session
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"eunomia/internal/hlc"
@@ -99,4 +102,83 @@ func (s *Session) ObserveUpdate(vts vclock.V) {
 // vector (scalar mode returns the broadcast form).
 func (s *Session) Vector() vclock.V {
 	return s.Dep()
+}
+
+// tokenPrefix versions the portable token encoding; bump it if the layout
+// ever changes incompatibly.
+const tokenPrefix = "cs1:"
+
+// Token serializes the session into a compact, printable causal token a
+// client can carry between requests — and between datacenters. The token
+// IS the session: a frontend reconstructs the full causal history from it
+// with Parse, so clients can migrate to any frontend of the deployment
+// mid-session and keep their guarantees (§4, client migration).
+//
+// Layout: "cs1:v:<hex>,<hex>,..." (vector mode, one entry per datacenter)
+// or "cs1:s:<hex>" (scalar mode). The empty string denotes a fresh
+// session.
+func (s *Session) Token() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	if s.mode == Vector {
+		b.WriteString(tokenPrefix + "v:")
+		for i, ts := range s.v {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(uint64(ts), 16))
+		}
+		return b.String()
+	}
+	b.WriteString(tokenPrefix + "s:")
+	b.WriteString(strconv.FormatUint(uint64(s.s), 16))
+	return b.String()
+}
+
+// Parse reconstructs a session from a Token value. The empty token opens
+// a fresh session. Parse is strict about deployment shape: the token's
+// mode must match the frontend's configured mode (a vector token presented
+// to a scalar-ablation deployment is a configuration error, not a
+// degradable request), and a vector token must carry exactly one entry per
+// datacenter.
+func Parse(token string, mode Mode, dcs int) (*Session, error) {
+	if token == "" {
+		return New(mode, dcs), nil
+	}
+	rest, ok := strings.CutPrefix(token, tokenPrefix)
+	if !ok {
+		return nil, fmt.Errorf("session: token %q lacks the %q prefix", token, tokenPrefix)
+	}
+	switch {
+	case strings.HasPrefix(rest, "v:"):
+		if mode != Vector {
+			return nil, fmt.Errorf("session: vector token presented to a scalar-mode deployment")
+		}
+		fields := strings.Split(rest[2:], ",")
+		if len(fields) != dcs {
+			return nil, fmt.Errorf("session: token tracks %d datacenters, deployment has %d", len(fields), dcs)
+		}
+		s := New(Vector, dcs)
+		for i, f := range fields {
+			u, err := strconv.ParseUint(f, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("session: token entry %d: %v", i, err)
+			}
+			s.v[i] = hlc.Timestamp(u)
+		}
+		return s, nil
+	case strings.HasPrefix(rest, "s:"):
+		if mode != Scalar {
+			return nil, fmt.Errorf("session: scalar token presented to a vector-mode deployment")
+		}
+		u, err := strconv.ParseUint(rest[2:], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("session: scalar token: %v", err)
+		}
+		s := New(Scalar, dcs)
+		s.s = hlc.Timestamp(u)
+		return s, nil
+	}
+	return nil, fmt.Errorf("session: token %q has unknown mode", token)
 }

@@ -1,0 +1,70 @@
+package session
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenRoundTripVector(t *testing.T) {
+	s := New(Vector, 3)
+	s.ObserveRead(v(5, 7, 2))
+	tok := s.Token()
+	if !strings.HasPrefix(tok, "cs1:v:") {
+		t.Fatalf("token %q lacks the vector prefix", tok)
+	}
+	got, err := Parse(tok, Vector, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dep().Equal(s.Dep()) {
+		t.Fatalf("round trip: got %v, want %v", got.Dep(), s.Dep())
+	}
+}
+
+func TestTokenRoundTripScalar(t *testing.T) {
+	s := New(Scalar, 2)
+	s.ObserveUpdate(v(0, 42))
+	tok := s.Token()
+	if !strings.HasPrefix(tok, "cs1:s:") {
+		t.Fatalf("token %q lacks the scalar prefix", tok)
+	}
+	got, err := Parse(tok, Scalar, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Dep().Equal(v(42, 42)) {
+		t.Fatalf("round trip: got %v, want broadcast 42", got.Dep())
+	}
+}
+
+func TestTokenEmptyOpensFreshSession(t *testing.T) {
+	s, err := Parse("", Vector, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Dep().Equal(v(0, 0, 0)) {
+		t.Fatalf("fresh session deps = %v", s.Dep())
+	}
+}
+
+func TestTokenRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		token string
+		mode  Mode
+		dcs   int
+	}{
+		{"missing prefix", "v:1,2,3", Vector, 3},
+		{"unknown mode letter", "cs1:x:1", Vector, 3},
+		{"mode mismatch vector", "cs1:v:1,2", Scalar, 2},
+		{"mode mismatch scalar", "cs1:s:1", Vector, 2},
+		{"wrong dc count", "cs1:v:1,2", Vector, 3},
+		{"bad hex entry", "cs1:v:1,zz,3", Vector, 3},
+		{"bad hex scalar", "cs1:s:zz", Scalar, 3},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.token, c.mode, c.dcs); err == nil {
+			t.Errorf("%s: Parse(%q) accepted", c.name, c.token)
+		}
+	}
+}

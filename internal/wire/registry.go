@@ -50,6 +50,16 @@ const (
 	TagMultiBatch Tag = 17
 	TagMultiAck   Tag = 18
 
+	// internal/geostore: the client front door — causal get/put round
+	// trips between a frontend and its datacenter's partitions, plus the
+	// migration visibility wait against the receiver.
+	TagClientRead     Tag = 19
+	TagClientReadAck  Tag = 20
+	TagClientWrite    Tag = 21
+	TagClientWriteAck Tag = 22
+	TagWait           Tag = 23
+	TagWaitAck        Tag = 24
+
 	// TagTest is reserved for package test payloads.
 	TagTest Tag = 1000
 )

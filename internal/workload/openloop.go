@@ -1,0 +1,267 @@
+package workload
+
+// Open-loop load generation. The closed-loop driver (workload.go) models
+// the paper's Basho-Bench harness: each worker waits for its previous
+// operation before issuing the next, so when the store slows down the
+// offered load politely slows down with it — and the latency report
+// silently omits exactly the periods a real user population would have
+// felt (coordinated omission). The open-loop driver removes that blind
+// spot: operations are released on a fixed arrival schedule that never
+// consults the store, and every latency sample is measured from the
+// operation's *scheduled* arrival instant, so time spent queued behind a
+// stall is charged to the store, not hidden by the generator.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"eunomia/internal/metrics"
+	"eunomia/internal/types"
+)
+
+// Arrival selects the inter-arrival process of the open-loop schedule.
+type Arrival int
+
+const (
+	// ArrivalFixed spaces operations exactly 1/Rate apart — the classic
+	// constant-throughput harness (wrk2-style).
+	ArrivalFixed Arrival = iota
+	// ArrivalPoisson draws exponential inter-arrival gaps with mean
+	// 1/Rate — the aggregate arrival process of a large population of
+	// independent clients with exponentially distributed think times.
+	ArrivalPoisson
+)
+
+// String labels the process in reports.
+func (a Arrival) String() string {
+	if a == ArrivalPoisson {
+		return "poisson"
+	}
+	return "fixed"
+}
+
+// OpenConfig parameterises one open-loop run.
+type OpenConfig struct {
+	// Rate is the offered load in operations per second. Default 1000.
+	Rate float64
+	// Duration is the measured window; Warmup precedes it and its
+	// operations run but are not recorded.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Drain bounds how long workers may keep finishing operations
+	// scheduled inside the window after it closes; whatever is still
+	// unfinished then is reported as Backlog. Default 2s.
+	Drain time.Duration
+
+	Mix       Mix
+	Keys      KeyDist
+	ValueSize int
+	Seed      int64
+	// Workers is the service pool draining the schedule (default 256).
+	// It bounds concurrency, not offered load: when all workers are
+	// busy, due operations queue — and their queueing time is charged
+	// to their latency samples.
+	Workers int
+	Arrival Arrival
+}
+
+func (c *OpenConfig) fill() {
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.Drain <= 0 {
+		c.Drain = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 256
+	}
+	if c.Keys == nil {
+		c.Keys = Uniform{N: DefaultKeys}
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = DefaultValueSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// OpenResult aggregates one open-loop run. Lat is the
+// coordinated-omission-safe distribution: scheduled arrival to
+// completion. ServiceLat is dispatch to completion — the two diverge
+// exactly when the store cannot keep up with the offered rate.
+type OpenResult struct {
+	// Offered counts operations scheduled inside the measured window;
+	// Completed of them finished (Errors among those), and Backlog were
+	// still queued or in flight when the drain budget expired —
+	// percentiles are a lower bound whenever Backlog is nonzero.
+	Offered   int64
+	Completed int64
+	Errors    int64
+	Backlog   int64
+	Reads     int64
+	Updates   int64
+	Elapsed   time.Duration
+
+	Lat        *metrics.Histogram
+	ServiceLat *metrics.Histogram
+}
+
+// Throughput returns completed operations per second of the measured
+// window.
+func (r OpenResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// P50 returns the median schedule-to-completion latency.
+func (r OpenResult) P50() time.Duration { return time.Duration(r.Lat.Percentile(50)) }
+
+// P99 returns the 99th-percentile schedule-to-completion latency.
+func (r OpenResult) P99() time.Duration { return time.Duration(r.Lat.Percentile(99)) }
+
+// P999 returns the 99.9th-percentile schedule-to-completion latency.
+func (r OpenResult) P999() time.Duration { return time.Duration(r.Lat.Percentile(99.9)) }
+
+// openOp is one scheduled operation. Everything random is drawn by the
+// dispatcher from a single seeded stream, so a run is reproducible
+// regardless of worker interleaving.
+type openOp struct {
+	sched    time.Time
+	key      types.Key
+	isRead   bool
+	measured bool
+}
+
+// RunOpen drives the store at the configured offered rate and returns the
+// coordinated-omission-safe latency distribution. It honours ctx
+// cancellation (the run ends early; ops not yet dispatched count as
+// backlog).
+func RunOpen(ctx context.Context, cfg OpenConfig, factory ClientFactory) OpenResult {
+	cfg.fill()
+	res := OpenResult{Lat: metrics.NewHistogram(), ServiceLat: metrics.NewHistogram()}
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	total := int(cfg.Rate*(cfg.Warmup+cfg.Duration).Seconds()) + cfg.Workers + 1
+	queue := make(chan openOp, total)
+
+	var offered, completed, errs, reads, updates metrics.Counter
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Dispatcher: release operations on the schedule. When the clock has
+	// run ahead of the schedule (a sleep overshot, or a burst of due
+	// arrivals), operations are released back-to-back with their original
+	// scheduled instants — the schedule never yields to the store.
+	start := time.Now()
+	measureStart := start.Add(cfg.Warmup)
+	measureEnd := measureStart.Add(cfg.Duration)
+	var dispatchWG sync.WaitGroup
+	dispatchWG.Add(1)
+	go func() {
+		defer dispatchWG.Done()
+		defer close(queue)
+		r := rand.New(rand.NewSource(cfg.Seed))
+		sched := start
+		for sched.Before(measureEnd) {
+			if wait := time.Until(sched); wait > 0 {
+				sleepCtx(runCtx, wait)
+			}
+			if runCtx.Err() != nil {
+				return
+			}
+			op := openOp{
+				sched:    sched,
+				key:      KeyName(cfg.Keys.Next(r)),
+				isRead:   cfg.Mix.IsRead(r),
+				measured: !sched.Before(measureStart),
+			}
+			enqueued := false
+			select {
+			case queue <- op:
+				enqueued = true
+			default:
+				// The channel is sized for the full schedule; running out
+				// means the clock produced more arrivals than planned
+				// (possible under Poisson). Drop rather than block — a
+				// dropped arrival is not offered load.
+			}
+			if enqueued && op.measured {
+				offered.Inc()
+			}
+			if cfg.Arrival == ArrivalPoisson {
+				sched = sched.Add(time.Duration(r.ExpFloat64() * float64(interval)))
+			} else {
+				sched = sched.Add(interval)
+			}
+		}
+	}()
+
+	// Workers: drain the schedule until it closes, then keep finishing
+	// within the drain budget.
+	drainCtx, drainCancel := context.WithDeadline(ctx, measureEnd.Add(cfg.Drain))
+	defer drainCancel()
+	value := make(types.Value, cfg.ValueSize)
+	rand.New(rand.NewSource(cfg.Seed)).Read(value)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := factory(w)
+			for {
+				var op openOp
+				var ok bool
+				select {
+				case op, ok = <-queue:
+					if !ok {
+						return
+					}
+				case <-drainCtx.Done():
+					return
+				}
+				dispatched := time.Now()
+				var err error
+				if op.isRead {
+					_, err = client.Read(op.key)
+				} else {
+					err = client.Update(op.key, value)
+				}
+				end := time.Now()
+				if op.measured {
+					completed.Inc()
+					if err != nil {
+						errs.Inc()
+					} else if op.isRead {
+						reads.Inc()
+					} else {
+						updates.Inc()
+					}
+					res.Lat.RecordDuration(end.Sub(op.sched))
+					res.ServiceLat.RecordDuration(end.Sub(dispatched))
+				}
+				if drainCtx.Err() != nil {
+					return
+				}
+			}
+		}(w)
+	}
+
+	dispatchWG.Wait()
+	wg.Wait()
+	drainCancel()
+
+	res.Elapsed = measureEnd.Sub(measureStart)
+	res.Offered = offered.Load()
+	res.Completed = completed.Load()
+	res.Errors = errs.Load()
+	res.Reads = reads.Load()
+	res.Updates = updates.Load()
+	res.Backlog = res.Offered - res.Completed
+	return res
+}

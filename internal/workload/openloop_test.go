@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+// memClient is an instantaneous in-memory store.
+type memClient struct {
+	mu sync.Mutex
+	m  map[types.Key]types.Value
+}
+
+func (c *memClient) Read(key types.Key) (types.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key], nil
+}
+
+func (c *memClient) Update(key types.Key, value types.Value) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = value
+	return nil
+}
+
+// slowClient stalls every operation for a fixed service time.
+type slowClient struct {
+	memClient
+	delay time.Duration
+}
+
+func (c *slowClient) Read(key types.Key) (types.Value, error) {
+	time.Sleep(c.delay)
+	return c.memClient.Read(key)
+}
+
+func (c *slowClient) Update(key types.Key, value types.Value) error {
+	time.Sleep(c.delay)
+	return c.memClient.Update(key, value)
+}
+
+func TestOpenLoopOffersScheduledRate(t *testing.T) {
+	shared := &memClient{m: make(map[types.Key]types.Value)}
+	res := RunOpen(context.Background(), OpenConfig{
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+		Mix:      Mix{ReadPct: 90},
+		Workers:  32,
+	}, func(int) Client { return shared })
+
+	// ~1000 ops in the window; generous bounds absorb scheduler noise.
+	if res.Offered < 800 || res.Offered > 1200 {
+		t.Fatalf("offered %d ops, want ~1000", res.Offered)
+	}
+	if res.Backlog != 0 {
+		t.Fatalf("instantaneous store left backlog %d", res.Backlog)
+	}
+	if res.Completed != res.Offered {
+		t.Fatalf("completed %d of %d", res.Completed, res.Offered)
+	}
+	if res.Reads == 0 || res.Updates == 0 {
+		t.Fatalf("mix not exercised: %d reads, %d updates", res.Reads, res.Updates)
+	}
+	if res.Lat.Count() != res.Completed {
+		t.Fatalf("recorded %d latencies for %d completions", res.Lat.Count(), res.Completed)
+	}
+}
+
+// TestOpenLoopChargesQueueing is the coordinated-omission property: with
+// one worker serving 5ms operations against a 1000/s schedule, the
+// closed-loop view would report ~5ms per op; the open-loop view must
+// charge the growing queue to the tail.
+func TestOpenLoopChargesQueueing(t *testing.T) {
+	res := RunOpen(context.Background(), OpenConfig{
+		Rate:     1000,
+		Duration: 300 * time.Millisecond,
+		Workers:  1,
+		Drain:    100 * time.Millisecond,
+		Mix:      Mix{ReadPct: 100},
+	}, func(int) Client {
+		return &slowClient{memClient: memClient{m: make(map[types.Key]types.Value)}, delay: 5 * time.Millisecond}
+	})
+
+	// Service capacity is ~200/s against 1000/s offered: most of the
+	// window's arrivals cannot finish inside the drain budget.
+	if res.Backlog == 0 {
+		t.Fatal("overloaded run reported no backlog")
+	}
+	// CO-safety: scheduled-arrival latency must dwarf service latency.
+	p99 := res.P99()
+	servP99 := time.Duration(res.ServiceLat.Percentile(99))
+	if p99 < 4*servP99 {
+		t.Fatalf("p99 %v does not charge queueing (service p99 %v)", p99, servP99)
+	}
+}
+
+func TestOpenLoopPoissonArrivals(t *testing.T) {
+	shared := &memClient{m: make(map[types.Key]types.Value)}
+	res := RunOpen(context.Background(), OpenConfig{
+		Rate:     2000,
+		Duration: 400 * time.Millisecond,
+		Arrival:  ArrivalPoisson,
+		Mix:      Mix{ReadPct: 50},
+		Workers:  32,
+	}, func(int) Client { return shared })
+	// Poisson keeps the mean rate: ~800 arrivals, loose bounds.
+	if res.Offered < 500 || res.Offered > 1200 {
+		t.Fatalf("poisson offered %d, want ~800", res.Offered)
+	}
+	if res.Backlog != 0 {
+		t.Fatalf("backlog %d", res.Backlog)
+	}
+}
+
+func TestOpenLoopHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	RunOpen(ctx, OpenConfig{
+		Rate:     100,
+		Duration: 10 * time.Second,
+		Workers:  2,
+	}, func(int) Client { return &memClient{m: make(map[types.Key]types.Value)} })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+}
