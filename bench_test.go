@@ -383,3 +383,55 @@ func BenchmarkAblationDataMetadataSeparation(b *testing.B) {
 		b.ReportMetric(res.CombinedThr, "combined-ops/s")
 	}
 }
+
+// BenchmarkWANMatrix runs the emulated-WAN scenario matrix: all five
+// systems × off/snappy/zstd as one TCP process per datacenter behind the
+// default asymmetric 3-DC topology (latency, jitter, loss, bandwidth)
+// with skewed per-datacenter clocks. Bytes-on-wire per operation and
+// remote-visibility latency percentiles per cell land in BENCH_ci.json
+// via the CI bench job — the visibility curves of §7 with the network
+// bill attached.
+func BenchmarkWANMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.WANBench(harness.WANBenchOptions{
+			Duration: 400 * time.Millisecond,
+			Warmup:   150 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			label := metricName(strings.ToLower(string(c.System)), "-"+c.Scheme.String())
+			b.ReportMetric(c.BytesPerOp, label+"-wire-B/op")
+			b.ReportMetric(c.Ratio, label+"-compress-ratio")
+			b.ReportMetric(float64(c.VisP50.Microseconds())/1000, label+"-vis-p50-ms")
+			b.ReportMetric(float64(c.VisP90.Microseconds())/1000, label+"-vis-p90-ms")
+			b.ReportMetric(float64(c.VisP99.Microseconds())/1000, label+"-vis-p99-ms")
+		}
+	}
+}
+
+// BenchmarkWANTreeBytes is the compression acceptance measurement: the
+// MultiBatchMsg-heavy aggregator-tree hop over TCP per compression
+// scheme. The bar is a ≥2× bytes-on-wire reduction for zstd versus the
+// uncompressed wire codec; snappy sits in between at lower CPU.
+func BenchmarkWANTreeBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.WANTreeBytes(harness.WANTreeOptions{
+			ServiceOptions: harness.ServiceOptions{
+				Duration: 400 * time.Millisecond,
+				Warmup:   150 * time.Millisecond,
+			},
+			Partitions: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			prefix := "tree-" + p.Scheme.String()
+			b.ReportMetric(p.BytesPerOp, prefix+"-wire-B/op")
+			b.ReportMetric(p.Ratio, prefix+"-compress-ratio")
+			b.ReportMetric(p.ReductionVsOff, prefix+"-reduction-vs-off-x")
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	eunomia-bench [flags] fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablations|all
+//	eunomia-bench [flags] fig1|fig2|fig3|fig4|fig5|fig6|fig7|wan|ablations|all
 //
 // Durations default to quick, laptop-scale runs; raise -duration (and
 // -phase for fig7, -total for fig4) for longer, lower-variance runs.
@@ -37,7 +37,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: eunomia-bench [flags] fig1|fig2|fig3|fig4|fig5|fig6|fig7|ablations|all")
+		fmt.Fprintln(os.Stderr, "usage: eunomia-bench [flags] fig1|fig2|fig3|fig4|fig5|fig6|fig7|wan|ablations|all")
 		os.Exit(2)
 	}
 
@@ -67,6 +67,8 @@ func main() {
 			fig6(opts)
 		case "fig7":
 			fig7(harness.Fig7Options{Options: opts, Phase: *phase})
+		case "wan":
+			wanMatrix(opts)
 		case "ablations":
 			ablations(opts, svcOpts)
 		case "all":
@@ -288,4 +290,46 @@ func ablations(opts harness.Options, svcOpts harness.ServiceOptions) {
 	fan := harness.AblationPropagationTree(svcOpts, 60, 15)
 	fmt.Printf("propagation tree (§5): direct %.0f msgs/s at the replica (%.0f ops/s) vs 15-way tree %.0f msgs/s (%.0f ops/s)\n",
 		fan.DirectBatches, fan.DirectThroughput, fan.TreeBatches, fan.TreeThroughput)
+}
+
+// wanMatrix renders the emulated-WAN scenario matrix — every system ×
+// compression scheme as one TCP process per datacenter behind the default
+// shaped topology — followed by the aggregator-tree bytes comparison.
+func wanMatrix(opts harness.Options) {
+	header("Emulated WAN — bytes on wire and visibility per system × compression")
+	res, err := harness.WANBench(harness.WANBenchOptions{
+		Duration:     opts.Duration,
+		Warmup:       opts.Warmup,
+		DCs:          opts.DCs,
+		Partitions:   opts.Partitions,
+		WorkersPerDC: opts.WorkersPerDC,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wan matrix: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology: %s\n\n", res.Topology)
+	fmt.Println("| system | compression | ops/s | wire B/op | ratio | vis p50 | vis p90 | vis p99 |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, c := range res.Cells {
+		fmt.Printf("| %s | %s | %.0f | %.0f | %.2f | %s | %s | %s |\n",
+			c.System, c.Scheme, c.Throughput, c.BytesPerOp, c.Ratio,
+			c.VisP50.Round(time.Millisecond), c.VisP90.Round(time.Millisecond),
+			c.VisP99.Round(time.Millisecond))
+	}
+
+	header("Emulated WAN — aggregator-tree bytes on wire per compression scheme")
+	tree, err := harness.WANTreeBytes(harness.WANTreeOptions{
+		ServiceOptions: harness.ServiceOptions{Duration: opts.Duration, Warmup: opts.Warmup},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wan tree: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("| compression | ordered ops | wire B/op | ratio | reduction vs off |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, p := range tree.Points {
+		fmt.Printf("| %s | %d | %.0f | %.2f | %.1f× |\n",
+			p.Scheme, p.Ops, p.BytesPerOp, p.Ratio, p.ReductionVsOff)
+	}
 }

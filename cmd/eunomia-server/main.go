@@ -73,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"eunomia/internal/compress"
 	"eunomia/internal/eunomia"
 	"eunomia/internal/eventual"
 	"eunomia/internal/fabric"
@@ -83,6 +84,7 @@ import (
 	"eunomia/internal/transport"
 	"eunomia/internal/types"
 	"eunomia/internal/wal"
+	"eunomia/internal/wan"
 )
 
 // demoClient is the operation surface the demo workload drives; every
@@ -150,6 +152,8 @@ func main() {
 		walGMax    = flag.Int("wal-group-max", 0, "-wal-sync group: records that cut -wal-group-delay short (default 4096)")
 		metricsAd  = flag.String("metrics-addr", "", "serve Prometheus-style metrics (fabric, peer windows, codec latency, node state) on this HTTP address at /metrics")
 		codecName  = flag.String("codec", "wire", `fabric frame codec: "wire" (zero-reflection, default) or "gob" (the reflection ablation)`)
+		compressN  = flag.String("compress", "off", `wire-codec frame compression for connections this process dials: "off", "snappy", or "zstd"; inbound connections always follow the remote dialer's announcement, so mixed deployments interoperate`)
+		wanSeed    = flag.Int64("wan-seed", 42, "seed for -wan jitter and loss draws; the same seed and topology replay identical link behaviour")
 		frontAddr  = flag.String("frontend-addr", "", "mode eunomia: serve the causal HTTP front door (GET/PUT /kv/{key} with X-Causal-Session tokens) on this address; needs a role that includes frontend (dc does)")
 		frontIndex = flag.Int("frontend-index", 0, "which of the datacenter's front-door fabric endpoints this process hosts; frontends are stateless and scale horizontally by index")
 		frontWait  = flag.Duration("frontend-wait", 30*time.Second, "bound on a read's visibility wait (session migration, §4) before it fails with 503")
@@ -158,6 +162,11 @@ func main() {
 	var routeSpecs []string
 	flag.Func("route", `endpoint route, repeatable: "dc1=host:port" or "dc1:receiver=host:port"`, func(s string) error {
 		routeSpecs = append(routeSpecs, s)
+		return nil
+	})
+	var wanSpecs []string
+	flag.Func("wan", `emulated-WAN link shaping for inbound cross-datacenter frames, repeatable or ";"-joined: "dc0-dc1:40ms±5ms,0.1%,50Mbps" (delay, optional ±jitter, loss, bandwidth; pair "*" is the default link)`, func(s string) error {
+		wanSpecs = append(wanSpecs, s)
 		return nil
 	})
 	flag.Parse()
@@ -234,12 +243,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	scheme, err := compress.Parse(*compressN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if scheme != compress.Off && codec == fabric.CodecGob {
+		log.Fatalf("-compress %s contradicts -codec gob: compression is defined only on the wire codec", scheme)
+	}
+	if flagSet("wan-seed") && len(wanSpecs) == 0 {
+		log.Fatal("-wan-seed applies only with -wan link specs")
+	}
+	var shaper *wan.Shaper
+	if len(wanSpecs) > 0 {
+		topo, err := wan.ParseTopology(wanSpecs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shaper = wan.NewShaper(topo, *wanSeed)
+	}
 	// HoldDelivery: peers may dial and stream the moment the port is
 	// bound, but nothing is consumed (or acknowledged) until this
 	// process's roles are registered — otherwise a slow boot under load
 	// silently acks-and-drops the first frames of send-once edges
 	// (stable-metadata ships, payload batches).
-	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise, Codec: codec, HoldDelivery: true})
+	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise, Codec: codec,
+		Compress: scheme, WANShaper: shaper, HoldDelivery: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -575,6 +603,28 @@ func serveMetrics(addr string, fab *transport.TCP, h hosted) error {
 			samples = append(samples, metrics.PromHistogram("eunomia_codec_decode_seconds", label, dec, nil)...)
 			samples = append(samples, metrics.PromHistogram("eunomia_frame_flush_seconds", label, flush, nil)...)
 		}
+		// Compression byte accounting: pre-compress is what the wire
+		// records would have cost raw, post-compress what actually crossed
+		// the sockets. On uncompressed connections the two advance in
+		// lockstep, so bytes-on-wire per operation is comparable across
+		// every -compress mode, and pre/post is the endpoint's achieved
+		// ratio (exported as its own per-endpoint summary gauge).
+		cst := fab.CompressStats()
+		samples = append(samples,
+			metrics.PromSample{Name: "eunomia_transport_bytes_pre_compress_total", Labels: [][2]string{{"dir", "tx"}}, Value: float64(cst.TxRaw)},
+			metrics.PromSample{Name: "eunomia_transport_bytes_post_compress_total", Labels: [][2]string{{"dir", "tx"}}, Value: float64(cst.TxWire)},
+			metrics.PromSample{Name: "eunomia_transport_bytes_pre_compress_total", Labels: [][2]string{{"dir", "rx"}}, Value: float64(cst.RxRaw)},
+			metrics.PromSample{Name: "eunomia_transport_bytes_post_compress_total", Labels: [][2]string{{"dir", "rx"}}, Value: float64(cst.RxWire)},
+		)
+		ratio := 1.0
+		if wire := cst.TxWire + cst.RxWire; wire > 0 {
+			ratio = float64(cst.TxRaw+cst.RxRaw) / float64(wire)
+		}
+		samples = append(samples, metrics.PromSample{
+			Name:   "eunomia_transport_compress_ratio",
+			Labels: [][2]string{{"scheme", fab.Compress().String()}},
+			Value:  ratio,
+		})
 		if h.metrics != nil {
 			samples = append(samples, h.metrics()...)
 		}

@@ -147,6 +147,86 @@ func TestTwoProcessGobAblationOverTCP(t *testing.T) {
 	runTwoProcessDemo(t, buildServer(t), "eunomia", "causal chain OK", 12, "-codec", "gob")
 }
 
+// TestTwoProcessCompressedOverTCP runs the whole comparison matrix with
+// every process dialing zstd-compressed connections: the negotiated
+// record layout must carry each protocol end to end, so the WAN
+// benchmarks' -compress zstd cells measure live systems, not a layout
+// that only survives the happy path.
+func TestTwoProcessCompressedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	bin := buildServer(t)
+	for mode, confirm := range map[string]string{
+		"eunomia":    "causal chain OK",
+		"sequencer":  "causal chain OK",
+		"globalstab": "causal chain OK",
+		"cure":       "causal chain OK",
+		"eventual":   "visibility OK",
+	} {
+		t.Run(mode, func(t *testing.T) {
+			runTwoProcessDemo(t, bin, mode, confirm, 12, "-compress", "zstd")
+		})
+	}
+}
+
+// TestTwoProcessMixedCompressionOverTCP pairs a snappy-dialing dc0 with
+// a plain-dialing dc1 — the runTwoProcessDemo helper applies extras to
+// both, so this variant builds the deployment by hand: each side must
+// decode the other's announced scheme, the mixed-rollout case a
+// compression deploy lives in.
+func TestTwoProcessMixedCompressionOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	bin := buildServer(t)
+	addr0, addr1 := freePort(t), freePort(t)
+	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1", "-stats-interval", "1h"}
+
+	writer := startProc(t, bin, append([]string{
+		"-role", "dc", "-dc", "0", "-listen", addr0,
+		"-route", "dc1=" + addr1,
+		"-compress", "snappy",
+		"-demo", "write:12",
+	}, common...)...)
+	defer writer.kill()
+	watcher := startProc(t, bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", addr1,
+		"-route", "dc0=" + addr0,
+		"-demo", "watch:12",
+	}, common...)...)
+	defer watcher.kill()
+
+	done := make(chan error, 1)
+	go func() { done <- watcher.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watcher failed: %v\nwatcher:\n%s\nwriter:\n%s", err, watcher.output(), writer.output())
+		}
+	case <-time.After(150 * time.Second):
+		_ = watcher.cmd.Process.Kill()
+		<-done
+		t.Fatalf("watcher did not finish\nwatcher:\n%s\nwriter:\n%s", watcher.output(), writer.output())
+	}
+	if !strings.Contains(watcher.output(), "causal chain OK (12 pairs)") {
+		t.Fatalf("watcher did not confirm causal order:\n%s", watcher.output())
+	}
+}
+
+// TestTwoProcessDemoOverEmulatedWAN shapes the inter-DC link of a live
+// two-process deployment (-wan: 30ms±3ms, 0.1% loss, 50Mbps) with
+// compressed frames: the causal demo must still pass over the injected
+// latency — the end-to-end form of the WAN benchmarks' claim that
+// shaping changes timing, never correctness.
+func TestTwoProcessDemoOverEmulatedWAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process demo in -short mode")
+	}
+	runTwoProcessDemo(t, buildServer(t), "eunomia", "causal chain OK", 8,
+		"-wan", "dc0-dc1:30ms±3ms,0.1%,50Mbps", "-compress", "zstd")
+}
+
 // TestThreeProcessSequencerOverTCP splits dc0 of the sequencer baseline
 // by role: the number service runs alone in one process, the partition
 // group in another, so every update's sequence number is assigned over a
@@ -297,13 +377,14 @@ func (p *proc) lastApplied() int {
 // watermark — the watcher then proves nothing was lost or misordered.
 // With durable=false the restart has no data dir and the receiver
 // process must exit nonzero with a wedge diagnostic instead of
-// pretending the datacenter is healthy. walArgs (e.g. -wal-sync group)
-// are threaded to every durable process so the matrix covers each sync
+// pretending the datacenter is healthy. extra flags (e.g. -compress)
+// apply to every process; walArgs (e.g. -wal-sync group) are threaded
+// to the durable processes only, so the matrix covers each sync
 // policy's crash window.
-func runPartitionKillRestart(t *testing.T, bin string, durable bool, walArgs ...string) {
+func runPartitionKillRestart(t *testing.T, bin string, durable bool, extra, walArgs []string) {
 	partsAddr, recvAddr, originAddr := freePort(t), freePort(t), freePort(t)
 	dir := t.TempDir()
-	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1"}
+	common := append([]string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1"}, extra...)
 
 	partsArgs := append([]string{
 		"-role", "partitions,eunomia", "-dc", "0", "-listen", partsAddr,
@@ -453,7 +534,19 @@ func TestPartitionProcessKillRejoinOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping multi-process restart test in -short mode")
 	}
-	runPartitionKillRestart(t, buildServer(t), true)
+	runPartitionKillRestart(t, buildServer(t), true, nil, nil)
+}
+
+// TestPartitionProcessKillRejoinCompressedOverTCP is the same crash and
+// durable rejoin with every process dialing compressed (-compress zstd)
+// connections: the retransmit/rejoin machinery must be byte-layout
+// agnostic, and a reconnecting dialer renegotiates its scheme on the
+// fresh socket.
+func TestPartitionProcessKillRejoinCompressedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	runPartitionKillRestart(t, buildServer(t), true, []string{"-compress", "zstd"}, nil)
 }
 
 // TestPartitionProcessKillRejoinGroupCommitOverTCP runs the same crash
@@ -465,7 +558,7 @@ func TestPartitionProcessKillRejoinGroupCommitOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping multi-process restart test in -short mode")
 	}
-	runPartitionKillRestart(t, buildServer(t), true, "-wal-sync", "group")
+	runPartitionKillRestart(t, buildServer(t), true, nil, []string{"-wal-sync", "group"})
 }
 
 // TestPartitionProcessKillNoDataDirWedges is the same crash without a
@@ -475,7 +568,7 @@ func TestPartitionProcessKillNoDataDirWedges(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping multi-process restart test in -short mode")
 	}
-	runPartitionKillRestart(t, buildServer(t), false)
+	runPartitionKillRestart(t, buildServer(t), false, nil, nil)
 }
 
 // aggTreeProcs launches a two-datacenter deployment whose dc0 runs the
@@ -694,6 +787,18 @@ func TestRejectsContradictoryFlags(t *testing.T) {
 		{"unknown-mode",
 			[]string{"-mode", "bogus", "-role", "dc"},
 			"unknown -mode"},
+		{"unknown-compress",
+			[]string{"-mode", "eunomia", "-role", "dc", "-compress", "lz4"},
+			"unknown scheme"},
+		{"compress-contradicts-gob",
+			[]string{"-mode", "eunomia", "-role", "dc", "-codec", "gob", "-compress", "zstd"},
+			"contradicts -codec gob"},
+		{"wan-seed-needs-wan",
+			[]string{"-mode", "eunomia", "-role", "dc", "-wan-seed", "7"},
+			"-wan-seed applies only with -wan"},
+		{"bad-wan-spec",
+			[]string{"-mode", "eunomia", "-role", "dc", "-wan", "dc0-dc1:fast"},
+			"link spec"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -722,12 +827,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	p := startProc(t, bin,
 		"-mode", "eunomia", "-role", "dc", "-dc", "0", "-dcs", "1",
 		"-partitions", "2", "-agg-fanin", "1", "-listen", addr, "-metrics-addr", maddr,
-		"-stats-interval", "1h")
+		"-compress", "snappy", "-stats-interval", "1h")
 	defer p.kill()
 
 	body := scrapeMetrics(t, p, maddr)
 	for _, want := range []string{
 		"eunomia_fabric_sent_total", "eunomia_local_updates_total", "eunomia_release_wedged 0",
+		// Compression byte accounting: pre/post totals per direction and
+		// the endpoint's ratio summary under its dialing scheme.
+		`eunomia_transport_bytes_pre_compress_total{dir="tx"}`,
+		`eunomia_transport_bytes_post_compress_total{dir="tx"}`,
+		`eunomia_transport_bytes_pre_compress_total{dir="rx"}`,
+		`eunomia_transport_bytes_post_compress_total{dir="rx"}`,
+		`eunomia_transport_compress_ratio{scheme="snappy"}`,
 		// Codec latency histograms: cumulative buckets, sum, count, codec label.
 		`eunomia_codec_encode_seconds_bucket{codec="wire",le="+Inf"}`,
 		`eunomia_codec_decode_seconds_count{codec="wire"}`,

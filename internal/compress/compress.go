@@ -1,0 +1,204 @@
+// Package compress provides the per-frame compression schemes the
+// transport negotiates on wire-codec connections (-compress off|snappy|zstd).
+//
+// Both codecs are append-style ([]byte in, []byte out, caller-owned
+// buffers) with pooled encoder/decoder state, so the transport's
+// steady-state flush path stays allocation-free.
+//
+//   - Snappy is a from-scratch implementation of the snappy block format
+//     (uvarint decoded length, then literal/copy elements): byte-compatible
+//     with every other snappy implementation, tuned for speed over ratio.
+//   - Zstd is the slot for a real zstd codec. The build environment
+//     vendors no third-party compression library, so the slot is currently
+//     backed by the standard library's DEFLATE (compress/flate at
+//     BestSpeed) behind a distinct wire scheme byte: peers negotiate
+//     "zstd" as a unit, and a real zstd implementation can replace the
+//     backing without touching the negotiation. It compresses harder than
+//     snappy and costs more CPU — exactly the trade the flag exists to
+//     expose — but the frames are DEFLATE streams, not zstd frames.
+//     OPERATIONS.md documents this loudly.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Scheme identifies one negotiated compression scheme.
+type Scheme uint8
+
+const (
+	// Off ships frames uncompressed (the default).
+	Off Scheme = iota
+	// Snappy is the snappy block format: cheap CPU, moderate ratio.
+	Snappy
+	// Zstd is the heavy-ratio slot (currently DEFLATE-backed, see the
+	// package comment).
+	Zstd
+)
+
+// Parse maps the -compress flag values to a Scheme.
+func Parse(s string) (Scheme, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "snappy":
+		return Snappy, nil
+	case "zstd":
+		return Zstd, nil
+	}
+	return Off, fmt.Errorf("compress: unknown scheme %q (want off, snappy, or zstd)", s)
+}
+
+func (s Scheme) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Snappy:
+		return "snappy"
+	case Zstd:
+		return "zstd"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// maxDecodedLen bounds the decoded length a compressed input may claim.
+// Inputs come off real sockets; without the cap a hostile five-byte
+// preamble could demand a multi-gigabyte allocation.
+const maxDecodedLen = 1 << 30
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. Off is not a valid argument: callers gate the
+// uncompressed path themselves (the transport ships raw frames without a
+// scheme preamble when compression is off or unprofitable).
+func Compress(s Scheme, dst, src []byte) []byte {
+	switch s {
+	case Snappy:
+		return snappyCompress(dst, src)
+	case Zstd:
+		return flateCompress(dst, src)
+	}
+	panic("compress: Compress called with scheme " + s.String())
+}
+
+// Decompress appends the decompressed form of src to dst. Corrupt or
+// truncated input errors (never panics); the transport treats any error
+// as a torn connection.
+func Decompress(s Scheme, dst, src []byte) ([]byte, error) {
+	switch s {
+	case Snappy:
+		return snappyDecompress(dst, src)
+	case Zstd:
+		return flateDecompress(dst, src)
+	}
+	return nil, fmt.Errorf("compress: Decompress called with scheme %s", s)
+}
+
+// grow extends b by n bytes (reusing capacity when it can) and returns
+// the extended slice.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// The DEFLATE-backed "zstd" slot. Framing: uvarint decoded length, then
+// one DEFLATE stream. The explicit length lets the decoder allocate
+// exactly once and reject dishonest streams.
+
+// flateLevel trades ratio for CPU; BestSpeed still roughly halves the
+// transport's batched metadata frames and keeps the flush path off the
+// profile.
+const flateLevel = flate.BestSpeed
+
+type flateEncState struct {
+	w  *flate.Writer
+	aw appendWriter
+}
+
+// appendWriter adapts an append buffer to io.Writer for the flate writer.
+type appendWriter struct{ b []byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	a.b = append(a.b, p...)
+	return len(p), nil
+}
+
+var flateEncPool = sync.Pool{New: func() any {
+	st := &flateEncState{}
+	w, err := flate.NewWriter(&st.aw, flateLevel)
+	if err != nil {
+		panic(err) // flateLevel is a valid constant level
+	}
+	st.w = w
+	return st
+}}
+
+func flateCompress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	st := flateEncPool.Get().(*flateEncState)
+	st.aw.b = dst
+	st.w.Reset(&st.aw)
+	// Writes to an appendWriter cannot fail.
+	_, _ = st.w.Write(src)
+	_ = st.w.Close()
+	dst = st.aw.b
+	st.aw.b = nil
+	flateEncPool.Put(st)
+	return dst
+}
+
+type flateDecState struct {
+	br bytes.Reader
+	r  io.ReadCloser // *flate.decompressor, reused via flate.Resetter
+}
+
+var flateDecPool = sync.Pool{New: func() any {
+	st := &flateDecState{}
+	st.r = flate.NewReader(&st.br)
+	return st
+}}
+
+func flateDecompress(dst, src []byte) ([]byte, error) {
+	dLen, n, err := decodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	st := flateDecPool.Get().(*flateDecState)
+	defer flateDecPool.Put(st)
+	st.br.Reset(src[n:])
+	if err := st.r.(flate.Resetter).Reset(&st.br, nil); err != nil {
+		return nil, err
+	}
+	base := len(dst)
+	dst = grow(dst, dLen)
+	if _, err := io.ReadFull(st.r, dst[base:]); err != nil {
+		return nil, fmt.Errorf("compress: flate: %w", err)
+	}
+	// The stream must end exactly at the declared length.
+	var tail [1]byte
+	if m, _ := st.r.Read(tail[:]); m != 0 {
+		return nil, fmt.Errorf("compress: flate: stream longer than declared length %d", dLen)
+	}
+	return dst, nil
+}
+
+// decodedLen parses the uvarint decoded-length preamble both codecs
+// share and applies the hostile-input cap.
+func decodedLen(src []byte) (dLen, consumed int, err error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("compress: bad decoded-length preamble")
+	}
+	if v > maxDecodedLen {
+		return 0, 0, fmt.Errorf("compress: declared length %d exceeds cap %d", v, maxDecodedLen)
+	}
+	return int(v), n, nil
+}

@@ -1,0 +1,235 @@
+package compress
+
+// A from-scratch snappy block format codec (the format every snappy
+// implementation speaks: uvarint decoded length, then a sequence of
+// literal and copy elements). The encoder is a greedy single-pass
+// matcher over 64 KiB windows with a pooled 16 K-entry hash table — the
+// standard snappy trade of speed over ratio. The decoder handles the
+// full format (all four tags, all literal-length extensions) and
+// bounds-checks every element: corrupt input errors, never panics, and
+// never reads or writes out of range.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Element tags (low two bits of the tag byte).
+const (
+	snapTagLiteral = 0x00
+	snapTagCopy1   = 0x01
+	snapTagCopy2   = 0x02
+	snapTagCopy4   = 0x03
+)
+
+// snapBlockSize is the window the encoder matches within; offsets never
+// exceed it, so every copy fits the 2-byte-offset element.
+const snapBlockSize = 65536
+
+const snapTableBits = 14
+
+type snapTable [1 << snapTableBits]uint16
+
+var snapTablePool = sync.Pool{New: func() any { return new(snapTable) }}
+
+func snapHash(u uint32) uint32 { return (u * 0x1e35a7bd) >> (32 - snapTableBits) }
+
+func snapLoad32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+func snappyCompress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		block := src
+		if len(block) > snapBlockSize {
+			block = block[:snapBlockSize]
+		}
+		src = src[len(block):]
+		dst = snapEncodeBlock(dst, block)
+	}
+	return dst
+}
+
+func snapEncodeBlock(dst, src []byte) []byte {
+	// Blocks too short to hold a profitable match ship as one literal.
+	if len(src) < 16 {
+		return snapEmitLiteral(dst, src)
+	}
+	table := snapTablePool.Get().(*snapTable)
+	clear(table[:])
+	defer snapTablePool.Put(table)
+
+	lit := 0 // src[lit:s] is the pending literal run
+	s := 0
+	sLimit := len(src) - 4
+	skip := 32 // grows while no matches are found: incompressible input scans fast
+	for s <= sLimit {
+		h := snapHash(snapLoad32(src, s))
+		cand := int(table[h])
+		table[h] = uint16(s)
+		// cand < s distinguishes a real earlier position from the table's
+		// zero value; position 0 is then validated (or refuted) by the
+		// 4-byte comparison like any other candidate.
+		if cand >= s || snapLoad32(src, cand) != snapLoad32(src, s) {
+			s += skip >> 5
+			skip++
+			continue
+		}
+		if lit < s {
+			dst = snapEmitLiteral(dst, src[lit:s])
+		}
+		length := 4
+		for s+length < len(src) && src[cand+length] == src[s+length] {
+			length++
+		}
+		dst = snapEmitCopy(dst, s-cand, length)
+		s += length
+		lit = s
+		skip = 32
+	}
+	if lit < len(src) {
+		dst = snapEmitLiteral(dst, src[lit:])
+	}
+	return dst
+}
+
+func snapEmitLiteral(dst, lit []byte) []byte {
+	if len(lit) == 0 {
+		return dst
+	}
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|snapTagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|snapTagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|snapTagLiteral, byte(n), byte(n>>8))
+	default: // block size caps literals well below the 3- and 4-byte forms
+		dst = append(dst, 62<<2|snapTagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	}
+	return append(dst, lit...)
+}
+
+// snapEmitCopy emits a copy of length >= 4 from offset (1..65535) back,
+// chopped into spec-sized elements. Short close copies use the 2-byte
+// copy-1 element; everything else the 3-byte copy-2.
+func snapEmitCopy(dst []byte, offset, length int) []byte {
+	for length > 64 {
+		dst = append(dst, 63<<2|snapTagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length >= 4 && length < 12 && offset < 2048 {
+		return append(dst,
+			byte(offset>>8)<<5|byte(length-4)<<2|snapTagCopy1,
+			byte(offset))
+	}
+	return append(dst, byte(length-1)<<2|snapTagCopy2, byte(offset), byte(offset>>8))
+}
+
+var errSnapCorrupt = fmt.Errorf("compress: corrupt snappy input")
+
+func snappyDecompress(dst, src []byte) ([]byte, error) {
+	dLen, n, err := decodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[n:]
+	base := len(dst)
+	dst = grow(dst, dLen)
+	d := base
+	end := base + dLen
+	s := 0
+	for s < len(src) {
+		tag := src[s]
+		var length, offset int
+		switch tag & 3 {
+		case snapTagLiteral:
+			x := int(tag >> 2)
+			s++
+			switch {
+			case x < 60:
+				length = x + 1
+			case x == 60:
+				if s+1 > len(src) {
+					return nil, errSnapCorrupt
+				}
+				length = int(src[s]) + 1
+				s++
+			case x == 61:
+				if s+2 > len(src) {
+					return nil, errSnapCorrupt
+				}
+				length = int(src[s]) | int(src[s+1])<<8
+				length++
+				s += 2
+			case x == 62:
+				if s+3 > len(src) {
+					return nil, errSnapCorrupt
+				}
+				length = int(src[s]) | int(src[s+1])<<8 | int(src[s+2])<<16
+				length++
+				s += 3
+			default: // x == 63
+				if s+4 > len(src) {
+					return nil, errSnapCorrupt
+				}
+				v := int64(src[s]) | int64(src[s+1])<<8 | int64(src[s+2])<<16 | int64(src[s+3])<<24
+				if v+1 > maxDecodedLen {
+					return nil, errSnapCorrupt
+				}
+				length = int(v) + 1
+				s += 4
+			}
+			if length > len(src)-s || length > end-d {
+				return nil, errSnapCorrupt
+			}
+			copy(dst[d:], src[s:s+length])
+			d += length
+			s += length
+			continue
+		case snapTagCopy1:
+			if s+2 > len(src) {
+				return nil, errSnapCorrupt
+			}
+			length = 4 + int(tag>>2)&0x7
+			offset = int(tag&0xe0)<<3 | int(src[s+1])
+			s += 2
+		case snapTagCopy2:
+			if s+3 > len(src) {
+				return nil, errSnapCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(src[s+1]) | int(src[s+2])<<8
+			s += 3
+		default: // snapTagCopy4
+			if s+5 > len(src) {
+				return nil, errSnapCorrupt
+			}
+			length = 1 + int(tag>>2)
+			off := int64(src[s+1]) | int64(src[s+2])<<8 | int64(src[s+3])<<16 | int64(src[s+4])<<24
+			if off > int64(maxDecodedLen) {
+				return nil, errSnapCorrupt
+			}
+			offset = int(off)
+			s += 5
+		}
+		// Copies may only reference output produced by this call (d-base
+		// bytes so far) and must fit the declared length.
+		if offset <= 0 || offset > d-base || length > end-d {
+			return nil, errSnapCorrupt
+		}
+		// Byte-at-a-time preserves the run-length semantics of
+		// overlapping copies (offset < length).
+		for i := 0; i < length; i++ {
+			dst[d] = dst[d-offset]
+			d++
+		}
+	}
+	if d != end {
+		return nil, fmt.Errorf("compress: snappy input decoded to %d bytes, declared %d", d-base, dLen)
+	}
+	return dst, nil
+}

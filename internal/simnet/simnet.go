@@ -29,6 +29,8 @@ import (
 
 	"eunomia/internal/fabric"
 	"eunomia/internal/types"
+	"eunomia/internal/wan"
+	"eunomia/internal/wire"
 )
 
 // Addr identifies an endpoint: a named process within a datacenter.
@@ -91,6 +93,8 @@ type Network struct {
 	links     map[linkKey]*link
 	dropRules map[dropKey]bool
 	dupRules  map[dropKey]int // extra copies to deliver
+	shaper    *wan.Shaper
+	sizer     func(payload any) int
 	closed    bool
 
 	// Stats counts fabric activity for tests and reports.
@@ -163,6 +167,36 @@ func (n *Network) SetDuplicate(from, to Addr, copies int) {
 	}
 }
 
+// ShapeWAN overlays a wan.Shaper on cross-datacenter traffic: sends
+// whose endpoints sit in different datacenters with a configured link
+// take the shaper's jitter, loss-as-retransmission, and bandwidth
+// queueing delay instead of the static DelayFunc (pairs without a link
+// fall back to it). size turns a payload into modeled frame bytes for
+// the bandwidth queue; nil uses WireSize. Intra-DC traffic and the FIFO
+// link property are untouched: deadlines are still assigned at send
+// time, so head-of-line delivery order is preserved.
+func (n *Network) ShapeWAN(s *wan.Shaper, size func(payload any) int) {
+	if size == nil {
+		size = WireSize
+	}
+	n.mu.Lock()
+	n.shaper = s
+	n.sizer = size
+	n.mu.Unlock()
+}
+
+// WireSize models a payload's frame cost as its wire-codec encoding
+// size; payloads the wire codec does not know weigh zero (they would be
+// dropped by a real transport anyway).
+func WireSize(payload any) int {
+	b, err := wire.AppendPayload(wire.GetBuf(), payload)
+	wire.PutBuf(b)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
 func (n *Network) shouldDrop(from, to Addr) bool {
 	if n.dropRules[dropKey{from, to}] {
 		return true
@@ -190,6 +224,7 @@ func (n *Network) Send(from, to Addr, payload any) {
 	dups := n.dupRules[dropKey{from, to}]
 	lk := linkKey{from, to}
 	l := n.links[lk]
+	shaper, sizer := n.shaper, n.sizer
 	n.mu.RUnlock()
 
 	if l == nil {
@@ -200,7 +235,15 @@ func (n *Network) Send(from, to Addr, payload any) {
 		}
 	}
 	msg := Message{From: from, To: to, Payload: payload, SentAt: time.Now()}
-	deadline := msg.SentAt.Add(n.delay(from, to))
+	var deadline time.Time
+	if shaper != nil && from.DC != to.DC {
+		if d, ok := shaper.PlanReliable(from.DC, to.DC, sizer(payload), msg.SentAt); ok {
+			deadline = msg.SentAt.Add(d)
+		}
+	}
+	if deadline.IsZero() {
+		deadline = msg.SentAt.Add(n.delay(from, to))
+	}
 	for i := 0; i <= dups; i++ {
 		l.enqueue(queued{msg: msg, deliverAt: deadline})
 	}

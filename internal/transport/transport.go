@@ -46,15 +46,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"eunomia/internal/compress"
 	"eunomia/internal/fabric"
 	"eunomia/internal/metrics"
 	"eunomia/internal/simnet"
 	"eunomia/internal/types"
+	"eunomia/internal/wan"
 )
 
 // Config parameterises a TCP fabric endpoint.
@@ -85,6 +88,31 @@ type Config struct {
 	// dials: fabric.CodecWire (default) or the fabric.CodecGob ablation.
 	// Inbound connections follow the remote dialer's choice.
 	Codec fabric.Codec
+
+	// Compress selects per-frame compression for the wire-codec
+	// connections this endpoint dials (compress.Off, Snappy, or Zstd;
+	// cmd/eunomia-server -compress). The dialer announces codec and
+	// scheme in one magic byte, so compressed, plain-wire, and gob peers
+	// interoperate per connection; inbound connections follow the remote
+	// dialer's announcement regardless of this setting. Compression is
+	// defined only on the wire record layout — with Codec gob the
+	// setting is ignored (loudly, once): gob connections are always
+	// plain gob streams, never a mis-framed hybrid.
+	Compress compress.Scheme
+	// CompressMin is the minimum encoded frame size that gets
+	// compressed; smaller records (heartbeats, acks, tiny batches) ship
+	// raw and skip the codec overhead. Default 512 bytes; negative
+	// compresses everything.
+	CompressMin int
+
+	// WANShaper, if set, delays inbound cross-datacenter data frames by
+	// the shaper's per-link model (latency, jitter, loss-as-retransmit,
+	// bandwidth) before dispatch, sized by actual bytes on the wire.
+	// Shaping is receiver-side and FIFO-preserving: the emulated-WAN
+	// benchmarks and the -wan flag use it to make loopback TCP honest
+	// about distance. Ack and hello frames are not shaped (the data
+	// direction carries the modeled cost).
+	WANShaper *wan.Shaper
 
 	// HoldDelivery makes inbound connections wait for Ready before any
 	// frame is consumed (or acknowledged). A booting process accepts
@@ -122,6 +150,11 @@ func (c *Config) fill() {
 	if c.Window <= 0 {
 		c.Window = 4096
 	}
+	if c.CompressMin == 0 {
+		c.CompressMin = 512
+	} else if c.CompressMin < 0 {
+		c.CompressMin = 0
+	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 64 << 20
 	}
@@ -157,6 +190,11 @@ type frame struct {
 	From, To fabric.Addr
 	SentAt   time.Time
 	Payload  any
+
+	// wireBytes is the socket footprint of the record that carried this
+	// frame (length prefix included), set by decoders for the WAN
+	// shaper's bandwidth model. Not serialized; 0 on the gob ablation.
+	wireBytes int
 }
 
 // TCP is a fabric endpoint backed by real sockets. It implements
@@ -194,6 +232,14 @@ type TCP struct {
 	// a mixed-rollout dashboard compares garbage.
 	statsWire, statsGob *codecStats
 
+	// comp aggregates compression byte counters over every wire-codec
+	// connection (compressed or not — uncompressed connections count
+	// raw == wire, so bytes-on-wire is always measurable).
+	comp compressCounters
+	// gobFallback logs once when a gob connection meets a
+	// compress-enabled endpoint: the connection proceeds as plain gob.
+	gobFallback sync.Once
+
 	// Stats count fabric activity for tests and reports.
 	Sent       atomic.Int64
 	Delivered  atomic.Int64
@@ -208,6 +254,18 @@ func Listen(cfg Config) (*TCP, error) {
 	cfg.fill()
 	if cfg.Codec != fabric.CodecWire && cfg.Codec != fabric.CodecGob {
 		return nil, fmt.Errorf("transport: unknown codec %q (want %q or %q)", cfg.Codec, fabric.CodecWire, fabric.CodecGob)
+	}
+	switch cfg.Compress {
+	case compress.Off, compress.Snappy, compress.Zstd:
+	default:
+		return nil, fmt.Errorf("transport: unknown compression scheme %v", cfg.Compress)
+	}
+	if cfg.Codec == fabric.CodecGob && cfg.Compress != compress.Off {
+		// Compression is defined only on the wire record layout; with the
+		// gob ablation the setting cannot apply. Say so once and proceed
+		// with plain gob rather than producing a mis-framed stream.
+		log.Printf("transport: -compress %s requires the wire codec; %q dials plain gob connections uncompressed",
+			cfg.Compress, cfg.Listen)
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
@@ -430,28 +488,43 @@ func (t *TCP) serveInbound(conn net.Conn) {
 		return
 	}
 
-	// The first byte announces the dialer's codec; everything after it —
-	// the inbound frames and our acks — speaks that codec.
+	// The first byte announces the dialer's codec and compression scheme;
+	// everything after it — the inbound frames and our acks — speaks that
+	// codec, both directions compressed (or not) alike.
 	var magic [1]byte
 	if _, err := io.ReadFull(conn, magic[:]); err != nil {
 		return
 	}
 	var codec fabric.Codec
+	scheme := compress.Off
 	switch magic[0] {
 	case codecMagicWire:
 		codec = fabric.CodecWire
+	case codecMagicWireSnappy:
+		codec, scheme = fabric.CodecWire, compress.Snappy
+	case codecMagicWireZstd:
+		codec, scheme = fabric.CodecWire, compress.Zstd
 	case codecMagicGob:
 		codec = fabric.CodecGob
+		if t.cfg.Compress != compress.Off {
+			// A gob peer reached a compress-enabled endpoint: legal, but
+			// worth one loud line — the connection (and our acks on it)
+			// proceeds as a plain gob stream, never a mis-framed hybrid.
+			t.gobFallback.Do(func() {
+				log.Printf("transport: gob peer %s on compress-enabled endpoint %s: connection falls back to plain gob, uncompressed",
+					conn.RemoteAddr(), t.cfg.Advertise)
+			})
+		}
 	default:
 		return // not a fabric peer
 	}
-	fr := t.decoderFor(codec, conn)
+	fr := t.decoderFor(codec, scheme, conn)
 	var hello frame
 	if err := fr.next(&hello); err != nil || hello.Kind != frameHello || hello.Process == "" {
 		return
 	}
 	proc := hello.Process
-	fw := t.encoderFor(codec, conn, false)
+	fw := t.encoderFor(codec, scheme, conn, false)
 	defer fw.release()
 
 	t.mu.Lock()
@@ -475,6 +548,7 @@ func (t *TCP) serveInbound(conn net.Conn) {
 	// the advertise only changes with a new hello anyway, and learning is
 	// a fabric-wide mutex acquisition on the hot receive path.
 	learnedFrom := make(map[fabric.Addr]bool)
+	var shapeTimer *time.Timer
 	for {
 		var f frame
 		if err := fr.next(&f); err != nil {
@@ -482,6 +556,24 @@ func (t *TCP) serveInbound(conn net.Conn) {
 		}
 		if f.Kind != frameData {
 			continue
+		}
+		// Emulated-WAN shaping: hold each cross-datacenter data frame for
+		// its modeled link delay before dispatch. Receiver-side and
+		// in-order, so FIFO survives; the stall also delays our acks,
+		// which is exactly the window backpressure a slow pipe exerts.
+		if sh := t.cfg.WANShaper; sh != nil && f.From.DC != f.To.DC {
+			if d, ok := sh.PlanReliable(f.From.DC, f.To.DC, f.wireBytes, time.Now()); ok && d > 0 {
+				if shapeTimer == nil {
+					shapeTimer = time.NewTimer(d)
+				} else {
+					shapeTimer.Reset(d)
+				}
+				select {
+				case <-shapeTimer.C:
+				case <-t.done:
+					return
+				}
+			}
 		}
 		if f.Seq <= last {
 			t.DupDropped.Add(1)
@@ -589,10 +681,11 @@ func (t *TCP) statsFor(codec fabric.Codec) *codecStats {
 	return t.statsWire
 }
 
-// encoderFor builds a frame encoder speaking the given codec. withMagic
-// prepends the codec announcement byte (dialed connections only; the
-// accept side answers without one — the dialer already knows).
-func (t *TCP) encoderFor(codec fabric.Codec, conn net.Conn, withMagic bool) frameEncoder {
+// encoderFor builds a frame encoder speaking the given codec and
+// compression scheme. withMagic prepends the codec announcement byte
+// (dialed connections only; the accept side answers without one — the
+// dialer already knows, and answers speak the dialer's scheme).
+func (t *TCP) encoderFor(codec fabric.Codec, scheme compress.Scheme, conn net.Conn, withMagic bool) frameEncoder {
 	if codec == fabric.CodecGob {
 		fw := newFrameWriter(conn, t.cfg.MaxFrame)
 		fw.stats = t.statsGob
@@ -601,21 +694,55 @@ func (t *TCP) encoderFor(codec fabric.Codec, conn net.Conn, withMagic bool) fram
 		}
 		return fw
 	}
-	return newWireFrameWriter(conn, t.cfg.MaxFrame, t.statsWire, withMagic)
+	return newWireFrameWriter(conn, t.cfg.MaxFrame, t.statsWire, withMagic, scheme, t.cfg.CompressMin, &t.comp)
 }
 
-// decoderFor builds a frame decoder speaking the given codec.
-func (t *TCP) decoderFor(codec fabric.Codec, conn net.Conn) frameDecoder {
+// decoderFor builds a frame decoder speaking the given codec and scheme.
+func (t *TCP) decoderFor(codec fabric.Codec, scheme compress.Scheme, conn net.Conn) frameDecoder {
 	if codec == fabric.CodecGob {
 		fr := newFrameReader(conn, t.cfg.MaxFrame)
 		fr.stats = t.statsGob
 		return fr
 	}
-	return newWireFrameReader(conn, t.cfg.MaxFrame, t.statsWire)
+	return newWireFrameReader(conn, t.cfg.MaxFrame, t.statsWire, scheme, &t.comp)
+}
+
+// dialScheme is the compression scheme for connections this endpoint
+// dials: the configured scheme on the wire codec, Off on the gob
+// ablation (compression is only defined on the wire record layout).
+func (t *TCP) dialScheme() compress.Scheme {
+	if t.cfg.Codec != fabric.CodecWire {
+		return compress.Off
+	}
+	return t.cfg.Compress
 }
 
 // Codec reports the frame codec this endpoint dials with.
 func (t *TCP) Codec() fabric.Codec { return t.cfg.Codec }
+
+// Compress reports the compression scheme this endpoint dials with.
+func (t *TCP) Compress() compress.Scheme { return t.dialScheme() }
+
+// CompressStats is a snapshot of an endpoint's compression byte
+// accounting, all wire-codec connections merged. Raw counts record bytes
+// as they would ship uncompressed (length prefixes included), Wire the
+// bytes that actually crossed sockets; Raw/Wire is the realized
+// compression ratio, and Wire alone is bytes-on-wire (uncompressed
+// connections advance both equally). Gob-ablation traffic is not
+// counted.
+type CompressStats struct {
+	TxRaw, TxWire, RxRaw, RxWire int64
+}
+
+// CompressStats returns the endpoint's compression byte counters.
+func (t *TCP) CompressStats() CompressStats {
+	return CompressStats{
+		TxRaw:  t.comp.txRaw.Load(),
+		TxWire: t.comp.txWire.Load(),
+		RxRaw:  t.comp.rxRaw.Load(),
+		RxWire: t.comp.rxWire.Load(),
+	}
+}
 
 // CodecStats returns the endpoint's serialization latency histograms for
 // one codec: frame encode, frame decode, and socket flush (all
@@ -708,7 +835,7 @@ func (p *peer) serveConn(conn net.Conn) {
 		<-ackDone
 	}()
 
-	fw := p.t.encoderFor(p.t.cfg.Codec, conn, true)
+	fw := p.t.encoderFor(p.t.cfg.Codec, p.t.dialScheme(), conn, true)
 	defer fw.release()
 	if fw.write(&frame{Kind: frameHello, Process: p.t.cfg.Process, Advertise: p.t.cfg.Advertise}) != nil || fw.flush() != nil {
 		close(ackDone)
@@ -784,7 +911,7 @@ func (p *peer) dropFrame(f *frame) {
 // any read error it detaches the socket so the writer reconnects.
 func (p *peer) readAcks(conn net.Conn, done chan struct{}) {
 	defer close(done)
-	fr := p.t.decoderFor(p.t.cfg.Codec, conn)
+	fr := p.t.decoderFor(p.t.cfg.Codec, p.t.dialScheme(), conn)
 	for {
 		var f frame
 		if err := fr.next(&f); err != nil {

@@ -15,19 +15,58 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"eunomia/internal/compress"
 	"eunomia/internal/fabric"
 	"eunomia/internal/metrics"
 	"eunomia/internal/types"
 	"eunomia/internal/wire"
 )
 
-// Codec magic: the first byte a dialer writes on a fresh connection.
+// Codec magic: the first byte a dialer writes on a fresh connection. It
+// announces the codec and, for wire-codec connections, the negotiated
+// compression scheme — one byte carries the whole negotiation, so plain,
+// compressed, and gob peers interoperate per connection. Gob has no
+// compressed variants on purpose: compression is defined only on top of
+// the wire record layout (see Config.Compress).
 const (
-	codecMagicWire = 'W'
-	codecMagicGob  = 'G'
+	codecMagicWire       = 'W'
+	codecMagicGob        = 'G'
+	codecMagicWireSnappy = 'S'
+	codecMagicWireZstd   = 'Z'
 )
+
+// magicFor returns the announcement byte for a dialed connection.
+func magicFor(scheme compress.Scheme) byte {
+	switch scheme {
+	case compress.Snappy:
+		return codecMagicWireSnappy
+	case compress.Zstd:
+		return codecMagicWireZstd
+	}
+	return codecMagicWire
+}
+
+// Record markers: on a compressed connection every length-prefixed
+// record starts with one marker byte saying whether the body is a raw
+// wire frame (below the size threshold, or compression didn't shrink
+// it) or a compressed one.
+const (
+	recordRaw        = 0x00
+	recordCompressed = 0x01
+)
+
+// compressCounters aggregates an endpoint's compression byte accounting
+// (all connections merged): Raw is the bytes the records would occupy
+// uncompressed (length prefixes included), Wire the bytes that actually
+// crossed the socket. Raw/Wire is the endpoint's compression ratio; on
+// uncompressed connections the two advance in lockstep, so bytes-on-wire
+// per operation is measurable in every mode.
+type compressCounters struct {
+	txRaw, txWire, rxRaw, rxWire atomic.Int64
+}
 
 // frameEncoder writes frames to one connection; implementations are the
 // wire writer below and the persistent-gob frameWriter (the ablation).
@@ -69,28 +108,44 @@ func newCodecStats() *codecStats {
 const wireFlushChunk = 256 << 10
 
 // wireFrameWriter encodes frames into one pooled append buffer and
-// flushes it with a single socket write.
+// flushes it with a single socket write. With a compression scheme, each
+// record gains a marker byte and bodies at or above minSize are
+// compressed through an owned scratch buffer (kept raw when compression
+// does not shrink them), so the steady-state flush path stays at most
+// one allocation either way.
 type wireFrameWriter struct {
-	conn  net.Conn
-	buf   []byte
-	max   int
-	stats *codecStats
+	conn    net.Conn
+	buf     []byte
+	max     int
+	stats   *codecStats
+	scheme  compress.Scheme
+	minSize int
+	scratch []byte // compressed-output scratch, reused across frames
+	comp    *compressCounters
 }
 
-func newWireFrameWriter(conn net.Conn, maxFrame int, stats *codecStats, withMagic bool) *wireFrameWriter {
-	fw := &wireFrameWriter{conn: conn, buf: wire.GetBuf(), max: maxFrame, stats: stats}
+func newWireFrameWriter(conn net.Conn, maxFrame int, stats *codecStats, withMagic bool,
+	scheme compress.Scheme, minSize int, comp *compressCounters) *wireFrameWriter {
+	fw := &wireFrameWriter{conn: conn, buf: wire.GetBuf(), max: maxFrame, stats: stats,
+		scheme: scheme, minSize: minSize, comp: comp}
 	if withMagic {
-		fw.buf = append(fw.buf, codecMagicWire)
+		fw.buf = append(fw.buf, magicFor(scheme))
 	}
 	return fw
 }
 
 func (fw *wireFrameWriter) write(f *frame) error {
 	start := time.Now()
-	// Reserve the length prefix, append the frame, backfill the length:
-	// no scratch buffer, no copy.
+	// Reserve the length prefix (plus the record marker on compressed
+	// connections), append the frame, backfill the length: no scratch
+	// buffer, no copy on the raw path.
 	base := len(fw.buf)
-	fw.buf = append(fw.buf, 0, 0, 0, 0)
+	if fw.scheme == compress.Off {
+		fw.buf = append(fw.buf, 0, 0, 0, 0)
+	} else {
+		fw.buf = append(fw.buf, 0, 0, 0, 0, recordRaw)
+	}
+	hdr := len(fw.buf) - base
 	body, err := appendFrame(fw.buf, f)
 	if err != nil {
 		// Unserializable payload: permanent, the caller discards the
@@ -99,12 +154,26 @@ func (fw *wireFrameWriter) write(f *frame) error {
 		return &encodeError{err}
 	}
 	fw.buf = body
-	n := len(fw.buf) - base - 4
+	n := len(fw.buf) - base - hdr
 	if n > fw.max {
 		fw.buf = fw.buf[:base]
 		return &encodeError{fmt.Errorf("frame length %d exceeds max %d", n, fw.max)}
 	}
-	binary.BigEndian.PutUint32(fw.buf[base:], uint32(n))
+	if fw.scheme != compress.Off && n >= fw.minSize {
+		// Compress the encoded body; keep the raw bytes when the codec
+		// fails to shrink them (incompressible payloads must not grow).
+		fw.scratch = compress.Compress(fw.scheme, fw.scratch[:0], fw.buf[base+hdr:])
+		if len(fw.scratch) < n {
+			fw.buf = append(fw.buf[:base+hdr], fw.scratch...)
+			fw.buf[base+4] = recordCompressed
+		}
+	}
+	rec := len(fw.buf) - base - 4
+	binary.BigEndian.PutUint32(fw.buf[base:], uint32(rec))
+	if fw.comp != nil {
+		fw.comp.txRaw.Add(int64(n + 4))
+		fw.comp.txWire.Add(int64(rec + 4))
+	}
 	if fw.stats != nil {
 		fw.stats.enc.RecordDuration(time.Since(start))
 	}
@@ -131,6 +200,10 @@ func (fw *wireFrameWriter) flush() error {
 	} else {
 		fw.buf = fw.buf[:0]
 	}
+	if cap(fw.scratch) > wireFlushChunk*2 {
+		// Same policy for the compression scratch.
+		fw.scratch = nil
+	}
 	return err
 }
 
@@ -143,16 +216,24 @@ func (fw *wireFrameWriter) release() {
 }
 
 // wireFrameReader parses length-prefixed wire frames, in place from the
-// read buffer when a frame fits, via a pooled spill buffer when not.
+// read buffer when a frame fits, via a pooled spill buffer when not. On
+// compressed connections, compressed record bodies are inflated into an
+// owned scratch buffer reused across frames; a record that fails to
+// decompress is a torn connection, exactly like a corrupt envelope.
 type wireFrameReader struct {
-	r     *bufio.Reader
-	max   int
-	spill []byte
-	stats *codecStats
+	r       *bufio.Reader
+	max     int
+	spill   []byte
+	stats   *codecStats
+	scheme  compress.Scheme
+	scratch []byte
+	comp    *compressCounters
 }
 
-func newWireFrameReader(conn net.Conn, maxFrame int, stats *codecStats) *wireFrameReader {
-	return &wireFrameReader{r: bufio.NewReaderSize(conn, 64<<10), max: maxFrame, stats: stats}
+func newWireFrameReader(conn net.Conn, maxFrame int, stats *codecStats,
+	scheme compress.Scheme, comp *compressCounters) *wireFrameReader {
+	return &wireFrameReader{r: bufio.NewReaderSize(conn, 64<<10), max: maxFrame, stats: stats,
+		scheme: scheme, comp: comp}
 }
 
 func (fr *wireFrameReader) next(f *frame) error {
@@ -161,7 +242,11 @@ func (fr *wireFrameReader) next(f *frame) error {
 		return err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n <= 0 || n > fr.max {
+	limit := fr.max
+	if fr.scheme != compress.Off {
+		limit++ // the record marker byte rides outside the frame budget
+	}
+	if n <= 0 || n > limit {
 		return fmt.Errorf("transport: frame length %d out of range (max %d)", n, fr.max)
 	}
 	var body []byte
@@ -189,7 +274,14 @@ func (fr *wireFrameReader) next(f *frame) error {
 		body = fr.spill
 	}
 	start := time.Now()
-	err := decodeFrame(body, f)
+	var err error
+	var raw int
+	fr.scratch, raw, err = decodeWireRecord(fr.scheme, body, fr.scratch, fr.max, f)
+	f.wireBytes = n + 4
+	if fr.comp != nil {
+		fr.comp.rxWire.Add(int64(n + 4))
+		fr.comp.rxRaw.Add(int64(raw + 4))
+	}
 	if fr.stats != nil {
 		fr.stats.dec.RecordDuration(time.Since(start))
 	}
@@ -202,6 +294,40 @@ func (fr *wireFrameReader) next(f *frame) error {
 }
 
 func (fr *wireFrameReader) buffered() int { return fr.r.Buffered() }
+
+// decodeWireRecord parses one length-stripped record as read off a
+// wire-codec connection negotiated with the given scheme. For compress.Off
+// the record is the frame body itself; otherwise a marker byte selects a
+// raw or compressed body, the latter inflating through scratch (returned
+// for reuse). raw is the decoded frame-body size — what the record would
+// have cost uncompressed. Corrupt markers, truncated or tampered
+// compressed payloads, and dishonest decoded lengths all error, never
+// panic: the connection owner tears the socket down as after any other
+// framing error.
+func decodeWireRecord(scheme compress.Scheme, body, scratch []byte, maxFrame int, f *frame) ([]byte, int, error) {
+	if scheme == compress.Off {
+		return scratch, len(body), decodeFrame(body, f)
+	}
+	if len(body) < 1 {
+		return scratch, 0, fmt.Errorf("transport: empty record")
+	}
+	switch body[0] {
+	case recordRaw:
+		return scratch, len(body) - 1, decodeFrame(body[1:], f)
+	case recordCompressed:
+		var err error
+		scratch, err = compress.Decompress(scheme, scratch[:0], body[1:])
+		if err != nil {
+			return scratch, 0, fmt.Errorf("transport: frame decompress: %w", err)
+		}
+		if len(scratch) > maxFrame {
+			return scratch, 0, fmt.Errorf("transport: decompressed frame length %d exceeds max %d", len(scratch), maxFrame)
+		}
+		return scratch, len(scratch), decodeFrame(scratch, f)
+	default:
+		return scratch, 0, fmt.Errorf("transport: unknown record marker %#x", body[0])
+	}
+}
 
 // appendFrame encodes one frame envelope (and, for data frames, its
 // type-tagged payload) after the length prefix the writer manages.

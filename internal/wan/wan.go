@@ -1,0 +1,318 @@
+// Package wan models wide-area links for the emulated-WAN benchmarks and
+// the -wan flag: per-datacenter-pair one-way delay, seeded jitter, loss,
+// and bandwidth, plus HLC clock-skew injection.
+//
+// A link spec reads like the netem line it stands in for:
+//
+//	dc0-dc1:40ms±5ms,0.1%,50Mbps
+//
+// pair, then one-way delay, optional ±jitter (ASCII "+-" also accepted),
+// optional loss percentage, optional bandwidth (bps/Kbps/Mbps/Gbps). The
+// pair "*" is the default link for every datacenter pair without an
+// explicit spec. Multiple specs join with ";" (or repeat the flag).
+//
+// The Shaper turns a topology into per-send delays. All randomness
+// (jitter, loss) is drawn from per-directed-link PRNGs seeded from one
+// seed, so a run is reproducible: the same seed and per-link call
+// sequence yield the same delays. Bandwidth is modeled as a serialization
+// queue per directed link: each frame occupies the pipe for
+// bytes*8/bandwidth and later frames wait their turn, which is what makes
+// bytes-on-wire a latency lever and compression measurable end to end.
+package wan
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eunomia/internal/hlc"
+	"eunomia/internal/types"
+)
+
+// Link is one direction-agnostic link description.
+type Link struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter spreads each send's delay uniformly over ±Jitter.
+	Jitter time.Duration
+	// Loss is the per-frame loss probability in [0,1).
+	Loss float64
+	// BandwidthBps is the link rate in bits per second; 0 = unlimited.
+	BandwidthBps float64
+}
+
+// Topology maps datacenter pairs to links, with an optional "*" default.
+type Topology struct {
+	links map[pairKey]Link
+	def   *Link
+}
+
+type pairKey struct{ a, b types.DCID } // a <= b
+
+func normPair(a, b types.DCID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Lookup returns the link between two datacenters and whether one (or
+// the default) is configured. Intra-DC pairs are never shaped.
+func (t *Topology) Lookup(a, b types.DCID) (Link, bool) {
+	if t == nil || a == b {
+		return Link{}, false
+	}
+	if l, ok := t.links[normPair(a, b)]; ok {
+		return l, true
+	}
+	if t.def != nil {
+		return *t.def, true
+	}
+	return Link{}, false
+}
+
+// ParseTopology parses link specs (each possibly ";"-joined) into a
+// Topology.
+func ParseTopology(specs ...string) (*Topology, error) {
+	t := &Topology{links: make(map[pairKey]Link)}
+	n := 0
+	for _, joined := range specs {
+		for _, spec := range strings.Split(joined, ";") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			if err := t.parseOne(spec); err != nil {
+				return nil, fmt.Errorf("wan: link spec %q: %w", spec, err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("wan: no link specs given")
+	}
+	return t, nil
+}
+
+func (t *Topology) parseOne(spec string) error {
+	pair, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf(`want "pair:delay[±jitter][,loss%%][,bandwidth]"`)
+	}
+	link, err := parseLink(rest)
+	if err != nil {
+		return err
+	}
+	if pair == "*" {
+		t.def = &link
+		return nil
+	}
+	as, bs, ok := strings.Cut(pair, "-")
+	if !ok {
+		return fmt.Errorf(`pair %q: want "dcA-dcB" or "*"`, pair)
+	}
+	a, err1 := parseDC(as)
+	b, err2 := parseDC(bs)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf(`pair %q: want "dcA-dcB" with numeric datacenter ids`, pair)
+	}
+	if a == b {
+		return fmt.Errorf("pair %q: intra-datacenter links are not shaped", pair)
+	}
+	t.links[normPair(a, b)] = link
+	return nil
+}
+
+func parseDC(s string) (types.DCID, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "dc")
+	v, err := strconv.ParseUint(s, 10, 32)
+	return types.DCID(v), err
+}
+
+func parseLink(s string) (Link, error) {
+	var l Link
+	parts := strings.Split(s, ",")
+	// First component: delay with optional ±jitter.
+	d := strings.TrimSpace(parts[0])
+	var jit string
+	if i := strings.Index(d, "±"); i >= 0 {
+		d, jit = d[:i], d[i+len("±"):]
+	} else if i := strings.Index(d, "+-"); i >= 0 {
+		d, jit = d[:i], d[i+2:]
+	}
+	delay, err := time.ParseDuration(d)
+	if err != nil || delay < 0 {
+		return l, fmt.Errorf("delay %q: %v", d, err)
+	}
+	l.Delay = delay
+	if jit != "" {
+		j, err := time.ParseDuration(jit)
+		if err != nil || j < 0 {
+			return l, fmt.Errorf("jitter %q: %v", jit, err)
+		}
+		l.Jitter = j
+	}
+	// Remaining components identify themselves by suffix: "%" is loss,
+	// a "...bps" is bandwidth.
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		switch {
+		case strings.HasSuffix(p, "%"):
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(p, "%"), 64)
+			if err != nil || pct < 0 || pct >= 100 {
+				return l, fmt.Errorf("loss %q: want a percentage in [0,100)", p)
+			}
+			l.Loss = pct / 100
+		case strings.HasSuffix(p, "bps"):
+			num := strings.TrimSuffix(p, "bps")
+			mult := 1.0
+			switch {
+			case strings.HasSuffix(num, "K"):
+				num, mult = strings.TrimSuffix(num, "K"), 1e3
+			case strings.HasSuffix(num, "M"):
+				num, mult = strings.TrimSuffix(num, "M"), 1e6
+			case strings.HasSuffix(num, "G"):
+				num, mult = strings.TrimSuffix(num, "G"), 1e9
+			}
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil || v <= 0 {
+				return l, fmt.Errorf("bandwidth %q", p)
+			}
+			l.BandwidthBps = v * mult
+		case p == "":
+		default:
+			return l, fmt.Errorf(`component %q: want "N%%" (loss) or "Nbps/NKbps/NMbps/NGbps" (bandwidth)`, p)
+		}
+	}
+	return l, nil
+}
+
+// Shaper converts a Topology into per-send delivery delays with
+// reproducible randomness and per-directed-link bandwidth queues.
+type Shaper struct {
+	topo *Topology
+	seed int64
+
+	mu sync.Mutex
+	st map[dirKey]*linkState
+}
+
+type dirKey struct{ from, to types.DCID }
+
+type linkState struct {
+	rng      *rand.Rand
+	nextFree time.Time // when the serialization pipe frees up
+}
+
+// NewShaper builds a shaper over a topology. The same (topology, seed)
+// pair replays identical jitter and loss decisions per directed link.
+func NewShaper(topo *Topology, seed int64) *Shaper {
+	return &Shaper{topo: topo, seed: seed, st: make(map[dirKey]*linkState)}
+}
+
+// Topology returns the shaper's link table (for describing a run).
+func (s *Shaper) Topology() *Topology { return s.topo }
+
+func (s *Shaper) state(k dirKey) *linkState {
+	ls, ok := s.st[k]
+	if !ok {
+		// Mix the directed pair into the seed so each link has an
+		// independent — but reproducible — stream.
+		mix := s.seed ^ (int64(k.from)+1)*0x1e35a7bd16d4eb4f ^ (int64(k.to)+1)*0x27d4eb2f165667c5
+		ls = &linkState{rng: rand.New(rand.NewSource(mix))}
+		s.st[k] = ls
+	}
+	return ls
+}
+
+// Plan returns the delivery delay for a frame of the given size sent now,
+// and whether the link drops it. ok=false means the pair has no
+// configured link and the caller should fall back to its own delay
+// model.
+func (s *Shaper) Plan(from, to types.DCID, bytes int, now time.Time) (delay time.Duration, drop, ok bool) {
+	link, ok := s.topo.Lookup(from, to)
+	if !ok {
+		return 0, false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.state(dirKey{from, to})
+	if link.Loss > 0 && ls.rng.Float64() < link.Loss {
+		return 0, true, true
+	}
+	return s.shapeLocked(ls, link, bytes, now), false, true
+}
+
+// PlanReliable is Plan for reliable (TCP-like) links: a loss event
+// becomes a retransmission penalty of one extra round trip rather than a
+// dropped frame, which is how packet loss reaches an application riding
+// a reliable stream.
+func (s *Shaper) PlanReliable(from, to types.DCID, bytes int, now time.Time) (time.Duration, bool) {
+	link, ok := s.topo.Lookup(from, to)
+	if !ok {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.state(dirKey{from, to})
+	var penalty time.Duration
+	for tries := 0; link.Loss > 0 && ls.rng.Float64() < link.Loss && tries < 8; tries++ {
+		penalty += 2 * link.Delay
+	}
+	return s.shapeLocked(ls, link, bytes, now) + penalty, true
+}
+
+func (s *Shaper) shapeLocked(ls *linkState, link Link, bytes int, now time.Time) time.Duration {
+	d := link.Delay
+	if link.Jitter > 0 {
+		d += time.Duration(ls.rng.Int63n(int64(2*link.Jitter)+1)) - link.Jitter
+	}
+	if link.BandwidthBps > 0 && bytes > 0 {
+		ser := time.Duration(float64(bytes) * 8 / link.BandwidthBps * float64(time.Second))
+		start := now
+		if ls.nextFree.After(start) {
+			start = ls.nextFree
+		}
+		ls.nextFree = start.Add(ser)
+		d += start.Sub(now) + ser
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Skewed wraps an HLC physical source with a fixed offset and a linear
+// drift, injecting the clock skew a real multi-datacenter deployment
+// lives with. Hybrid clocks absorb skew via the logical component; the
+// emulated-WAN benchmarks use Skewed sources per datacenter to verify
+// that visibility latency, not correctness, is what skew costs.
+type Skewed struct {
+	src         hlc.PhysSource
+	offsetMicro int64
+	driftPPM    float64
+	baseMicro   int64
+}
+
+// NewSkewed returns a source reading src shifted by offset and drifting
+// driftPPM microseconds per second thereafter.
+func NewSkewed(src hlc.PhysSource, offset time.Duration, driftPPM float64) *Skewed {
+	if src == nil {
+		src = hlc.SystemSource{}
+	}
+	return &Skewed{
+		src:         src,
+		offsetMicro: offset.Microseconds(),
+		driftPPM:    driftPPM,
+		baseMicro:   src.NowMicros(),
+	}
+}
+
+// NowMicros implements hlc.PhysSource.
+func (s *Skewed) NowMicros() int64 {
+	now := s.src.NowMicros()
+	return now + s.offsetMicro + int64(float64(now-s.baseMicro)*s.driftPPM/1e6)
+}

@@ -1,0 +1,175 @@
+package wan
+
+import (
+	"testing"
+	"time"
+
+	"eunomia/internal/hlc"
+)
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology("dc0-dc1:40ms±5ms,0.1%,50Mbps", "dc1-dc2:160ms+-20ms;*:80ms,1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := topo.Lookup(0, 1)
+	if !ok || l.Delay != 40*time.Millisecond || l.Jitter != 5*time.Millisecond ||
+		l.Loss != 0.001 || l.BandwidthBps != 50e6 {
+		t.Fatalf("dc0-dc1 = %+v ok=%v", l, ok)
+	}
+	// Symmetric lookup and the ASCII jitter form.
+	if l, ok = topo.Lookup(2, 1); !ok || l.Delay != 160*time.Millisecond || l.Jitter != 20*time.Millisecond {
+		t.Fatalf("dc2-dc1 = %+v ok=%v", l, ok)
+	}
+	// Wildcard default covers unlisted pairs.
+	if l, ok = topo.Lookup(0, 7); !ok || l.Delay != 80*time.Millisecond || l.Loss != 0.01 {
+		t.Fatalf("default link = %+v ok=%v", l, ok)
+	}
+	// Intra-DC is never shaped.
+	if _, ok = topo.Lookup(1, 1); ok {
+		t.Fatal("intra-DC pair returned a link")
+	}
+	// Bare numeric ids work too.
+	if _, err := ParseTopology("0-1:10ms"); err != nil {
+		t.Fatalf("numeric pair: %v", err)
+	}
+}
+
+func TestParseTopologyRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"", "dc0-dc1", "dc0:40ms", "dc1-dc1:40ms", "dc0-dc1:-4ms",
+		"dc0-dc1:40ms,120%", "dc0-dc1:40ms,fast", "dc0-dc1:40ms,0bps",
+		"dcX-dc1:40ms",
+	} {
+		if _, err := ParseTopology(spec); err == nil {
+			t.Errorf("spec %q parsed, want error", spec)
+		}
+	}
+}
+
+// TestShaperDeterminism pins reproducibility: the same seed replays the
+// identical jitter and loss sequence per directed link, and a different
+// seed diverges.
+func TestShaperDeterminism(t *testing.T) {
+	topo, err := ParseTopology("dc0-dc1:10ms±5ms,20%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) (delays []time.Duration, drops []bool) {
+		s := NewShaper(topo, seed)
+		now := time.Unix(0, 0)
+		for i := 0; i < 200; i++ {
+			d, drop, ok := s.Plan(0, 1, 100, now)
+			if !ok {
+				t.Fatal("link not found")
+			}
+			delays = append(delays, d)
+			drops = append(drops, drop)
+		}
+		return
+	}
+	d1, l1 := run(42)
+	d2, l2 := run(42)
+	d3, _ := run(43)
+	sawDrop, diverged := false, false
+	for i := range d1 {
+		if d1[i] != d2[i] || l1[i] != l2[i] {
+			t.Fatalf("same seed diverged at %d: %v/%v vs %v/%v", i, d1[i], l1[i], d2[i], l2[i])
+		}
+		if l1[i] {
+			sawDrop = true
+		}
+		if d1[i] != d3[i] {
+			diverged = true
+		}
+	}
+	if !sawDrop {
+		t.Error("20% loss never dropped in 200 sends")
+	}
+	if !diverged {
+		t.Error("different seeds produced identical delay sequences")
+	}
+}
+
+// TestShaperBandwidthSerialization verifies the queueing model: a
+// MultiBatchMsg-sized frame on a capped link is delayed by its modeled
+// serialization time, and a frame right behind it additionally waits for
+// the pipe.
+func TestShaperBandwidthSerialization(t *testing.T) {
+	// 50 Mbps, no jitter/loss: fully deterministic.
+	topo, err := ParseTopology("dc0-dc1:40ms,50Mbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShaper(topo, 1)
+	now := time.Unix(1000, 0)
+	const frame = 256 << 10 // a fat aggregator multi-batch
+	ser := time.Duration(float64(frame) * 8 / 50e6 * float64(time.Second))
+
+	d1, _ := s.PlanReliable(0, 1, frame, now)
+	if want := 40*time.Millisecond + ser; d1 != want {
+		t.Fatalf("first frame delay %v, want delay+serialization %v", d1, want)
+	}
+	// Sent at the same instant: waits the first frame's serialization out.
+	d2, _ := s.PlanReliable(0, 1, frame, now)
+	if want := 40*time.Millisecond + 2*ser; d2 != want {
+		t.Fatalf("queued frame delay %v, want %v", d2, want)
+	}
+	// After the pipe drains, no queueing remains.
+	d3, _ := s.PlanReliable(0, 1, frame, now.Add(time.Second))
+	if want := 40*time.Millisecond + ser; d3 != want {
+		t.Fatalf("post-drain delay %v, want %v", d3, want)
+	}
+	// The reverse direction has its own pipe.
+	d4, _ := s.PlanReliable(1, 0, frame, now)
+	if want := 40*time.Millisecond + ser; d4 != want {
+		t.Fatalf("reverse-direction delay %v, want %v", d4, want)
+	}
+}
+
+// TestPlanReliableConvertsLossToLatency: a reliable link never drops; a
+// certain-loss... high-loss link instead pays retransmission penalties.
+func TestPlanReliableLossPenalty(t *testing.T) {
+	topo, err := ParseTopology("dc0-dc1:10ms,60%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShaper(topo, 7)
+	base := 10 * time.Millisecond
+	penalized := 0
+	for i := 0; i < 100; i++ {
+		d, ok := s.PlanReliable(0, 1, 100, time.Unix(0, 0))
+		if !ok {
+			t.Fatal("link not found")
+		}
+		if d < base {
+			t.Fatalf("delay %v below propagation delay", d)
+		}
+		if d > base {
+			penalized++
+		}
+	}
+	if penalized == 0 {
+		t.Error("60% loss never produced a retransmission penalty")
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	base := hlc.SystemSource{}
+	ahead := NewSkewed(base, 250*time.Millisecond, 0)
+	behind := NewSkewed(base, -250*time.Millisecond, 0)
+	a, b, n := ahead.NowMicros(), behind.NowMicros(), base.NowMicros()
+	if a-n < 200_000 || a-n > 300_000 {
+		t.Errorf("ahead skew = %dµs, want ~250000", a-n)
+	}
+	if n-b < 200_000 || n-b > 300_000 {
+		t.Errorf("behind skew = %dµs, want ~250000", n-b)
+	}
+	// A skewed source still feeds a working HLC.
+	c := hlc.NewClock(ahead)
+	t1 := c.Tick(0)
+	t2 := c.Tick(0)
+	if t1 >= t2 {
+		t.Errorf("HLC over skewed source not monotonic: %v then %v", t1, t2)
+	}
+}
