@@ -1,0 +1,305 @@
+package main
+
+// Process-level fault tests: SIGSTOP freezes (alive but silent — the
+// failure mode SIGKILL tests cannot cover, since a frozen process holds
+// its sockets and its state), SIGCONT resumes with nothing lost or
+// duplicated, and the -faults schedule runner drives the same machinery
+// from a parsed DSL string.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// stopTestCluster boots the split-dc0 topology the process-fault tests
+// share: partitions+eunomia+frontend at dc0 (stats every 50ms, so
+// lastApplied tracks progress), a separate dc0 receiver, and a dc1 writer
+// issuing a long-lived causal stream.
+func stopTestCluster(t *testing.T, bin string, pairs int, partsExtra ...string) (parts, recv, writer *proc, frontAddr string) {
+	t.Helper()
+	partsAddr, recvAddr, originAddr := freePort(t), freePort(t), freePort(t)
+	frontAddr = freePort(t)
+	common := []string{"-mode", "eunomia", "-dcs", "2", "-partitions", "2", "-replicas", "1"}
+
+	parts = startProc(t, bin, append(append([]string{
+		"-role", "partitions,eunomia,frontend", "-dc", "0", "-listen", partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-route", "dc1=" + originAddr,
+		"-stats-interval", "50ms",
+		"-frontend-addr", frontAddr,
+	}, common...), partsExtra...)...)
+	t.Cleanup(parts.kill)
+
+	recv = startProc(t, bin, append([]string{
+		"-role", "receiver", "-dc", "0", "-listen", recvAddr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc1=" + originAddr,
+		"-stats-interval", "1h",
+	}, common...)...)
+	t.Cleanup(recv.kill)
+
+	writer = startProc(t, bin, append([]string{
+		"-role", "dc", "-dc", "1", "-listen", originAddr,
+		"-route", "dc0:partitions=" + partsAddr,
+		"-route", "dc0:receiver=" + recvAddr,
+		"-stats-interval", "1h",
+		"-demo", fmt.Sprintf("write:%d:2", pairs), // ~2ms/pair: a long-lived stream
+	}, common...)...)
+	t.Cleanup(writer.kill)
+	return parts, recv, writer, frontAddr
+}
+
+// httpGet fetches a front-door URL, returning status and body ("" on
+// connection errors, status 0).
+func httpGet(url string) (int, string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestPartitionProcessStopResumesOverTCP freezes the partition-role
+// process with SIGSTOP mid-stream: unlike a SIGKILL, the process stays
+// alive (holding its TCP connections and all in-memory state), so the
+// stream must simply stall — no wedge diagnosis, no loss — and a SIGCONT
+// must let the same incarnation drain the backlog to an exactly-once,
+// causally complete result with no restart or recovery involved.
+func TestPartitionProcessStopResumesOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployments are slow")
+	}
+	const pairs = 150
+	parts, recv, writer, frontAddr := stopTestCluster(t, buildServer(t), pairs)
+
+	// Freeze mid-stream: after some applies, long before the stream ends.
+	deadline := time.Now().Add(60 * time.Second)
+	for parts.lastApplied() < 40 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partition process never applied 40 updates\nparts:\n%s\nwriter:\n%s",
+				parts.output(), writer.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pid := parts.cmd.Process.Pid
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alive but frozen: the process still exists (signal 0 reaches it)
+	// and its applied counter stops advancing while the writer keeps
+	// issuing traffic against the frozen datacenter.
+	frozen := parts.lastApplied()
+	time.Sleep(1 * time.Second)
+	if err := syscall.Kill(pid, 0); err != nil {
+		t.Fatalf("frozen process vanished (SIGSTOP behaved like a kill): %v", err)
+	}
+	if got := parts.lastApplied(); got != frozen {
+		t.Fatalf("frozen process kept applying: %d -> %d", frozen, got)
+	}
+	// A frozen peer must stall the stream, not wedge it: the receiver's
+	// wedge watchdog fires only on an unrecoverable stream, and this one
+	// resumes the moment the process thaws.
+	if out := recv.output(); strings.Contains(out, "release stream wedged") {
+		t.Fatalf("receiver declared a wedge for a frozen (not dead) peer:\n%s", out)
+	}
+
+	if err := syscall.Kill(pid, syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+
+	// Thawed: the same incarnation drains the backlog. No loss — every
+	// one of the writer's 2*pairs updates applies at dc0...
+	want := 2 * pairs
+	deadline = time.Now().Add(120 * time.Second)
+	for parts.lastApplied() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never drained after SIGCONT: applied %d, want %d\nparts:\n%s\nrecv:\n%s\nwriter:\n%s",
+				parts.lastApplied(), want, parts.output(), recv.output(), writer.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// ...and no duplicates — the counter settles at exactly 2*pairs (the
+	// stop/cont cycle forced retransmissions; each must be absorbed once).
+	time.Sleep(1 * time.Second)
+	if got := parts.lastApplied(); got != want {
+		t.Fatalf("applied %d remote updates, want exactly %d (retransmitted duplicates leaked)", got, want)
+	}
+	// Causal completeness through the front door: every pair is visible
+	// with its written value.
+	for i := 0; i < pairs; i++ {
+		if code, body := httpGet(fmt.Sprintf("http://%s/kv/flag%d", frontAddr, i)); code != 200 || body != "set" {
+			t.Fatalf("flag%d = %d %q after drain", i, code, body)
+		}
+		if code, body := httpGet(fmt.Sprintf("http://%s/kv/data%d", frontAddr, i)); code != 200 || body != fmt.Sprintf("payload%d", i) {
+			t.Fatalf("data%d = %d %q after drain", i, code, body)
+		}
+	}
+	if strings.Contains(recv.output(), "release stream wedged") {
+		t.Fatalf("stream wedged across a stop/cont cycle:\n%s", recv.output())
+	}
+}
+
+// TestFrontdoorHealthzNotReadyOnSyncError arms an injected fsync error
+// (the -faults DSL's synthetic full disk) against the partition
+// component's WAL: the first group commit makes the sync error sticky,
+// the eunomia_wal_sync_errors_total counter advances, and the front
+// door's /healthz flips to 503 so a load balancer drains the node —
+// while the process itself stays up for inspection.
+func TestFrontdoorHealthzNotReadyOnSyncError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployments are slow")
+	}
+	metricsAddr := freePort(t)
+	dir := t.TempDir()
+	parts, _, _, frontAddr := stopTestCluster(t, buildServer(t), 150,
+		"-data-dir", dir, "-wal-sync", "group",
+		"-metrics-addr", metricsAddr,
+		"-faults", "t=0s:fsync-err partition@dc0")
+
+	// Healthy first: the fault arms at readiness, but the sync error only
+	// turns sticky when a group commit actually fsyncs.
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpGet("http://" + frontAddr + "/healthz")
+		if code == 503 && strings.Contains(body, "not ready") {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("healthz never went not-ready on a sticky sync error (last: %d %q)\nparts:\n%s",
+				code, body, parts.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The process wears the failure, it doesn't die of it.
+	if err := syscall.Kill(parts.cmd.Process.Pid, 0); err != nil {
+		t.Fatalf("process died of an injected fsync error: %v\n%s", err, parts.output())
+	}
+	// The metric names the failed component.
+	code, body := httpGet("http://" + metricsAddr + "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics endpoint: %d", code)
+	}
+	// Each partition store syncs independently, so the component counter
+	// lands at ≥1 depending on how many group commits raced the arming.
+	countRe := regexp.MustCompile(`eunomia_wal_sync_errors_total\{component="partition"\} ([1-9]\d*)`)
+	if !countRe.MatchString(body) {
+		t.Fatalf("metrics missing a nonzero partition sync-error count:\n%s", grepLines(body, "sync_errors"))
+	}
+}
+
+// grepLines filters s to lines containing substr (test-failure output).
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestFaultsScheduleCrashDirective drives the -faults runner end to end:
+// a parsed schedule whose crash event targets this process must fail-stop
+// it (SIGKILL — no cleanup, no exit handler) at the scheduled offset.
+func TestFaultsScheduleCrashDirective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployments are slow")
+	}
+	bin := buildServer(t)
+	p := startProc(t, bin,
+		"-mode", "eunomia", "-role", "dc", "-dc", "0", "-dcs", "1",
+		"-partitions", "2", "-listen", freePort(t),
+		"-stats-interval", "1h",
+		"-faults", "t=300ms:crash partition@dc0",
+	)
+	defer p.kill()
+
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		status, ok := p.cmd.ProcessState.Sys().(syscall.WaitStatus)
+		if !ok || !status.Signaled() || status.Signal() != syscall.SIGKILL {
+			t.Fatalf("process ended with %v (state %v), want death by SIGKILL\n%s",
+				err, p.cmd.ProcessState, p.output())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("scheduled crash never fired\n%s", p.output())
+	}
+	if !strings.Contains(p.output(), "crash partition@dc0 — fail-stop now") {
+		t.Fatalf("crash directive did not announce itself:\n%s", p.output())
+	}
+}
+
+// TestFaultsScheduleIgnoresOtherTargets: events addressed to another
+// datacenter or an unhosted role must be no-ops for this process.
+func TestFaultsScheduleIgnoresOtherTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process deployments are slow")
+	}
+	bin := buildServer(t)
+	p := startProc(t, bin,
+		"-mode", "eunomia", "-role", "receiver", "-dc", "0", "-dcs", "2",
+		"-partitions", "2", "-listen", freePort(t),
+		"-stats-interval", "50ms",
+		// Wrong DC, then wrong role: neither may touch this process.
+		"-faults", "t=100ms:crash partition@dc1; t=200ms:crash partition@dc0",
+	)
+	defer p.kill()
+
+	time.Sleep(2 * time.Second)
+	if err := syscall.Kill(p.cmd.Process.Pid, 0); err != nil {
+		t.Fatalf("process died on a fault event addressed elsewhere: %v\n%s", err, p.output())
+	}
+	if strings.Contains(p.output(), "fail-stop") {
+		t.Fatalf("misaddressed crash event fired:\n%s", p.output())
+	}
+}
+
+// TestFaultsSeedWithoutSchedule: the fail-fast contract for contradictory
+// flags extends to the fault flags.
+func TestFaultsSeedWithoutSchedule(t *testing.T) {
+	bin := buildServer(t)
+	p := startProc(t, bin, "-faults-seed", "7", "-listen", freePort(t))
+	defer p.kill()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("process accepted -faults-seed without -faults:\n%s", p.output())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("process did not fail fast on -faults-seed without -faults\n%s", p.output())
+	}
+	if !strings.Contains(p.output(), "-faults-seed applies only with a -faults schedule") {
+		t.Fatalf("missing fail-fast diagnostic:\n%s", p.output())
+	}
+}
+
+// TestFaultsBadScheduleFailsFast: a malformed schedule dies at startup
+// with the parser's diagnostic, before any socket serves traffic.
+func TestFaultsBadScheduleFailsFast(t *testing.T) {
+	bin := buildServer(t)
+	p := startProc(t, bin, "-faults", "t=1s:explode everything", "-listen", freePort(t))
+	defer p.kill()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("process accepted a malformed -faults schedule:\n%s", p.output())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("process did not fail fast on a malformed schedule\n%s", p.output())
+	}
+}

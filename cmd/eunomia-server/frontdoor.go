@@ -49,8 +49,11 @@ const sessionHeader = "X-Causal-Session"
 const maxValueBytes = 1 << 20
 
 // serveFrontdoor binds the front-door listener synchronously (a bad
-// address fails startup) and serves for the process lifetime.
-func serveFrontdoor(addr string, fe *geostore.Frontend) error {
+// address fails startup) and serves for the process lifetime. health,
+// when non-nil, gates /healthz: a sticky WAL sync error or a wedged
+// release stream turns it into a 503 so load balancers drain this front
+// door while the process stays up for inspection.
+func serveFrontdoor(addr string, fe *geostore.Frontend, health func() error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("frontend listener: %w", err)
@@ -58,6 +61,12 @@ func serveFrontdoor(addr string, fe *geostore.Frontend) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) { handleKV(fe, w, r) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	log.Printf("eunomia-server: causal front door on http://%s/kv/", ln.Addr())

@@ -77,6 +77,7 @@ import (
 	"eunomia/internal/eunomia"
 	"eunomia/internal/eventual"
 	"eunomia/internal/fabric"
+	"eunomia/internal/faults"
 	"eunomia/internal/geostore"
 	"eunomia/internal/globalstab"
 	"eunomia/internal/metrics"
@@ -111,6 +112,10 @@ type hosted struct {
 	// frontend, optional, is the causal front door the -frontend-addr
 	// HTTP server drives (mode eunomia with a frontend-bearing role).
 	frontend *geostore.Frontend
+	// health, optional, reports why this process should not take client
+	// traffic (sticky WAL sync error, wedged release stream); the front
+	// door's /healthz turns it into a 503.
+	health func() error
 	// causal reports whether the protocol promises causally ordered
 	// visibility (everything except eventual).
 	causal bool
@@ -169,6 +174,12 @@ func main() {
 		wanSpecs = append(wanSpecs, s)
 		return nil
 	})
+	var faultSpecs []string
+	flag.Func("faults", `deterministic fault schedule, repeatable or ";"-joined: "t=2s:partition dc0<-dc1; t=4s:heal; t=5s:crash partition@dc1; t=6s:fsync-err applier@dc0" (see internal/faults for the grammar); events addressed to this process's datacenter and roles fire at their offsets`, func(s string) error {
+		faultSpecs = append(faultSpecs, s)
+		return nil
+	})
+	faultsSeed := flag.Int64("faults-seed", 1, "seed for -faults per-frame fault draws; the same seed and schedule replay identical behaviour")
 	flag.Parse()
 
 	kind := eunomia.RedBlack
@@ -253,6 +264,17 @@ func main() {
 	if flagSet("wan-seed") && len(wanSpecs) == 0 {
 		log.Fatal("-wan-seed applies only with -wan link specs")
 	}
+	if flagSet("faults-seed") && len(faultSpecs) == 0 {
+		log.Fatal("-faults-seed applies only with a -faults schedule")
+	}
+	var faultSched *faults.Schedule
+	var inj *faults.Injector
+	if len(faultSpecs) > 0 {
+		if faultSched, err = faults.ParseSchedule(faultSpecs...); err != nil {
+			log.Fatal(err)
+		}
+		inj = faults.NewInjector(*faultsSeed)
+	}
 	var shaper *wan.Shaper
 	if len(wanSpecs) > 0 {
 		topo, err := wan.ParseTopology(wanSpecs...)
@@ -267,7 +289,7 @@ func main() {
 	// silently acks-and-drops the first frames of send-once edges
 	// (stable-metadata ships, payload batches).
 	fab, err := transport.Listen(transport.Config{Listen: *listen, Advertise: *advertise, Codec: codec,
-		Compress: scheme, WANShaper: shaper, HoldDelivery: true})
+		Compress: scheme, WANShaper: shaper, HoldDelivery: true, Faults: inj})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -308,7 +330,7 @@ func main() {
 	switch *mode {
 	case "eunomia":
 		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, *walGDelay, *walGMax, agg,
-			frontdoorConfig{index: *frontIndex, wait: *frontWait, scalar: scalarSession})
+			frontdoorConfig{index: *frontIndex, wait: *frontWait, scalar: scalarSession}, inj)
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -326,6 +348,10 @@ func main() {
 	log.Printf("eunomia-server: mode %s, dc%d role %s on %s (%d dcs × %d partitions)",
 		*mode, *dcID, *role, fab.Addr(), *dcs, *partitions)
 
+	if faultSched != nil {
+		go runFaultSchedule(faultSched, inj, types.DCID(*dcID), *role)
+	}
+
 	if *metricsAd != "" {
 		if err := serveMetrics(*metricsAd, fab, h); err != nil {
 			log.Fatal(err)
@@ -335,7 +361,7 @@ func main() {
 		if h.frontend == nil {
 			log.Fatal("-frontend-addr needs a hosted frontend role (mode eunomia, role dc or frontend)")
 		}
-		if err := serveFrontdoor(*frontAddr, h.frontend); err != nil {
+		if err := serveFrontdoor(*frontAddr, h.frontend, h.health); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -417,7 +443,7 @@ type aggTopology struct {
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
 	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
 	dataDir string, policy wal.SyncPolicy, groupDelay time.Duration, groupMax int,
-	agg aggTopology, fd frontdoorConfig) (hosted, error) {
+	agg aggTopology, fd frontdoorConfig, inj *faults.Injector) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
@@ -449,6 +475,7 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		AggLevel:            agg.level,
 		FrontendIndex:       fd.index,
 		FrontendWaitTimeout: fd.wait,
+		Faults:              inj,
 	})
 	if err != nil {
 		return hosted{}, fmt.Errorf("recovering node state from %s: %w", dataDir, err)
@@ -458,6 +485,21 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			dataDir, node.TotalUpdates(), node.ApplierDurable())
 	}
 	h := hosted{close: node.Close, causal: true, wedged: node.ReleaseWedged, frontend: node.Frontend()}
+	h.health = func() error {
+		// Readiness, not liveness: a sticky WAL sync error means this
+		// process has stopped promising durability (full disk, injected
+		// fault) and a wedged release stream means remote updates can
+		// never become visible here — in both cases a load balancer
+		// should drain this front door while the process stays up for
+		// inspection.
+		if err := node.SyncErr(); err != nil {
+			return err
+		}
+		if node.ReleaseWedged() {
+			return fmt.Errorf("release stream wedged: the partition-role process restarted without durable state")
+		}
+		return nil
+	}
 	if roles.Has(geostore.RolePartitions) {
 		h.newClient = func() demoClient { return node.NewClient() }
 	}
@@ -527,6 +569,10 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			samples = append(samples,
 				metrics.PromSample{Name: "eunomia_wal_group_commits_total", Labels: lbl, Value: float64(wm.M.Commits.Load())},
 				metrics.PromSample{Name: "eunomia_wal_group_records_total", Labels: lbl, Value: float64(wm.M.Records.Load())},
+				// Nonzero means the component's WAL took a sticky sync
+				// failure and the node no longer promises durability:
+				// page on it, then restart the node onto a healthy disk.
+				metrics.PromSample{Name: "eunomia_wal_sync_errors_total", Labels: lbl, Value: float64(wm.M.SyncErrors.Load())},
 			)
 			samples = append(samples, metrics.PromHistogram("eunomia_wal_fsync_seconds", lbl, wm.M.Fsync, nil)...)
 		}
@@ -779,6 +825,46 @@ func runOrderer(fab *transport.TCP, dc, partitions, replicas int, stableIvl, sta
 			log.Printf("ordered %d ops/s (total %d, pending %d, stable %v)",
 				(cur-last)*int64(time.Second/statsIvl), cur, st.Pending, st.StableTime)
 			last = cur
+		}
+	}
+}
+
+// runFaultSchedule fires each -faults event at its offset from process
+// readiness. Network and fsync events arm the shared injector; crash and
+// stop come back as directives this runner carries out on the process
+// itself (SIGKILL leaves no time for cleanup — that is the point; SIGSTOP
+// freezes until an external SIGCONT). Restart and cont are inherently
+// external and are ignored here — the multi-process harness (or the
+// operator) drives them.
+func runFaultSchedule(sched *faults.Schedule, inj *faults.Injector, self types.DCID, role string) {
+	hasRole := func(target string) bool {
+		if roleHas(role, "dc") {
+			return true
+		}
+		switch {
+		case strings.HasPrefix(target, "partition"), target == "applier":
+			// The applier (windowed release ingress) lives with the
+			// partition group.
+			return roleHas(role, "partitions")
+		case strings.HasPrefix(target, "eunomia"):
+			return roleHas(role, "eunomia") || role == "orderer"
+		case target == "receiver":
+			return roleHas(role, "receiver")
+		}
+		return false
+	}
+	start := time.Now()
+	for _, e := range sched.Events {
+		if wait := e.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		switch inj.Actuate(e, self, hasRole) {
+		case faults.DirectiveKill:
+			log.Printf("faults: t=%v: crash %s@dc%d — fail-stop now", e.At, e.Target, e.DC)
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		case faults.DirectiveStop:
+			log.Printf("faults: t=%v: stop %s@dc%d — freezing until SIGCONT", e.At, e.Target, e.DC)
+			_ = syscall.Kill(os.Getpid(), syscall.SIGSTOP)
 		}
 	}
 }

@@ -1,0 +1,444 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// registry of named fault points woven through the existing layers
+// (transport frames, WAL fsync, simnet links, whole processes), driven
+// by a parsed, seeded schedule DSL in the spirit of wan.ParseTopology.
+//
+// A schedule is a ";"-joined list of timestamped events:
+//
+//	t=2s:partition dc0<-dc1; t=4s:heal; t=5s:crash partition@dc1; t=6s:fsync-err applier@dc0
+//
+// Actions:
+//
+//	partition dcA<-dcB    A hears nothing from B (one direction)
+//	partition dcA<->dcB   neither direction delivers
+//	heal                  clear partitions, frame faults, and blackholes
+//	frames <dcN|*> drop=P%,dup=P%,corrupt=P%,delay=DUR
+//	                      receiver-side faults on inbound cross-DC data
+//	                      frames at the targeted datacenter (≥1 component)
+//	conn-reset <dcN|*>    tear down every live connection once (peers
+//	                      redial and retransmit their unacked windows)
+//	blackhole <dcN|*>     the targeted datacenter's dials fail instantly
+//	                      until heal (its inbound connections survive)
+//	crash ROLE@dcN        fail-stop the process hosting ROLE at dcN
+//	restart ROLE@dcN      restart it from its data dir (harness-driven)
+//	stop ROLE@dcN         SIGSTOP it (alive but frozen)
+//	cont ROLE@dcN         SIGCONT it
+//	fsync-err COMP@dcN    every fsync of the component's WAL fails with
+//	                      an injected ENOSPC until fsync-ok (components:
+//	                      partition, applier, receiver)
+//	fsync-ok COMP@dcN     disarm the injected fsync error
+//
+// Schedules round-trip through String, so a failing run's exact fault
+// sequence can be replayed with -faults (cmd/eunomia-server) or fed back
+// to a test verbatim. RandomSchedule draws a self-healing schedule from
+// a Menu under one seed; harness.ChaosBench layers invariant checking on
+// top.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+// Kind enumerates the schedule event types.
+type Kind int
+
+const (
+	// KindPartition cuts delivery From → To (and the reverse when Sym).
+	KindPartition Kind = iota
+	// KindHeal clears partitions, frame faults, and blackholes.
+	KindHeal
+	// KindFrames arms receiver-side frame faults at a datacenter.
+	KindFrames
+	// KindConnReset tears down live connections once.
+	KindConnReset
+	// KindBlackhole makes a datacenter's outbound dials fail.
+	KindBlackhole
+	// KindCrash fail-stops a process (SIGKILL semantics: no cleanup).
+	KindCrash
+	// KindRestart restarts a crashed process from its data dir.
+	KindRestart
+	// KindStop freezes a process (SIGSTOP: alive but silent).
+	KindStop
+	// KindCont resumes a stopped process (SIGCONT).
+	KindCont
+	// KindFsyncErr arms an injected fsync error on one WAL component.
+	KindFsyncErr
+	// KindFsyncOK disarms it.
+	KindFsyncOK
+)
+
+func (k Kind) verb() string {
+	switch k {
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	case KindFrames:
+		return "frames"
+	case KindConnReset:
+		return "conn-reset"
+	case KindBlackhole:
+		return "blackhole"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindStop:
+		return "stop"
+	case KindCont:
+		return "cont"
+	case KindFsyncErr:
+		return "fsync-err"
+	case KindFsyncOK:
+		return "fsync-ok"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// FrameFaults are receiver-side per-frame fault probabilities (each in
+// [0,1)) plus an optional fixed dispatch delay, applied to inbound
+// cross-datacenter data frames. Drop discards the frame (the transport
+// still acknowledges it — loss is permanent at the fabric layer, exactly
+// like a simnet SetDrop, and the protocols' own recovery paths must
+// absorb it), Dup dispatches it twice (dedup layers must absorb it),
+// Corrupt tears the connection down mid-stream (the sender reconnects
+// and retransmits its unacknowledged window, which is what a framing
+// checksum failure costs).
+type FrameFaults struct {
+	Drop    float64
+	Dup     float64
+	Corrupt float64
+	Delay   time.Duration
+}
+
+// Zero reports whether no frame fault is armed.
+func (ff FrameFaults) Zero() bool {
+	return ff.Drop == 0 && ff.Dup == 0 && ff.Corrupt == 0 && ff.Delay == 0
+}
+
+func pct(p float64) string {
+	return strconv.FormatFloat(p*100, 'g', -1, 64) + "%"
+}
+
+// String renders the spec form ("drop=5%,dup=2%,corrupt=1%,delay=10ms"),
+// nonzero components only.
+func (ff FrameFaults) String() string {
+	var parts []string
+	if ff.Drop > 0 {
+		parts = append(parts, "drop="+pct(ff.Drop))
+	}
+	if ff.Dup > 0 {
+		parts = append(parts, "dup="+pct(ff.Dup))
+	}
+	if ff.Corrupt > 0 {
+		parts = append(parts, "corrupt="+pct(ff.Corrupt))
+	}
+	if ff.Delay > 0 {
+		parts = append(parts, "delay="+ff.Delay.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Event is one timestamped fault action.
+type Event struct {
+	// At is the event's offset from schedule start.
+	At time.Duration
+	// Kind selects the action; the remaining fields that matter depend
+	// on it.
+	Kind Kind
+
+	// From and To are the partition endpoints: To hears nothing From
+	// (i.e. "partition dcTo<-dcFrom"); Sym cuts both directions.
+	From, To types.DCID
+	Sym      bool
+
+	// DC targets frames/conn-reset/blackhole at one datacenter, and
+	// holds the "@dcN" of crash/restart/stop/cont/fsync events; All is
+	// the "*" wildcard (frames/conn-reset/blackhole only).
+	DC  types.DCID
+	All bool
+
+	// Frames carries the KindFrames fault rates.
+	Frames FrameFaults
+
+	// Target is the role (crash/restart/stop/cont) or WAL component
+	// (fsync-err/fsync-ok) the event addresses.
+	Target string
+}
+
+// String renders the event in schedule-spec form; ParseSchedule accepts
+// the output verbatim.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%s:%s", e.At, e.Kind.verb())
+	switch e.Kind {
+	case KindPartition:
+		arrow := "<-"
+		if e.Sym {
+			arrow = "<->"
+		}
+		fmt.Fprintf(&b, " dc%d%sdc%d", e.To, arrow, e.From)
+	case KindHeal:
+	case KindFrames:
+		b.WriteString(" " + e.target() + " " + e.Frames.String())
+	case KindConnReset, KindBlackhole:
+		b.WriteString(" " + e.target())
+	default:
+		fmt.Fprintf(&b, " %s@dc%d", e.Target, e.DC)
+	}
+	return b.String()
+}
+
+func (e Event) target() string {
+	if e.All {
+		return "*"
+	}
+	return fmt.Sprintf("dc%d", e.DC)
+}
+
+// Schedule is a parsed fault schedule: events sorted by At (stable, so
+// same-instant events keep their spec order).
+type Schedule struct {
+	Events []Event
+}
+
+// String renders the whole schedule as one ";"-joined spec that
+// ParseSchedule accepts verbatim — every chaos failure report prints it.
+func (s *Schedule) String() string {
+	specs := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		specs[i] = e.String()
+	}
+	return strings.Join(specs, "; ")
+}
+
+// ParseSchedule parses event specs (each possibly ";"-joined) into a
+// Schedule.
+func ParseSchedule(specs ...string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, joined := range specs {
+		for _, spec := range strings.Split(joined, ";") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			e, err := parseEvent(spec)
+			if err != nil {
+				return nil, fmt.Errorf("faults: event %q: %w", spec, err)
+			}
+			s.Events = append(s.Events, e)
+		}
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("faults: no events given")
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s, nil
+}
+
+func parseEvent(spec string) (Event, error) {
+	var e Event
+	ts, action, ok := strings.Cut(spec, ":")
+	if !ok || !strings.HasPrefix(ts, "t=") {
+		return e, fmt.Errorf(`want "t=<duration>:<action>"`)
+	}
+	at, err := time.ParseDuration(strings.TrimPrefix(ts, "t="))
+	if err != nil || at < 0 {
+		return e, fmt.Errorf("time %q: %v", ts, err)
+	}
+	e.At = at
+	verb, rest, _ := strings.Cut(strings.TrimSpace(action), " ")
+	rest = strings.TrimSpace(rest)
+	switch verb {
+	case "partition":
+		return parsePartition(e, rest)
+	case "heal":
+		e.Kind = KindHeal
+		if rest != "" {
+			return e, fmt.Errorf("heal takes no operand (got %q)", rest)
+		}
+		return e, nil
+	case "frames":
+		e.Kind = KindFrames
+		target, fr, ok := strings.Cut(rest, " ")
+		if !ok {
+			return e, fmt.Errorf(`want "frames <dcN|*> drop=P%%,dup=P%%,corrupt=P%%,delay=DUR"`)
+		}
+		if err := e.parseTarget(target); err != nil {
+			return e, err
+		}
+		if e.Frames, err = parseFrameFaults(strings.TrimSpace(fr)); err != nil {
+			return e, err
+		}
+		return e, nil
+	case "conn-reset", "blackhole":
+		e.Kind = KindConnReset
+		if verb == "blackhole" {
+			e.Kind = KindBlackhole
+		}
+		if rest == "" {
+			return e, fmt.Errorf(`want "%s <dcN|*>"`, verb)
+		}
+		return e, e.parseTarget(rest)
+	case "crash", "restart", "stop", "cont", "fsync-err", "fsync-ok":
+		switch verb {
+		case "crash":
+			e.Kind = KindCrash
+		case "restart":
+			e.Kind = KindRestart
+		case "stop":
+			e.Kind = KindStop
+		case "cont":
+			e.Kind = KindCont
+		case "fsync-err":
+			e.Kind = KindFsyncErr
+		case "fsync-ok":
+			e.Kind = KindFsyncOK
+		}
+		name, dc, ok := strings.Cut(rest, "@")
+		if !ok || name == "" {
+			return e, fmt.Errorf(`want "%s <target>@dcN"`, verb)
+		}
+		if e.DC, err = parseDC(dc); err != nil {
+			return e, fmt.Errorf("datacenter %q: want dcN", dc)
+		}
+		if e.Kind == KindFsyncErr || e.Kind == KindFsyncOK {
+			switch name {
+			case "partition", "applier", "receiver":
+			default:
+				return e, fmt.Errorf("component %q: want partition, applier, or receiver", name)
+			}
+		}
+		e.Target = name
+		return e, nil
+	}
+	return e, fmt.Errorf("unknown action %q", verb)
+}
+
+func parsePartition(e Event, rest string) (Event, error) {
+	e.Kind = KindPartition
+	arrow, sym := "<-", false
+	if strings.Contains(rest, "<->") {
+		arrow, sym = "<->", true
+	}
+	ts, fs, ok := strings.Cut(rest, arrow)
+	if !ok {
+		return e, fmt.Errorf(`want "partition dcA<-dcB" (A hears nothing from B) or "dcA<->dcB"`)
+	}
+	to, err1 := parseDC(ts)
+	from, err2 := parseDC(fs)
+	if err1 != nil || err2 != nil {
+		return e, fmt.Errorf("pair %q: want numeric datacenter ids", rest)
+	}
+	if to == from {
+		return e, fmt.Errorf("pair %q: cannot partition a datacenter from itself", rest)
+	}
+	e.To, e.From, e.Sym = to, from, sym
+	return e, nil
+}
+
+func (e *Event) parseTarget(s string) error {
+	s = strings.TrimSpace(s)
+	if s == "*" {
+		e.All = true
+		return nil
+	}
+	dc, err := parseDC(s)
+	if err != nil {
+		return fmt.Errorf("target %q: want dcN or *", s)
+	}
+	e.DC = dc
+	return nil
+}
+
+func parseDC(s string) (types.DCID, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "dc")
+	v, err := strconv.ParseUint(s, 10, 32)
+	return types.DCID(v), err
+}
+
+func parseFrameFaults(s string) (FrameFaults, error) {
+	var ff FrameFaults
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return ff, fmt.Errorf(`component %q: want "drop=P%%", "dup=P%%", "corrupt=P%%", or "delay=DUR"`, part)
+		}
+		switch k {
+		case "drop", "dup", "corrupt":
+			p, err := parsePct(v)
+			if err != nil {
+				return ff, fmt.Errorf("%s %q: %v", k, v, err)
+			}
+			switch k {
+			case "drop":
+				ff.Drop = p
+			case "dup":
+				ff.Dup = p
+			case "corrupt":
+				ff.Corrupt = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return ff, fmt.Errorf("delay %q: %v", v, err)
+			}
+			ff.Delay = d
+		default:
+			return ff, fmt.Errorf("unknown component %q", k)
+		}
+	}
+	if ff.Zero() {
+		return ff, fmt.Errorf("want at least one nonzero component")
+	}
+	return ff, nil
+}
+
+func parsePct(s string) (float64, error) {
+	p, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || p < 0 || p >= 100 {
+		return 0, fmt.Errorf("want a percentage in [0,100)")
+	}
+	return p / 100, nil
+}
+
+// Point is one named fault point woven into a layer. The table is the
+// authoritative registry of where the injector can reach; DESIGN.md's
+// fault-model section documents every entry (enforced by a test).
+type Point struct {
+	// Name identifies the point ("transport/frame-drop").
+	Name string
+	// Layer is the package that hosts the weave.
+	Layer string
+	// Effect summarizes what firing the point does.
+	Effect string
+}
+
+// Points returns the registry of named fault points, the woven layers in
+// dependency order.
+func Points() []Point {
+	return []Point{
+		{"transport/frame-drop", "transport", "discard an inbound cross-DC data frame (still acknowledged: fabric-level loss, like simnet SetDrop)"},
+		{"transport/frame-dup", "transport", "dispatch an inbound cross-DC data frame twice"},
+		{"transport/frame-corrupt", "transport", "tear down the connection mid-stream (checksum-failure semantics; sender retransmits unacked frames)"},
+		{"transport/frame-delay", "transport", "hold an inbound cross-DC data frame before dispatch"},
+		{"transport/conn-reset", "transport", "close every live connection once (peers redial, retransmit)"},
+		{"transport/dial-blackhole", "transport", "fail every outbound dial until healed"},
+		{"transport/partition", "transport", "drop every inbound frame from a cut datacenter"},
+		{"wal/fsync", "wal", "fail the component's fsync with injected ENOSPC (sticky sync error, surfaced on /healthz and metrics)"},
+		{"simnet/partition", "simnet", "asymmetric one-direction SetDrop between endpoint sets"},
+		{"simnet/duplicate", "simnet", "deliver cross-DC frames twice (SetDuplicate)"},
+		{"process/crash", "process", "SIGKILL-style fail-stop; restart recovers from the data dir (torn WAL tail)"},
+		{"process/stop", "process", "SIGSTOP: alive but frozen; peers suspend sends until SIGCONT"},
+	}
+}

@@ -1,0 +1,300 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "t=2s:partition dc0<-dc1; t=2500ms:frames dc2 drop=5%,dup=2%,corrupt=0.5%,delay=10ms; " +
+		"t=3s:conn-reset *; t=3s:blackhole dc1; t=4s:heal; t=5s:crash partition@dc1; " +
+		"t=5500ms:stop receiver@dc0; t=5600ms:cont receiver@dc0; t=6s:fsync-err applier@dc0; " +
+		"t=7s:fsync-ok applier@dc0; t=8s:restart partition@dc1"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 11 {
+		t.Fatalf("got %d events, want 11", len(s.Events))
+	}
+	// String must re-parse to the same schedule (the repro contract).
+	again, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if got, want := again.String(), s.String(); got != want {
+		t.Fatalf("round trip changed the schedule:\n got %s\nwant %s", got, want)
+	}
+	e := s.Events[0]
+	if e.Kind != KindPartition || e.To != 0 || e.From != 1 || e.Sym {
+		t.Fatalf("partition event parsed wrong: %+v", e)
+	}
+	ff := s.Events[1].Frames
+	if ff.Drop != 0.05 || ff.Dup != 0.02 || ff.Corrupt != 0.005 || ff.Delay != 10*time.Millisecond {
+		t.Fatalf("frame faults parsed wrong: %+v", ff)
+	}
+}
+
+func TestParseScheduleSorted(t *testing.T) {
+	s, err := ParseSchedule("t=4s:heal", "t=2s:partition dc0<->dc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Kind != KindPartition || !s.Events[0].Sym || s.Events[1].Kind != KindHeal {
+		t.Fatalf("events not sorted by time: %s", s)
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	bad := []string{
+		"partition dc0<-dc1",         // no t=
+		"t=2s partition dc0<-dc1",    // no colon
+		"t=-1s:heal",                 // negative time
+		"t=1s:heal dc0",              // heal takes no operand
+		"t=1s:partition dc0<-dc0",    // self-partition
+		"t=1s:partition dc0",         // no arrow
+		"t=1s:frames dc0",            // no fault components
+		"t=1s:frames dc0 drop=150%",  // out-of-range percentage
+		"t=1s:frames dc0 warp=1%",    // unknown component
+		"t=1s:conn-reset",            // missing target
+		"t=1s:blackhole dcX",         // bad dc
+		"t=1s:crash partition",       // missing @dc
+		"t=1s:fsync-err shipper@dc0", // unknown WAL component
+		"t=1s:meteor-strike dc0",     // unknown action
+		"",                           // empty schedule
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestRandomScheduleDeterministicAndSelfHealing(t *testing.T) {
+	menu := Menu{
+		DCs: 3, Duration: 10 * time.Second, Episodes: 6,
+		Partition: true,
+		Frames:    FrameFaults{Drop: 0.1, Dup: 0.05, Corrupt: 0.01, Delay: 20 * time.Millisecond},
+		ConnReset: true, Blackhole: true,
+		Crash: []string{"partition@dc0"}, Stop: []string{"receiver@dc0"},
+		Fsync: []string{"partition@dc0"},
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		s := RandomSchedule(seed, menu)
+		if len(s.Events) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+		if got := RandomSchedule(seed, menu).String(); got != s.String() {
+			t.Fatalf("seed %d not deterministic:\n%s\n%s", seed, s, got)
+		}
+		// The repro contract: the printed schedule re-parses identically.
+		again, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, s)
+		}
+		if again.String() != s.String() {
+			t.Fatalf("seed %d: round trip changed the schedule", seed)
+		}
+		// Self-healing: every disruptive event is undone strictly before
+		// the horizon, so the invariant check runs against a healed
+		// cluster.
+		for _, e := range s.Events {
+			if e.At > menu.Duration {
+				t.Fatalf("seed %d: event past the horizon: %s", seed, e)
+			}
+			switch e.Kind {
+			case KindPartition, KindBlackhole, KindFrames:
+				if !healedAfter(s, e.At, KindHeal, "") {
+					t.Fatalf("seed %d: %s never healed\n%s", seed, e, s)
+				}
+			case KindCrash:
+				if !healedAfter(s, e.At, KindRestart, e.Target) {
+					t.Fatalf("seed %d: %s never restarted\n%s", seed, e, s)
+				}
+			case KindStop:
+				if !healedAfter(s, e.At, KindCont, e.Target) {
+					t.Fatalf("seed %d: %s never resumed\n%s", seed, e, s)
+				}
+			case KindFsyncErr:
+				if !healedAfter(s, e.At, KindFsyncOK, e.Target) {
+					t.Fatalf("seed %d: %s never disarmed\n%s", seed, e, s)
+				}
+			}
+		}
+	}
+	if RandomSchedule(1, menu).String() == RandomSchedule(2, menu).String() {
+		t.Fatal("seeds 1 and 2 drew identical schedules")
+	}
+}
+
+func healedAfter(s *Schedule, at time.Duration, kind Kind, target string) bool {
+	for _, e := range s.Events {
+		if e.At >= at && e.Kind == kind && (target == "" || e.Target == target) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInjectorFrameFate(t *testing.T) {
+	inj := NewInjector(42)
+	if f, _ := inj.FrameFate(0, 1); f != FateDeliver {
+		t.Fatal("unarmed injector must deliver")
+	}
+	inj.SetFrames(FrameFaults{Drop: 0.5})
+	drops := 0
+	for n := 0; n < 1000; n++ {
+		if f, _ := inj.FrameFate(0, 1); f == FateDrop {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drop=50%% produced %d/1000 drops", drops)
+	}
+	// Same seed, same consult order → same decisions.
+	a, b := NewInjector(7), NewInjector(7)
+	a.SetFrames(FrameFaults{Drop: 0.3, Dup: 0.3, Corrupt: 0.1, Delay: time.Millisecond})
+	b.SetFrames(FrameFaults{Drop: 0.3, Dup: 0.3, Corrupt: 0.1, Delay: time.Millisecond})
+	for n := 0; n < 200; n++ {
+		fa, da := a.FrameFate(1, 0)
+		fb, db := b.FrameFate(1, 0)
+		if fa != fb || da != db {
+			t.Fatalf("consult %d diverged under one seed: (%v,%v) vs (%v,%v)", n, fa, da, fb, db)
+		}
+	}
+	inj.Heal()
+	if f, _ := inj.FrameFate(0, 1); f != FateDeliver {
+		t.Fatal("healed injector must deliver")
+	}
+}
+
+func TestInjectorCutAndHeal(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Cut(2, true)
+	if f, _ := inj.FrameFate(2, 0); f != FateDrop {
+		t.Fatal("cut sender must be dropped")
+	}
+	if f, _ := inj.FrameFate(1, 0); f != FateDeliver {
+		t.Fatal("uncut sender must deliver")
+	}
+	inj.Heal()
+	if f, _ := inj.FrameFate(2, 0); f != FateDeliver {
+		t.Fatal("heal must clear the cut")
+	}
+}
+
+func TestInjectorFsync(t *testing.T) {
+	inj := NewInjector(1)
+	if err := inj.FsyncErr("partition"); err != nil {
+		t.Fatal(err)
+	}
+	inj.ArmFsync("partition", nil)
+	err := inj.FsyncErr("partition")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("armed error %v must wrap ErrInjected and ENOSPC", err)
+	}
+	if err := inj.FsyncErr("receiver"); err != nil {
+		t.Fatalf("other components unaffected, got %v", err)
+	}
+	// The network heal must NOT clear a disk fault.
+	inj.Heal()
+	if inj.FsyncErr("partition") == nil {
+		t.Fatal("Heal cleared an armed fsync error")
+	}
+	inj.DisarmFsync("partition")
+	if err := inj.FsyncErr("partition"); err != nil {
+		t.Fatal(err)
+	}
+	var nilInj *Injector
+	if nilInj.FsyncErr("partition") != nil || nilInj.InjectSyncFunc("partition") != nil {
+		t.Fatal("nil injector must be inert")
+	}
+}
+
+func TestActuateRouting(t *testing.T) {
+	mustEvent := func(spec string) Event {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Events[0]
+	}
+	inj := NewInjector(1)
+	hasRole := func(r string) bool { return r == "partition" }
+
+	// partition dc0<-dc1 arms only dc0's cut-from-1.
+	e := mustEvent("t=1s:partition dc0<-dc1")
+	inj.Actuate(e, 0, hasRole)
+	if f, _ := inj.FrameFate(1, 0); f != FateDrop {
+		t.Fatal("receiver side of the cut not armed")
+	}
+	other := NewInjector(2)
+	other.Actuate(e, 1, hasRole)
+	if f, _ := other.FrameFate(0, 1); f != FateDeliver {
+		t.Fatal("one-direction cut armed the reverse direction")
+	}
+	// The symmetric form arms both.
+	other.Actuate(mustEvent("t=1s:partition dc0<->dc1"), 1, hasRole)
+	if f, _ := other.FrameFate(0, 1); f != FateDrop {
+		t.Fatal("symmetric cut did not arm dc1")
+	}
+
+	// Crash comes back as a directive only on the matching dc+role.
+	crash := mustEvent("t=1s:crash partition@dc1")
+	if d := inj.Actuate(crash, 0, hasRole); d != DirectiveNone {
+		t.Fatalf("crash@dc1 actuated at dc0: %v", d)
+	}
+	if d := inj.Actuate(crash, 1, hasRole); d != DirectiveKill {
+		t.Fatalf("crash@dc1 at dc1 → %v, want DirectiveKill", d)
+	}
+	if d := inj.Actuate(mustEvent("t=1s:stop receiver@dc1"), 1, hasRole); d != DirectiveNone {
+		t.Fatal("stop for an unhosted role actuated")
+	}
+
+	// fsync-err routes to the injector's fsync table.
+	inj.Actuate(mustEvent("t=1s:fsync-err partition@dc0"), 0, hasRole)
+	if inj.FsyncErr("partition") == nil {
+		t.Fatal("fsync-err did not arm")
+	}
+	inj.Actuate(mustEvent("t=2s:fsync-ok partition@dc0"), 0, hasRole)
+	if inj.FsyncErr("partition") != nil {
+		t.Fatal("fsync-ok did not disarm")
+	}
+
+	// conn-reset fires registered callbacks, wildcard or matching dc.
+	fired := 0
+	inj.OnConnReset(func() { fired++ })
+	inj.Actuate(mustEvent("t=1s:conn-reset *"), 0, hasRole)
+	inj.Actuate(mustEvent("t=1s:conn-reset dc2"), 0, hasRole)
+	if fired != 1 {
+		t.Fatalf("conn-reset fired %d times, want 1 (wildcard only)", fired)
+	}
+
+	// blackhole arms dials off, heal clears.
+	inj.Actuate(mustEvent("t=1s:blackhole dc0"), 0, hasRole)
+	if !inj.DialBlackholed() {
+		t.Fatal("blackhole did not arm")
+	}
+	inj.Actuate(mustEvent("t=2s:heal"), 0, hasRole)
+	if inj.DialBlackholed() {
+		t.Fatal("heal did not clear the blackhole")
+	}
+}
+
+// TestDesignDocCoversEveryFaultPoint pins the DESIGN.md fault-model
+// section to the registry: every named fault point must be documented.
+func TestDesignDocCoversEveryFaultPoint(t *testing.T) {
+	doc, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Points() {
+		if !strings.Contains(string(doc), p.Name) {
+			t.Errorf("DESIGN.md does not document fault point %q (layer %s)", p.Name, p.Layer)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+// ErrInjected is the fsync error the injector arms: a synthetic
+// full-disk. Callers distinguish it from real disk trouble by
+// errors.Is(err, faults.ErrInjected); it still unwraps to ENOSPC so the
+// code under test takes its genuine error path.
+var ErrInjected = fmt.Errorf("faults: injected fsync error: %w", syscall.ENOSPC)
+
+// Fate is the injector's verdict on one inbound frame.
+type Fate int
+
+const (
+	// FateDeliver dispatches the frame normally.
+	FateDeliver Fate = iota
+	// FateDrop discards it (still acknowledged — fabric-level loss).
+	FateDrop
+	// FateDup dispatches it twice.
+	FateDup
+	// FateCorrupt tears the connection down (sender retransmits).
+	FateCorrupt
+)
+
+// Injector is one process's armed fault state: the woven layers consult
+// it on their hot paths (a single atomic load when nothing is armed),
+// tests and the -faults schedule runner arm and disarm it. All
+// randomness comes from one seeded PRNG, so a schedule replay under the
+// same seed makes the same per-frame decisions in the same consult
+// order.
+type Injector struct {
+	// armed counts armed fault groups; the hot-path consults return
+	// immediately while it is zero.
+	armed atomic.Int32
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cutFrom   map[types.DCID]bool // inbound frames from these DCs are dropped
+	frames    FrameFaults
+	hasFrames bool
+	blackhole bool
+	fsync     map[string]error // WAL component → injected sync error
+	onReset   []func()
+}
+
+// NewInjector builds an injector whose frame-fault decisions replay
+// under the given seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		cutFrom: make(map[types.DCID]bool),
+		fsync:   make(map[string]error),
+	}
+}
+
+// enabled is the hot-path gate: true when any fault is armed.
+func (i *Injector) enabled() bool { return i != nil && i.armed.Load() > 0 }
+
+// rearm recomputes the armed count under i.mu.
+func (i *Injector) rearmLocked() {
+	var n int32
+	if len(i.cutFrom) > 0 {
+		n++
+	}
+	if i.hasFrames {
+		n++
+	}
+	if i.blackhole {
+		n++
+	}
+	if len(i.fsync) > 0 {
+		n++
+	}
+	i.armed.Store(n)
+}
+
+// Cut arms (or disarms) the inbound half of a partition: every frame
+// from the given datacenter is dropped. "partition dcA<-dcB" arms
+// Cut(B) on dcA's process; the symmetric form arms both processes.
+func (i *Injector) Cut(from types.DCID, cut bool) {
+	i.mu.Lock()
+	if cut {
+		i.cutFrom[from] = true
+	} else {
+		delete(i.cutFrom, from)
+	}
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// SetFrames arms receiver-side frame faults for inbound cross-DC data
+// frames at this process.
+func (i *Injector) SetFrames(ff FrameFaults) {
+	i.mu.Lock()
+	i.frames, i.hasFrames = ff, !ff.Zero()
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// SetBlackhole arms (or disarms) the dial blackhole: every outbound
+// connection attempt from this process fails instantly.
+func (i *Injector) SetBlackhole(on bool) {
+	i.mu.Lock()
+	i.blackhole = on
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// Heal clears partitions, frame faults, and the blackhole — the "heal"
+// schedule event. Armed fsync errors persist (disk faults do not heal
+// with the network; disarm them with fsync-ok).
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	i.cutFrom = make(map[types.DCID]bool)
+	i.frames, i.hasFrames = FrameFaults{}, false
+	i.blackhole = false
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// FrameFate decides one inbound cross-DC data frame's fate plus an
+// optional dispatch delay. The transport consults it after WAN shaping
+// and before dedup/dispatch.
+func (i *Injector) FrameFate(from, to types.DCID) (Fate, time.Duration) {
+	if !i.enabled() {
+		return FateDeliver, 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cutFrom[from] {
+		return FateDrop, 0
+	}
+	if !i.hasFrames {
+		return FateDeliver, 0
+	}
+	ff := i.frames
+	fate := FateDeliver
+	// One draw decides among the exclusive fates; delay applies to
+	// whatever survives.
+	if p := i.rng.Float64(); p < ff.Drop {
+		return FateDrop, 0
+	} else if p < ff.Drop+ff.Corrupt {
+		return FateCorrupt, 0
+	} else if p < ff.Drop+ff.Corrupt+ff.Dup {
+		fate = FateDup
+	}
+	return fate, ff.Delay
+}
+
+// DialBlackholed reports whether outbound dials are blackholed.
+func (i *Injector) DialBlackholed() bool {
+	if !i.enabled() {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.blackhole
+}
+
+// ArmFsync makes every fsync of the named WAL component fail with err
+// (ErrInjected when nil) until DisarmFsync.
+func (i *Injector) ArmFsync(component string, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	i.mu.Lock()
+	i.fsync[component] = err
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// DisarmFsync clears the component's injected fsync error. The sync
+// error already made sticky by a WAL remains — recovery is disarm, then
+// crash and restart the node, exactly like swapping a full disk.
+func (i *Injector) DisarmFsync(component string) {
+	i.mu.Lock()
+	delete(i.fsync, component)
+	i.rearmLocked()
+	i.mu.Unlock()
+}
+
+// FsyncErr returns the armed fsync error for a WAL component, nil when
+// none. Safe on a nil injector, so WALs consult it unconditionally.
+func (i *Injector) FsyncErr(component string) error {
+	if !i.enabled() {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fsync[component]
+}
+
+// InjectSyncFunc adapts FsyncErr to the wal.Options.InjectSync seam for
+// one component; nil injector yields nil (no consult at all).
+func (i *Injector) InjectSyncFunc(component string) func() error {
+	if i == nil {
+		return nil
+	}
+	return func() error { return i.FsyncErr(component) }
+}
+
+// OnConnReset registers a callback TriggerConnReset fires; the transport
+// hangs its break-every-connection hook here at Listen time.
+func (i *Injector) OnConnReset(fn func()) {
+	i.mu.Lock()
+	i.onReset = append(i.onReset, fn)
+	i.mu.Unlock()
+}
+
+// TriggerConnReset fires every registered conn-reset callback once (the
+// "conn-reset" schedule event).
+func (i *Injector) TriggerConnReset() {
+	i.mu.Lock()
+	fns := append([]func(){}, i.onReset...)
+	i.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Directive is a process-level action Actuate cannot perform from
+// inside the process alone; the caller (the -faults schedule runner)
+// carries it out.
+type Directive int
+
+const (
+	// DirectiveNone — the event was absorbed into injector state.
+	DirectiveNone Directive = iota
+	// DirectiveKill — fail-stop now (exit without cleanup).
+	DirectiveKill
+	// DirectiveStop — freeze (SIGSTOP self; an external SIGCONT resumes).
+	DirectiveStop
+)
+
+// Actuate applies one schedule event to this process's injector, given
+// the process's own datacenter and a predicate for the roles/components
+// it hosts (nil hasRole matches everything). Events addressed elsewhere
+// are no-ops. Crash and stop come back as directives; restart and cont
+// are inherently external (a dead or frozen process cannot act) and are
+// ignored here — the multi-process harness drives them.
+func (i *Injector) Actuate(e Event, self types.DCID, hasRole func(string) bool) Directive {
+	match := func(target string) bool {
+		return e.DC == self && (hasRole == nil || hasRole(target))
+	}
+	switch e.Kind {
+	case KindPartition:
+		if e.To == self {
+			i.Cut(e.From, true)
+		}
+		if e.Sym && e.From == self {
+			i.Cut(e.To, true)
+		}
+	case KindHeal:
+		i.Heal()
+	case KindFrames:
+		if e.All || e.DC == self {
+			i.SetFrames(e.Frames)
+		}
+	case KindConnReset:
+		if e.All || e.DC == self {
+			i.TriggerConnReset()
+		}
+	case KindBlackhole:
+		if e.All || e.DC == self {
+			i.SetBlackhole(true)
+		}
+	case KindCrash:
+		if match(e.Target) {
+			return DirectiveKill
+		}
+	case KindStop:
+		if match(e.Target) {
+			return DirectiveStop
+		}
+	case KindFsyncErr:
+		if match(e.Target) {
+			i.ArmFsync(e.Target, nil)
+		}
+	case KindFsyncOK:
+		if match(e.Target) {
+			i.DisarmFsync(e.Target)
+		}
+	case KindRestart, KindCont:
+		// Harness-driven: nothing a live in-process injector can do.
+	}
+	return DirectiveNone
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"eunomia/internal/types"
+)
+
+// Menu bounds what RandomSchedule may draw: the fault kinds the system
+// under test is expected to tolerate (a fire-and-forget baseline is not
+// chased with frame drops it never promised to survive), the targets
+// that exist in the deployment, and the schedule horizon.
+type Menu struct {
+	// DCs is the datacenter count partitions are drawn over.
+	DCs int
+	// Duration is the schedule horizon; every fault is injected and
+	// undone within it (self-healing schedules — the invariant check
+	// runs against a healed cluster).
+	Duration time.Duration
+	// Episodes is how many fault episodes to draw (default 3).
+	Episodes int
+
+	// Partition enables one- and two-direction datacenter cuts.
+	Partition bool
+	// Frames, when nonzero, bounds per-frame fault rates: each frames
+	// episode draws rates uniformly in (0, max].
+	Frames FrameFaults
+	// ConnReset enables one-shot connection teardowns.
+	ConnReset bool
+	// Blackhole enables dial blackholes (healed like partitions).
+	Blackhole bool
+	// Crash lists "role@dcN" targets eligible for crash→restart
+	// episodes.
+	Crash []string
+	// Stop lists "role@dcN" targets eligible for stop→cont episodes.
+	Stop []string
+	// Fsync lists "component@dcN" targets eligible for
+	// fsync-err→fsync-ok→crash→restart episodes (the full
+	// swap-the-disk recovery story).
+	Fsync []string
+}
+
+func (m Menu) kinds() []Kind {
+	var ks []Kind
+	if m.Partition && m.DCs > 1 {
+		ks = append(ks, KindPartition)
+	}
+	if !m.Frames.Zero() {
+		ks = append(ks, KindFrames)
+	}
+	if m.ConnReset {
+		ks = append(ks, KindConnReset)
+	}
+	if m.Blackhole {
+		ks = append(ks, KindBlackhole)
+	}
+	if len(m.Crash) > 0 {
+		ks = append(ks, KindCrash)
+	}
+	if len(m.Stop) > 0 {
+		ks = append(ks, KindStop)
+	}
+	if len(m.Fsync) > 0 {
+		ks = append(ks, KindFsyncErr)
+	}
+	return ks
+}
+
+// RandomSchedule draws a self-healing fault schedule from the menu under
+// one seed: every partition/blackhole/frames episode ends in a heal,
+// every crash in a restart, every stop in a cont, every fsync-err in a
+// fsync-ok plus a crash→restart of the owning node (a sticky sync error
+// survives disarming — recovery is a disk swap plus a restart). The same
+// (seed, menu) pair yields the identical schedule, and the schedule's
+// String() round-trips through ParseSchedule, so one seed is a complete
+// reproduction recipe. Times are quantized to 1ms.
+func RandomSchedule(seed int64, m Menu) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if m.Episodes <= 0 {
+		m.Episodes = 3
+	}
+	if m.Duration <= 0 {
+		m.Duration = 10 * time.Second
+	}
+	kinds := m.kinds()
+	s := &Schedule{}
+	if len(kinds) == 0 {
+		return s
+	}
+	// Each episode starts in the first 60% of the horizon and is undone
+	// by the 85% mark, leaving the tail for the cluster to re-converge
+	// before invariants are checked.
+	quant := func(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+	start := func() time.Duration {
+		return quant(time.Duration(rng.Int63n(int64(m.Duration) * 6 / 10)))
+	}
+	endBy := m.Duration * 85 / 100
+	until := func(from time.Duration) time.Duration {
+		span := int64(endBy - from)
+		if span <= int64(time.Millisecond) {
+			// from is already at the undo deadline (rounding can push it
+			// past endBy): the undo still lands strictly after its cause
+			// — chained undos (fsync-ok → crash → restart) must not sort
+			// ahead of it.
+			return quant(from + time.Millisecond)
+		}
+		return quant(from + time.Duration(rng.Int63n(span)) + time.Millisecond)
+	}
+	pick := func(list []string) string { return list[rng.Intn(len(list))] }
+	splitTarget := func(tgt string) (string, Event) {
+		e, err := parseEvent("t=0s:crash " + tgt)
+		if err != nil {
+			panic("faults: bad menu target " + tgt + ": " + err.Error())
+		}
+		return e.Target, e
+	}
+	for ep := 0; ep < m.Episodes; ep++ {
+		k := kinds[rng.Intn(len(kinds))]
+		at := start()
+		switch k {
+		case KindPartition:
+			a := rng.Intn(m.DCs)
+			b := rng.Intn(m.DCs - 1)
+			if b >= a {
+				b++
+			}
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindPartition, To: dcid(a), From: dcid(b), Sym: rng.Intn(2) == 0},
+				Event{At: until(at), Kind: KindHeal})
+		case KindFrames:
+			draw := func(max float64) float64 {
+				if max == 0 {
+					return 0
+				}
+				return max * (0.1 + 0.9*rng.Float64())
+			}
+			ff := FrameFaults{Drop: draw(m.Frames.Drop), Dup: draw(m.Frames.Dup), Corrupt: draw(m.Frames.Corrupt)}
+			if m.Frames.Delay > 0 {
+				ff.Delay = quant(time.Duration(rng.Int63n(int64(m.Frames.Delay))) + time.Millisecond)
+			}
+			e := Event{At: at, Kind: KindFrames, Frames: ff}
+			if rng.Intn(2) == 0 || m.DCs < 2 {
+				e.All = true
+			} else {
+				e.DC = dcid(rng.Intn(m.DCs))
+			}
+			s.Events = append(s.Events, e, Event{At: until(at), Kind: KindHeal})
+		case KindConnReset:
+			e := Event{At: at, Kind: KindConnReset, All: true}
+			if m.DCs > 1 && rng.Intn(2) == 0 {
+				e.All, e.DC = false, dcid(rng.Intn(m.DCs))
+			}
+			s.Events = append(s.Events, e)
+		case KindBlackhole:
+			e := Event{At: at, Kind: KindBlackhole, All: true}
+			if m.DCs > 1 && rng.Intn(2) == 0 {
+				e.All, e.DC = false, dcid(rng.Intn(m.DCs))
+			}
+			s.Events = append(s.Events, e, Event{At: until(at), Kind: KindHeal})
+		case KindCrash:
+			_, e := splitTarget(pick(m.Crash))
+			e.At, e.Kind = at, KindCrash
+			back := e
+			back.At, back.Kind = until(at), KindRestart
+			s.Events = append(s.Events, e, back)
+		case KindStop:
+			_, e := splitTarget(pick(m.Stop))
+			e.At, e.Kind = at, KindStop
+			back := e
+			back.At, back.Kind = until(at), KindCont
+			s.Events = append(s.Events, e, back)
+		case KindFsyncErr:
+			_, e := splitTarget(pick(m.Fsync))
+			e.At, e.Kind = at, KindFsyncErr
+			off := e
+			off.At, off.Kind = until(at), KindFsyncOK
+			// The sticky sync error outlives the disarm: crash and
+			// restart the owning node to actually recover, torn WAL
+			// tail and all.
+			crash := Event{At: off.At, Kind: KindCrash, DC: e.DC, Target: "partition"}
+			restart := Event{At: until(off.At), Kind: KindRestart, DC: e.DC, Target: "partition"}
+			s.Events = append(s.Events, e, off, crash, restart)
+		}
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s
+}
+
+func dcid(n int) types.DCID { return types.DCID(n) }

@@ -23,12 +23,14 @@ package geostore
 
 import (
 	"fmt"
+	"log"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"eunomia/internal/eunomia"
 	"eunomia/internal/fabric"
+	"eunomia/internal/faults"
 	"eunomia/internal/hlc"
 	"eunomia/internal/kvstore"
 	"eunomia/internal/partition"
@@ -285,6 +287,15 @@ type NodeConfig struct {
 	// SnapshotThreshold is the per-store log size that triggers
 	// compaction. Default wal.DefaultSnapshotThreshold (1 MiB).
 	SnapshotThreshold int64
+
+	// Faults, optional, is the fault-injection seam (internal/faults):
+	// each hosted component's WAL stores consult the injector's armed
+	// per-component fsync errors ("partition", "applier", "receiver")
+	// before every sync. A fired fault makes the component's sync error
+	// sticky — surfaced by SyncErr, the wal_sync_errors metric, and the
+	// frontend /healthz — and the node stops promising durability until
+	// it is restarted onto a healthy (disarmed) injector.
+	Faults *faults.Injector
 }
 
 // Node hosts a subset of one datacenter's components on a fabric. A Store
@@ -320,6 +331,12 @@ type Node struct {
 	snapThreshold int64
 	flushStop     chan struct{}
 	flushWG       sync.WaitGroup
+	// flushErr is the sticky first flush/compaction failure (injected
+	// fsync faults land here): flushLoop records it and exits instead of
+	// tearing the process down, so the failure is observable (SyncErr,
+	// metrics, /healthz) the way a full disk is in production.
+	flushMu  sync.Mutex
+	flushErr error
 
 	ackTimeout time.Duration
 
@@ -440,10 +457,12 @@ func (n *Node) flushLoop() {
 		}
 		for _, p := range n.parts {
 			if err := p.FlushWAL(); err != nil {
-				panic("geostore: partition WAL flush failed: " + err.Error())
+				n.failFlush("partition WAL flush", err)
+				return
 			}
 			if _, err := p.MaybeSnapshot(n.snapThreshold); err != nil {
-				panic("geostore: partition snapshot failed: " + err.Error())
+				n.failFlush("partition snapshot", err)
+				return
 			}
 		}
 		if marks != nil {
@@ -462,13 +481,62 @@ func (n *Node) flushLoop() {
 		}
 		if n.recv != nil {
 			if err := n.recv.FlushWAL(); err != nil {
-				panic("geostore: receiver WAL flush failed: " + err.Error())
+				n.failFlush("receiver WAL flush", err)
+				return
 			}
 			if _, err := n.recv.MaybeSnapshot(n.snapThreshold); err != nil {
-				panic("geostore: receiver snapshot failed: " + err.Error())
+				n.failFlush("receiver snapshot", err)
+				return
 			}
 		}
 	}
+}
+
+// failFlush records the first flush-loop failure as the node's sticky
+// durability error and stops the loop. The node keeps serving — the
+// failure is a disk problem, not a correctness problem for data already
+// applied — but it no longer advances durable watermarks, and the error
+// is surfaced through SyncErr (and from there the frontend /healthz and
+// the wal_sync_errors metric) until the node is restarted onto a
+// healthy disk.
+func (n *Node) failFlush(what string, err error) {
+	n.flushMu.Lock()
+	if n.flushErr == nil {
+		n.flushErr = fmt.Errorf("geostore: %s failed: %w", what, err)
+		log.Printf("geostore dc%d: durability lost: %s failed: %v; flush loop stopped — restart the node onto a healthy disk", n.id, what, err)
+	}
+	n.flushMu.Unlock()
+}
+
+// SyncErr reports the node's sticky durability error, if any: a flush
+// loop failure, or a sticky sync error on any partition, stream, or
+// receiver WAL store (group-commit syncs fail outside the flush loop).
+// A non-nil result means the node's durable watermarks have stopped
+// advancing and its durability promises must not be trusted until it is
+// restarted onto a healthy disk.
+func (n *Node) SyncErr() error {
+	n.flushMu.Lock()
+	err := n.flushErr
+	n.flushMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, st := range n.partStores {
+		if err := st.SyncErr(); err != nil {
+			return err
+		}
+	}
+	if n.streamStore != nil {
+		if err := n.streamStore.SyncErr(); err != nil {
+			return err
+		}
+	}
+	if n.recv != nil {
+		if err := n.recv.WALSyncErr(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WALComponentMetrics pairs a component label with the shared sync
@@ -495,6 +563,7 @@ func (n *Node) walOptions(nc NodeConfig, component string) wal.Options {
 		GroupDelay:    nc.WALGroupDelay,
 		GroupMaxBatch: nc.WALGroupMaxBatch,
 		Metrics:       m,
+		InjectSync:    nc.Faults.InjectSyncFunc(component),
 	}
 }
 
@@ -848,6 +917,27 @@ func (n *Node) buildReceiver(nc NodeConfig) error {
 				deadline := time.Now().Add(budget)
 				for {
 					st := recv.SiteTime()
+					if n.relWin != nil {
+						// Split role: SiteTime advances on admission into
+						// the release window, not on apply at the remote
+						// partition process, so it overstates what a read
+						// there can see. Answer the wait (and the cached
+						// Site) from the durable-ack watermark instead —
+						// only the applier's acknowledgements prove the
+						// client's history is applied. A restarted window
+						// starts its acks empty; the receiver's persisted
+						// watermark carries the pre-restart baseline.
+						for k := 0; k < n.cfg.DCs; k++ {
+							if types.DCID(k) == m {
+								continue
+							}
+							acked := n.relWin.ackedEntry(types.DCID(k))
+							if d := recv.DurableSiteEntry(types.DCID(k)); d > acked {
+								acked = d
+							}
+							st.Set(k, acked)
+						}
+					}
 					ok := true
 					for k := 0; k < n.cfg.DCs; k++ {
 						if types.DCID(k) == m {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"eunomia/internal/fabric"
+	"eunomia/internal/hlc"
 	"eunomia/internal/partition"
 	"eunomia/internal/types"
 	"eunomia/internal/wal"
@@ -146,6 +147,16 @@ type releaseWindow struct {
 	wedged bool
 	closed bool
 
+	// ackedSite tracks, per origin, the highest origin-entry timestamp
+	// among releases the applier has durably acknowledged — the
+	// strongest "applied at the partition process" claim the sender can
+	// make. The §4 migration wait consults it on split-role nodes:
+	// release() returns true on admission into the window, so SiteTime
+	// runs ahead of the actual applies, and a migrated read must not
+	// pass its visibility wait while its causal history is still in
+	// flight to the applier.
+	ackedSite map[types.DCID]hlc.Timestamp
+
 	stop chan struct{}
 }
 
@@ -155,8 +166,9 @@ func newReleaseWindow(fab fabric.Fabric, from, to fabric.Addr, limit int) *relea
 	}
 	w := &releaseWindow{
 		fab: fab, from: from, to: to, limit: limit,
-		epoch: uint64(time.Now().UnixNano()),
-		stop:  make(chan struct{}),
+		epoch:     uint64(time.Now().UnixNano()),
+		ackedSite: make(map[types.DCID]hlc.Timestamp),
+		stop:      make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.resendLoop()
@@ -226,6 +238,11 @@ func (w *releaseWindow) handleAck(ack ReleaseAckMsg) {
 	}
 	var durable []ReleaseMsg
 	if drop > 0 {
+		for _, m := range w.inflight[:drop] {
+			if ts := m.U.VTS.Get(int(m.U.Origin)); ts > w.ackedSite[m.U.Origin] {
+				w.ackedSite[m.U.Origin] = ts
+			}
+		}
 		if w.onDurable != nil {
 			durable = append(durable, w.inflight[:drop]...)
 		}
@@ -256,6 +273,16 @@ func (w *releaseWindow) handleAck(ack ReleaseAckMsg) {
 			cb(m)
 		}
 	}
+}
+
+// ackedEntry returns the highest durably acknowledged origin timestamp
+// for origin k (zero before any ack of k's updates this incarnation; a
+// restarted receiver's baseline is the receiver's persisted durable
+// watermark, which the migration wait merges in).
+func (w *releaseWindow) ackedEntry(k types.DCID) hlc.Timestamp {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ackedSite[k]
 }
 
 // resendLoop retransmits the unacknowledged suffix when acknowledgements

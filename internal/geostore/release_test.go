@@ -243,3 +243,56 @@ func TestWindowedReleaseBackpressureBound(t *testing.T) {
 		t.Fatalf("dc0 applied %d remote updates, want exactly %d", got, 2*pairs)
 	}
 }
+
+// TestWindowedReleaseAsymmetricAckLoss partitions exactly one direction of
+// the release stream — the applier's acknowledgements are dropped while
+// releases keep flowing (simnet.SetDrop is inherently one-way, the same
+// shape as "partition dc0<-dc1" in the faults DSL). Updates must still
+// become visible in causal order, the stall must be loud (a growing
+// retransmission counter and an undrained window) without wedging, the
+// timeout-driven re-releases must be absorbed exactly once, and the heal
+// must drain the window and carry new traffic cleanly.
+func TestWindowedReleaseAsymmetricAckLoss(t *testing.T) {
+	s := newSplitDC(t, 0)
+	s.net.SetDrop(fabric.ApplierAddr(0), fabric.ReceiverAddr(0), true)
+
+	const pairs = 10
+	check := writePairs(t, s, "", pairs)
+	// The forward direction is intact: everything applies, causally.
+	check()
+
+	// The stall is loud, not silent: with no acknowledgements the window
+	// never drains and the receiver re-releases on timeout...
+	waitUntil(t, 10*time.Second, "ack starvation to force retransmissions", func() bool {
+		return s.recv.ReleaseResent() > 0
+	})
+	if got := s.recv.ReleaseInflight(); got == 0 {
+		t.Fatal("window drained without a single acknowledgement")
+	}
+	// ...but it is a stall, not a death: nothing diagnoses a wedge, and
+	// the applier absorbs every re-release (exactly-once holds mid-fault).
+	if s.recv.ReleaseWedged() {
+		t.Fatal("one-direction ack loss must not wedge the stream")
+	}
+	if got := s.remoteApplied(); got != 2*pairs {
+		t.Fatalf("dc0 applied %d remote updates during ack loss, want exactly %d (re-releases leaked)", got, 2*pairs)
+	}
+
+	// Heal the one direction: pending acknowledgements drain the window.
+	s.net.SetDrop(fabric.ApplierAddr(0), fabric.ReceiverAddr(0), false)
+	waitUntil(t, 10*time.Second, "window to drain after heal", func() bool {
+		return s.recv.ReleaseInflight() == 0
+	})
+	if got := s.remoteApplied(); got != 2*pairs {
+		t.Fatalf("dc0 applied %d remote updates after heal, want exactly %d", got, 2*pairs)
+	}
+
+	// The healed stream carries new traffic with no residue.
+	writePairs(t, s, "post-", 3)()
+	waitUntil(t, 10*time.Second, "post-heal window to drain", func() bool {
+		return s.recv.ReleaseInflight() == 0
+	})
+	if got := s.remoteApplied(); got != 2*(pairs+3) {
+		t.Fatalf("dc0 applied %d remote updates post-heal, want exactly %d", got, 2*(pairs+3))
+	}
+}

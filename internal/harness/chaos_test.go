@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+)
+
+// One failing chaos run reproduces with the exact command its failure
+// message prints: TestChaosRepro re-executes a single (mode, seed) pair.
+var (
+	chaosMode = flag.String("chaos-mode", "", "re-run one chaos mode (with -chaos-seed)")
+	chaosSeed = flag.Int64("chaos-seed", 0, "re-run one chaos seed (with -chaos-mode)")
+	chaosJSON = flag.String("chaos-json", "", "write per-seed chaos invariant results to this file")
+)
+
+func chaosTestOptions() ChaosOptions {
+	return ChaosOptions{
+		Horizon: 1500 * time.Millisecond,
+		Writes:  25,
+	}
+}
+
+func writeChaosJSON(t *testing.T, res ChaosResult) {
+	t.Helper()
+	if *chaosJSON == "" {
+		return
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal chaos results: %v", err)
+	}
+	if err := os.WriteFile(*chaosJSON, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", *chaosJSON, err)
+	}
+}
+
+// TestChaosMatrix is the acceptance sweep: every mode (7) under 3
+// distinct randomized seeded schedules — 21 runs, each verifying the
+// healed cluster's invariants. A failure names the seed, the drawn
+// schedule, and the one-command repro.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	res := ChaosBench(chaosTestOptions())
+	writeChaosJSON(t, res)
+	for _, run := range res.Runs {
+		if !run.Passed {
+			t.Errorf("mode=%s seed=%d failed: %s\n  schedule: %s\n  repro: %s",
+				run.Mode, run.Seed, run.Failures(), run.Schedule, run.Repro)
+		}
+	}
+	if len(res.Runs) != len(ChaosModes)*3 {
+		t.Fatalf("runs = %d, want %d", len(res.Runs), len(ChaosModes)*3)
+	}
+	seeds := map[int64]bool{}
+	for _, run := range res.Runs {
+		seeds[run.Seed] = true
+	}
+	if len(seeds) != len(res.Runs) {
+		t.Fatalf("seeds not distinct: %d unique over %d runs", len(seeds), len(res.Runs))
+	}
+}
+
+// TestChaosRepro re-runs exactly one (mode, seed) pair — the
+// reproduction entry point printed by a failing matrix run.
+func TestChaosRepro(t *testing.T) {
+	if *chaosMode == "" {
+		t.Skip("pass -chaos-mode and -chaos-seed to reproduce one run")
+	}
+	o := chaosTestOptions()
+	run := ChaosRunOne(*chaosMode, *chaosSeed, o)
+	t.Logf("mode=%s seed=%d schedule: %s", run.Mode, run.Seed, run.Schedule)
+	if !run.Passed {
+		t.Fatalf("invariants failed: %s", run.Failures())
+	}
+}

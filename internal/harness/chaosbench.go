@@ -1,0 +1,821 @@
+package harness
+
+// ChaosBench: randomized, seeded fault schedules against every system
+// mode, with end-to-end invariant checking after the cluster heals.
+//
+// Each run draws a self-healing faults.RandomSchedule from a menu of the
+// faults that mode's protocol is designed to absorb — duplicate delivery
+// everywhere (every mode but eventual deduplicates), Eunomia replica
+// crashes where there is a replica set to fail over, and
+// partition/crash/fsync-err episodes on the split-role durable deployment
+// whose windowed release stream retransmits and rejoins. Send-once simnet
+// edges (the leader's cross-DC metadata ship, payload batchers) are
+// deliberately NOT cut: the in-process fabric has no retransmission, so a
+// drop there is outside every mode's tolerance envelope — the TCP
+// transport owns loss/corruption faults, and internal/transport tests
+// them directly against its retransmitting protocol.
+//
+// After the schedule's horizon the harness force-heals, waits for
+// re-convergence, and verifies four invariants:
+//
+//  1. converged    — every issued update is visible at every datacenter
+//     with its written value (no loss, no divergence), plus the store's
+//     own version-level Convergent() check where it exists.
+//  2. exactly-once — no (datacenter, update) pair was applied twice
+//     within one node incarnation (a crash legitimately loses the
+//     applied-but-not-durable suffix, which the stream re-releases into
+//     the next incarnation; the per-incarnation check is the strongest
+//     true claim).
+//  3. durable-watermark — every release-stream sequence the applier
+//     advertises as Durable is covered by a torn-tail-tolerant
+//     wal.Replay of its live stream store (split mode).
+//  4. read-your-writes — a session token minted by a Put at one
+//     datacenter's front door observes its write from another
+//     datacenter's front door (geostore modes).
+//
+// A failing run reports its seed and the exact schedule it drew, and the
+// one-command reproduction recipe (TestChaosRepro).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"eunomia/internal/eventual"
+	"eunomia/internal/fabric"
+	"eunomia/internal/faults"
+	"eunomia/internal/geostore"
+	"eunomia/internal/globalstab"
+	"eunomia/internal/sequencer"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+	"eunomia/internal/wal"
+	"eunomia/internal/workload"
+)
+
+// ChaosModes is the full mode matrix: the paper's systems plus the
+// deployment shapes whose fault tolerance differs (propagation tree,
+// split-role durable node under group commit).
+var ChaosModes = []string{
+	"eunomia", "eunomia-tree", "eunomia-split",
+	"sequencer", "globalstab", "cure", "eventual",
+}
+
+// ChaosOptions parameterises a chaos sweep.
+type ChaosOptions struct {
+	// Modes to run (default ChaosModes).
+	Modes []string
+	// SeedsPerMode is how many randomized schedules each mode faces
+	// (default 3). Seeds are distinct across the whole sweep.
+	SeedsPerMode int
+	// BaseSeed numbers the first run (default 1); run i uses BaseSeed+i.
+	BaseSeed int64
+	// Horizon is the fault-schedule length (default 2s); every fault is
+	// injected and undone within it.
+	Horizon time.Duration
+	// Writes is the update count each writing datacenter issues, spread
+	// across the horizon (default 30).
+	Writes int
+}
+
+func (o *ChaosOptions) fill() {
+	if len(o.Modes) == 0 {
+		o.Modes = ChaosModes
+	}
+	if o.SeedsPerMode <= 0 {
+		o.SeedsPerMode = 3
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * time.Second
+	}
+	if o.Writes <= 0 {
+		o.Writes = 30
+	}
+}
+
+// ChaosInvariant is one invariant's verdict for one run.
+type ChaosInvariant struct {
+	Name    string `json:"name"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// ChaosRun is one (mode, seed) execution.
+type ChaosRun struct {
+	Mode       string           `json:"mode"`
+	Seed       int64            `json:"seed"`
+	Schedule   string           `json:"schedule"`
+	Invariants []ChaosInvariant `json:"invariants"`
+	Passed     bool             `json:"passed"`
+	// Repro is the one-command reproduction recipe for this exact run.
+	Repro string `json:"repro"`
+}
+
+// Failures renders the run's failed invariants ("" when passed).
+func (r ChaosRun) Failures() string {
+	var fails []string
+	for _, inv := range r.Invariants {
+		if inv.Err != "" {
+			fails = append(fails, inv.Name+": "+inv.Err)
+		}
+	}
+	return strings.Join(fails, "; ")
+}
+
+// ChaosResult is a whole sweep.
+type ChaosResult struct {
+	Runs   []ChaosRun `json:"runs"`
+	Failed int        `json:"failed"`
+}
+
+// ChaosBench runs the mode matrix under SeedsPerMode randomized seeded
+// schedules each and verifies the invariants after every run.
+func ChaosBench(o ChaosOptions) ChaosResult {
+	o.fill()
+	var res ChaosResult
+	seed := o.BaseSeed
+	for _, mode := range o.Modes {
+		for i := 0; i < o.SeedsPerMode; i++ {
+			run := ChaosRunOne(mode, seed, o)
+			if !run.Passed {
+				res.Failed++
+			}
+			res.Runs = append(res.Runs, run)
+			seed++
+			settle()
+		}
+	}
+	return res
+}
+
+// ChaosMenu returns the fault menu mode draws its schedules from: the
+// faults that mode is designed to tolerate, and nothing it never
+// promised to survive.
+func ChaosMenu(mode string, horizon time.Duration) faults.Menu {
+	m := faults.Menu{DCs: 3, Duration: horizon, Frames: faults.FrameFaults{Dup: 1}}
+	switch mode {
+	case "eunomia", "eunomia-tree":
+		// Leader crash → failover; the new leader re-ships overlapping
+		// suffixes and the receivers deduplicate.
+		m.Crash = []string{"eunomia0@dc0", "eunomia0@dc1", "eunomia0@dc2"}
+	case "eunomia-split":
+		// The windowed release stream retransmits through asymmetric
+		// cuts, the partition group rejoins from its data dir after a
+		// crash, and a sticky injected fsync error is recovered by
+		// disarm + crash + restart (the disk-swap story).
+		m.DCs = 2
+		m.Partition = true
+		m.Crash = []string{"partition@dc0"}
+		m.Fsync = []string{"partition@dc0"}
+	}
+	return m
+}
+
+// ChaosRunOne executes one (mode, seed) chaos run: build the deployment,
+// drive writers while the schedule's faults fire, force-heal, then verify
+// the invariants.
+func ChaosRunOne(mode string, seed int64, o ChaosOptions) ChaosRun {
+	o.fill()
+	run := ChaosRun{
+		Mode:  mode,
+		Seed:  seed,
+		Repro: fmt.Sprintf("go test ./internal/harness -run 'TestChaosRepro' -chaos-mode=%s -chaos-seed=%d", mode, seed),
+	}
+	menu := ChaosMenu(mode, o.Horizon)
+	sched := faults.RandomSchedule(seed, menu)
+	run.Schedule = sched.String()
+
+	rec := newChaosRecorder()
+	d, err := buildChaosDeploy(mode, seed, rec)
+	if err != nil {
+		run.Invariants = append(run.Invariants, ChaosInvariant{Name: "build", Err: err.Error()})
+		return run
+	}
+	defer d.close()
+
+	// Writers: one per originating datacenter, each spreading o.Writes
+	// single-writer keys across the schedule horizon. Every key is
+	// written exactly once, so the expected final state is known.
+	type issued struct {
+		key types.Key
+		val string
+	}
+	var wantMu sync.Mutex
+	var want []issued
+	var wg sync.WaitGroup
+	gap := o.Horizon * 6 / 10 / time.Duration(o.Writes)
+	for _, dc := range d.writers {
+		wg.Add(1)
+		go func(dc types.DCID) {
+			defer wg.Done()
+			c := d.client(dc)
+			for i := 0; i < o.Writes; i++ {
+				key := types.Key(fmt.Sprintf("chaos/dc%d/k%03d", dc, i))
+				val := fmt.Sprintf("s%d.%d", seed, i)
+				if err := c.Update(key, types.Value(val)); err != nil {
+					// Closed-loop retry: transient write failures during
+					// a fault window retry until the write lands, so the
+					// expected key set stays deterministic.
+					i--
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				wantMu.Lock()
+				want = append(want, issued{key: key, val: val})
+				wantMu.Unlock()
+				time.Sleep(gap)
+			}
+		}(dc)
+	}
+
+	// Scheduler: fire every event at its offset.
+	start := time.Now()
+	for _, e := range sched.Events {
+		if wait := e.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.actuate(e)
+	}
+	wg.Wait()
+	// Belt and braces: schedules are self-healing by construction
+	// (unit-tested), but the invariants are about the healed cluster, so
+	// force the network clean before checking.
+	d.actuate(faults.Event{Kind: faults.KindHeal})
+
+	// Invariant 1: convergence / no loss. Poll until every issued key is
+	// visible everywhere with its written value.
+	verdicts := []ChaosInvariant{{Name: "converged"}, {Name: "exactly-once"},
+		{Name: "durable-watermark", Skipped: d.durable == nil},
+		{Name: "read-your-writes", Skipped: d.frontend == nil}}
+	conv := &verdicts[0]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		conv.Err = ""
+		for dc := 0; dc < d.dcs && conv.Err == ""; dc++ {
+			c := d.client(types.DCID(dc))
+			for _, w := range want {
+				v, err := c.Read(w.key)
+				if err != nil {
+					conv.Err = fmt.Sprintf("dc%d read %s: %v", dc, w.key, err)
+					break
+				}
+				if string(v) != w.val {
+					conv.Err = fmt.Sprintf("dc%d: %s = %q, want %q", dc, w.key, v, w.val)
+					break
+				}
+			}
+		}
+		if conv.Err == "" && d.convergent != nil {
+			if err := d.convergent(); err != nil {
+				conv.Err = err.Error()
+			}
+		}
+		if conv.Err == "" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Invariant 2: exactly-once visibility per node incarnation.
+	if d.dedup {
+		if dupes := rec.duplicates(); dupes != "" {
+			verdicts[1].Err = dupes
+		}
+	} else {
+		verdicts[1].Skipped = true
+	}
+
+	// Invariant 3: advertised durable watermark covered by what a crash
+	// right now would replay from the torn-tail-tolerant WAL.
+	if d.durable != nil {
+		if err := d.durable(); err != nil {
+			verdicts[2].Err = err.Error()
+		}
+	}
+
+	// Invariant 4: read-your-writes across a session migration.
+	if d.frontend != nil {
+		if err := d.frontend(seed); err != nil {
+			verdicts[3].Err = err.Error()
+		}
+	}
+
+	run.Invariants = verdicts
+	run.Passed = true
+	for _, inv := range verdicts {
+		if inv.Err != "" {
+			run.Passed = false
+		}
+	}
+	return run
+}
+
+// chaosRecorder counts remote-visibility callbacks per (destination,
+// incarnation, update), the exactly-once ledger.
+type chaosRecorder struct {
+	mu    sync.Mutex
+	epoch map[types.DCID]int
+	seen  map[string]int
+}
+
+func newChaosRecorder() *chaosRecorder {
+	return &chaosRecorder{epoch: map[types.DCID]int{}, seen: map[string]int{}}
+}
+
+func (r *chaosRecorder) observe(dest types.DCID, u *types.Update, _ time.Time) {
+	r.mu.Lock()
+	key := fmt.Sprintf("dc%d/e%d/%d.%v.%s", dest, r.epoch[dest], u.Origin, u.TS, u.Key)
+	r.seen[key]++
+	r.mu.Unlock()
+}
+
+// bumpEpoch starts a new incarnation for dest: a restarted node's
+// re-application of the lost un-durable suffix is recovery, not a
+// duplicate.
+func (r *chaosRecorder) bumpEpoch(dest types.DCID) {
+	r.mu.Lock()
+	r.epoch[dest]++
+	r.mu.Unlock()
+}
+
+func (r *chaosRecorder) duplicates() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, n := range r.seen {
+		if n > 1 {
+			return fmt.Sprintf("update %s applied %d times", key, n)
+		}
+	}
+	return ""
+}
+
+// chaosDeploy is one running deployment plus the hooks the chaos driver
+// needs: a client factory, the schedule actuator, and per-mode invariant
+// checkers (nil = skipped).
+type chaosDeploy struct {
+	dcs     int
+	writers []types.DCID
+	client  func(dc types.DCID) workload.Client
+	actuate func(e faults.Event)
+	close   func()
+	dedup   bool
+	// convergent runs the store's own version-level check (may be nil).
+	convergent func() error
+	// durable verifies Durable ≤ torn-tail replay (split mode).
+	durable func() error
+	// frontend probes read-your-writes across a migration.
+	frontend func(seed int64) error
+}
+
+func allDCs(n int) []types.DCID {
+	dcs := make([]types.DCID, n)
+	for i := range dcs {
+		dcs[i] = types.DCID(i)
+	}
+	return dcs
+}
+
+// simnetFaults actuates network-shaped schedule events on a simnet
+// fabric: duplicate-delivery windows over a fixed cross-DC edge set, and
+// (optionally) asymmetric drop rules over partition-tolerant edges.
+type simnetFaults struct {
+	net *simnet.Network
+	mu  sync.Mutex
+	// dupEdges lists the cross-DC edges a frames event duplicates,
+	// grouped by receiving datacenter.
+	dupEdges map[types.DCID][][2]fabric.Addr
+	dup      [][2]fabric.Addr
+	drops    [][2]fabric.Addr
+}
+
+func (sf *simnetFaults) frames(e faults.Event, dcs int) {
+	if e.Frames.Dup == 0 {
+		return
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for dc, edges := range sf.dupEdges {
+		if !e.All && dc != e.DC {
+			continue
+		}
+		for _, edge := range edges {
+			sf.net.SetDuplicate(edge[0], edge[1], 1)
+			sf.dup = append(sf.dup, edge)
+		}
+	}
+}
+
+func (sf *simnetFaults) cut(edges ...[2]fabric.Addr) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for _, edge := range edges {
+		sf.net.SetDrop(edge[0], edge[1], true)
+		sf.drops = append(sf.drops, edge)
+	}
+}
+
+func (sf *simnetFaults) heal() {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	for _, edge := range sf.dup {
+		sf.net.SetDuplicate(edge[0], edge[1], 0)
+	}
+	for _, edge := range sf.drops {
+		sf.net.SetDrop(edge[0], edge[1], false)
+	}
+	sf.dup, sf.drops = nil, nil
+}
+
+// shipEdges enumerates the metadata-ship edges into each datacenter for
+// the replica-shipped modes (geostore: Eunomia leader → remote receiver).
+func shipEdges(dcs, replicas int) map[types.DCID][][2]fabric.Addr {
+	edges := map[types.DCID][][2]fabric.Addr{}
+	for a := 0; a < dcs; a++ {
+		for b := 0; b < dcs; b++ {
+			if a == b {
+				continue
+			}
+			for r := 0; r < replicas; r++ {
+				edges[types.DCID(a)] = append(edges[types.DCID(a)],
+					[2]fabric.Addr{fabric.EunomiaAddr(types.DCID(b), types.ReplicaID(r)), fabric.ReceiverAddr(types.DCID(a))})
+			}
+		}
+	}
+	return edges
+}
+
+// partitionEdges enumerates partition→sibling replication edges (the
+// globalstab/eventual baselines).
+func partitionEdges(dcs, partitions int) map[types.DCID][][2]fabric.Addr {
+	edges := map[types.DCID][][2]fabric.Addr{}
+	for a := 0; a < dcs; a++ {
+		for b := 0; b < dcs; b++ {
+			if a == b {
+				continue
+			}
+			for p := 0; p < partitions; p++ {
+				edges[types.DCID(a)] = append(edges[types.DCID(a)],
+					[2]fabric.Addr{fabric.PartitionAddr(types.DCID(b), types.PartitionID(p)), fabric.PartitionAddr(types.DCID(a), types.PartitionID(p))})
+			}
+		}
+	}
+	return edges
+}
+
+// propagatorEdges enumerates the sequencer baseline's shipping edges
+// (propagator → remote receiver).
+func propagatorEdges(dcs int) map[types.DCID][][2]fabric.Addr {
+	edges := map[types.DCID][][2]fabric.Addr{}
+	for a := 0; a < dcs; a++ {
+		for b := 0; b < dcs; b++ {
+			if a == b {
+				continue
+			}
+			edges[types.DCID(a)] = append(edges[types.DCID(a)],
+				[2]fabric.Addr{{DC: types.DCID(b), Name: "propagator"}, fabric.ReceiverAddr(types.DCID(a))})
+		}
+	}
+	return edges
+}
+
+const (
+	chaosDCs        = 3
+	chaosPartitions = 4
+)
+
+func chaosDelay() simnet.DelayFunc {
+	return simnet.LatencyMatrix(simnet.PaperRTTs(0.1), 0)
+}
+
+func buildChaosDeploy(mode string, seed int64, rec *chaosRecorder) (*chaosDeploy, error) {
+	switch mode {
+	case "eunomia", "eunomia-tree":
+		cfg := geostore.Config{
+			DCs: chaosDCs, Partitions: chaosPartitions, Replicas: 3,
+			Delay: chaosDelay(), OnVisible: rec.observe,
+		}
+		if mode == "eunomia-tree" {
+			cfg.Replicas = 2
+			cfg.Aggregators = 2
+		}
+		st := geostore.NewStore(cfg)
+		sf := &simnetFaults{net: st.Network(), dupEdges: shipEdges(cfg.DCs, cfg.Replicas)}
+		return &chaosDeploy{
+			dcs:     cfg.DCs,
+			writers: allDCs(cfg.DCs),
+			client:  func(dc types.DCID) workload.Client { return st.NewClient(dc) },
+			close:   st.Close,
+			dedup:   true,
+			convergent: func() error {
+				if err := st.WaitQuiescent(10 * time.Second); err != nil {
+					return err
+				}
+				return st.Convergent()
+			},
+			frontend: geoFrontendProbe(func(dc types.DCID) *geostore.Frontend { return st.Frontend(dc) }),
+			actuate: func(e faults.Event) {
+				switch e.Kind {
+				case faults.KindFrames:
+					sf.frames(e, cfg.DCs)
+				case faults.KindHeal:
+					sf.heal()
+				case faults.KindCrash:
+					// eunomiaN@dcM: fail-stop one replica; failover is
+					// the recovery, so restart is a no-op.
+					var r int
+					if _, err := fmt.Sscanf(e.Target, "eunomia%d", &r); err == nil {
+						st.CrashEunomiaReplica(e.DC, types.ReplicaID(r))
+					}
+				}
+			},
+		}, nil
+
+	case "eunomia-split":
+		return buildChaosSplit(seed, rec)
+
+	case "sequencer":
+		st := sequencer.NewStore(sequencer.StoreConfig{
+			Mode: sequencer.SSeq, DCs: chaosDCs, Partitions: chaosPartitions,
+			Delay: chaosDelay(), OnVisible: rec.observe,
+		})
+		sf := &simnetFaults{net: st.Network(), dupEdges: propagatorEdges(chaosDCs)}
+		return baselineDeploy(chaosDCs, sf, true,
+			func(dc types.DCID) workload.Client { return st.NewClient(dc) }, st.Close), nil
+
+	case "globalstab", "cure":
+		gmode := globalstab.GentleRain
+		if mode == "cure" {
+			gmode = globalstab.Cure
+		}
+		st := globalstab.NewStore(globalstab.Config{
+			Mode: gmode, DCs: chaosDCs, Partitions: chaosPartitions,
+			Delay: chaosDelay(), OnVisible: rec.observe,
+		})
+		sf := &simnetFaults{net: st.Network(), dupEdges: partitionEdges(chaosDCs, chaosPartitions)}
+		return baselineDeploy(chaosDCs, sf, true,
+			func(dc types.DCID) workload.Client { return st.NewClient(dc) }, st.Close), nil
+
+	case "eventual":
+		st := eventual.NewStore(eventual.Config{
+			DCs: chaosDCs, Partitions: chaosPartitions,
+			Delay: chaosDelay(), OnVisible: rec.observe,
+		})
+		sf := &simnetFaults{net: st.Network(), dupEdges: partitionEdges(chaosDCs, chaosPartitions)}
+		// Last-writer-wins applies are idempotent in state but fire the
+		// visibility hook per delivery: exactly-once is not this
+		// baseline's contract, so it is skipped (dedup=false).
+		return baselineDeploy(chaosDCs, sf, false,
+			func(dc types.DCID) workload.Client { return st.NewClient(dc) }, st.Close), nil
+	}
+	return nil, fmt.Errorf("unknown chaos mode %q (want one of %s)", mode, strings.Join(ChaosModes, ", "))
+}
+
+// baselineDeploy wires the duplicate-delivery-only chaos surface shared
+// by the baseline systems.
+func baselineDeploy(dcs int, sf *simnetFaults, dedup bool, client func(types.DCID) workload.Client, close func()) *chaosDeploy {
+	return &chaosDeploy{
+		dcs:     dcs,
+		writers: allDCs(dcs),
+		client:  client,
+		close:   close,
+		dedup:   dedup,
+		actuate: func(e faults.Event) {
+			switch e.Kind {
+			case faults.KindFrames:
+				sf.frames(e, dcs)
+			case faults.KindHeal:
+				sf.heal()
+			}
+		},
+	}
+}
+
+// geoFrontendProbe builds the read-your-writes checker: a session token
+// minted by a Put at dc1's front door must observe the write at dc0's.
+func geoFrontendProbe(front func(dc types.DCID) *geostore.Frontend) func(int64) error {
+	return func(seed int64) error {
+		for i := 0; i < 5; i++ {
+			key := types.Key(fmt.Sprintf("chaos/ryw/k%d", i))
+			val := fmt.Sprintf("ryw%d.%d", seed, i)
+			put, err := front(1).Put("", key, types.Value(val))
+			if err != nil {
+				return fmt.Errorf("put at dc1: %w", err)
+			}
+			got, err := front(0).Get(put.Token, key)
+			if err != nil {
+				return fmt.Errorf("migrated get at dc0: %w", err)
+			}
+			if string(got.Value) != val {
+				return fmt.Errorf("migrated session read %s = %q, want %q", key, got.Value, val)
+			}
+		}
+		return nil
+	}
+}
+
+// buildChaosSplit assembles the split-role durable deployment: dc0 split
+// into a partitions+Eunomia+frontend node and a receiver node (all
+// durable under group commit, sharing one fault injector), dc1 a full
+// volatile node originating all traffic. Partition events cut the
+// windowed release stream one direction at a time; crash/restart events
+// kill and rejoin the partition group from its data dir; fsync events arm
+// the injector against the partition component's WAL stores.
+func buildChaosSplit(seed int64, rec *chaosRecorder) (*chaosDeploy, error) {
+	dir, err := os.MkdirTemp("", "chaos-split-")
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.NewInjector(seed)
+	net := simnet.New(nil)
+	cfg := geostore.Config{
+		DCs: 2, Partitions: 2,
+		Delay:     func(from, to fabric.Addr) time.Duration { return 0 },
+		OnVisible: rec.observe,
+	}
+	partsNC := geostore.NodeConfig{
+		Config: cfg, DC: 0,
+		Roles:   geostore.RolePartitions | geostore.RoleEunomia | geostore.RoleFrontend,
+		Fabric:  net,
+		DataDir: dir, WALSync: wal.SyncGroupCommit,
+		Faults: inj,
+	}
+	type state struct {
+		sync.Mutex
+		parts *geostore.Node
+		down  bool
+		errs  []string
+	}
+	st := &state{parts: geostore.NewNode(partsNC)}
+	recv := geostore.NewNode(geostore.NodeConfig{
+		Config: cfg, DC: 0, Roles: geostore.RoleReceiver, Fabric: net,
+		DataDir: dir, WALSync: wal.SyncGroupCommit, Faults: inj,
+	})
+	origin := geostore.NewNode(geostore.NodeConfig{Config: cfg, DC: 1, Roles: geostore.RoleAll, Fabric: net})
+
+	sf := &simnetFaults{net: net, dupEdges: map[types.DCID][][2]fabric.Addr{
+		// Metadata ship into each side, plus the windowed release stream
+		// and its acks (the applier and receiver both deduplicate).
+		0: {
+			{fabric.EunomiaAddr(1, 0), fabric.ReceiverAddr(0)},
+			{fabric.ReceiverAddr(0), fabric.ApplierAddr(0)},
+			{fabric.ApplierAddr(0), fabric.ReceiverAddr(0)},
+		},
+		1: {{fabric.EunomiaAddr(0, 0), fabric.ReceiverAddr(1)}},
+	}}
+	releaseInto0 := [2]fabric.Addr{fabric.ReceiverAddr(0), fabric.ApplierAddr(0)}
+	acksInto1 := [2]fabric.Addr{fabric.ApplierAddr(0), fabric.ReceiverAddr(0)}
+
+	d := &chaosDeploy{
+		dcs:     2,
+		writers: []types.DCID{1}, // dc0 is the consumer under fault
+		dedup:   true,
+		client: func(dc types.DCID) workload.Client {
+			if dc == 1 {
+				return origin.NewClient()
+			}
+			st.Lock()
+			defer st.Unlock()
+			return st.parts.NewClient()
+		},
+		close: func() {
+			st.Lock()
+			parts, down := st.parts, st.down
+			st.Unlock()
+			nodes := []*geostore.Node{recv, origin}
+			if !down {
+				nodes = append([]*geostore.Node{parts}, nodes...)
+			}
+			for _, n := range nodes {
+				n.CloseIngress()
+			}
+			for _, n := range nodes {
+				n.CloseServices()
+			}
+			net.Close()
+			os.RemoveAll(dir)
+		},
+		durable: func() error {
+			st.Lock()
+			claimed := st.parts.ApplierDurable()
+			st.Unlock()
+			return verifyDurableReplay(filepath.Join(dir, "dc0-stream"), claimed)
+		},
+		frontend: geoFrontendProbe(func(dc types.DCID) *geostore.Frontend {
+			if dc == 1 {
+				return origin.Frontend()
+			}
+			st.Lock()
+			defer st.Unlock()
+			return st.parts.Frontend()
+		}),
+	}
+	d.actuate = func(e faults.Event) {
+		switch e.Kind {
+		case faults.KindPartition:
+			// The DC-level cut maps onto the retransmission-protected
+			// release stream: dc0 cut from dc1 silences releases toward
+			// the partition group; the reverse silences the acks (the
+			// receiver retransmits, the applier deduplicates).
+			if e.To == 0 || e.Sym {
+				sf.cut(releaseInto0)
+			}
+			if e.To == 1 || e.Sym {
+				sf.cut(acksInto1)
+			}
+		case faults.KindFrames:
+			sf.frames(e, 2)
+		case faults.KindHeal:
+			sf.heal()
+		case faults.KindFsyncErr:
+			inj.ArmFsync(e.Target, nil)
+		case faults.KindFsyncOK:
+			inj.DisarmFsync(e.Target)
+		case faults.KindCrash:
+			if e.Target != "partition" || e.DC != 0 {
+				return
+			}
+			st.Lock()
+			if !st.down {
+				st.down = true
+				// A dead process's endpoints vanish first: in-flight
+				// payloads and releases are dropped (and later recovered
+				// by the applier's payload pull and the receiver's
+				// retransmission), never delivered into closing stores.
+				net.Unregister(fabric.PartitionAddr(0, 0))
+				net.Unregister(fabric.PartitionAddr(0, 1))
+				net.Unregister(fabric.EunomiaAddr(0, 0))
+				net.Unregister(fabric.ApplierAddr(0))
+				net.Unregister(fabric.FrontendAddr(0, 0))
+				st.parts.CloseIngress()
+				st.parts.CloseServices()
+			}
+			st.Unlock()
+		case faults.KindRestart:
+			if e.Target != "partition" || e.DC != 0 {
+				return
+			}
+			st.Lock()
+			if st.down {
+				n, err := geostore.OpenNode(partsNC)
+				if err != nil {
+					st.errs = append(st.errs, "rejoin: "+err.Error())
+				} else {
+					st.parts, st.down = n, false
+					rec.bumpEpoch(0)
+				}
+			}
+			st.Unlock()
+		}
+	}
+	// A failed rejoin must surface, not hang the convergence wait: fold
+	// actuator errors into the durable checker (always run: d.durable is
+	// non-nil for this mode).
+	base := d.durable
+	d.durable = func() error {
+		st.Lock()
+		errs := st.errs
+		st.Unlock()
+		if len(errs) > 0 {
+			return fmt.Errorf("%s", strings.Join(errs, "; "))
+		}
+		return base()
+	}
+	return d, nil
+}
+
+// verifyDurableReplay replays the applier's live stream store read-only —
+// exactly what a crash right now would recover, since wal.Replay stops at
+// the first torn record — and checks the advertised durable watermark is
+// covered.
+func verifyDurableReplay(streamDir string, claimed uint64) error {
+	var epoch, recovered uint64
+	replay := func(rec []byte) error {
+		if len(rec) == 0 || rec[0] != wal.KindStream {
+			return nil
+		}
+		ep, seq, err := wal.DecodeStream(rec)
+		if err != nil {
+			return err
+		}
+		if ep > epoch || (ep == epoch && seq > recovered) {
+			epoch, recovered = ep, seq
+		}
+		return nil
+	}
+	if err := wal.Replay(filepath.Join(streamDir, "snapshot"), replay); err != nil {
+		return fmt.Errorf("replay snapshot: %w", err)
+	}
+	if err := wal.Replay(filepath.Join(streamDir, "log"), replay); err != nil {
+		return fmt.Errorf("replay log: %w", err)
+	}
+	if recovered < claimed {
+		return fmt.Errorf("applier advertises Durable=%d but a crash now would replay only seq %d", claimed, recovered)
+	}
+	return nil
+}

@@ -429,6 +429,15 @@ func (r *Receiver) WALSize() int64 {
 	return r.st.LogSize()
 }
 
+// WALSyncErr reports the store's sticky sync error (nil for a volatile
+// receiver, and while durability holds); see wal.Log.SyncErr.
+func (r *Receiver) WALSyncErr() error {
+	if r.st == nil {
+		return nil
+	}
+	return r.st.SyncErr()
+}
+
 // MaybeSnapshot compacts the store when the log outgrows threshold
 // (wal.DefaultSnapshotThreshold when <= 0): the snapshot is the durable
 // watermark per origin plus every entry not yet covered by it (retained

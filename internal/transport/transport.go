@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,7 @@ import (
 
 	"eunomia/internal/compress"
 	"eunomia/internal/fabric"
+	"eunomia/internal/faults"
 	"eunomia/internal/metrics"
 	"eunomia/internal/simnet"
 	"eunomia/internal/types"
@@ -113,6 +115,15 @@ type Config struct {
 	// about distance. Ack and hello frames are not shaped (the data
 	// direction carries the modeled cost).
 	WANShaper *wan.Shaper
+
+	// Faults, if set, is the fault-injection seam (internal/faults):
+	// inbound cross-datacenter data frames consult it for a fate
+	// (drop/duplicate/corrupt/delay, plus partition cuts) after WAN
+	// shaping and before dedup/dispatch, outbound dials consult the
+	// blackhole, and the endpoint's break-every-connection hook is
+	// registered for the conn-reset event. Nil (the default) costs the
+	// hot path nothing but a nil check.
+	Faults *faults.Injector
 
 	// HoldDelivery makes inbound connections wait for Ready before any
 	// frame is consumed (or acknowledged). A booting process accepts
@@ -299,6 +310,9 @@ func Listen(cfg Config) (*TCP, error) {
 	if !cfg.HoldDelivery {
 		t.Ready() // through the Once, so a caller's Ready stays a no-op
 	}
+	if cfg.Faults != nil {
+		cfg.Faults.OnConnReset(t.BreakConns)
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -384,6 +398,34 @@ func (t *TCP) Close() {
 	}
 	t.loop.Close()
 	t.wg.Wait()
+}
+
+// BreakConns closes every live connection once — inbound and outbound —
+// without touching the endpoint itself: dialers redial with (jittered)
+// backoff and retransmit their unacknowledged windows. This is the
+// transport/conn-reset fault point; the faults.Injector's conn-reset
+// event fires it.
+func (t *TCP) BreakConns() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			_ = p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
 }
 
 // AddRoute installs (or replaces) an exact endpoint route at runtime;
@@ -578,12 +620,53 @@ func (t *TCP) serveInbound(conn net.Conn) {
 		if f.Seq <= last {
 			t.DupDropped.Add(1)
 		} else {
-			last = f.Seq
-			if hello.Advertise != "" && !learnedFrom[f.From] {
-				learnedFrom[f.From] = true
-				t.learn(f.From, hello.Advertise)
+			// Fault injection (new cross-DC data frames only — frames the
+			// dedup watermark already covers were dispatched in a prior
+			// life and just burn a duplicate). Corrupt tears the
+			// connection down before the watermark advances: a framing
+			// checksum failure kills the stream, the dialer's reconnect
+			// retransmits everything unacked, and the retried frame
+			// redraws its fate. Drop consumes and acknowledges the frame
+			// without dispatching it: loss at the fabric layer, exactly
+			// what a simnet SetDrop delivers, so the protocols' own
+			// recovery paths must absorb it.
+			fate := faults.FateDeliver
+			if inj := t.cfg.Faults; inj != nil && f.From.DC != f.To.DC {
+				var fdelay time.Duration
+				fate, fdelay = inj.FrameFate(f.From.DC, f.To.DC)
+				if fate == faults.FateCorrupt {
+					// Exit the frame loop, not the function: the
+					// delivered prefix's watermark below must persist
+					// into inSeq or the reconnect would re-dispatch it
+					// as duplicates.
+					break
+				}
+				if fdelay > 0 {
+					if shapeTimer == nil {
+						shapeTimer = time.NewTimer(fdelay)
+					} else {
+						shapeTimer.Reset(fdelay)
+					}
+					select {
+					case <-shapeTimer.C:
+					case <-t.done:
+						return
+					}
+				}
 			}
-			t.dispatch(fabric.Message{From: f.From, To: f.To, Payload: f.Payload, SentAt: f.SentAt})
+			last = f.Seq
+			if fate == faults.FateDrop {
+				t.Dropped.Add(1)
+			} else {
+				if hello.Advertise != "" && !learnedFrom[f.From] {
+					learnedFrom[f.From] = true
+					t.learn(f.From, hello.Advertise)
+				}
+				t.dispatch(fabric.Message{From: f.From, To: f.To, Payload: f.Payload, SentAt: f.SentAt})
+				if fate == faults.FateDup {
+					t.dispatch(fabric.Message{From: f.From, To: f.To, Payload: f.Payload, SentAt: f.SentAt})
+				}
+			}
 		}
 		sinceAck++
 		if sinceAck >= ackEvery || fr.buffered() == 0 {
@@ -801,9 +884,19 @@ func (p *peer) run() {
 		}
 		p.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", p.dialAddr, p.t.cfg.DialTimeout)
+		var conn net.Conn
+		var err error
+		if inj := p.t.cfg.Faults; inj != nil && inj.DialBlackholed() {
+			err = errBlackholed // the transport/dial-blackhole fault point
+		} else {
+			conn, err = net.DialTimeout("tcp", p.dialAddr, p.t.cfg.DialTimeout)
+		}
 		if err != nil {
-			if p.sleepClosed(backoff) {
+			// Jittered backoff: sleep a uniform draw from [b/2, 3b/2)
+			// instead of exactly b, so every peer of a restarted
+			// listener doesn't redial in lockstep and stampede it the
+			// instant it comes back.
+			if p.sleepClosed(jitter(backoff)) {
 				return
 			}
 			if backoff *= 2; backoff > time.Second {
@@ -814,6 +907,16 @@ func (p *peer) run() {
 		backoff = p.t.cfg.RedialBackoff
 		p.serveConn(conn)
 	}
+}
+
+var errBlackholed = errors.New("transport: dial blackholed (injected)")
+
+// jitter spreads d uniformly over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // sleepClosed pauses for d and reports whether the peer was closed.

@@ -47,6 +47,12 @@ type Options struct {
 	GroupMaxBatch int
 	// Metrics, optional, receives fsync latency and commit batch sizes.
 	Metrics *SyncMetrics
+	// InjectSync, optional, is the fault-injection seam: it is consulted
+	// immediately before every fsync, and a non-nil return is treated
+	// exactly like the fsync failing with that error (sticky sync error,
+	// failed waiters) without touching the file. internal/faults wires
+	// its per-component armed errors through here.
+	InjectSync func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +74,11 @@ type SyncMetrics struct {
 	Fsync   *metrics.Histogram
 	Commits metrics.Counter
 	Records metrics.Counter
+	// SyncErrors counts sticky sync-error transitions: it advances once
+	// when a log's first fsync (or injected fault) fails and durability
+	// stops being promisable. Exported as eunomia_wal_sync_errors_total;
+	// a nonzero value also fails the frontend /healthz.
+	SyncErrors metrics.Counter
 }
 
 // NewSyncMetrics returns a SyncMetrics with the latency histogram armed.
@@ -141,6 +152,17 @@ func (l *Log) OnCommit(fn func(durable uint64)) {
 	l.onCommit = append(l.onCommit, fn)
 }
 
+// SyncErr returns the sticky sync error, nil while the log's durability
+// promise holds. A log whose SyncErr is set keeps serving reads and
+// buffered appends but can never acknowledge durability again; the
+// owning component surfaces it (metrics, /healthz) and the node needs a
+// restart onto a healthy disk.
+func (l *Log) SyncErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
 // pokeCommitter wakes the committer goroutine; the buffered channel makes
 // repeat pokes free.
 func (l *Log) pokeCommitter() {
@@ -189,7 +211,7 @@ func (l *Log) committer() {
 // LSN captured at flush time (later appends ride the next commit).
 func (l *Log) commitOnce() {
 	l.mu.Lock()
-	if l.shutdown || l.closed || l.appended == l.durable {
+	if l.shutdown || l.closed || l.syncErr != nil || l.appended == l.durable {
 		l.mu.Unlock()
 		return
 	}
@@ -202,7 +224,7 @@ func (l *Log) commitOnce() {
 	l.mu.Unlock()
 
 	start := time.Now()
-	err := l.f.Sync()
+	err := l.sync()
 	elapsed := time.Since(start)
 
 	l.mu.Lock()
@@ -219,12 +241,18 @@ func (l *Log) commitOnce() {
 
 // failCommitLocked records the sticky sync error and fails every waiter:
 // durability can no longer be promised, and pretending otherwise by
-// retrying silently would let acknowledgements pass a failed disk.
-func (l *Log) failCommitLocked(err error) {
+// retrying silently would let acknowledgements pass a failed disk. The
+// first failure advances the SyncErrors counter (the transition is what
+// operators alert on; later calls just return the sticky error).
+func (l *Log) failCommitLocked(err error) error {
 	if l.syncErr == nil {
 		l.syncErr = fmt.Errorf("wal: %w", err)
+		if l.metrics != nil {
+			l.metrics.SyncErrors.Inc()
+		}
 	}
 	l.commit.Broadcast()
+	return l.syncErr
 }
 
 // abandon simulates a crash for tests: the committer stops, the file

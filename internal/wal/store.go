@@ -194,6 +194,10 @@ func (s *Store) DurableLSN() uint64 { return s.log.DurableLSN() }
 // for the (strict) constraints on fn.
 func (s *Store) OnCommit(fn func(durable uint64)) { s.log.OnCommit(fn) }
 
+// SyncErr returns the log's sticky sync error, nil while durability
+// holds; see Log.SyncErr.
+func (s *Store) SyncErr() error { return s.log.SyncErr() }
+
 // Flush forces appended records to stable storage.
 func (s *Store) Flush() error {
 	s.mu.Lock()

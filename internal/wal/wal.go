@@ -95,6 +95,10 @@ type Log struct {
 	stop       chan struct{}
 	stopped    chan struct{}
 	metrics    *SyncMetrics
+
+	// inject is the Options.InjectSync fault seam, consulted before
+	// every fsync; nil outside fault-injection runs.
+	inject func() error
 }
 
 const headerSize = 8
@@ -135,6 +139,7 @@ func OpenOptions(path string, o Options) (*Log, error) {
 	l := &Log{
 		f: f, w: bufio.NewWriter(f), policy: o.Policy, size: valid,
 		groupDelay: o.GroupDelay, groupMax: o.GroupMaxBatch, metrics: o.Metrics,
+		inject: o.InjectSync,
 	}
 	l.commit = sync.NewCond(&l.mu)
 	if o.Policy == SyncGroupCommit {
@@ -229,20 +234,38 @@ func (l *Log) Flush() error {
 	return l.syncLocked()
 }
 
+// sync runs one fsync through the fault-injection seam: an armed
+// InjectSync error stands in for the fsync failing without touching the
+// file.
+func (l *Log) sync() error {
+	if l.inject != nil {
+		if err := l.inject(); err != nil {
+			return err
+		}
+	}
+	return l.f.Sync()
+}
+
 // syncLocked flushes the buffer, fsyncs, and advances the durable
-// watermark to everything appended so far.
+// watermark to everything appended so far. Failures are sticky: once a
+// sync fails the log's durability promise is void, every later sync
+// attempt returns the same error (no silent retry can un-lose records
+// the buffer already dropped), and the SyncErrors counter has advanced.
 func (l *Log) syncLocked() error {
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.failCommitLocked(err)
 	}
 	target := l.appended
 	start := time.Now()
-	err := l.f.Sync()
+	err := l.sync()
 	if l.metrics != nil && l.metrics.Fsync != nil {
 		l.metrics.Fsync.RecordDuration(time.Since(start))
 	}
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.failCommitLocked(err)
 	}
 	l.advanceDurableLocked(target)
 	return nil
@@ -305,20 +328,22 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	err := l.w.Flush()
-	if err == nil {
-		start := time.Now()
-		err = l.f.Sync()
-		if l.metrics != nil && l.metrics.Fsync != nil {
-			l.metrics.Fsync.RecordDuration(time.Since(start))
-		}
-	}
-	if err == nil {
-		l.advanceDurableLocked(l.appended)
+	var err error
+	if l.syncErr != nil {
+		err = l.syncErr // durability already void: don't pretend the final sync saves it
 	} else {
-		err = fmt.Errorf("wal: %w", err)
-		if l.syncErr == nil {
-			l.syncErr = err
+		err = l.w.Flush()
+		if err == nil {
+			start := time.Now()
+			err = l.sync()
+			if l.metrics != nil && l.metrics.Fsync != nil {
+				l.metrics.Fsync.RecordDuration(time.Since(start))
+			}
+		}
+		if err == nil {
+			l.advanceDurableLocked(l.appended)
+		} else {
+			err = l.failCommitLocked(err)
 		}
 	}
 	l.closed = true
