@@ -252,6 +252,31 @@ func BenchmarkRecoveryRejoin(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotBootstrap compares the three ways a partition-role
+// node comes up with the dataset: pulling a compressed pinned snapshot
+// from a live peer (the new bootstrap path), a full resync (the origin
+// re-replicates every update over the WAN — the only option a
+// from-scratch replica had before), and a local replay (the data dir
+// survived; RecoveryBench's rejoin). The acceptance bar is snapshot-ship
+// ≥5× faster than full resync at the largest dataset. Archived in
+// BENCH_ci.json by the CI bench job.
+func BenchmarkSnapshotBootstrap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.BootstrapBench(harness.BootstrapBenchOptions{
+			Updates: 10000, Partitions: 2, StoreBackend: "disk",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ShipSecs*1e3, "ship-ms")
+		b.ReportMetric(res.ResyncSecs*1e3, "resync-ms")
+		b.ReportMetric(res.ReplaySecs*1e3, "replay-ms")
+		b.ReportMetric(res.ShipVsResync, "ship-vs-resync-x")
+		b.ReportMetric(float64(res.ShipBytes), "ship-wire-B")
+		b.ReportMetric(float64(res.ShipChunks), "ship-chunks")
+	}
+}
+
 // BenchmarkDurableSaturation is the group-commit headline: end-to-end
 // client update throughput at fixed durability. "always" and "group" give
 // the identical durable-on-return guarantee; the ratio between them is

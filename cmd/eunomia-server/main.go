@@ -152,6 +152,10 @@ func main() {
 		aseq       = flag.Bool("aseq", false, "mode sequencer: contact the sequencer asynchronously (A-Seq)")
 		demo       = flag.String("demo", "", `demo workload: "write:N" or "watch:N"`)
 		dataDir    = flag.String("data-dir", "", "mode eunomia: persist node state (partition WALs, release-stream position, receiver SiteTime+queues) under this directory; a restart with the same dir rejoins instead of wedging")
+		storeB     = flag.String("store", "mem", `mode eunomia: partition version-store backend: "mem" (in-memory maps) or "disk" (log-structured per-shard segment files whose live dataset may exceed memory; requires -data-dir)`)
+		storeBud   = flag.Int64("store-budget", 0, "-store disk: advisory resident-memory budget in bytes for the disk backend's in-memory indexes, split across the hosted partitions (0 = unbudgeted)")
+		snapThresh = flag.Int64("snapshot-threshold", 0, "mode eunomia with -data-dir: per-store WAL size in bytes that triggers snapshot compaction (default 1 MiB)")
+		bootFrom   = flag.String("bootstrap-from", "", `mode eunomia: comma list of donor datacenter ids (e.g. "1,2", in preference order) to pull partition snapshots from at startup — a rebuilding process installs a compressed snapshot from a live peer and replays only the WAL suffix past it; needs a role that includes partitions`)
 		walSync    = flag.String("wal-sync", "flush", `WAL fsync policy: "flush" (per batch/ack, bounded loss window), "always" (per append, none), or "group" (group commit: durable on return like always, fsyncs shared across concurrent appends)`)
 		walGDelay  = flag.Duration("wal-group-delay", 0, "-wal-sync group: how long a committer accumulates after waking before it syncs (0 = sync as soon as the previous sync returns)")
 		walGMax    = flag.Int("wal-group-max", 0, "-wal-sync group: records that cut -wal-group-delay short (default 4096)")
@@ -325,12 +329,36 @@ func main() {
 	if *dataDir != "" && *mode != "eunomia" {
 		log.Fatalf("-data-dir is supported only by -mode eunomia (got %q)", *mode)
 	}
+	switch *storeB {
+	case "mem", "disk":
+	default:
+		log.Fatalf("unknown -store %q (want mem or disk)", *storeB)
+	}
+	if *storeB == "disk" && (*mode != "eunomia" || *dataDir == "") {
+		log.Fatalf("-store disk requires -mode eunomia and -data-dir (got -mode %s, -data-dir %q)", *mode, *dataDir)
+	}
+	if flagSet("store-budget") && *storeB != "disk" {
+		log.Fatalf("-store-budget applies only to -store disk (got -store %s)", *storeB)
+	}
+	if flagSet("snapshot-threshold") {
+		if *mode != "eunomia" || *dataDir == "" {
+			log.Fatalf("-snapshot-threshold requires -mode eunomia and -data-dir (got -mode %s, -data-dir %q)", *mode, *dataDir)
+		}
+		if *snapThresh <= 0 {
+			log.Fatalf("-snapshot-threshold must be positive bytes (got %d)", *snapThresh)
+		}
+	}
+	bootstrapFrom, err := parseBootstrapFrom(*bootFrom, *mode, *dcID, *dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var h hosted
 	switch *mode {
 	case "eunomia":
 		h, err = hostEunomia(fab, *role, *dcID, *dcs, *partitions, *replicas, *batchIvl, *stableIvl, *checkIvl, kind, *dataDir, policy, *walGDelay, *walGMax, agg,
-			frontdoorConfig{index: *frontIndex, wait: *frontWait, scalar: scalarSession}, inj)
+			frontdoorConfig{index: *frontIndex, wait: *frontWait, scalar: scalarSession}, inj,
+			storeConfig{backend: *storeB, budget: *storeBud, snapThreshold: *snapThresh, bootstrapFrom: bootstrapFrom})
 	case "sequencer":
 		h, err = hostSequencer(fab, *role, *dcID, *dcs, *partitions, *aseq, *batchIvl, *checkIvl)
 	case "globalstab", "gentlerain", "cure":
@@ -440,13 +468,49 @@ type aggTopology struct {
 // hostEunomia boots the EunomiaKV node for the selected roles, durable
 // when dataDir is set (the node recovers its state and rejoins the
 // release stream at its durable watermark).
+// storeConfig bundles the version-store flags for the eunomia mode: the
+// backend selection, its memory budget, the snapshot-compaction
+// threshold, and the bootstrap donor list.
+type storeConfig struct {
+	backend       string
+	budget        int64
+	snapThreshold int64
+	bootstrapFrom []types.DCID
+}
+
+// parseBootstrapFrom validates -bootstrap-from: eunomia-only, numeric
+// datacenter ids inside the deployment, never this process's own.
+func parseBootstrapFrom(spec, mode string, dcID, dcs int) ([]types.DCID, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if mode != "eunomia" {
+		return nil, fmt.Errorf("-bootstrap-from is supported only by -mode eunomia (got %q)", mode)
+	}
+	var donors []types.DCID
+	for _, f := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || id < 0 || id >= dcs {
+			return nil, fmt.Errorf("-bootstrap-from %q: want datacenter ids in [0,%d)", spec, dcs)
+		}
+		if id == dcID {
+			return nil, fmt.Errorf("-bootstrap-from %q: dc%d cannot bootstrap from itself", spec, dcID)
+		}
+		donors = append(donors, types.DCID(id))
+	}
+	return donors, nil
+}
+
 func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replicas int,
 	batchIvl, stableIvl, checkIvl time.Duration, kind eunomia.TreeKind,
 	dataDir string, policy wal.SyncPolicy, groupDelay time.Duration, groupMax int,
-	agg aggTopology, fd frontdoorConfig, inj *faults.Injector) (hosted, error) {
+	agg aggTopology, fd frontdoorConfig, inj *faults.Injector, store storeConfig) (hosted, error) {
 	roles, err := parseRoles(role)
 	if err != nil {
 		return hosted{}, err
+	}
+	if len(store.bootstrapFrom) > 0 && !roles.Has(geostore.RolePartitions) {
+		return hosted{}, fmt.Errorf("-bootstrap-from needs a role that includes partitions (got %q)", role)
 	}
 	node, err := geostore.OpenNode(geostore.NodeConfig{
 		Config: geostore.Config{
@@ -476,6 +540,10 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 		FrontendIndex:       fd.index,
 		FrontendWaitTimeout: fd.wait,
 		Faults:              inj,
+		SnapshotThreshold:   store.snapThreshold,
+		StoreBackend:        store.backend,
+		StoreMemBudget:      store.budget,
+		BootstrapFrom:       store.bootstrapFrom,
 	})
 	if err != nil {
 		return hosted{}, fmt.Errorf("recovering node state from %s: %w", dataDir, err)
@@ -539,6 +607,21 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 			{Name: "eunomia_applier_pending", Value: float64(node.ApplierPending())},
 			{Name: "eunomia_applier_durable_seq", Value: float64(node.ApplierDurable())},
 		}
+		if roles.Has(geostore.RolePartitions) {
+			// The version store: live dataset size, labeled by backend so a
+			// disk-backed node's dataset-vs-RAM headroom is chartable, plus
+			// the snapshot-shipping counters (nonzero after a bootstrap).
+			samples = append(samples, metrics.PromSample{
+				Name: "eunomia_store_bytes", Labels: [][2]string{{"backend", node.StoreBackend()}},
+				Value: float64(node.StoreBytes()),
+			})
+			shipBytes, shipChunks, shipSeconds := node.BootstrapStats()
+			samples = append(samples,
+				metrics.PromSample{Name: "eunomia_snapshot_ship_bytes_total", Value: float64(shipBytes)},
+				metrics.PromSample{Name: "eunomia_snapshot_ship_chunks_total", Value: float64(shipChunks)},
+				metrics.PromSample{Name: "eunomia_snapshot_ship_seconds_total", Value: shipSeconds},
+			)
+		}
 		if node.Receiver() != nil {
 			samples = append(samples, metrics.PromSample{
 				Name: "eunomia_receiver_applied_total", Value: float64(node.Receiver().Applied.Load()),
@@ -573,6 +656,10 @@ func hostEunomia(fab *transport.TCP, role string, dcID, dcs, partitions, replica
 				// failure and the node no longer promises durability:
 				// page on it, then restart the node onto a healthy disk.
 				metrics.PromSample{Name: "eunomia_wal_sync_errors_total", Labels: lbl, Value: float64(wm.M.SyncErrors.Load())},
+				// Nonzero means a snapshot compaction failed — worst case a
+				// truncation failure after install, which leaves the replay
+				// tail growing behind the operator's back.
+				metrics.PromSample{Name: "eunomia_wal_compact_errors_total", Labels: lbl, Value: float64(wm.M.CompactErrors.Load())},
 			)
 			samples = append(samples, metrics.PromHistogram("eunomia_wal_fsync_seconds", lbl, wm.M.Fsync, nil)...)
 		}

@@ -561,6 +561,20 @@ func TestPartitionProcessKillRejoinGroupCommitOverTCP(t *testing.T) {
 	runPartitionKillRestart(t, buildServer(t), true, nil, []string{"-wal-sync", "group"})
 }
 
+// TestPartitionProcessKillRejoinDiskStoreOverTCP runs the crash matrix
+// with the disk version-store backend and a snapshot threshold small
+// enough that the WAL is compacted mid-stream: after compaction the log
+// holds marks only, so the restart must recover values from the segment
+// files and replay just the WAL suffix — the segments-as-authority
+// contract, proven over TCP.
+func TestPartitionProcessKillRejoinDiskStoreOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process restart test in -short mode")
+	}
+	runPartitionKillRestart(t, buildServer(t), true, nil,
+		[]string{"-store", "disk", "-snapshot-threshold", "4096"})
+}
+
 // TestPartitionProcessKillNoDataDirWedges is the same crash without a
 // data dir: the stream must wedge loudly — the receiver process exits
 // nonzero with a diagnostic instead of reporting a clean verdict.
@@ -799,6 +813,33 @@ func TestRejectsContradictoryFlags(t *testing.T) {
 		{"bad-wan-spec",
 			[]string{"-mode", "eunomia", "-role", "dc", "-wan", "dc0-dc1:fast"},
 			"link spec"},
+		{"unknown-store",
+			[]string{"-mode", "eunomia", "-role", "dc", "-store", "rocksdb"},
+			"unknown -store"},
+		{"disk-store-needs-data-dir",
+			[]string{"-mode", "eunomia", "-role", "dc", "-store", "disk"},
+			"-store disk requires -mode eunomia and -data-dir"},
+		{"store-budget-needs-disk-store",
+			[]string{"-mode", "eunomia", "-role", "dc", "-store-budget", "1048576"},
+			"-store-budget applies only to -store disk"},
+		{"snapshot-threshold-needs-data-dir",
+			[]string{"-mode", "eunomia", "-role", "dc", "-snapshot-threshold", "1024"},
+			"-snapshot-threshold requires -mode eunomia and -data-dir"},
+		{"snapshot-threshold-must-be-positive",
+			[]string{"-mode", "eunomia", "-role", "dc", "-data-dir", "/tmp/unused", "-snapshot-threshold", "0"},
+			"-snapshot-threshold must be positive"},
+		{"bootstrap-needs-eunomia",
+			[]string{"-mode", "eventual", "-role", "dc", "-dcs", "2", "-bootstrap-from", "1"},
+			"-bootstrap-from is supported only by -mode eunomia"},
+		{"bootstrap-bad-donor-id",
+			[]string{"-mode", "eunomia", "-role", "dc", "-dcs", "2", "-bootstrap-from", "5"},
+			"want datacenter ids in [0,2)"},
+		{"bootstrap-from-self",
+			[]string{"-mode", "eunomia", "-role", "dc", "-dc", "0", "-dcs", "2", "-bootstrap-from", "0"},
+			"cannot bootstrap from itself"},
+		{"bootstrap-needs-partitions-role",
+			[]string{"-mode", "eunomia", "-role", "receiver", "-dc", "0", "-dcs", "2", "-bootstrap-from", "1"},
+			"needs a role that includes partitions"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -856,6 +897,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		`eunomia_frontend_ops_total{op="put"}`,
 		"eunomia_frontend_waits_total",
 		"eunomia_frontend_wait_timeouts_total",
+		// The version store: live bytes labeled by backend, and the
+		// snapshot-shipping counters (zero here — no -bootstrap-from).
+		`eunomia_store_bytes{backend="mem"}`,
+		"eunomia_snapshot_ship_bytes_total",
+		"eunomia_snapshot_ship_chunks_total",
+		"eunomia_snapshot_ship_seconds_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)
@@ -921,6 +968,7 @@ func TestMetricsEndpointWALGroupCommit(t *testing.T) {
 		`eunomia_wal_fsync_seconds_bucket{component="partition",le="+Inf"}`,
 		`eunomia_wal_fsync_seconds_count{component="applier"}`,
 		`eunomia_wal_group_commits_total{component="applier"}`,
+		`eunomia_wal_compact_errors_total{component="partition"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("partition-process metrics missing %q:\n%s", want, body)
@@ -931,6 +979,7 @@ func TestMetricsEndpointWALGroupCommit(t *testing.T) {
 		`eunomia_wal_group_commits_total{component="receiver"}`,
 		`eunomia_wal_group_records_total{component="receiver"}`,
 		`eunomia_wal_fsync_seconds_count{component="receiver"}`,
+		`eunomia_wal_compact_errors_total{component="receiver"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("receiver-process metrics missing %q:\n%s", want, body)

@@ -161,7 +161,7 @@ type epart struct {
 	node  *Node
 	id    types.PartitionID
 	clock *hlc.Clock
-	kv    *kvstore.Store
+	kv    *kvstore.Mem
 	ship  *fabric.Batcher[*types.Update]
 
 	seqMu sync.Mutex
@@ -228,7 +228,7 @@ func (c *Client) Update(key types.Key, value types.Value) error {
 }
 
 // Partition exposes a partition's kvstore for convergence checks.
-func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Mem {
 	return s.nodes[m].parts[p].kv
 }
 

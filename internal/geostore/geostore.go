@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"eunomia/internal/compress"
 	"eunomia/internal/eunomia"
 	"eunomia/internal/fabric"
 	"eunomia/internal/faults"
@@ -288,6 +289,35 @@ type NodeConfig struct {
 	// compaction. Default wal.DefaultSnapshotThreshold (1 MiB).
 	SnapshotThreshold int64
 
+	// StoreBackend selects the partitions' version store: "mem" (the
+	// default, kvstore.Mem) or "disk" (kvstore.Disk, a log-structured
+	// per-shard segment store whose live dataset may exceed memory).
+	// "disk" requires DataDir.
+	StoreBackend string
+	// StoreMemBudget is the disk backend's advisory resident-memory
+	// budget (kvstore.DiskOptions.MemBudget), split evenly across the
+	// hosted partitions. Zero = unbudgeted.
+	StoreMemBudget int64
+
+	// BootstrapFrom lists donor datacenters to pull partition snapshots
+	// from at open, in preference order: a rebuilding node installs a
+	// pinned, chunked, compressed snapshot from the first reachable
+	// donor (bootstrap.go) and rejoins the release stream past its
+	// watermarks instead of resyncing update by update. Empty = no
+	// bootstrap (fresh deployments, and restarts that recover locally).
+	BootstrapFrom []types.DCID
+	// BootstrapChunkTimeout bounds one chunk round trip before it is
+	// retried. Default 1s.
+	BootstrapChunkTimeout time.Duration
+	// BootstrapChunkAttempts is how many times one chunk is requested
+	// before the donor is declared dead and the next one tried.
+	// Default 20.
+	BootstrapChunkAttempts int
+	// SnapshotCompression names the scheme snapshot chunks this node
+	// donates are compressed with: "off", "snappy", or "zstd"
+	// (compress.Parse). Default "snappy".
+	SnapshotCompression string
+
 	// Faults, optional, is the fault-injection seam (internal/faults):
 	// each hosted component's WAL stores consult the injector's armed
 	// per-component fsync errors ("partition", "applier", "receiver")
@@ -329,8 +359,16 @@ type Node struct {
 	streamStore   *wal.Store
 	walMetrics    []WALComponentMetrics
 	snapThreshold int64
-	flushStop     chan struct{}
-	flushWG       sync.WaitGroup
+	// Pluggable version-store backend: the disk stores the node opened
+	// (empty for "mem") and the backend's name for metrics labels.
+	diskStores  []*kvstore.Disk
+	backendName string
+	// Snapshot shipping (bootstrap.go): donor-side pins, joiner-side
+	// reply routing, ship counters, and the donate-side chunk scheme.
+	boot         bootState
+	snapCompress compress.Scheme
+	flushStop    chan struct{}
+	flushWG      sync.WaitGroup
 	// flushErr is the sticky first flush/compaction failure (injected
 	// fsync faults land here): flushLoop records it and exits instead of
 	// tearing the process down, so the failure is observable (SyncErr,
@@ -374,6 +412,23 @@ func OpenNode(nc NodeConfig) (*Node, error) {
 	if nc.SnapshotThreshold <= 0 {
 		nc.SnapshotThreshold = wal.DefaultSnapshotThreshold
 	}
+	switch nc.StoreBackend {
+	case "", "mem":
+		nc.StoreBackend = "mem"
+	case "disk":
+		if nc.DataDir == "" {
+			return nil, fmt.Errorf("geostore: -store disk requires a data dir")
+		}
+	default:
+		return nil, fmt.Errorf("geostore: unknown store backend %q (want mem or disk)", nc.StoreBackend)
+	}
+	if nc.SnapshotCompression == "" {
+		nc.SnapshotCompression = "snappy"
+	}
+	snapScheme, err := compress.Parse(nc.SnapshotCompression)
+	if err != nil {
+		return nil, fmt.Errorf("geostore: snapshot compression: %w", err)
+	}
 	n := &Node{
 		cfg:           nc.Config,
 		id:            nc.DC,
@@ -381,6 +436,8 @@ func OpenNode(nc NodeConfig) (*Node, error) {
 		fab:           nc.Fabric,
 		ring:          kvstore.NewRing(nc.Partitions),
 		snapThreshold: nc.SnapshotThreshold,
+		backendName:   nc.StoreBackend,
+		snapCompress:  snapScheme,
 		ackTimeout:    nc.AckTimeout,
 		applyWait:     make(map[uint64]chan bool),
 	}
@@ -396,6 +453,16 @@ func OpenNode(nc NodeConfig) (*Node, error) {
 		if err := n.buildPartitions(nc); err != nil {
 			n.closeStores()
 			return nil, err
+		}
+		if len(nc.BootstrapFrom) > 0 {
+			// After the partitions (their endpoints route the donors'
+			// replies), before the receiver and frontend: the node must
+			// not serve or rejoin the release stream until its stores and
+			// watermarks are at the shipped snapshot.
+			if err := n.bootstrapPartitions(nc); err != nil {
+				n.closeStores()
+				return nil, err
+			}
 		}
 	}
 	if nc.Roles.Has(RoleReceiver) && n.cfg.DCs > 1 {
@@ -573,9 +640,26 @@ func (n *Node) closeStores() {
 	for _, st := range n.partStores {
 		_ = st.Close()
 	}
+	for _, ds := range n.diskStores {
+		_ = ds.Close()
+	}
 	if n.streamStore != nil {
 		_ = n.streamStore.Close()
 	}
+}
+
+// StoreBackend reports the configured version-store backend name ("mem"
+// or "disk") — the label on eunomia_store_bytes.
+func (n *Node) StoreBackend() string { return n.backendName }
+
+// StoreBytes reports the live dataset size across the node's hosted
+// partitions, whichever backend holds it.
+func (n *Node) StoreBytes() int64 {
+	var total int64
+	for _, p := range n.parts {
+		total += p.Store().Bytes()
+	}
+	return total
 }
 
 // buildEunomia starts the replica set and serves each replica's batch and
@@ -700,6 +784,17 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 			}
 			n.partStores = append(n.partStores, pstore)
 		}
+		var backend kvstore.Store
+		if nc.StoreBackend == "disk" {
+			ds, err := kvstore.OpenDisk(
+				filepath.Join(nc.DataDir, fmt.Sprintf("dc%d-partition%d-store", m, i)),
+				kvstore.DiskOptions{MemBudget: nc.StoreMemBudget / int64(cfg.Partitions)})
+			if err != nil {
+				return fmt.Errorf("opening dc%d partition %d disk store: %w", m, i, err)
+			}
+			n.diskStores = append(n.diskStores, ds)
+			backend = ds
+		}
 		p := partition.New(partition.Config{
 			DC:           m,
 			ID:           pid,
@@ -708,6 +803,7 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 			SeparateData: !cfg.NoSeparation,
 			OnVisible:    onVisible,
 			Store:        pstore,
+			Backend:      backend,
 		})
 		if pstore != nil {
 			// Replay before the partition serves (or ships) anything:
@@ -794,6 +890,13 @@ func (n *Node) buildPartitions(nc NodeConfig) error {
 					vts := part.Update(v.Key, v.Value, v.Dep)
 					n.fab.Send(local, from, ClientWriteAckMsg{ID: v.ID, VTS: vts})
 				}()
+			case SnapshotRequestMsg:
+				// Off the delivery goroutine: pinning a fresh snapshot
+				// captures the whole partition under its durability lock
+				// and must not stall payload ingestion here.
+				go n.serveSnapshotRequest(local, part, v)
+			case SnapshotChunkMsg:
+				n.deliverBootstrapChunk(pid, v)
 			case PayloadPullMsg:
 				// A crashed sibling lost this update's buffered payload;
 				// re-ship it if we still store that exact version, or

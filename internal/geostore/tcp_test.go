@@ -121,3 +121,62 @@ func TestDatacenterOverTCPFabrics(t *testing.T) {
 		t.Fatalf("dc0 accepted %d updates, want %d", nodeA.TotalUpdates(), 2*rounds)
 	}
 }
+
+// TestBootstrapOverTCPWithHeldDelivery pins the readiness hand-off that
+// only exists on the real transport: cmd/eunomia-server opens its fabric
+// with HoldDelivery and calls Ready only after OpenNode returns, but a
+// bootstrapping open blocks inside OpenNode waiting for chunk replies
+// that arrive on connections the donor dials back — held connections.
+// bootstrapPartitions must release delivery itself or the pull deadlocks
+// and every donor is declared unreachable. The simnet suite cannot catch
+// this (simnet has no readiness gate), so this runs the pull end to end
+// over sockets with the gate armed.
+func TestBootstrapOverTCPWithHeldDelivery(t *testing.T) {
+	cfg := Config{DCs: 2, Partitions: 2}
+
+	fabDonor, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0", HoldDelivery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabDonor.Close()
+	fabJoiner, err := transport.Listen(transport.Config{Listen: "127.0.0.1:0", HoldDelivery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabJoiner.Close()
+	fabDonor.AddDCRoute(1, fabJoiner.Addr().String())
+	fabJoiner.AddDCRoute(0, fabDonor.Addr().String())
+
+	donor := NewNode(NodeConfig{Config: cfg, DC: 0, Roles: RoleAll, Fabric: fabDonor, Pipelined: true})
+	defer func() { donor.CloseIngress(); donor.CloseServices() }()
+	fabDonor.Ready()
+	const keys = 50
+	w := donor.NewClient()
+	for i := 0; i < keys; i++ {
+		if err := w.Update(bootKey(i), []byte(fmt.Sprintf("payload%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deliberately no fabJoiner.Ready() here: the server calls it after
+	// OpenNode, so the open itself must get the replies through. Short
+	// chunk retries make a regression fail in ~1s instead of the 20s
+	// donor-death default.
+	joiner, err := OpenNode(NodeConfig{
+		Config: cfg, DC: 1, Roles: RolePartitions | RoleEunomia, Fabric: fabJoiner, Pipelined: true,
+		BootstrapFrom:          []types.DCID{0},
+		BootstrapChunkTimeout:  200 * time.Millisecond,
+		BootstrapChunkAttempts: 5,
+	})
+	if err != nil {
+		t.Fatalf("bootstrap over held TCP: %v", err)
+	}
+	defer func() { joiner.CloseIngress(); joiner.CloseServices() }()
+	fabJoiner.Ready()
+
+	checkBootKeys(t, joiner, keys)
+	bytes, chunks, _ := joiner.BootstrapStats()
+	if bytes == 0 || chunks == 0 {
+		t.Fatalf("ship counters: bytes=%d chunks=%d (want a real transfer)", bytes, chunks)
+	}
+}

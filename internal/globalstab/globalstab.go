@@ -212,7 +212,7 @@ type gpart struct {
 	id   types.PartitionID
 
 	clock *hlc.Clock
-	kv    *kvstore.Store
+	kv    *kvstore.Mem
 
 	mu       sync.Mutex
 	vv       vclock.V  // vv[d]: latest timestamp known from sibling at d; vv[dc] = own watermark
@@ -546,7 +546,7 @@ func (s *Store) PendingRemote(m types.DCID, p types.PartitionID) int {
 
 // Partition returns the kvstore of partition p at datacenter m for
 // inspection.
-func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Mem {
 	return s.nodes[m].parts[p].kv
 }
 

@@ -1,0 +1,327 @@
+package harness
+
+// BootstrapBench quantifies what snapshot shipping buys a partition-role
+// node that must (re)build its dataset: pulling a compressed, pinned
+// snapshot from a live peer (chunked over the fabric, WAL suffix
+// replayed on top) versus the two alternatives — a full resync, i.e. the
+// origin datacenter re-replicating every update over the WAN, and a
+// local replay, i.e. recovering from the node's own surviving data dir.
+// Local replay is the cheapest when the disk survived the crash (the
+// RecoveryBench story); snapshot shipping is for the case it did not —
+// a new replica, a wiped machine, a rebuilding datacenter.
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"eunomia/internal/fabric"
+	"eunomia/internal/geostore"
+	"eunomia/internal/simnet"
+	"eunomia/internal/types"
+)
+
+// BootstrapBenchOptions parameterises the bootstrap comparison.
+type BootstrapBenchOptions struct {
+	// Updates is the dataset size seeded at the donor before the joiner
+	// exists (default 2000).
+	Updates int
+	// ValueBytes sizes each value (default 1024): the volume a resync
+	// re-ships update by update and a snapshot ships compressed in
+	// 256 KiB chunks.
+	ValueBytes int
+	// Partitions per datacenter (default 4).
+	Partitions int
+	// LinkDelay is the simulated one-way delay on every fabric link
+	// (default 1ms) — a resync pays it per replication window, a
+	// snapshot ship per chunk round trip.
+	LinkDelay time.Duration
+	// StoreBackend is the joiner's version-store backend ("mem" or
+	// "disk", default "mem").
+	StoreBackend string
+}
+
+func (o *BootstrapBenchOptions) fill() {
+	if o.Updates <= 0 {
+		o.Updates = 2000
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 1024
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 4
+	}
+	if o.LinkDelay <= 0 {
+		o.LinkDelay = time.Millisecond
+	}
+	if o.StoreBackend == "" {
+		o.StoreBackend = "mem"
+	}
+}
+
+// BootstrapBenchResult reports time-to-dataset-present for each
+// strategy, plus the snapshot transfer's size accounting.
+type BootstrapBenchResult struct {
+	// ShipSecs: a fresh joiner pulls a pinned snapshot from the donor
+	// at startup and is queryable when OpenNode returns.
+	ShipSecs float64
+	// ResyncSecs: a fresh joiner catches up by having the origin
+	// re-replicate the whole dataset through the normal write path.
+	ResyncSecs float64
+	// ReplaySecs: the joiner's data dir survived; restart and recover
+	// locally with no network at all.
+	ReplaySecs float64
+	// ShipVsResync is ResyncSecs / ShipSecs — the acceptance ratio.
+	ShipVsResync float64
+	// ShipBytes / ShipChunks: compressed bytes and chunks transferred
+	// by the snapshot-ship leg.
+	ShipBytes  int64
+	ShipChunks int64
+}
+
+// BootstrapBench seeds a donor datacenter with a dataset, then brings a
+// second datacenter's partition-role node up to date three ways and
+// times each: snapshot ship, full resync, local replay.
+func BootstrapBench(o BootstrapBenchOptions) (BootstrapBenchResult, error) {
+	o.fill()
+	var res BootstrapBenchResult
+
+	ship, bytes, chunks, err := bootstrapShipLeg(o)
+	if err != nil {
+		return res, fmt.Errorf("snapshot-ship leg: %w", err)
+	}
+	resync, err := bootstrapResyncLeg(o)
+	if err != nil {
+		return res, fmt.Errorf("full-resync leg: %w", err)
+	}
+	replay, err := bootstrapReplayLeg(o)
+	if err != nil {
+		return res, fmt.Errorf("local-replay leg: %w", err)
+	}
+	return BootstrapBenchResult{
+		ShipSecs:     ship.Seconds(),
+		ResyncSecs:   resync.Seconds(),
+		ReplaySecs:   replay.Seconds(),
+		ShipVsResync: resync.Seconds() / ship.Seconds(),
+		ShipBytes:    bytes,
+		ShipChunks:   chunks,
+	}, nil
+}
+
+// bootstrapUniverse is the shared two-datacenter setup: a simnet with
+// the configured link delay and a donor at dc0 (RoleAll) seeded with the
+// dataset while dc1 does not exist yet.
+func bootstrapUniverse(o BootstrapBenchOptions, cfg geostore.Config) (*simnet.Network, *geostore.Node, error) {
+	delay := o.LinkDelay
+	net := simnet.New(func(from, to fabric.Addr) time.Duration { return delay })
+	donor, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: cfg, DC: 0, Roles: geostore.RoleAll, Fabric: net,
+	})
+	if err != nil {
+		net.Close()
+		return nil, nil, err
+	}
+	if err := bootstrapSeed(donor, o); err != nil {
+		closeBootNode(donor)
+		net.Close()
+		return nil, nil, err
+	}
+	// Let the donor's payload batchers flush the seed's shipping backlog
+	// before any joiner exists. The shipped copies fall on the floor (dc1
+	// is unregistered), exactly as they would for a datacenter that went
+	// absent long before a replacement bootstraps. Without this settle, a
+	// joiner opening milliseconds after the last write absorbs the whole
+	// backlog inline on the same FIFO links the snapshot chunks ride, and
+	// the ship leg times bench-artifact backlog delivery instead of the
+	// transfer. One dropped message per partition marks the batchers
+	// drained; the extra sleep covers stragglers on coarse timers.
+	deadline := time.Now().Add(5 * time.Second)
+	for net.Dropped.Load() < int64(cfg.Partitions) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	return net, donor, nil
+}
+
+func bootstrapSeed(donor *geostore.Node, o BootstrapBenchOptions) error {
+	c := donor.NewClient()
+	value := make([]byte, o.ValueBytes)
+	for i := 0; i < o.Updates; i++ {
+		if err := c.Update(types.Key(fmt.Sprintf("base%d", i)), value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func closeBootNode(n *geostore.Node) { n.CloseIngress(); n.CloseServices() }
+
+// bootstrapShipLeg: the joiner opens with -bootstrap-from dc0 and an
+// empty slate; OpenNode returns once every hosted partition has
+// installed its snapshot, so the timed region is exactly the transfer
+// plus install.
+func bootstrapShipLeg(o BootstrapBenchOptions) (time.Duration, int64, int64, error) {
+	cfg := geostore.Config{DCs: 2, Partitions: o.Partitions}
+	net, donor, err := bootstrapUniverse(o, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer net.Close()
+	defer closeBootNode(donor)
+
+	dir, err := os.MkdirTemp("", "eunomia-bootstrap-bench")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	joiner, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: cfg, DC: 1, Roles: geostore.RoleAll, Fabric: net,
+		DataDir: dir, StoreBackend: o.StoreBackend,
+		BootstrapFrom: []types.DCID{0},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer closeBootNode(joiner)
+	elapsed := time.Since(start)
+
+	if err := bootstrapProbe(joiner, o); err != nil {
+		return 0, 0, 0, err
+	}
+	bytes, chunks, _ := joiner.BootstrapStats()
+	return elapsed, bytes, chunks, nil
+}
+
+// bootstrapResyncLeg: the joiner opens empty and the origin re-drives
+// every update through the normal write path — the only catch-up a
+// deployment without snapshot shipping has for a from-scratch replica.
+// The timed region spans the joiner's open through the last update
+// becoming visible at dc1. The joiner runs the same backend and
+// durability configuration as the snapshot-ship leg, so the comparison
+// is between transfer strategies, not between durable and volatile.
+func bootstrapResyncLeg(o BootstrapBenchOptions) (time.Duration, error) {
+	var visible atomic.Int64
+	cfg := geostore.Config{
+		DCs: 2, Partitions: o.Partitions,
+		OnVisible: func(dest types.DCID, u *types.Update, arrived time.Time) {
+			if dest == 1 {
+				visible.Add(1)
+			}
+		},
+	}
+	net, donor, err := bootstrapUniverse(o, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer net.Close()
+	defer closeBootNode(donor)
+
+	dir, err := os.MkdirTemp("", "eunomia-bootstrap-bench")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	joiner, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: cfg, DC: 1, Roles: geostore.RoleAll, Fabric: net,
+		DataDir: dir, StoreBackend: o.StoreBackend,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer closeBootNode(joiner)
+
+	if err := bootstrapSeed(donor, o); err != nil { // the re-replication
+		return 0, err
+	}
+	deadline := time.Now().Add(300 * time.Second)
+	for visible.Load() < int64(o.Updates) {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("only %d/%d updates visible at the joiner", visible.Load(), o.Updates)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	return elapsed, bootstrapProbe(joiner, o)
+}
+
+// bootstrapReplayLeg: the joiner already held the dataset durably (it
+// replicated it before a clean shutdown); the timed region is the
+// restart — WAL/segment recovery with no network involved.
+func bootstrapReplayLeg(o BootstrapBenchOptions) (time.Duration, error) {
+	var visible atomic.Int64
+	cfg := geostore.Config{
+		DCs: 2, Partitions: o.Partitions,
+		OnVisible: func(dest types.DCID, u *types.Update, arrived time.Time) {
+			if dest == 1 {
+				visible.Add(1)
+			}
+		},
+	}
+	delay := o.LinkDelay
+	net := simnet.New(func(from, to fabric.Addr) time.Duration { return delay })
+	defer net.Close()
+	dir, err := os.MkdirTemp("", "eunomia-bootstrap-bench")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	joinerCfg := geostore.NodeConfig{
+		Config: cfg, DC: 1, Roles: geostore.RoleAll, Fabric: net,
+		DataDir: dir, StoreBackend: o.StoreBackend,
+	}
+	joiner, err := geostore.OpenNode(joinerCfg)
+	if err != nil {
+		return 0, err
+	}
+	donor, err := geostore.OpenNode(geostore.NodeConfig{
+		Config: cfg, DC: 0, Roles: geostore.RoleAll, Fabric: net,
+	})
+	if err != nil {
+		closeBootNode(joiner)
+		return 0, err
+	}
+	defer closeBootNode(donor)
+	if err := bootstrapSeed(donor, o); err != nil {
+		closeBootNode(joiner)
+		return 0, err
+	}
+	deadline := time.Now().Add(300 * time.Second)
+	for visible.Load() < int64(o.Updates) {
+		if time.Now().After(deadline) {
+			closeBootNode(joiner)
+			return 0, fmt.Errorf("only %d/%d updates replicated before shutdown", visible.Load(), o.Updates)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	closeBootNode(joiner) // clean shutdown; the data dir survives
+
+	start := time.Now()
+	restarted, err := geostore.OpenNode(joinerCfg)
+	if err != nil {
+		return 0, err
+	}
+	defer closeBootNode(restarted)
+	elapsed := time.Since(start)
+	return elapsed, bootstrapProbe(restarted, o)
+}
+
+// bootstrapProbe checks the strategy actually produced the dataset:
+// first, middle, and last key readable at the joiner with full-size
+// values.
+func bootstrapProbe(n *geostore.Node, o BootstrapBenchOptions) error {
+	c := n.NewClient()
+	for _, i := range []int{0, o.Updates / 2, o.Updates - 1} {
+		k := types.Key(fmt.Sprintf("base%d", i))
+		v, _ := c.Read(k)
+		if len(v) != o.ValueBytes {
+			return fmt.Errorf("joiner missing %q (got %d bytes, want %d)", k, len(v), o.ValueBytes)
+		}
+	}
+	return nil
+}

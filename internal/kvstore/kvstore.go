@@ -7,15 +7,20 @@
 // on (timestamp, origin), the same convergence rule an eventually
 // consistent Riak deployment would apply.
 //
-// The store is sharded internally so that many client goroutines can hit
-// one partition concurrently, mirroring the paper's requirement that local
-// updates proceed "without any a priori synchronization".
+// Two backends implement the Store interface: Mem, the original sharded
+// in-memory map (RAM-bound, zero I/O on every path), and Disk, a
+// log-structured on-disk store (segment file per shard, in-memory index,
+// pread reads) that holds datasets larger than memory. Both are sharded
+// internally so that many client goroutines can hit one partition
+// concurrently, mirroring the paper's requirement that local updates
+// proceed "without any a priori synchronization".
 package kvstore
 
 import (
 	"hash/maphash"
 	"sync"
 
+	"eunomia/internal/hlc"
 	"eunomia/internal/types"
 )
 
@@ -23,35 +28,101 @@ const numShards = 16
 
 var hashSeed = maphash.MakeSeed()
 
-// Store holds the versions of one partition's key range.
-type Store struct {
+// Store is the version store beneath one partition. Implementations must
+// be safe for concurrent use and must preserve ApplyBatch's batch-atomic
+// visibility and ownership-transfer contract (see Mem.ApplyBatch, the
+// reference semantics).
+type Store interface {
+	// Get returns the stored version of k, if any.
+	Get(k types.Key) (types.Version, bool)
+	// Put stores v under k unconditionally (local update path, where the
+	// partition has already serialized writes to the key).
+	Put(k types.Key, v types.Version)
+	// Apply merges v under last-writer-wins and reports whether v won.
+	Apply(k types.Key, v types.Version) bool
+	// ApplyBatch merges a batch under LWW with batch-atomic visibility,
+	// paying at most one lock round per involved shard and ≤1 allocation
+	// per update in steady state. Returns how many versions won.
+	ApplyBatch(entries []BatchEntry) int
+	// Len returns the number of stored keys.
+	Len() int
+	// Bytes reports the bytes of live data the store holds: resident
+	// bytes for Mem, live on-disk record bytes for Disk. Exported as
+	// eunomia_store_bytes{backend}.
+	Bytes() int64
+	// ForEach visits every (key, version) pair; the snapshot is per-shard
+	// consistent. Convergence checks and snapshot capture use it.
+	ForEach(fn func(types.Key, types.Version))
+	// Close releases backend resources. The store must not be used after.
+	Close() error
+}
+
+// Persistent is the extra surface of a store whose versions survive a
+// crash on their own (today: Disk). Partitions use it to keep the WAL
+// snapshot marks-only — versions need not be re-emitted into the wal
+// snapshot when the backend already holds them durably — and to ride
+// compaction on the snapshot cadence.
+type Persistent interface {
+	Store
+	// Sync forces every applied version to stable storage. A partition
+	// calls it before truncating its WAL at a snapshot boundary.
+	Sync() error
+	// Compact rewrites shards whose dead-record overhead has outgrown
+	// their live data, reclaiming disk. Safe to call on the snapshot
+	// cadence; shards below the garbage threshold are left alone.
+	Compact() error
+	// MaxTS returns the highest timestamp of any live version, so a
+	// recovering partition can floor its hybrid clock above versions
+	// whose WAL records were lost in the crash window.
+	MaxTS() hlc.Timestamp
+}
+
+// BatchEntry is one (key, version) pair of an ApplyBatch call.
+type BatchEntry struct {
+	Key types.Key
+	Ver types.Version
+}
+
+// Mem holds the versions of one partition's key range in sharded
+// in-memory maps. It is the default backend.
+type Mem struct {
 	shards [numShards]shard
 }
 
 type shard struct {
-	mu sync.RWMutex
-	m  map[types.Key]types.Version
+	mu    sync.RWMutex
+	m     map[types.Key]types.Version
+	bytes int64
 }
 
-// New returns an empty store.
-func New() *Store {
-	s := &Store{}
+// New returns an empty in-memory store.
+func New() *Mem {
+	s := &Mem{}
 	for i := range s.shards {
 		s.shards[i].m = make(map[types.Key]types.Version)
 	}
 	return s
 }
 
+var _ Store = (*Mem)(nil)
+
 func shardIndex(k types.Key) uint64 {
 	return maphash.String(hashSeed, string(k)) % numShards
 }
 
-func (s *Store) shardFor(k types.Key) *shard {
+func (s *Mem) shardFor(k types.Key) *shard {
 	return &s.shards[shardIndex(k)]
 }
 
+// versionBytes approximates the resident cost of one entry: key and value
+// bytes, the vector's words, and a fixed per-entry overhead for the map
+// cell and headers.
+func versionBytes(k types.Key, v types.Version) int64 {
+	return int64(len(k)) + int64(len(v.Value)) + int64(8*len(v.VTS)) + 48
+}
+
 // Get returns the stored version of k, if any.
-func (s *Store) Get(k types.Key) (types.Version, bool) {
+func (s *Mem) Get(k types.Key) (types.Version, bool) {
 	sh := s.shardFor(k)
 	sh.mu.RLock()
 	v, ok := sh.m[k]
@@ -62,10 +133,14 @@ func (s *Store) Get(k types.Key) (types.Version, bool) {
 // Put stores v under k unconditionally. Partitions use it on the local
 // update path, where Algorithm 2 has already serialized writes to the key
 // and assigned a timestamp greater than the stored one.
-func (s *Store) Put(k types.Key, v types.Version) {
+func (s *Mem) Put(k types.Key, v types.Version) {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
+	if old, ok := sh.m[k]; ok {
+		sh.bytes -= versionBytes(k, old)
+	}
 	sh.m[k] = v
+	sh.bytes += versionBytes(k, v)
 	sh.mu.Unlock()
 }
 
@@ -74,21 +149,19 @@ func (s *Store) Put(k types.Key, v types.Version) {
 // v won. Remote update application and the eventual-consistency baseline
 // both use this path; LWW makes concurrent sibling writes converge to the
 // same version at every datacenter.
-func (s *Store) Apply(k types.Key, v types.Version) bool {
+func (s *Mem) Apply(k types.Key, v types.Version) bool {
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if old, ok := sh.m[k]; ok && !v.Newer(old) {
-		return false
+	if old, ok := sh.m[k]; ok {
+		if !v.Newer(old) {
+			return false
+		}
+		sh.bytes -= versionBytes(k, old)
 	}
 	sh.m[k] = v
+	sh.bytes += versionBytes(k, v)
 	return true
-}
-
-// BatchEntry is one (key, version) pair of an ApplyBatch call.
-type BatchEntry struct {
-	Key types.Key
-	Ver types.Version
 }
 
 // ApplyBatch merges a batch of versions under the same LWW rule as Apply,
@@ -111,7 +184,7 @@ type BatchEntry struct {
 // snapshot capture) treat stored values as immutable, copying only when
 // they need to retain or modify (the snapshot path's record encoding is
 // such a copy).
-func (s *Store) ApplyBatch(entries []BatchEntry) int {
+func (s *Mem) ApplyBatch(entries []BatchEntry) int {
 	if len(entries) == 0 {
 		return 0
 	}
@@ -128,10 +201,14 @@ func (s *Store) ApplyBatch(entries []BatchEntry) int {
 	for i := range entries {
 		e := &entries[i]
 		sh := &s.shards[shardIndex(e.Key)]
-		if old, ok := sh.m[e.Key]; ok && !e.Ver.Newer(old) {
-			continue
+		if old, ok := sh.m[e.Key]; ok {
+			if !e.Ver.Newer(old) {
+				continue
+			}
+			sh.bytes -= versionBytes(e.Key, old)
 		}
 		sh.m[e.Key] = e.Ver
+		sh.bytes += versionBytes(e.Key, e.Ver)
 		applied++
 	}
 	for i := numShards - 1; i >= 0; i-- {
@@ -143,7 +220,7 @@ func (s *Store) ApplyBatch(entries []BatchEntry) int {
 }
 
 // Len returns the number of stored keys.
-func (s *Store) Len() int {
+func (s *Mem) Len() int {
 	n := 0
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
@@ -153,9 +230,20 @@ func (s *Store) Len() int {
 	return n
 }
 
+// Bytes reports the approximate resident bytes of the stored data.
+func (s *Mem) Bytes() int64 {
+	var n int64
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += s.shards[i].bytes
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
 // ForEach visits every (key, version) pair; the snapshot is per-shard
 // consistent. Used by convergence checks in tests.
-func (s *Store) ForEach(fn func(types.Key, types.Version)) {
+func (s *Mem) ForEach(fn func(types.Key, types.Version)) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
@@ -165,6 +253,9 @@ func (s *Store) ForEach(fn func(types.Key, types.Version)) {
 		sh.mu.RUnlock()
 	}
 }
+
+// Close is a no-op for the in-memory backend.
+func (s *Mem) Close() error { return nil }
 
 // Ring maps keys to partitions by hash, the moral equivalent of Riak's
 // consistent-hashing ring. Sibling partitions at different datacenters use

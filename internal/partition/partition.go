@@ -13,6 +13,7 @@
 package partition
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -57,6 +58,13 @@ type Config struct {
 	// into a snapshot as it grows. Recover rebuilds a partition from the
 	// store after a crash.
 	Store *wal.Store
+	// Backend, optional, supplies the version store (kvstore.New() when
+	// nil). A kvstore.Persistent backend changes the snapshot contract:
+	// MaybeSnapshot syncs the backend's segments and writes a marks-only
+	// WAL snapshot instead of re-emitting every live version, and
+	// Recover floors the clock on the backend's recovered versions. The
+	// backend's lifetime belongs to the caller (Close is not chained).
+	Backend kvstore.Store
 }
 
 // Partition is one logical partition server. All methods are safe for
@@ -64,7 +72,7 @@ type Config struct {
 type Partition struct {
 	cfg   Config
 	clock *hlc.Clock
-	store *kvstore.Store
+	store kvstore.Store
 
 	seqMu sync.Mutex
 	seq   uint64
@@ -111,10 +119,14 @@ func New(cfg Config) *Partition {
 	if cfg.DCs <= 0 {
 		cfg.DCs = 1
 	}
+	store := cfg.Backend
+	if store == nil {
+		store = kvstore.New()
+	}
 	return &Partition{
 		cfg:           cfg,
 		clock:         hlc.NewClock(cfg.Clock),
-		store:         kvstore.New(),
+		store:         store,
 		payloads:      make(map[types.UpdateID]*types.Update),
 		arrivals:      make(map[types.UpdateID]time.Time),
 		appliedRemote: make(map[types.DCID]hlc.Timestamp),
@@ -126,7 +138,7 @@ func New(cfg Config) *Partition {
 func (p *Partition) Clock() *hlc.Clock { return p.clock }
 
 // Store exposes the underlying version store for convergence checks.
-func (p *Partition) Store() *kvstore.Store { return p.store }
+func (p *Partition) Store() kvstore.Store { return p.store }
 
 // Attach wires the Eunomia batching client and the payload shipper.
 // Either may be nil (the service-saturation experiments drive Eunomia
@@ -476,6 +488,13 @@ func (p *Partition) Recover() error {
 			batch = batch[:0]
 		}
 	}
+	if persistent, ok := p.store.(kvstore.Persistent); ok {
+		// The backend recovered its versions from its own segments. Floor
+		// the clock on them before replay: a version whose WAL record was
+		// lost in the crash window (segment page flushed, log tail not)
+		// must still not outrank the next locally issued timestamp.
+		p.clock.Observe(persistent.MaxTS())
+	}
 	err := p.cfg.Store.Replay(func(rec []byte) error {
 		if len(rec) > 0 && rec[0] == wal.KindMarks {
 			m, err := wal.DecodeMarks(rec)
@@ -552,7 +571,12 @@ func (p *Partition) Recover() error {
 // (wal.DefaultSnapshotThreshold when <= 0): the snapshot carries every
 // live version plus a marks record for the state overwritten versions
 // took with them (sequence counter, clock floor, applied watermarks).
-// Writers are paused for the duration of the state capture.
+// With a kvstore.Persistent backend the versions stay in the backend's
+// segments: the backend is synced first (so the WAL may stop vouching
+// for the records about to be truncated), the snapshot carries only the
+// pending payload buffer and the marks record, and the backend's own
+// compaction rides the same cadence afterwards. Writers are paused for
+// the duration of the state capture.
 func (p *Partition) MaybeSnapshot(threshold int64) (bool, error) {
 	if p.cfg.Store == nil {
 		return false, nil
@@ -563,25 +587,52 @@ func (p *Partition) MaybeSnapshot(threshold int64) (bool, error) {
 	if p.cfg.Store.LogSize() < threshold {
 		return false, nil
 	}
+	if err := p.snapshotNow(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ForceSnapshot snapshots regardless of log size. Snapshot installation
+// (bootstrap) uses it to reach a durable point immediately after a bulk
+// apply that bypassed per-record WAL appends.
+func (p *Partition) ForceSnapshot() error {
+	if p.cfg.Store == nil {
+		return nil
+	}
+	return p.snapshotNow()
+}
+
+func (p *Partition) snapshotNow() error {
 	p.durMu.Lock()
 	defer p.durMu.Unlock()
+	persistent, _ := p.store.(kvstore.Persistent)
+	if persistent != nil {
+		// Segment durability must precede log truncation: once the WAL
+		// forgets a record, only the backend's segments hold its version.
+		if err := persistent.Sync(); err != nil {
+			return err
+		}
+	}
 	err := p.cfg.Store.Snapshot(func(emit func([]byte) error) error {
 		var emitErr error
-		p.store.ForEach(func(k types.Key, v types.Version) {
+		if persistent == nil {
+			p.store.ForEach(func(k types.Key, v types.Version) {
+				if emitErr != nil {
+					return
+				}
+				u := &types.Update{
+					Key: k, Value: v.Value, Origin: v.Origin,
+					Partition: p.cfg.ID, TS: v.TS, VTS: v.VTS,
+				}
+				// All versions re-enter through the LWW apply path on
+				// replay; KindRemote keeps them off the sequence counter,
+				// which the marks record restores exactly.
+				emitErr = emit(wal.EncodeUpdate(wal.KindRemote, u))
+			})
 			if emitErr != nil {
-				return
+				return emitErr
 			}
-			u := &types.Update{
-				Key: k, Value: v.Value, Origin: v.Origin,
-				Partition: p.cfg.ID, TS: v.TS, VTS: v.VTS,
-			}
-			// All versions re-enter through the LWW apply path on
-			// replay; KindRemote keeps them off the sequence counter,
-			// which the marks record restores exactly.
-			emitErr = emit(wal.EncodeUpdate(wal.KindRemote, u))
-		})
-		if emitErr != nil {
-			return emitErr
 		}
 		p.seqMu.Lock()
 		seq := p.seq
@@ -603,9 +654,134 @@ func (p *Partition) MaybeSnapshot(threshold int64) (bool, error) {
 		return emit(wal.EncodeMarks(wal.Marks{Seq: seq, ClockTS: p.clock.Last(), Applied: applied}))
 	})
 	if err != nil {
-		return false, err
+		return err
 	}
-	return true, nil
+	if persistent != nil {
+		// Reclaim overwritten records now that the log is compacted; the
+		// backend skips shards below its garbage threshold.
+		if err := persistent.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CaptureSnapshot emits a consistent snapshot of the partition at a
+// pinned watermark, for shipping to a bootstrapping peer: every live
+// version as a KindRemote record, then one marks record whose applied
+// map is the watermark vector the capture is consistent at. Writers are
+// paused for the duration (the capture holds the durability lock
+// exclusively, like MaybeSnapshot).
+//
+// The marks vector covers the partition's own origin with the clock
+// floor: every locally acknowledged update is applied to the store
+// before the durability lock is released, so anything at or below the
+// floor is either in the capture or superseded within it — the
+// installer may safely treat the floor as its applied watermark for
+// this origin.
+func (p *Partition) CaptureSnapshot(emit func(rec []byte) error) error {
+	p.durMu.Lock()
+	defer p.durMu.Unlock()
+	var emitErr error
+	p.store.ForEach(func(k types.Key, v types.Version) {
+		if emitErr != nil {
+			return
+		}
+		u := &types.Update{
+			Key: k, Value: v.Value, Origin: v.Origin,
+			Partition: p.cfg.ID, TS: v.TS, VTS: v.VTS,
+		}
+		emitErr = emit(wal.EncodeUpdate(wal.KindRemote, u))
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	applied := make(map[types.DCID]hlc.Timestamp, p.cfg.DCs)
+	p.payloadMu.Lock()
+	for origin, ts := range p.appliedRemote {
+		applied[origin] = ts
+	}
+	p.payloadMu.Unlock()
+	floor := p.clock.Last()
+	applied[p.cfg.DC] = floor
+	return emit(wal.EncodeMarks(wal.Marks{ClockTS: floor, Applied: applied}))
+}
+
+// SnapshotInstall streams a shipped snapshot's records into a partition:
+// versions land through the store's batch path in chunks, the marks
+// record's watermarks and clock floor are adopted at Commit, and a
+// forced WAL snapshot makes the installed state durable in one step
+// (per-record WAL appends are skipped — a crash mid-install loses only
+// re-pullable state, and the bootstrap runner restarts the pull).
+type SnapshotInstall struct {
+	p     *Partition
+	batch []kvstore.BatchEntry
+	marks *wal.Marks
+}
+
+// BeginInstall starts a snapshot installation.
+func (p *Partition) BeginInstall() *SnapshotInstall {
+	return &SnapshotInstall{p: p, batch: make([]kvstore.BatchEntry, 0, 256)}
+}
+
+// Record consumes one wal-encoded snapshot record (the stream
+// CaptureSnapshot emitted).
+func (in *SnapshotInstall) Record(rec []byte) error {
+	if len(rec) > 0 && rec[0] == wal.KindMarks {
+		m, err := wal.DecodeMarks(rec)
+		if err != nil {
+			return err
+		}
+		in.marks = &m
+		return nil
+	}
+	kind, u, err := wal.DecodeUpdate(rec)
+	if err != nil {
+		return err
+	}
+	if kind != wal.KindRemote {
+		return fmt.Errorf("partition: unexpected record kind %d in shipped snapshot", kind)
+	}
+	in.p.clock.Observe(u.TS)
+	in.batch = append(in.batch, kvstore.BatchEntry{Key: u.Key, Ver: types.Version{
+		Value: u.Value, TS: u.TS, VTS: u.VTS, Origin: u.Origin,
+	}})
+	if len(in.batch) == cap(in.batch) {
+		in.p.store.ApplyBatch(in.batch)
+		in.batch = in.batch[:0]
+	}
+	return nil
+}
+
+// Commit flushes the final batch, adopts the snapshot's watermarks and
+// clock floor, floors the local sequence counter on wall-clock
+// nanoseconds (a rebuilt process must never reuse a pre-loss UpdateID;
+// the donor cannot know this partition's old counter, so the floor
+// over-approximates it), and forces a WAL snapshot so the installed
+// state is durable.
+func (in *SnapshotInstall) Commit() error {
+	p := in.p
+	if len(in.batch) > 0 {
+		p.store.ApplyBatch(in.batch)
+		in.batch = in.batch[:0]
+	}
+	if in.marks == nil {
+		return fmt.Errorf("partition: shipped snapshot ended without a marks record")
+	}
+	p.clock.Observe(in.marks.ClockTS)
+	p.payloadMu.Lock()
+	for origin, ts := range in.marks.Applied {
+		if ts > p.appliedRemote[origin] {
+			p.appliedRemote[origin] = ts
+		}
+	}
+	p.payloadMu.Unlock()
+	p.seqMu.Lock()
+	if floor := uint64(time.Now().UnixNano()); floor > p.seq {
+		p.seq = floor
+	}
+	p.seqMu.Unlock()
+	return p.ForceSnapshot()
 }
 
 // AppliedRemoteWatermark reports the highest origin timestamp applied (and,

@@ -419,7 +419,7 @@ type spart struct {
 	node  *Node
 	id    types.PartitionID
 	clock *hlc.Clock
-	kv    *kvstore.Store
+	kv    *kvstore.Mem
 
 	// Applied counts remote updates made visible.
 	Applied metrics.Counter
@@ -538,7 +538,7 @@ func (c *Client) Update(key types.Key, value types.Value) error {
 }
 
 // Partition exposes a partition's kvstore for convergence checks.
-func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Store {
+func (s *Store) Partition(m types.DCID, p types.PartitionID) *kvstore.Mem {
 	return s.nodes[m].parts[p].kv
 }
 

@@ -79,6 +79,13 @@ type SyncMetrics struct {
 	// stops being promisable. Exported as eunomia_wal_sync_errors_total;
 	// a nonzero value also fails the frontend /healthz.
 	SyncErrors metrics.Counter
+	// CompactErrors counts failed snapshot compactions (Store.Snapshot):
+	// a capture that could not be written, a snapshot that could not be
+	// installed durably, or — the dangerous one — a log truncation that
+	// failed after the snapshot was installed, which leaves the replay
+	// tail growing behind the operator's back. Exported as
+	// eunomia_wal_compact_errors_total.
+	CompactErrors metrics.Counter
 }
 
 // NewSyncMetrics returns a SyncMetrics with the latency histogram armed.

@@ -227,41 +227,59 @@ func (s *Store) Replay(fn func(rec []byte) error) error {
 // emit records that rebuild everything appended so far (callers capture
 // their in-memory state inside it, under their own locks, so the capture
 // and the truncation boundary agree).
+//
+// Every failure — a capture that cannot be written, an install that
+// cannot be made durable, and in particular a log truncation that fails
+// after the snapshot is already in place — is returned to the caller and
+// counted in SyncMetrics.CompactErrors (eunomia_wal_compact_errors_total):
+// a swallowed truncate would leave the log growing behind every future
+// threshold check while replay work silently compounds.
 func (s *Store) Snapshot(state func(emit func(rec []byte) error) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	fail := func(err error) error {
+		if m := s.log.metrics; m != nil {
+			m.CompactErrors.Inc()
+		}
+		return err
+	}
 	tmp := filepath.Join(s.dir, snapName+".tmp")
 	snap, err := Open(tmp, SyncOnFlush)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	// A leftover tmp from a crashed snapshot attempt must not prepend
 	// stale records to this one.
 	if err := snap.truncateTo(0); err != nil {
 		snap.Close()
-		return err
+		return fail(err)
 	}
 	if err := state(snap.Append); err != nil {
 		snap.Close()
 		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := snap.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("wal: installing snapshot: %w", err)
+		return fail(fmt.Errorf("wal: installing snapshot: %w", err))
 	}
-	if err := syncDir(s.dir); err != nil {
-		return err
+	// Strict here, unlike the tolerant logging path: an undurable rename
+	// plus a truncated log could lose the only copy of the records.
+	if err := syncDirStrict(s.dir); err != nil {
+		return fail(fmt.Errorf("wal: snapshot install not durable: %w", err))
 	}
 	// The snapshot covers every appended record; drop the log. A crash
 	// before this truncation replays the log on top of the snapshot,
 	// which idempotent consumers tolerate.
-	return s.log.truncateTo(0)
+	if err := s.log.truncateTo(0); err != nil {
+		return fail(fmt.Errorf("wal: snapshot installed but log truncation failed (replay tail retained): %w", err))
+	}
+	return nil
 }
 
 // MaybeSnapshot compacts when the live log has outgrown threshold
@@ -324,6 +342,19 @@ var syncDirWarned sync.Map
 // silently tolerated; any other failure is a disk actually refusing writes
 // and is logged once per directory so it cannot hide behind the tolerance.
 func syncDir(dir string) error {
+	if err := syncDirStrict(dir); err != nil {
+		if _, dup := syncDirWarned.LoadOrStore(dir, struct{}{}); !dup {
+			log.Printf("wal: directory fsync of %s failed (renames stay atomic; their durability waits for the next metadata flush): %v", dir, err)
+		}
+	}
+	return nil
+}
+
+// syncDirStrict is syncDir without the log-and-tolerate: EINVAL/ENOTSUP
+// still pass (the filesystem cannot sync directories at all), but a real
+// fsync failure is returned. The snapshot-compaction path uses it — there
+// the rename's durability gates a log truncation.
+func syncDirStrict(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -331,9 +362,7 @@ func syncDir(dir string) error {
 	defer d.Close()
 	if err := d.Sync(); err != nil &&
 		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		if _, dup := syncDirWarned.LoadOrStore(dir, struct{}{}); !dup {
-			log.Printf("wal: directory fsync of %s failed (renames stay atomic; their durability waits for the next metadata flush): %v", dir, err)
-		}
+		return fmt.Errorf("wal: %w", err)
 	}
 	return nil
 }

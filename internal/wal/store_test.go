@@ -278,3 +278,43 @@ func TestStoreFormatVersionGuard(t *testing.T) {
 		t.Fatalf("unstamped store with records opened: %v", err)
 	}
 }
+
+// TestSnapshotCompactErrorsReportedAndCounted pins the no-swallow
+// contract of snapshot compaction: a log truncation that fails after the
+// snapshot is installed must surface to the caller (not silently leave
+// the replay tail growing) and advance the CompactErrors counter that
+// backs eunomia_wal_compact_errors_total.
+func TestSnapshotCompactErrorsReportedAndCounted(t *testing.T) {
+	dir := t.TempDir()
+	m := NewSyncMetrics()
+	s, err := OpenStoreOptions(dir, Options{Policy: SyncOnFlush, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(EncodeSite(1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Close the live log underneath the store: the snapshot capture and
+	// install still succeed, but the truncation of the (closed) log
+	// cannot — the failure mode where the snapshot exists yet the log
+	// keeps its records.
+	if err := s.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Snapshot(func(emit func([]byte) error) error {
+		return emit(EncodeSite(1, 7))
+	})
+	if err == nil {
+		t.Fatal("Snapshot swallowed the log-truncation failure")
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("truncation error not propagated: %v", err)
+	}
+	if got := m.CompactErrors.Load(); got != 1 {
+		t.Fatalf("CompactErrors = %d, want 1", got)
+	}
+	// The snapshot itself was installed; the error is about the tail.
+	if _, serr := os.Stat(filepath.Join(dir, snapName)); serr != nil {
+		t.Fatalf("snapshot missing after reported truncate failure: %v", serr)
+	}
+}

@@ -60,6 +60,12 @@ const (
 	TagWait           Tag = 23
 	TagWaitAck        Tag = 24
 
+	// internal/geostore: snapshot shipping — a bootstrapping partition
+	// pulls a pinned, chunked, compressed snapshot from a live peer
+	// datacenter instead of replaying history.
+	TagSnapshotRequest Tag = 25
+	TagSnapshotChunk   Tag = 26
+
 	// TagTest is reserved for package test payloads.
 	TagTest Tag = 1000
 )
