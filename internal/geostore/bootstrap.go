@@ -77,19 +77,53 @@ type SnapshotChunkMsg struct {
 // multi-chunk transfers at test scale.
 var snapChunkSize = 256 << 10
 
+// snapReleaseChunk is the sentinel Chunk value in a SnapshotRequestMsg
+// that tells the donor the pull completed and the pin's chunk memory can
+// be freed. Best-effort: a lost release falls through to the idle TTL.
+const snapReleaseChunk = ^uint32(0)
+
+// snapPinIdleTTL bounds how long a pin whose joiner went silent (died
+// mid-pull, release message lost) keeps its chunks resident: pins idle
+// past the TTL are swept when the donor next handles a snapshot request.
+// A variable so tests can shrink it.
+var snapPinIdleTTL = time.Minute
+
 var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // snapPin is a donor-side pinned snapshot: the consistent capture of one
 // partition, chunked and compressed once, served from memory until the
-// same requester pins anew (or the node closes). served counts serves
-// per chunk — the resume tests read it to prove delivered chunks are
-// never refetched.
+// joiner's release (or the idle TTL, or a re-pin) frees it. The pin is
+// published in the pin map *before* its capture runs, so a retransmitted
+// chunk-0 request with the same ID waits on ready instead of racing a
+// second capture of the same ID — all chunks of one pull ID are served
+// from exactly one consistent capture. served counts serves per chunk —
+// the resume tests read it to prove delivered chunks are never
+// refetched.
 type snapPin struct {
 	id     uint64
 	scheme compress.Scheme
-	chunks [][]byte
-	crcs   []uint32
-	served []int
+	ready  chan struct{} // closed once the capture below is populated
+	err    error         // capture failure, set before ready closes
+
+	// The fields below are written only before ready closes (capture) or
+	// under bootState.mu after it (release); readers hold bootState.mu
+	// after waiting on ready.
+	chunks    [][]byte
+	crcs      []uint32
+	served    []int
+	released  bool
+	lastServe time.Time
+}
+
+// captured reports whether the pin's capture has finished (successfully
+// or not) without blocking.
+func (p *snapPin) captured() bool {
+	select {
+	case <-p.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 type snapPinKey struct {
@@ -125,21 +159,29 @@ func (n *Node) BootstrapStats() (bytes, chunks int64, seconds float64) {
 // partition under its durability lock and must not stall payload
 // ingestion on the endpoint.
 func (n *Node) serveSnapshotRequest(local fabric.Addr, part *partition.Partition, req SnapshotRequestMsg) {
+	if req.Chunk == snapReleaseChunk {
+		n.releaseSnapshotPin(req)
+		return
+	}
 	reply := fabric.PartitionAddr(req.From, req.Partition)
 	pin, err := n.snapshotPin(part, req)
 	if err != nil {
 		n.fab.Send(local, reply, SnapshotChunkMsg{Partition: req.Partition, ID: req.ID, Err: err.Error()})
 		return
 	}
-	if int(req.Chunk) >= len(pin.chunks) {
+	// Read the chunk under the lock: a concurrent release (stale
+	// retransmit after the joiner finished) frees pin.chunks in place.
+	n.boot.mu.Lock()
+	if pin.released || int(req.Chunk) >= len(pin.chunks) {
+		nchunks := len(pin.chunks)
+		n.boot.mu.Unlock()
 		n.fab.Send(local, reply, SnapshotChunkMsg{Partition: req.Partition, ID: pin.id,
-			Err: fmt.Sprintf("chunk %d out of range (%d chunks)", req.Chunk, len(pin.chunks))})
+			Err: fmt.Sprintf("chunk %d out of range (%d chunks)", req.Chunk, nchunks)})
 		return
 	}
-	n.boot.mu.Lock()
 	pin.served[req.Chunk]++
-	n.boot.mu.Unlock()
-	n.fab.Send(local, reply, SnapshotChunkMsg{
+	pin.lastServe = time.Now()
+	msg := SnapshotChunkMsg{
 		Partition: req.Partition,
 		ID:        pin.id,
 		Chunk:     req.Chunk,
@@ -147,22 +189,51 @@ func (n *Node) serveSnapshotRequest(local fabric.Addr, part *partition.Partition
 		Scheme:    uint8(pin.scheme),
 		CRC:       pin.crcs[req.Chunk],
 		Data:      pin.chunks[req.Chunk],
-	})
+	}
+	n.boot.mu.Unlock()
+	n.fab.Send(local, reply, msg)
+}
+
+// releaseSnapshotPin frees a completed pull's pin memory. The map entry
+// (id, serve counters) stays until a re-pin or the idle sweep replaces
+// it, so late retransmits draw a deterministic error instead of pinning
+// a fresh capture.
+func (n *Node) releaseSnapshotPin(req SnapshotRequestMsg) {
+	key := snapPinKey{from: req.From, pid: req.Partition}
+	n.boot.mu.Lock()
+	defer n.boot.mu.Unlock()
+	if cur := n.boot.pins[key]; cur != nil && cur.id == req.ID && cur.captured() {
+		cur.released = true
+		cur.chunks, cur.crcs = nil, nil
+	}
 }
 
 // snapshotPin returns the pin a request addresses, capturing a fresh one
-// the first time its ID is seen. A later request whose chunk 0 already
-// shipped under a different ID starts over cleanly: the old pin (stale
-// capture, or a predecessor process's) is simply replaced.
+// the first time its ID is seen. The pin is published (capture still in
+// progress) before the partition is captured, so retransmits of chunk 0
+// that arrive while a slow capture runs wait for it rather than each
+// queuing another whole-partition capture behind the durability lock —
+// and every chunk of one pull ID is served from exactly one capture. A
+// later request whose chunk 0 already shipped under a different ID
+// starts over cleanly: the old pin (stale capture, or a predecessor
+// process's) is simply replaced.
 func (n *Node) snapshotPin(part *partition.Partition, req SnapshotRequestMsg) (*snapPin, error) {
 	key := snapPinKey{from: req.From, pid: req.Partition}
 	n.boot.mu.Lock()
 	if n.boot.pins == nil {
 		n.boot.pins = make(map[snapPinKey]*snapPin)
 	}
+	// Sweep other requesters' pins whose joiner went silent without a
+	// release, so abandoned pulls don't hold chunk memory forever.
+	for k, p := range n.boot.pins {
+		if k != key && p.captured() && time.Since(p.lastServe) > snapPinIdleTTL {
+			delete(n.boot.pins, k)
+		}
+	}
 	if cur := n.boot.pins[key]; cur != nil && cur.id == req.ID {
 		n.boot.mu.Unlock()
-		return cur, nil
+		<-cur.ready // an in-flight capture publishes before it runs; wait it out
+		return cur, cur.err
 	}
 	if req.Chunk != 0 {
 		// Resuming a pin this donor no longer holds (restart, or a newer
@@ -171,9 +242,10 @@ func (n *Node) snapshotPin(part *partition.Partition, req SnapshotRequestMsg) (*
 		n.boot.mu.Unlock()
 		return nil, fmt.Errorf("unknown snapshot pin %d for partition %d", req.ID, req.Partition)
 	}
+	pin := &snapPin{id: req.ID, scheme: n.snapCompress, ready: make(chan struct{}), lastServe: time.Now()}
+	n.boot.pins[key] = pin // a re-pin replaces the previous capture
 	n.boot.mu.Unlock()
 
-	pin := &snapPin{id: req.ID, scheme: n.snapCompress}
 	var cur []byte
 	flush := func() {
 		if len(cur) == 0 {
@@ -192,7 +264,14 @@ func (n *Node) snapshotPin(part *partition.Partition, req SnapshotRequestMsg) (*
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("capturing snapshot: %w", err)
+		n.boot.mu.Lock()
+		if n.boot.pins[key] == pin {
+			delete(n.boot.pins, key)
+		}
+		n.boot.mu.Unlock()
+		pin.err = fmt.Errorf("capturing snapshot: %w", err)
+		close(pin.ready) // waiters see err, later same-ID requests re-capture
+		return nil, pin.err
 	}
 	flush()
 	if len(pin.chunks) == 0 {
@@ -202,10 +281,7 @@ func (n *Node) snapshotPin(part *partition.Partition, req SnapshotRequestMsg) (*
 		pin.chunks = append(pin.chunks, compress.Compress(pin.scheme, nil, nil))
 	}
 	pin.served = make([]int, len(pin.chunks))
-
-	n.boot.mu.Lock()
-	n.boot.pins[key] = pin // a re-pin replaces the previous capture
-	n.boot.mu.Unlock()
+	close(pin.ready)
 	return pin, nil
 }
 
@@ -361,6 +437,10 @@ func (n *Node) pullSnapshot(pid types.PartitionID, donor types.DCID, nc NodeConf
 	if err := in.Commit(); err != nil {
 		return fmt.Errorf("committing shipped snapshot: %w", err)
 	}
+	// Best-effort release: the donor frees the pin's chunk memory now
+	// rather than holding a compressed copy of the partition until the
+	// idle TTL. No reply is expected; a lost release costs only the TTL.
+	n.fab.Send(local, donorAddr, SnapshotRequestMsg{From: n.id, Partition: pid, ID: id, Chunk: snapReleaseChunk})
 	n.boot.mu.Lock()
 	n.boot.bytes += bytes
 	n.boot.chunks += chunks
@@ -380,11 +460,17 @@ func (n *Node) snapshotRoundTrip(local, donorAddr fabric.Addr, req SnapshotReque
 		for {
 			select {
 			case msg := <-ch:
+				if msg.ID != req.ID {
+					// A previous pin's id — a late chunk, or an error from a
+					// donor answering an abandoned pull. Either way it says
+					// nothing about this pull; never let it fail this donor.
+					continue
+				}
 				if msg.Err != "" {
 					deadline.Stop()
 					return msg, nil
 				}
-				if msg.ID != req.ID || msg.Chunk != req.Chunk {
+				if msg.Chunk != req.Chunk {
 					continue // stale retransmit of an earlier request
 				}
 				deadline.Stop()

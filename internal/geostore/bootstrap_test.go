@@ -287,6 +287,145 @@ func TestBootstrapDonorCrashFailsOverToNextPeer(t *testing.T) {
 	checkBootKeys(t, joiner, keys)
 }
 
+// TestBootstrapConcurrentChunk0RequestsShareOneCapture hammers a donor
+// with concurrent chunk-0 requests carrying one pull ID — the retransmit
+// storm a slow capture draws — and checks they all resolve to the same
+// pin: one capture, not one per retransmit, so the joiner can never
+// splice chunks from two different consistent captures under one ID.
+func TestBootstrapConcurrentChunk0RequestsShareOneCapture(t *testing.T) {
+	cfg := Config{DCs: 2, Partitions: 1, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	t.Cleanup(net.Close)
+	donor := newDonorNode(t, net, cfg, 0, 100)
+
+	req := SnapshotRequestMsg{From: 1, Partition: 0, ID: 42, Chunk: 0}
+	const racers = 8
+	pins := make([]*snapPin, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pin, err := donor.snapshotPin(donor.parts[0], req)
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+				return
+			}
+			pins[i] = pin
+		}(i)
+	}
+	wg.Wait()
+	if pins[0] == nil {
+		t.Fatal("no pin captured")
+	}
+	for i := 1; i < racers; i++ {
+		if pins[i] != pins[0] {
+			t.Fatalf("racer %d pinned a second capture for the same pull ID", i)
+		}
+	}
+}
+
+// TestBootstrapReleaseFreesDonorPin checks the joiner's post-pull release
+// reaches the donor and frees the pin's chunk memory — a donor must not
+// hold a compressed copy of the partition for every bootstrap it ever
+// served.
+func TestBootstrapReleaseFreesDonorPin(t *testing.T) {
+	smallSnapChunks(t, 2048)
+	cfg := Config{DCs: 2, Partitions: 1, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	t.Cleanup(net.Close)
+	const keys = 300
+	donor := newDonorNode(t, net, cfg, 0, keys)
+
+	joiner, err := OpenNode(NodeConfig{
+		Config: cfg, DC: 1, Roles: RolePartitions | RoleEunomia, Fabric: net,
+		BootstrapFrom: []types.DCID{0},
+	})
+	if err != nil {
+		t.Fatalf("bootstrap open: %v", err)
+	}
+	t.Cleanup(func() { joiner.CloseIngress(); joiner.CloseServices() })
+	checkBootKeys(t, joiner, keys)
+
+	// The release travels after the pull completes; the pin entry (serve
+	// counters) survives, but its chunk memory must go.
+	waitUntil(t, 5*time.Second, "donor pin release", func() bool {
+		donor.boot.mu.Lock()
+		defer donor.boot.mu.Unlock()
+		pin := donor.boot.pins[snapPinKey{from: 1, pid: 0}]
+		return pin != nil && pin.released && pin.chunks == nil
+	})
+}
+
+// TestBootstrapIdlePinSwept covers the release-less path: a joiner that
+// pins a capture and dies never sends a release, so the next snapshot
+// request past the idle TTL sweeps the abandoned pin's memory.
+func TestBootstrapIdlePinSwept(t *testing.T) {
+	old := snapPinIdleTTL
+	snapPinIdleTTL = 10 * time.Millisecond
+	t.Cleanup(func() { snapPinIdleTTL = old })
+	cfg := Config{DCs: 4, Partitions: 1, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	t.Cleanup(net.Close)
+	donor := newDonorNode(t, net, cfg, 0, 50)
+
+	if _, err := donor.snapshotPin(donor.parts[0], SnapshotRequestMsg{From: 1, Partition: 0, ID: 7, Chunk: 0}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * snapPinIdleTTL) // the joiner goes silent
+	if _, err := donor.snapshotPin(donor.parts[0], SnapshotRequestMsg{From: 2, Partition: 0, ID: 8, Chunk: 0}); err != nil {
+		t.Fatal(err)
+	}
+	donor.boot.mu.Lock()
+	_, stale := donor.boot.pins[snapPinKey{from: 1, pid: 0}]
+	_, fresh := donor.boot.pins[snapPinKey{from: 2, pid: 0}]
+	donor.boot.mu.Unlock()
+	if stale {
+		t.Fatal("abandoned pin survived the idle TTL sweep")
+	}
+	if !fresh {
+		t.Fatal("the sweeping request's own pin is missing")
+	}
+}
+
+// TestBootstrapStaleErrorReplyIgnored poisons the joiner's reply stream
+// with donor errors carrying a stale pull ID — what a restarted donor
+// answering an abandoned pull's retransmit sends — before every real
+// chunk. Errors from a pull this one never made must not fail the
+// current donor.
+func TestBootstrapStaleErrorReplyIgnored(t *testing.T) {
+	smallSnapChunks(t, 1024)
+	cfg := Config{DCs: 2, Partitions: 1, Delay: func(from, to fabric.Addr) time.Duration { return 0 }}
+	net := simnet.New(nil)
+	t.Cleanup(net.Close)
+	const keys = 200
+	newDonorNode(t, net, cfg, 0, keys)
+
+	// Short AckTimeout: the hijacked partition endpoint drops replica
+	// acks, so the final metadata flush at close would otherwise stall a
+	// full default timeout.
+	joiner, err := OpenNode(NodeConfig{Config: cfg, DC: 1, Roles: RolePartitions | RoleEunomia, Fabric: net, AckTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { joiner.CloseIngress(); joiner.CloseServices() })
+	interceptChunks(joiner, net, 0, func(from fabric.Addr, msg SnapshotChunkMsg, k int) (SnapshotChunkMsg, bool) {
+		joiner.deliverBootstrapChunk(0, SnapshotChunkMsg{
+			Partition: 0, ID: msg.ID ^ 0xdeadbeef,
+			Err: "unknown snapshot pin 12345 for partition 0",
+		})
+		return msg, true
+	})
+
+	if err := joiner.pullSnapshot(0, 0, NodeConfig{
+		BootstrapChunkTimeout:  30 * time.Millisecond,
+		BootstrapChunkAttempts: 20,
+	}); err != nil {
+		t.Fatalf("pull with stale error replies interleaved: %v", err)
+	}
+	checkBootKeys(t, joiner, keys)
+}
+
 // TestBootstrapSurvivesChaosLinkCut drives the bootstrap through an
 // internal/faults schedule that partitions the joiner from its donor
 // mid-transfer and heals later: the chunk retry loop must ride out the

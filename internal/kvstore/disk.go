@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -84,6 +85,10 @@ type diskShard struct {
 	index    map[types.Key]diskRef
 	scratch  []byte
 	dirty    bool
+	// corruptDropped counts bytes dropped at open because of mid-file
+	// corruption (not a torn tail): valid-looking data followed a record
+	// that failed verification.
+	corruptDropped int64
 }
 
 // diskRef locates a key's newest record and carries the fields the LWW
@@ -190,7 +195,13 @@ func decodeDiskPayload(p []byte) (types.Key, types.Version, error) {
 }
 
 // open scans one shard's segment, rebuilding the index and truncating
-// any torn tail.
+// any torn tail. A record that is fully present but fails verification
+// with more data behind it is not a torn tail — it is mid-file
+// corruption (bit rot under a record that was already synced), and the
+// truncation discards every valid record after it. That case cannot be
+// repaired here, but it must not pass silently: it is logged loudly and
+// counted (CorruptionDropped) so operators can tell segment corruption
+// from routine crash recovery.
 func (sh *diskShard) open(path string) error {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -208,6 +219,11 @@ func (sh *diskShard) open(path string) error {
 		off    int64
 		header [diskHeaderSize]byte
 		buf    []byte
+		// badFrameEnd, when >= 0, marks where a fully-present record
+		// failed verification and how far its claimed frame reached; any
+		// file bytes beyond it are valid-looking data the truncation
+		// would silently drop.
+		badFrameEnd = int64(-1)
 	)
 	for {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
@@ -215,7 +231,13 @@ func (sh *diskShard) open(path string) error {
 		}
 		n := binary.LittleEndian.Uint32(header[0:4])
 		crc := binary.LittleEndian.Uint32(header[4:8])
-		if n == 0 || n > diskMaxRecord {
+		if n == 0 {
+			break // zero-filled tail from a torn page write
+		}
+		if n > diskMaxRecord {
+			// Garbage length. A torn header write leaves nothing after it,
+			// so data behind this header means mid-file corruption.
+			badFrameEnd = off + diskHeaderSize
 			break
 		}
 		if cap(buf) < int(n) {
@@ -226,10 +248,12 @@ func (sh *diskShard) open(path string) error {
 			break // torn payload
 		}
 		if crc32.Checksum(buf, diskCastagnoli) != crc {
-			break // torn or corrupt: treat as end of valid prefix
+			badFrameEnd = off + diskHeaderSize + int64(n)
+			break
 		}
 		k, v, err := decodeDiskPayload(buf)
 		if err != nil {
+			badFrameEnd = off + diskHeaderSize + int64(n)
 			break
 		}
 		frame := int64(diskHeaderSize) + int64(n)
@@ -254,7 +278,14 @@ func (sh *diskShard) open(path string) error {
 		off += frame
 	}
 	if off < st.Size() {
-		// Torn tail: drop it, exactly like wal's open-time truncation.
+		if badFrameEnd >= 0 && badFrameEnd < st.Size() {
+			// Data follows the corrupt record, so this is not a crash's
+			// torn tail: records past the corruption are being discarded.
+			sh.corruptDropped = st.Size() - off
+			log.Printf("kvstore: CORRUPT segment %s: record at offset %d fails verification with %d bytes of data behind it; dropping %d bytes (all records past the corruption) — this is data loss, not crash recovery",
+				path, off, st.Size()-badFrameEnd, sh.corruptDropped)
+		}
+		// Drop the invalid suffix, exactly like wal's open-time truncation.
 		if err := f.Truncate(off); err != nil {
 			f.Close()
 			return fmt.Errorf("kvstore: truncating torn segment tail: %w", err)
@@ -456,6 +487,18 @@ func (d *Disk) ResidentBytes() int64 {
 
 // MemBudget returns the configured resident-memory budget (0 = none).
 func (d *Disk) MemBudget() int64 { return d.budget }
+
+// CorruptionDropped reports bytes discarded at open because of mid-file
+// segment corruption — a record failing verification with valid-looking
+// data behind it, as opposed to a crash's torn tail (which is routine
+// and not counted). Non-zero means keys were lost to bit rot.
+func (d *Disk) CorruptionDropped() int64 {
+	var n int64
+	for i := range d.shards {
+		n += d.shards[i].corruptDropped
+	}
+	return n
+}
 
 // MaxTS returns the highest timestamp of any live version.
 func (d *Disk) MaxTS() hlc.Timestamp {

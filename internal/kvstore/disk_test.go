@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -174,6 +175,103 @@ func TestDiskTornTailTruncatedOnRestart(t *testing.T) {
 		if got, ok := r.Get(k); !ok || string(got.Value) != val {
 			t.Fatalf("torn tail ate %q", k)
 		}
+	}
+}
+
+// TestDiskMidFileCorruptionCountedNotSilent plants bit rot in the middle
+// of a segment — a record that fails its checksum with valid records
+// behind it. The open must still recover the valid prefix, but unlike a
+// torn tail the dropped suffix is data loss and must be counted
+// (CorruptionDropped) so operators can see it.
+func TestDiskMidFileCorruptionCountedNotSilent(t *testing.T) {
+	dir := t.TempDir()
+	d := openDiskT(t, dir, DiskOptions{})
+	for i := 0; i < 200; i++ {
+		d.Put(types.Key(fmt.Sprintf("key%d", i)), dver("payload-payload-payload", hlc.Timestamp(i+1), 0))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Corrupt one byte inside the SECOND record of some multi-record
+	// segment: the first record must survive, everything after the flip
+	// is dropped — and counted.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("globbing segments: %v (%d)", err, len(segs))
+	}
+	corrupted := false
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < diskHeaderSize {
+			continue // empty shard
+		}
+		n1 := int(binary.LittleEndian.Uint32(data[0:4]))
+		second := diskHeaderSize + n1 // offset of the second record's header
+		if second+diskHeaderSize+4 >= len(data) {
+			continue // shard holds one record; pick a fuller one
+		}
+		data[second+diskHeaderSize+1] ^= 0x40 // bit rot in the second payload
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("no segment large enough to corrupt mid-file")
+	}
+
+	r := openDiskT(t, dir, DiskOptions{})
+	if got := r.CorruptionDropped(); got == 0 {
+		t.Fatal("mid-file corruption truncated the segment without counting the loss")
+	}
+	if r.Len() >= 200 {
+		t.Fatalf("Len = %d after dropping a corrupt suffix, want < 200", r.Len())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The corrupt suffix was truncated away: a reopen of the now-clean
+	// segments reports no further corruption.
+	r2 := openDiskT(t, dir, DiskOptions{})
+	defer r2.Close()
+	if got := r2.CorruptionDropped(); got != 0 {
+		t.Fatalf("reopen after truncation still reports %d corrupt-dropped bytes", got)
+	}
+}
+
+// TestDiskTornTailNotCountedAsCorruption re-checks the crash path stays
+// routine: an incomplete record at EOF is truncated with no corruption
+// counted.
+func TestDiskTornTailNotCountedAsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d := openDiskT(t, dir, DiskOptions{})
+	for i := 0; i < 64; i++ {
+		d.Put(types.Key(fmt.Sprintf("key%d", i)), dver("v", hlc.Timestamp(i+1), 0))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+	for _, seg := range segs {
+		f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0x20, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	r := openDiskT(t, dir, DiskOptions{})
+	defer r.Close()
+	if got := r.CorruptionDropped(); got != 0 {
+		t.Fatalf("torn tails counted as corruption: %d bytes", got)
 	}
 }
 
